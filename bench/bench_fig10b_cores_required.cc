@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 10(b): fine-grain cores required per core type to reach
+ * 30 FPS on the most demanding benchmark (Mix), as a function of
+ * the frame-time fraction available for FG computation (100%, 50%,
+ * 25%, 12.5%, and the simulated 32% left by the four-core CG
+ * configuration). Also reports the off-chip (HTX / PCIe) variants
+ * and the area estimates of section 8.2.1.
+ */
+
+#include "core/area_model.hh"
+#include "core/parallax_system.hh"
+#include "harness.hh"
+
+using namespace parallax;
+using namespace parallax::bench;
+
+int
+main()
+{
+    printHeader("Figure 10b: FG cores required for 30 FPS (Mix)",
+                "Figure 10(b) + section 8.2.1");
+
+    const FgCoreModel model(200, 1);
+    const ParallaxSystem system(model);
+    const MeasuredRun &run = measuredRun(BenchmarkId::Mix);
+    const auto fg_instr =
+        ParallaxSystem::fgInstructionsPerFrame(
+            run.worstFrameProfile());
+
+    std::printf("FG instructions per frame (Mix): narrow=%.1fM "
+                "island=%.1fM cloth=%.1fM\n\n",
+                fg_instr[0] / 1e6, fg_instr[1] / 1e6,
+                fg_instr[2] / 1e6);
+
+    const double fractions[] = {1.0, 0.5, 0.25, 0.125, 0.32};
+    const char *labels[] = {"100%", "50%", "25%", "12.5%",
+                            "simulated(32%)"};
+    std::printf("%-16s %9s %9s %9s\n", "frame fraction", "desktop",
+                "console", "shader");
+    for (int f = 0; f < 5; ++f) {
+        const double budget =
+            fractions[f] * frameBudgetSeconds();
+        std::printf("%-16s", labels[f]);
+        for (FgCoreClass cls : realFgCoreClasses) {
+            std::printf(" %9d",
+                        system.coresRequired(
+                            cls, fg_instr, budget,
+                            InterconnectKind::OnChipMesh));
+        }
+        std::printf("\n");
+    }
+    std::printf("(paper simulated row: 30 desktop, 43 console, "
+                "150 shader)\n\n");
+
+    // Off-chip variants at the simulated budget.
+    const double sim_budget = 0.32 * frameBudgetSeconds();
+    std::printf("%-16s %9s %9s %9s\n", "interconnect", "desktop",
+                "console", "shader");
+    for (InterconnectKind kind :
+         {InterconnectKind::OnChipMesh, InterconnectKind::Htx,
+          InterconnectKind::Pcie}) {
+        std::printf("%-16s", interconnectName(kind));
+        for (FgCoreClass cls : realFgCoreClasses) {
+            std::printf(" %9d", system.coresRequired(
+                                    cls, fg_instr, sim_budget,
+                                    kind));
+        }
+        std::printf("\n");
+    }
+    std::printf("(paper: HTX raises shaders 150 -> 151, PCIe -> "
+                "153)\n\n");
+
+    // Area estimates for the simulated configuration.
+    std::printf("Area at 90 nm for the simulated configuration:\n");
+    for (FgCoreClass cls : realFgCoreClasses) {
+        const int cores = system.coresRequired(
+            cls, fg_instr, sim_budget,
+            InterconnectKind::OnChipMesh);
+        const AreaEstimate est = fgPoolArea(cls, cores);
+        std::printf("  %-8s %4d cores: %7.0f mm^2 "
+                    "(cores %6.0f + noc %5.0f + sram %4.0f)\n",
+                    fgCoreClassName(cls), cores, est.total(),
+                    est.coresMm2, est.interconnectMm2,
+                    est.localStoreMm2);
+    }
+    std::printf("(paper: 30 desktop = 1388 mm^2, 43 console = 926 "
+                "mm^2, 150 shader = 591 mm^2;\n the simplest cores "
+                "are the most area-efficient)\n");
+    return 0;
+}

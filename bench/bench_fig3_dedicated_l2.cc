@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 3: Broadphase (a) and Narrowphase (b) execution time with
+ * a dedicated L2 partition scaled 1-16 MB — the cache-state
+ * save/restore experiment: each phase's working set is isolated
+ * from the other phases' pollution.
+ */
+
+#include "harness.hh"
+
+using namespace parallax;
+using namespace parallax::bench;
+
+namespace
+{
+
+void
+sweep(Phase phase, const char *label)
+{
+    const int sizes[] = {1, 2, 4, 8, 16};
+    std::printf("--- %s with dedicated L2 ---\n%-4s", label, "id");
+    for (int mb : sizes)
+        std::printf(" %8dMB", mb);
+    std::printf("   (seconds per frame)\n");
+    for (BenchmarkId id : allBenchmarks) {
+        const MeasuredRun &run = measuredRun(id);
+        std::printf("%-4s", tag(id));
+        for (int mb : sizes) {
+            const FrameTime ft =
+                frameTime(run, L2Plan::dedicatedPerPhase(mb), 1);
+            std::printf(" %10.5f", ft[phase].total());
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 3: Broadphase / Narrowphase dedicated L2",
+                "Figures 3(a) and 3(b), section 6.1");
+    sweep(Phase::Broadphase, "Broadphase (Fig 3a)");
+    sweep(Phase::Narrowphase, "Narrowphase (Fig 3b)");
+    std::printf("Paper observations: both serial stages plateau at "
+                "4 MB;\nNarrowphase for Explosions/Highspeed keeps "
+                "improving to 16 MB\n(largest object-pair counts in "
+                "Table 4).\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 7(a): the limit of coarse-grain parallelism. Even with
+ * unlimited cores, ideal load balancing and no OS/cache overhead,
+ * Island Processing is bounded by the largest island and Cloth by
+ * the largest cloth. The paper finds Mix and Deformable need more
+ * than a frame's time for these two phases alone.
+ */
+
+#include "harness.hh"
+
+using namespace parallax;
+using namespace parallax::bench;
+
+int
+main()
+{
+    printHeader("Figure 7a: limit of CG parallelism",
+                "Figure 7(a), section 6.2");
+    std::printf("(unbounded cores; per-phase time bounded by the "
+                "largest island/cloth)\n");
+    std::printf("%-4s %12s %12s %12s %10s\n", "id", "islandP(s)",
+                "cloth(s)", "sum(s)", "x frame");
+
+    CgTimingParams params;
+    params.taskOverheadCycles = 0; // Ideal conditions.
+    const CgTimingModel timing(params);
+    PhaseMemStats no_stalls; // Ideal: no cache contention.
+
+    for (BenchmarkId id : allBenchmarks) {
+        const MeasuredRun &run = measuredRun(id);
+        // Per-step times summed over the worst frame: the largest
+        // island/cloth bounds each step independently.
+        const int start = run.worstFrameStart();
+        double island = 0, cloth = 0;
+        for (int s = 0; s < run.stepsPerFrame; ++s) {
+            const StepProfile &step = run.steps[start + s];
+            std::vector<double> island_weights(
+                step.islandRows.begin(), step.islandRows.end());
+            std::vector<double> cloth_weights(
+                step.clothVertices.begin(),
+                step.clothVertices.end());
+            island += timing
+                          .parallelPhaseTime(
+                              Phase::IslandProcessing,
+                              step.ops(Phase::IslandProcessing),
+                              no_stalls, 4096, island_weights)
+                          .total();
+            cloth += timing
+                         .parallelPhaseTime(
+                             Phase::Cloth, step.ops(Phase::Cloth),
+                             no_stalls, 4096, cloth_weights)
+                         .total();
+        }
+        std::printf("%-4s %12.5f %12.5f %12.5f %10.2f\n", tag(id),
+                    island, cloth, island + cloth,
+                    (island + cloth) / frameBudgetSeconds());
+    }
+    std::printf("\nframe budget = %.5f s; the paper finds Mix and "
+                "Deformable exceed it\non these two phases alone, "
+                "motivating fine-grain parallelism.\n",
+                frameBudgetSeconds());
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 9(a): Mix's execution time split into serial, CG-parallel,
+ * and FG-parallel components, on one core (9 MB L2) and four cores
+ * (12 MB partitioned L2). The four-core sum of serial + CG
+ * components leaves roughly a third of the frame budget for all FG
+ * computation (the paper measures 32%).
+ */
+
+#include "harness.hh"
+
+using namespace parallax;
+using namespace parallax::bench;
+
+namespace
+{
+
+struct Split
+{
+    double narrowphaseFg = 0, islandFg = 0, clothFg = 0;
+    double islandCg = 0, clothCg = 0, narrowphaseCg = 0;
+    double serial = 0;
+};
+
+Split
+computeSplit(const MeasuredRun &run, const L2Plan &plan,
+             unsigned threads)
+{
+    const CgTimingModel timing;
+    const FrameTime ft = frameTime(run, plan, threads);
+    const StepProfile frame = run.worstFrameProfile();
+
+    Split split;
+    split.serial = ft.serial();
+    // Split each parallel phase's time by its FG/CG op share.
+    auto divide = [&](Phase phase, double &fg_out, double &cg_out) {
+        const double total_ops = frame.ops(phase).total();
+        const double fg_ops = frame.fg(phase).total();
+        const double share = total_ops > 0 ? fg_ops / total_ops : 0;
+        fg_out = ft[phase].total() * share;
+        cg_out = ft[phase].total() * (1.0 - share);
+    };
+    divide(Phase::Narrowphase, split.narrowphaseFg,
+           split.narrowphaseCg);
+    divide(Phase::IslandProcessing, split.islandFg, split.islandCg);
+    divide(Phase::Cloth, split.clothFg, split.clothCg);
+    return split;
+}
+
+void
+print(const char *label, const Split &s)
+{
+    const double fg = s.narrowphaseFg + s.islandFg + s.clothFg;
+    const double cg = s.narrowphaseCg + s.islandCg + s.clothCg;
+    std::printf("%-22s serial=%7.4f  cg=%7.4f  fg=%7.4f  "
+                "total=%7.4f s\n",
+                label, s.serial, cg, fg, s.serial + cg + fg);
+    std::printf("    fg breakdown: narrow=%7.4f island=%7.4f "
+                "cloth=%7.4f\n",
+                s.narrowphaseFg, s.islandFg, s.clothFg);
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 9a: Mix serial / CG / FG split",
+                "Figure 9(a), section 8.1");
+
+    const Split one = computeSplit(measuredRun(BenchmarkId::Mix),
+                                   L2Plan::shared(9), 1);
+    MeasureOptions opt4;
+    opt4.threads = 4;
+    const Split four =
+        computeSplit(measuredRun(BenchmarkId::Mix, opt4),
+                     L2Plan::paperPartitioned(), 4);
+
+    print("1 core + 9 MB L2:", one);
+    print("4 cores + 12 MB L2:", four);
+
+    const double serial_cg =
+        four.serial + four.narrowphaseCg + four.islandCg +
+        four.clothCg;
+    std::printf("\n4-core serial+CG share of one frame: %.0f%% "
+                "(paper: 68%%),\nleaving %.0f%% of the frame for "
+                "FG computation (paper: 32%%).\n",
+                100.0 * serial_cg / frameBudgetSeconds(),
+                100.0 * (1.0 - serial_cg / frameBudgetSeconds()));
+    return 0;
+}

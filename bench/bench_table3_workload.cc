@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table 3: average instructions per frame for each benchmark.
+ *
+ * The paper reports the per-frame instruction counts of the eight
+ * benchmarks on SPARC binaries; this harness reports the
+ * reproduction's operation counts for the worst measured frame and
+ * compares against the paper's numbers.
+ */
+
+#include "harness.hh"
+
+using namespace parallax;
+using namespace parallax::bench;
+
+int
+main()
+{
+    printHeader("Table 3: benchmark workload (instructions/frame)",
+                "Table 3");
+    std::printf("%-4s %14s %14s %8s   %s\n", "id", "measured(M)",
+                "paper(M)", "ratio", "description");
+    for (BenchmarkId id : allBenchmarks) {
+        const MeasuredRun &run = measuredRun(id);
+        const double measured =
+            run.worstFrameProfile().totalOps() / 1e6;
+        const double paper = benchmarkInfo(id).paperInstPerFrame;
+        std::printf("%-4s %14.1f %14.1f %8.2f   %s (%s)\n", tag(id),
+                    measured, paper, measured / paper,
+                    benchmarkInfo(id).name,
+                    benchmarkInfo(id).genre);
+    }
+    std::printf("\nOrdering check (paper: Per<Rag<Con<Bre<Def<Hig"
+                "<Exp<Mix):\n  measured ordering: ");
+    // Print the measured ordering by total ops.
+    std::vector<std::pair<double, BenchmarkId>> order;
+    for (BenchmarkId id : allBenchmarks) {
+        order.emplace_back(
+            measuredRun(id).worstFrameProfile().totalOps(), id);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto &[ops, id] : order)
+        std::printf("%s ", tag(id));
+    std::printf("\n");
+    return 0;
+}

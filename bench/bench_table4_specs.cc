@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table 4: benchmark specs — object-pairs, islands, cloth objects
+ * and vertices, static/dynamic/pre-fractured objects and static
+ * joints, versus the paper's values.
+ */
+
+#include "harness.hh"
+
+using namespace parallax;
+using namespace parallax::bench;
+
+namespace
+{
+
+struct PaperRow
+{
+    int objPairs, islands, clothObjs, clothVerts, staticObjs,
+        dynamicObjs, prefractured, staticJoints;
+};
+
+// Table 4 of the paper.
+constexpr PaperRow paperRows[numBenchmarks] = {
+    {2633, 99, 0, 0, 0, 480, 0, 480},          // Per
+    {2064, 30, 0, 0, 0, 480, 0, 480},          // Rag
+    {3182, 37, 0, 0, 1700, 650, 0, 120},       // Con
+    {11715, 97, 0, 0, 0, 1608, 5652, 564},     // Bre
+    {7871, 89, 32, 2000, 480, 480, 0, 480},    // Def
+    {21986, 58, 0, 0, 0, 3459, 0, 200},        // Exp
+    {21041, 12, 0, 0, 0, 3309, 0, 80},         // Hig
+    {16367, 28, 33, 2625, 0, 1608, 5652, 564}, // Mix
+};
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Table 4: benchmark specs", "Table 4");
+    std::printf("%-4s | %9s %8s | %6s %7s | %7s %7s %7s %7s\n",
+                "id", "objPairs", "islands", "cloth", "verts",
+                "static", "dynamic", "prefrac", "joints");
+    for (int b = 0; b < numBenchmarks; ++b) {
+        const BenchmarkId id = allBenchmarks[b];
+        const SceneSpec &s = measuredRun(id).spec;
+        std::printf("%-4s | %9llu %8llu | %6d %7d | %7d %7d %7d %7d\n",
+                    tag(id),
+                    static_cast<unsigned long long>(s.objPairs),
+                    static_cast<unsigned long long>(s.islands),
+                    s.clothObjs, s.clothVertices, s.staticObjs,
+                    s.dynamicObjs, s.prefracturedObjs,
+                    s.staticJoints);
+        const PaperRow &p = paperRows[b];
+        std::printf("%-4s | %9d %8d | %6d %7d | %7d %7d %7d %7d"
+                    "  (paper)\n",
+                    "", p.objPairs, p.islands, p.clothObjs,
+                    p.clothVerts, p.staticObjs, p.dynamicObjs,
+                    p.prefractured, p.staticJoints);
+    }
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Table 7 and section 8.2.2: fine-grain tasks required to hide
+ * communication latency for each core type and interconnect, the
+ * available parallelism per benchmark, and the work lost when small
+ * islands/cloths must be filtered off the FG cores.
+ */
+
+#include "core/parallax_system.hh"
+#include "harness.hh"
+
+using namespace parallax;
+using namespace parallax::bench;
+
+int
+main()
+{
+    printHeader("Table 7: FG tasks required to hide communication",
+                "Table 7 + section 8.2.2");
+
+    const FgCoreModel model(200, 1);
+    const ParallaxSystem system(model);
+
+    // Core counts of the simulated configuration (Figure 10b).
+    const MeasuredRun &mix = measuredRun(BenchmarkId::Mix);
+    const auto fg_instr = ParallaxSystem::fgInstructionsPerFrame(
+        mix.worstFrameProfile());
+    const double sim_budget = 0.32 * frameBudgetSeconds();
+
+    std::printf("%-8s %-8s | %12s %12s %12s\n", "core", "cores",
+                "on-chip", "HTX", "PCIe");
+    for (FgCoreClass cls : realFgCoreClasses) {
+        const int cores = system.coresRequired(
+            cls, fg_instr, sim_budget,
+            InterconnectKind::OnChipMesh);
+        std::printf("%-8s %-8d |", fgCoreClassName(cls), cores);
+        for (InterconnectKind kind :
+             {InterconnectKind::OnChipMesh, InterconnectKind::Htx,
+              InterconnectKind::Pcie}) {
+            std::printf(" (%3llu,%5llu,%5llu)",
+                        static_cast<unsigned long long>(
+                            system.tasksToHide(
+                                cls, KernelId::Narrowphase, kind,
+                                cores)),
+                        static_cast<unsigned long long>(
+                            system.tasksToHide(
+                                cls, KernelId::IslandProcessing,
+                                kind, cores)),
+                        static_cast<unsigned long long>(
+                            system.tasksToHide(cls, KernelId::Cloth,
+                                               kind, cores)));
+        }
+        std::printf("\n");
+    }
+    std::printf("(tuples: narrowphase, island, cloth in-flight "
+                "tasks; paper Table 7:\n desktop (30,240,60) / "
+                "(30,540,120) / (60,3000,1650) etc.)\n\n");
+
+    // Section 8.2.2: filtered-work analysis for island/cloth on the
+    // shader configuration.
+    const int shader_cores = system.coresRequired(
+        FgCoreClass::Shader, fg_instr, sim_budget,
+        InterconnectKind::OnChipMesh);
+    std::printf("Work filtered off FG cores (islands/cloths smaller "
+                "than the\nper-dispatch hiding threshold, shader "
+                "cores):\n");
+    std::printf("%-4s | %17s | %17s\n", "id", "HTX isl/cloth",
+                "PCIe isl/cloth");
+    // Averages are taken over the benchmarks that actually need FG
+    // offload (the paper notes Continuous and Deformable reach
+    // 30 FPS without FG parallelization of Island Processing, and
+    // the light benchmarks without FG cores at all).
+    auto needsFg = [](BenchmarkId id) {
+        return id == BenchmarkId::Breakable ||
+               id == BenchmarkId::Explosions ||
+               id == BenchmarkId::Highspeed ||
+               id == BenchmarkId::Mix;
+    };
+    double htx_isl = 0, htx_cloth = 0, pcie_isl = 0;
+    int fg_benchmarks = 0;
+    int cloth_benchmarks = 0;
+    for (BenchmarkId id : allBenchmarks) {
+        const StepProfile frame =
+            measuredRun(id).worstFrameProfile();
+        auto filtered = [&](KernelId kernel,
+                            InterconnectKind kind,
+                            const std::vector<int> &counts) {
+            // A container (island / cloth) can only hide the
+            // round trip if it supplies enough tasks to keep the
+            // whole pool busy meanwhile: the pool-wide Table 7
+            // number is the threshold.
+            const std::uint64_t threshold = system.tasksToHide(
+                FgCoreClass::Shader, kernel, kind, shader_cores);
+            return ParallaxSystem::filteredWorkFraction(counts,
+                                                        threshold);
+        };
+        const double hi = filtered(KernelId::IslandProcessing,
+                                   InterconnectKind::Htx,
+                                   frame.islandRows);
+        const double hc =
+            filtered(KernelId::Cloth, InterconnectKind::Htx,
+                     frame.clothVertices);
+        const double pi = filtered(KernelId::IslandProcessing,
+                                   InterconnectKind::Pcie,
+                                   frame.islandRows);
+        const double pc =
+            filtered(KernelId::Cloth, InterconnectKind::Pcie,
+                     frame.clothVertices);
+        std::printf("%-4s | %7.1f%% %7.1f%% | %7.1f%% %7.1f%%\n",
+                    tag(id), 100 * hi, 100 * hc, 100 * pi,
+                    100 * pc);
+        if (needsFg(id)) {
+            htx_isl += hi;
+            pcie_isl += pi;
+            ++fg_benchmarks;
+        }
+        if (!frame.clothVertices.empty()) {
+            htx_cloth += hc;
+            ++cloth_benchmarks;
+        }
+    }
+    std::printf("\naverages over FG-demanding benchmarks: HTX "
+                "island %.1f%% (paper 2%%),\nHTX cloth %.1f%% "
+                "(paper 29%%), PCIe island %.1f%% (paper 59%%;\n"
+                "cloth cannot hide PCIe latency at all, matching "
+                "the paper).\n",
+                fg_benchmarks ? 100 * htx_isl / fg_benchmarks : 0.0,
+                cloth_benchmarks
+                    ? 100 * htx_cloth / cloth_benchmarks
+                    : 0.0,
+                fg_benchmarks ? 100 * pcie_isl / fg_benchmarks
+                              : 0.0);
+    return 0;
+}

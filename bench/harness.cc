@@ -1,0 +1,207 @@
+#include "harness.hh"
+
+#include <cmath>
+
+namespace parallax
+{
+namespace bench
+{
+
+StepProfile
+MeasuredRun::worstFrameProfile() const
+{
+    StepProfile best;
+    double best_ops = -1.0;
+    for (std::size_t f = 0; f + stepsPerFrame <= steps.size();
+         f += stepsPerFrame) {
+        StepProfile frame;
+        for (int s = 0; s < stepsPerFrame; ++s)
+            frame += steps[f + s];
+        if (frame.totalOps() > best_ops) {
+            best_ops = frame.totalOps();
+            best = frame;
+        }
+    }
+    return best;
+}
+
+int
+MeasuredRun::worstFrameStart() const
+{
+    int best_start = 0;
+    double best_ops = -1.0;
+    for (std::size_t f = 0; f + stepsPerFrame <= steps.size();
+         f += stepsPerFrame) {
+        double ops = 0;
+        for (int s = 0; s < stepsPerFrame; ++s)
+            ops += steps[f + s].totalOps();
+        if (ops > best_ops) {
+            best_ops = ops;
+            best_start = static_cast<int>(f);
+        }
+    }
+    return best_start;
+}
+
+const MeasuredRun &
+measuredRun(BenchmarkId id, const MeasureOptions &options)
+{
+    using Key = std::pair<int, unsigned>;
+    static std::map<Key, std::unique_ptr<MeasuredRun>> cache;
+    const Key key{static_cast<int>(id), options.threads};
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return *it->second;
+
+    auto run = std::make_unique<MeasuredRun>();
+    run->id = id;
+    run->stepsPerFrame = options.stepsPerFrame;
+
+    auto world = buildBenchmark(id, WorldConfig(), options.scale);
+    run->spec = staticSceneSpec(*world);
+
+    for (int i = 0; i < options.warmupSteps; ++i)
+        world->step();
+
+    TraceOptions trace_options;
+    trace_options.threads = options.threads;
+    trace_options.kernelBytesPerThread =
+        kernelFootprintForThreads(options.threads);
+    TraceGenerator generator(trace_options);
+
+    double pair_total = 0;
+    double island_total = 0;
+    const int total_steps = options.frames * options.stepsPerFrame;
+    for (int s = 0; s < total_steps; ++s) {
+        world->step();
+        run->steps.push_back(Instrumentation::profileStep(*world));
+        run->traces.push_back(generator.generate(*world));
+        pair_total += world->lastStepStats().broadphase.pairsFound;
+        island_total += world->lastStepStats().islands.size();
+    }
+    run->spec.objPairs =
+        static_cast<std::uint64_t>(pair_total / total_steps);
+    run->spec.islands =
+        static_cast<std::uint64_t>(island_total / total_steps);
+
+    auto [pos, inserted] = cache.emplace(key, std::move(run));
+    return *pos->second;
+}
+
+std::array<PhaseMemStats, numPhases>
+replayRun(const MeasuredRun &run, MemoryHierarchy &hierarchy,
+          int warmup_steps, int *measured_steps)
+{
+    int measured = 0;
+    for (std::size_t s = 0; s < run.traces.size(); ++s) {
+        if (static_cast<int>(s) == warmup_steps)
+            hierarchy.resetStats();
+        hierarchy.replayStep(run.traces[s]);
+        if (static_cast<int>(s) >= warmup_steps)
+            ++measured;
+    }
+    if (measured_steps != nullptr)
+        *measured_steps = measured;
+    std::array<PhaseMemStats, numPhases> stats{};
+    for (int p = 0; p < numPhases; ++p)
+        stats[p] = hierarchy.phaseStats(static_cast<Phase>(p));
+    return stats;
+}
+
+namespace
+{
+
+PhaseMemStats
+scaleStats(const PhaseMemStats &stats, double factor)
+{
+    PhaseMemStats scaled;
+    auto mul = [factor](std::uint64_t v) {
+        return static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(v) * factor));
+    };
+    scaled.refs = mul(stats.refs);
+    scaled.l1Hits = mul(stats.l1Hits);
+    scaled.l2Hits = mul(stats.l2Hits);
+    scaled.l2Misses = mul(stats.l2Misses);
+    scaled.kernelL2Misses = mul(stats.kernelL2Misses);
+    scaled.userL2Misses = mul(stats.userL2Misses);
+    scaled.invalidations = mul(stats.invalidations);
+    scaled.cycles = mul(stats.cycles);
+    return scaled;
+}
+
+} // namespace
+
+FrameTime
+frameTime(const MeasuredRun &run, const L2Plan &plan,
+          unsigned threads, const CgTimingModel &timing)
+{
+    HierarchyConfig config;
+    config.plan = plan;
+    config.threads = threads;
+    MemoryHierarchy hierarchy(config);
+
+    int measured = 0;
+    const auto mem =
+        replayRun(run, hierarchy, run.stepsPerFrame, &measured);
+    const double per_frame_factor =
+        measured > 0
+            ? static_cast<double>(run.stepsPerFrame) / measured
+            : 1.0;
+
+    // Sum per-step phase times across the worst frame: the phase
+    // barrier is per step, so load balance (largest island / cloth)
+    // binds within each step, not across the frame.
+    const int start = run.worstFrameStart();
+    FrameTime result;
+    for (int s = 0; s < run.stepsPerFrame; ++s) {
+        const StepProfile &step = run.steps[start + s];
+        for (int p = 0; p < numPhases; ++p) {
+            const Phase phase = static_cast<Phase>(p);
+            const PhaseMemStats phase_mem = scaleStats(
+                mem[p], per_frame_factor / run.stepsPerFrame);
+
+            std::vector<double> weights;
+            std::int64_t dispatches = -1;
+            if (phase == Phase::Narrowphase) {
+                // Pairs are pre-partitioned into one chunk per
+                // worker: near-perfect balance, one dispatch per
+                // chunk.
+                weights.assign(
+                    static_cast<std::size_t>(
+                        std::max<std::uint64_t>(1, step.pairTasks)),
+                    1.0);
+                dispatches = threads;
+            } else if (phase == Phase::IslandProcessing) {
+                weights.assign(step.islandRows.begin(),
+                               step.islandRows.end());
+            } else if (phase == Phase::Cloth) {
+                weights.assign(step.clothVertices.begin(),
+                               step.clothVertices.end());
+            }
+            const PhaseTime t = timing.parallelPhaseTime(
+                phase, step.ops(phase), phase_mem, threads, weights,
+                dispatches);
+            result[phase].computeSeconds += t.computeSeconds;
+            result[phase].stallSeconds += t.stallSeconds;
+        }
+    }
+    return result;
+}
+
+void
+printHeader(const char *experiment, const char *paper_ref)
+{
+    std::printf("=== %s ===\n", experiment);
+    std::printf("(reproduces %s; ParallAX reproduction)\n\n",
+                paper_ref);
+}
+
+const char *
+tag(BenchmarkId id)
+{
+    return benchmarkInfo(id).shortName;
+}
+
+} // namespace bench
+} // namespace parallax

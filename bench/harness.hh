@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared driver for the experiment harnesses.
+ *
+ * Each bench binary regenerates one table or figure of the paper's
+ * evaluation. The driver runs a benchmark at full Table 4 scale
+ * through the paper's measurement protocol — warm up, then measure
+ * frames 5-7 and keep the worst frame — collecting both operation
+ * profiles and per-step memory traces; results are cached per
+ * (benchmark, threads) within a process.
+ */
+
+#ifndef PARALLAX_BENCH_HARNESS_HH
+#define PARALLAX_BENCH_HARNESS_HH
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cpu/cg_timing.hh"
+#include "mem/hierarchy.hh"
+#include "workload/benchmarks.hh"
+#include "workload/mem_trace.hh"
+
+namespace parallax
+{
+namespace bench
+{
+
+/** One measured benchmark run with traces. */
+struct MeasuredRun
+{
+    BenchmarkId id;
+    SceneSpec spec;
+    std::vector<StepProfile> steps;  // Measured steps in order.
+    std::vector<StepTrace> traces;   // One trace per measured step.
+    int stepsPerFrame = 3;
+
+    /** Aggregate profile of the worst frame. */
+    StepProfile worstFrameProfile() const;
+
+    /** Index of the first step of the worst frame. */
+    int worstFrameStart() const;
+};
+
+/** Measurement protocol parameters. */
+struct MeasureOptions
+{
+    int warmupSteps = 12; // Frames 1-4.
+    int frames = 3;       // Frames 5-7.
+    int stepsPerFrame = 3;
+    unsigned threads = 1; // Trace-generation thread model.
+    double scale = 1.0;
+};
+
+/** Run (or fetch from cache) a measured benchmark. */
+const MeasuredRun &measuredRun(BenchmarkId id,
+                               const MeasureOptions &options =
+                                   MeasureOptions());
+
+/**
+ * Replay a run's traces against a hierarchy: the first
+ * `warmup_steps` steps warm the caches; remaining steps are
+ * measured. Returns per-phase stats for the measured steps and the
+ * number of measured steps via `measured_steps`.
+ */
+std::array<PhaseMemStats, numPhases>
+replayRun(const MeasuredRun &run, MemoryHierarchy &hierarchy,
+          int warmup_steps, int *measured_steps = nullptr);
+
+/**
+ * Full-frame phase times for a run under a given L2 plan and thread
+ * count (combining the op profiles with a trace replay).
+ */
+FrameTime frameTime(const MeasuredRun &run, const L2Plan &plan,
+                    unsigned threads,
+                    const CgTimingModel &timing = CgTimingModel());
+
+/** Print a standard header naming the experiment. */
+void printHeader(const char *experiment, const char *paper_ref);
+
+/** Short benchmark tag column. */
+const char *tag(BenchmarkId id);
+
+} // namespace bench
+} // namespace parallax
+
+#endif // PARALLAX_BENCH_HARNESS_HH

@@ -1,0 +1,100 @@
+#include "arbiter.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+FgScheduler::FgScheduler(int num_cg, int num_fg,
+                         Tick dispatch_latency,
+                         ArbitrationPolicy policy)
+    : numCg_(num_cg), numFg_(num_fg),
+      dispatchLatency_(dispatch_latency), policy_(policy)
+{
+    if (num_cg < 1 || num_fg < 1)
+        fatal("scheduler needs at least one CG and one FG core");
+}
+
+ScheduleResult
+FgScheduler::run(std::vector<std::vector<FgTask>> queues) const
+{
+    if (static_cast<int>(queues.size()) != numCg_)
+        fatal("expected %d CG task queues, got %zu", numCg_,
+              queues.size());
+
+    ScheduleResult result;
+    result.tasksPerFgSet.assign(numCg_, 0);
+
+    // Per-CG queue cursors.
+    std::vector<std::size_t> cursor(numCg_, 0);
+    auto queueEmpty = [&](int cg) {
+        return cursor[cg] >= queues[cg].size();
+    };
+
+    // FG core free-time heap: (freeTime, coreIndex).
+    using CoreEvent = std::pair<Tick, int>;
+    std::priority_queue<CoreEvent, std::vector<CoreEvent>,
+                        std::greater<>>
+        free_heap;
+    for (int f = 0; f < numFg_; ++f)
+        free_heap.push({0, f});
+
+    // FG set (arbiter) of a core: round-robin striping keeps sets
+    // even when numFg is not a multiple of numCg.
+    auto setOf = [&](int core) { return core % numCg_; };
+
+    std::uint64_t busy_cycles = 0;
+    Tick makespan = 0;
+
+    while (!free_heap.empty()) {
+        const auto [free_time, core] = free_heap.top();
+        free_heap.pop();
+        const int arbiter = setOf(core);
+
+        // Arbiter priority order: its own CG core first, then the
+        // others in rotated order (Flexible); Static never rotates.
+        int chosen_cg = -1;
+        if (policy_ == ArbitrationPolicy::Flexible) {
+            for (int k = 0; k < numCg_; ++k) {
+                const int cg = (arbiter + k) % numCg_;
+                if (!queueEmpty(cg)) {
+                    chosen_cg = cg;
+                    break;
+                }
+            }
+        } else {
+            if (!queueEmpty(arbiter))
+                chosen_cg = arbiter;
+        }
+        if (chosen_cg < 0)
+            continue; // This core is done for the batch.
+
+        const FgTask &task = queues[chosen_cg][cursor[chosen_cg]++];
+        // Buffered dispatch overlaps communication with the
+        // previous task's computation; only an idle core exposes
+        // the dispatch latency.
+        const Tick start =
+            free_time == 0 ? dispatchLatency_ : free_time;
+        const Tick end = start + task.cycles;
+        busy_cycles += task.cycles;
+        makespan = std::max(makespan, end);
+        ++result.tasksExecuted;
+        ++result.tasksPerFgSet[arbiter];
+        if (chosen_cg != arbiter)
+            ++result.tasksBorrowed;
+        free_heap.push({end, core});
+    }
+
+    result.makespan = makespan;
+    if (makespan > 0) {
+        result.fgUtilization =
+            static_cast<double>(busy_cycles) /
+            (static_cast<double>(makespan) * numFg_);
+    }
+    return result;
+}
+
+} // namespace parallax

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Dynamic coupling of FG cores to CG cores (section 7.1).
+ *
+ * The FG cores are logically divided evenly among the CG cores;
+ * each set is controlled by an arbiter that serves CG cores in a
+ * priority order unique to that arbiter. With balanced demand every
+ * CG core gets its own set (maximizing locality); when one CG core
+ * has a larger load, arbiters whose preferred CG core is idle hand
+ * their FG cores to the loaded one — so a single large task can use
+ * the whole pool. A static policy (each FG set hardwired to one CG
+ * core) is provided for the ablation of section 8.2.1.
+ */
+
+#ifndef PARALLAX_CORE_ARBITER_HH
+#define PARALLAX_CORE_ARBITER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace parallax
+{
+
+/** One FG work item issued by a CG core. */
+struct FgTask
+{
+    Tick cycles = 0;   // Compute time on the FG core.
+    int cgOwner = 0;   // Submitting CG core.
+};
+
+/** Arbitration policy under study. */
+enum class ArbitrationPolicy
+{
+    /** Hierarchical arbiters with priority rotation (ParallAX). */
+    Flexible,
+    /** FG sets hardwired to their CG core (the scaled-up baseline). */
+    Static,
+};
+
+/** Outcome of scheduling one batch of FG tasks. */
+struct ScheduleResult
+{
+    Tick makespan = 0;
+    std::uint64_t tasksExecuted = 0;
+    double fgUtilization = 0.0; // busy / (makespan * cores).
+    /** Tasks executed by FG cores belonging to each CG set. */
+    std::vector<std::uint64_t> tasksPerFgSet;
+    /** Tasks that ran on an FG core outside the owner's set. */
+    std::uint64_t tasksBorrowed = 0;
+};
+
+/** The FG-pool scheduler with hierarchical arbitration. */
+class FgScheduler
+{
+  public:
+    /**
+     * @param num_cg CG cores (= number of arbiters / FG sets).
+     * @param num_fg FG cores in the pool.
+     * @param dispatch_latency Communication cycles to hand a task
+     *        to an FG core (overlapped across tasks by buffering,
+     *        so charged once per idle->busy transition).
+     */
+    FgScheduler(int num_cg, int num_fg, Tick dispatch_latency,
+                ArbitrationPolicy policy);
+
+    /**
+     * Schedule all tasks to completion.
+     *
+     * @param queues Per-CG-core task queues (FIFO order).
+     */
+    ScheduleResult run(std::vector<std::vector<FgTask>> queues) const;
+
+    int numCgCores() const { return numCg_; }
+    int numFgCores() const { return numFg_; }
+
+  private:
+    int numCg_;
+    int numFg_;
+    Tick dispatchLatency_;
+    ArbitrationPolicy policy_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_CORE_ARBITER_HH

@@ -1,0 +1,42 @@
+#include "area_model.hh"
+
+namespace parallax
+{
+
+namespace area
+{
+
+double
+coreArea(FgCoreClass cls)
+{
+    switch (cls) {
+      case FgCoreClass::Desktop:
+        // Core 2 Duo class core at 90 nm.
+        return 45.8;
+      case FgCoreClass::Console:
+        // Cell SPE class core.
+        return 21.1;
+      case FgCoreClass::Shader:
+        // G80 shader class core.
+        return 3.54;
+      case FgCoreClass::Limit:
+        // The limit-study core is not a buildable design; charge a
+        // deliberately absurd area so no sizing study picks it.
+        return 500.0;
+    }
+    return 0.0;
+}
+
+} // namespace area
+
+AreaEstimate
+fgPoolArea(FgCoreClass cls, int count, double local_store_kb)
+{
+    AreaEstimate est;
+    est.coresMm2 = area::coreArea(cls) * count;
+    est.interconnectMm2 = area::meshRouter * count;
+    est.localStoreMm2 = area::sramPerKb * local_store_kb * count;
+    return est;
+}
+
+} // namespace parallax

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * 90 nm area model (section 8.2.1).
+ *
+ * Per-core areas are derived from published die areas and photos
+ * (Intel Core 2 Duo, IBM Cell SPE, NVIDIA G80 shader); router area
+ * from the Polaris system-level roadmap. The paper's totals for the
+ * cores required at 30 FPS are 1388 mm^2 (30 desktop), 926 mm^2
+ * (43 console), and 591 mm^2 (150 shader) — which these constants
+ * reproduce, including the local instruction/data SRAM per FG core.
+ */
+
+#ifndef PARALLAX_CORE_AREA_MODEL_HH
+#define PARALLAX_CORE_AREA_MODEL_HH
+
+#include "fg_core_model.hh"
+
+namespace parallax
+{
+
+/** Area parameters at 90 nm, in mm^2. */
+namespace area
+{
+/** Core area by class (die-photo derived). */
+double coreArea(FgCoreClass cls);
+
+/** One mesh router (Polaris, 90 nm). */
+constexpr double meshRouter = 0.34;
+
+/** Local SRAM per FG core: mm^2 per KB at 90 nm. */
+constexpr double sramPerKb = 0.012;
+} // namespace area
+
+/** Breakdown of one FG pool configuration's area. */
+struct AreaEstimate
+{
+    double coresMm2 = 0.0;
+    double interconnectMm2 = 0.0;
+    double localStoreMm2 = 0.0;
+
+    double
+    total() const
+    {
+        return coresMm2 + interconnectMm2 + localStoreMm2;
+    }
+};
+
+/**
+ * Area of `count` FG cores of a class with `local_store_kb` of
+ * instruction + data SRAM each, connected by a 2D mesh.
+ */
+AreaEstimate fgPoolArea(FgCoreClass cls, int count,
+                        double local_store_kb = 4.7);
+
+} // namespace parallax
+
+#endif // PARALLAX_CORE_AREA_MODEL_HH

@@ -1,0 +1,109 @@
+#include "fg_core_model.hh"
+
+#include "noc/packet.hh"
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+const char *
+fgCoreClassName(FgCoreClass cls)
+{
+    switch (cls) {
+      case FgCoreClass::Desktop: return "desktop";
+      case FgCoreClass::Console: return "console";
+      case FgCoreClass::Shader: return "shader";
+      case FgCoreClass::Limit: return "limit";
+    }
+    return "?";
+}
+
+CoreConfig
+fgCoreConfig(FgCoreClass cls)
+{
+    switch (cls) {
+      case FgCoreClass::Desktop: return CoreConfig::desktop();
+      case FgCoreClass::Console: return CoreConfig::console();
+      case FgCoreClass::Shader: return CoreConfig::shader();
+      case FgCoreClass::Limit: return CoreConfig::limit();
+    }
+    return CoreConfig::desktop();
+}
+
+FgCoreModel::FgCoreModel(int tasks, std::uint64_t seed)
+{
+    if (tasks < 1)
+        fatal("FG core model needs at least one sampled task");
+    for (int c = 0; c < numFgCoreClasses; ++c) {
+        const auto cls = static_cast<FgCoreClass>(c);
+        for (int k = 0; k < numKernels; ++k) {
+            const KernelId kernel = allKernels[k];
+            Machine machine;
+            Rng rng(seed + k);
+            packKernelInputs(kernel, machine, tasks, rng);
+            OooCore core(fgCoreConfig(cls));
+            const CoreRunResult run =
+                core.run(kernelProgram(kernel), machine);
+            KernelTiming &t = timings_[c][k];
+            t.ipc = run.ipc();
+            t.cyclesPerTask =
+                static_cast<double>(run.cycles) / tasks;
+            t.instructionsPerTask =
+                static_cast<double>(run.instructions) / tasks;
+            t.mispredictRate = run.branches
+                ? static_cast<double>(run.mispredicts) /
+                      run.branches
+                : 0.0;
+            if (c == 0)
+                mixes_[k] = run.dynamicMix;
+        }
+    }
+}
+
+const KernelTiming &
+FgCoreModel::timing(FgCoreClass cls, KernelId kernel) const
+{
+    return timings_[static_cast<int>(cls)][static_cast<int>(kernel)];
+}
+
+const OpVector &
+FgCoreModel::kernelMix(KernelId kernel) const
+{
+    return mixes_[static_cast<int>(kernel)];
+}
+
+std::uint64_t
+FgCoreModel::uniqueReadBytesPer100(KernelId kernel)
+{
+    // Section 8.1.2 measurements.
+    switch (kernel) {
+      case KernelId::Narrowphase: return 1668;
+      case KernelId::IslandProcessing: return 604;
+      case KernelId::Cloth: return 376;
+    }
+    return 0;
+}
+
+std::uint64_t
+FgCoreModel::uniqueWriteBytesPer100(KernelId kernel)
+{
+    switch (kernel) {
+      case KernelId::Narrowphase: return 100;
+      case KernelId::IslandProcessing: return 128;
+      case KernelId::Cloth: return 308;
+    }
+    return 0;
+}
+
+std::uint64_t
+FgCoreModel::dataBytesForTasks(KernelId kernel, int tasks_buffered)
+{
+    const double per_task =
+        static_cast<double>(uniqueReadBytesPer100(kernel) +
+                            uniqueWriteBytesPer100(kernel)) /
+        100.0;
+    return static_cast<std::uint64_t>(per_task * tasks_buffered) +
+           ControlPacket::serializedBytes();
+}
+
+} // namespace parallax

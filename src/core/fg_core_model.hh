@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fine-grain core characterization: measured kernel IPC per core
+ * class, per-task cycle costs, and local-memory requirements
+ * (section 8.1.2 / Figure 10a).
+ */
+
+#ifndef PARALLAX_CORE_FG_CORE_MODEL_HH
+#define PARALLAX_CORE_FG_CORE_MODEL_HH
+
+#include <array>
+
+#include "cpu/ooo_core.hh"
+#include "isa/kernels.hh"
+
+namespace parallax
+{
+
+/** The four FG core classes of Table 6. */
+enum class FgCoreClass
+{
+    Desktop,
+    Console,
+    Shader,
+    Limit,
+};
+
+constexpr int numFgCoreClasses = 4;
+
+constexpr FgCoreClass realFgCoreClasses[3] = {
+    FgCoreClass::Desktop,
+    FgCoreClass::Console,
+    FgCoreClass::Shader,
+};
+
+const char *fgCoreClassName(FgCoreClass cls);
+
+/** CoreConfig for a class. */
+CoreConfig fgCoreConfig(FgCoreClass cls);
+
+/** Measured execution characteristics of one kernel on one core. */
+struct KernelTiming
+{
+    double ipc = 0.0;
+    double cyclesPerTask = 0.0;
+    double instructionsPerTask = 0.0;
+    double mispredictRate = 0.0;
+};
+
+/**
+ * Runs each kernel on each core class (once; results cached) and
+ * serves the measurements.
+ */
+class FgCoreModel
+{
+  public:
+    /** @param tasks Tasks sampled per measurement (paper: 100). */
+    explicit FgCoreModel(int tasks = 100, std::uint64_t seed = 1);
+
+    const KernelTiming &timing(FgCoreClass cls, KernelId kernel) const;
+
+    /** Dynamic instruction mix of a kernel (core independent). */
+    const OpVector &kernelMix(KernelId kernel) const;
+
+    /**
+     * Local data memory (bytes) needed to buffer `tasks_buffered`
+     * tasks of a kernel, from the paper's per-100-iteration unique
+     * read/write footprints (section 8.1.2).
+     */
+    static std::uint64_t dataBytesForTasks(KernelId kernel,
+                                           int tasks_buffered);
+
+    /** Paper unique-read bytes per 100 iterations. */
+    static std::uint64_t uniqueReadBytesPer100(KernelId kernel);
+
+    /** Paper unique-write bytes per 100 iterations. */
+    static std::uint64_t uniqueWriteBytesPer100(KernelId kernel);
+
+  private:
+    std::array<std::array<KernelTiming, numKernels>,
+               numFgCoreClasses>
+        timings_{};
+    std::array<OpVector, numKernels> mixes_{};
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_CORE_FG_CORE_MODEL_HH

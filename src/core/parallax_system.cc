@@ -1,0 +1,144 @@
+#include "parallax_system.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+KernelId
+kernelForPhase(Phase phase)
+{
+    switch (phase) {
+      case Phase::Narrowphase: return KernelId::Narrowphase;
+      case Phase::IslandProcessing: return KernelId::IslandProcessing;
+      case Phase::Cloth: return KernelId::Cloth;
+      default:
+        panic("phase %s has no FG kernel", phaseName(phase));
+    }
+}
+
+ParallaxSystem::ParallaxSystem(const FgCoreModel &model)
+    : model_(model)
+{
+}
+
+std::array<double, numKernels>
+ParallaxSystem::fgInstructionsPerFrame(const StepProfile &frame)
+{
+    std::array<double, numKernels> instr{};
+    instr[static_cast<int>(KernelId::Narrowphase)] =
+        frame.fg(Phase::Narrowphase).total();
+    instr[static_cast<int>(KernelId::IslandProcessing)] =
+        frame.fg(Phase::IslandProcessing).total();
+    instr[static_cast<int>(KernelId::Cloth)] =
+        frame.fg(Phase::Cloth).total();
+    return instr;
+}
+
+Tick
+ParallaxSystem::roundTripCycles(KernelId kernel,
+                                InterconnectKind kind,
+                                int cores) const
+{
+    // One batch carries the per-task unique data for 100 iterations
+    // (the paper's sampling unit) plus the control packet; the
+    // return trip carries the written data.
+    const MeshModel mesh(cores);
+    const std::uint64_t send_bytes =
+        FgCoreModel::uniqueReadBytesPer100(kernel) +
+        ControlPacket::serializedBytes();
+    const std::uint64_t recv_bytes =
+        FgCoreModel::uniqueWriteBytesPer100(kernel) +
+        DataPacketHeader::serializedBytes();
+    const double mean_hops = mesh.averageHopsFromPort();
+    return dispatchLatency(kind, mesh, mean_hops, send_bytes) +
+           dispatchLatency(kind, mesh, mean_hops, recv_bytes);
+}
+
+std::uint64_t
+ParallaxSystem::tasksToHidePerCore(FgCoreClass cls, KernelId kernel,
+                                   InterconnectKind kind,
+                                   int cores) const
+{
+    const KernelTiming &t = model_.timing(cls, kernel);
+    const Tick rtt = roundTripCycles(kernel, kind, cores);
+    // Tasks in flight per core so computation covers the round trip.
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(static_cast<double>(rtt) /
+                         std::max(t.cyclesPerTask, 1.0))));
+}
+
+std::uint64_t
+ParallaxSystem::tasksToHide(FgCoreClass cls, KernelId kernel,
+                            InterconnectKind kind, int cores) const
+{
+    return tasksToHidePerCore(cls, kernel, kind, cores) *
+           static_cast<std::uint64_t>(cores);
+}
+
+int
+ParallaxSystem::coresRequired(
+    FgCoreClass cls, const std::array<double, numKernels> &fg_instr,
+    double available_seconds, InterconnectKind kind,
+    int steps_per_frame) const
+{
+    if (available_seconds <= 0)
+        fatal("no frame time available for FG computation");
+
+    // Total FG compute cycles on one core of this class.
+    double total_cycles = 0;
+    for (int k = 0; k < numKernels; ++k) {
+        const KernelTiming &t =
+            model_.timing(cls, allKernels[k]);
+        total_cycles += fg_instr[k] / std::max(t.ipc, 1e-6);
+    }
+
+    // Iterate: startup/drain costs depend on the mesh size, which
+    // depends on the core count.
+    int cores = std::max(
+        1, static_cast<int>(std::ceil(
+               total_cycles /
+               (available_seconds * clockFrequencyHz))));
+    for (int iter = 0; iter < 4; ++iter) {
+        // Startup + post-process communication per parallel phase
+        // per step (section 8.2.1 assumes everything else overlaps).
+        double startup_cycles = 0;
+        for (KernelId kernel : allKernels) {
+            startup_cycles += 2.0 * static_cast<double>(
+                roundTripCycles(kernel, kind, cores));
+        }
+        startup_cycles *= steps_per_frame;
+        const double effective_seconds = available_seconds -
+            startup_cycles / clockFrequencyHz;
+        if (effective_seconds <= 0)
+            fatal("interconnect startup exceeds the frame budget");
+        const int next = std::max(
+            1, static_cast<int>(std::ceil(
+                   total_cycles /
+                   (effective_seconds * clockFrequencyHz))));
+        if (next == cores)
+            break;
+        cores = next;
+    }
+    return cores;
+}
+
+double
+ParallaxSystem::filteredWorkFraction(
+    const std::vector<int> &task_counts, std::uint64_t threshold)
+{
+    double total = 0;
+    double filtered = 0;
+    for (int count : task_counts) {
+        total += count;
+        if (static_cast<std::uint64_t>(count) < threshold)
+            filtered += count;
+    }
+    return total > 0 ? filtered / total : 0.0;
+}
+
+} // namespace parallax

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * ParallAX system-level sizing and latency-hiding analysis
+ * (sections 8.2.1 and 8.2.2).
+ *
+ * Combines the workload's fine-grain demand (from the benchmark
+ * profiles), the measured kernel IPC per FG core class, and the
+ * interconnect models to answer the paper's design questions: how
+ * many FG cores of each class reach 30 FPS, how much buffering and
+ * parallelism hides the communication latency, and how much work
+ * must be filtered off the FG cores when latency cannot be hidden.
+ */
+
+#ifndef PARALLAX_CORE_PARALLAX_SYSTEM_HH
+#define PARALLAX_CORE_PARALLAX_SYSTEM_HH
+
+#include <array>
+
+#include "fg_core_model.hh"
+#include "noc/interconnect.hh"
+#include "workload/instrumentation.hh"
+
+namespace parallax
+{
+
+/** Map a parallel phase to the FG kernel that executes it. */
+KernelId kernelForPhase(Phase phase);
+
+/** The ParallAX sizing model. */
+class ParallaxSystem
+{
+  public:
+    explicit ParallaxSystem(const FgCoreModel &model);
+
+    /**
+     * FG instructions per frame for each kernel, taken from a
+     * frame's aggregated profile (the fg component of each parallel
+     * phase).
+     */
+    static std::array<double, numKernels>
+    fgInstructionsPerFrame(const StepProfile &frame);
+
+    /**
+     * Minimum FG cores of a class to complete the given FG demand
+     * within `available_seconds` (Figure 10b). Startup and
+     * post-process communication (which cannot be overlapped) is
+     * charged per phase per step.
+     *
+     * @param steps_per_frame Simulation steps per frame (paper: 3).
+     */
+    int coresRequired(FgCoreClass cls,
+                      const std::array<double, numKernels> &fg_instr,
+                      double available_seconds,
+                      InterconnectKind kind,
+                      int steps_per_frame = 3) const;
+
+    /**
+     * Tasks that must be in flight per FG core to hide the
+     * round-trip dispatch latency of one task batch (Table 7 is
+     * this multiplied by the core count).
+     */
+    std::uint64_t tasksToHidePerCore(FgCoreClass cls,
+                                     KernelId kernel,
+                                     InterconnectKind kind,
+                                     int cores) const;
+
+    /** Table 7 entry: total in-flight tasks across the pool. */
+    std::uint64_t tasksToHide(FgCoreClass cls, KernelId kernel,
+                              InterconnectKind kind,
+                              int cores) const;
+
+    /**
+     * Fraction of a phase's FG work lost when tasks can only be
+     * offloaded from islands/cloths with at least `threshold` FG
+     * tasks (section 8.2.2's filtering analysis).
+     *
+     * @param task_counts Per-container FG task counts (rows per
+     *        island or vertices per cloth).
+     */
+    static double filteredWorkFraction(
+        const std::vector<int> &task_counts,
+        std::uint64_t threshold);
+
+    const FgCoreModel &model() const { return model_; }
+
+  private:
+    /** Round-trip dispatch cycles for one task batch. */
+    Tick roundTripCycles(KernelId kernel, InterconnectKind kind,
+                         int cores) const;
+
+    const FgCoreModel &model_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_CORE_PARALLAX_SYSTEM_HH

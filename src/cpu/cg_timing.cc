@@ -1,0 +1,114 @@
+#include "cg_timing.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+CgTimingModel::CgTimingModel(CgTimingParams params) : params_(params)
+{
+}
+
+double
+CgTimingModel::computeCycles(const OpVector &ops) const
+{
+    double cycles = 0;
+    for (int c = 0; c < numOpClasses; ++c)
+        cycles += ops.ops[c] * params_.cyclesPerOp[c];
+    return cycles;
+}
+
+double
+CgTimingModel::stallCycles(Phase phase,
+                           const PhaseMemStats &mem) const
+{
+    const double exposure = phaseIsSerial(phase)
+        ? params_.serialStallExposure
+        : params_.parallelStallExposure;
+    const double raw =
+        static_cast<double>(mem.l2Hits) * 15.0 +
+        static_cast<double>(mem.l2Misses) * 340.0;
+    return raw * exposure;
+}
+
+PhaseTime
+CgTimingModel::phaseTime(Phase phase, const OpVector &ops,
+                         const PhaseMemStats &mem) const
+{
+    PhaseTime t;
+    t.computeSeconds = computeCycles(ops) / clockFrequencyHz;
+    t.stallSeconds = stallCycles(phase, mem) / clockFrequencyHz;
+    return t;
+}
+
+double
+CgTimingModel::makespan(const std::vector<double> &weights,
+                        unsigned threads)
+{
+    if (weights.empty() || threads == 0)
+        return 0.0;
+    double total = 0;
+    for (double w : weights)
+        total += w;
+    if (total <= 0)
+        return 0.0;
+
+    // Longest-processing-time-first greedy schedule.
+    std::vector<double> sorted = weights;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    std::vector<double> load(threads, 0.0);
+    for (double w : sorted) {
+        auto it = std::min_element(load.begin(), load.end());
+        *it += w;
+    }
+    return *std::max_element(load.begin(), load.end()) / total;
+}
+
+PhaseTime
+CgTimingModel::parallelPhaseTime(
+    Phase phase, const OpVector &ops, const PhaseMemStats &mem,
+    unsigned threads, const std::vector<double> &task_weights,
+    std::int64_t overhead_tasks) const
+{
+    if (threads == 0)
+        fatal("parallelPhaseTime needs at least one thread");
+
+    PhaseTime t;
+    const double compute = computeCycles(ops);
+    const double stalls = stallCycles(phase, mem);
+
+    if (phaseIsSerial(phase) || threads == 1 ||
+        task_weights.empty()) {
+        t.computeSeconds = compute / clockFrequencyHz;
+        t.stallSeconds = stalls / clockFrequencyHz;
+        return t;
+    }
+
+    // CG parallel execution: the phase's work splits across tasks
+    // proportionally to their weights; LPT makespan bounds the
+    // speedup by the largest task (the paper's limit on island- and
+    // cloth-level parallelism). Work-queue dispatch adds a per-task
+    // overhead paid on the critical path by the thread that runs
+    // each task.
+    const double frac = makespan(task_weights, threads);
+    const double dispatches = overhead_tasks >= 0
+        ? static_cast<double>(overhead_tasks)
+        : static_cast<double>(task_weights.size());
+    const double overhead =
+        params_.taskOverheadCycles * (dispatches / threads);
+    t.computeSeconds = (compute * frac + overhead) /
+        clockFrequencyHz;
+    // Stalls scale with the same makespan fraction; concurrent
+    // threads additionally contend for L2 banks and the memory
+    // controller (the replay already captures the capacity effects
+    // in the miss counts, this adds the queueing latency).
+    const double contention =
+        1.0 + params_.memContentionPerThread * (threads - 1);
+    t.stallSeconds =
+        stalls * frac * contention / clockFrequencyHz;
+    return t;
+}
+
+} // namespace parallax

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Coarse-grain core timing model.
+ *
+ * Converts a phase's operation vector plus its memory-system
+ * behaviour into execution time on the Table 5 core (4-wide, 14
+ * stages, 96-entry ROB / 32-entry scheduler, 2 GHz). Computation
+ * time comes from per-class issue costs; memory stall time comes
+ * from the cache replay, scaled by an exposure factor that models
+ * how much latency the out-of-order window can hide (pointer-chasing
+ * serial phases expose almost everything; the data-parallel phases
+ * overlap more).
+ *
+ * Multi-core projections schedule coarse-grain tasks (islands,
+ * cloths, pair chunks) across cores with LPT, charging a work-queue
+ * overhead per task — reproducing the paper's CG scaling limits
+ * (Figures 5b, 6a, 7a): the plateau at four cores and the bound set
+ * by the largest island or cloth.
+ */
+
+#ifndef PARALLAX_CPU_CG_TIMING_HH
+#define PARALLAX_CPU_CG_TIMING_HH
+
+#include <vector>
+
+#include "mem/hierarchy.hh"
+#include "sim/ticks.hh"
+#include "workload/instrumentation.hh"
+#include "workload/phase.hh"
+
+namespace parallax
+{
+
+/** Tunables of the CG timing model. */
+struct CgTimingParams
+{
+    /** Issue cost (cycles) per operation class on the 4-wide core. */
+    std::array<double, numOpClasses> cyclesPerOp{
+        0.45, // IntAlu: 4 int ALUs.
+        0.95, // Branch: predictor + occasional flush.
+        0.75, // FloatAdd: 2 FP units.
+        0.85, // FloatMult.
+        0.65, // RdPort: 2 load/store ports.
+        0.65, // WrPort.
+        1.60, // Other (div, sqrt, sync).
+    };
+
+    /** Fraction of memory stall cycles the OoO window cannot hide. */
+    double serialStallExposure = 1.0;
+    double parallelStallExposure = 0.6;
+
+    /** Work-queue dispatch + completion cost per CG task (cycles). */
+    double taskOverheadCycles = 3500.0;
+
+    /**
+     * Additional memory stall per extra concurrent thread (shared
+     * L2 bank and memory-controller queueing), as a fraction of the
+     * uncontended stall time.
+     */
+    double memContentionPerThread = 0.3;
+};
+
+/** Time split of one phase. */
+struct PhaseTime
+{
+    double computeSeconds = 0.0;
+    double stallSeconds = 0.0;
+
+    double total() const { return computeSeconds + stallSeconds; }
+};
+
+/** CG timing calculations. */
+class CgTimingModel
+{
+  public:
+    explicit CgTimingModel(CgTimingParams params = CgTimingParams());
+
+    /** Pure compute cycles for an operation vector. */
+    double computeCycles(const OpVector &ops) const;
+
+    /** Single-threaded phase time from ops + replay stats. */
+    PhaseTime phaseTime(Phase phase, const OpVector &ops,
+                        const PhaseMemStats &mem) const;
+
+    /**
+     * Phase time with `threads` cores exploiting coarse-grain
+     * parallelism.
+     *
+     * @param task_weights Relative op weights of the independent CG
+     *        tasks (islands' rows, cloths' vertices, pair chunks);
+     *        the phase's parallel ops are distributed
+     *        proportionally and scheduled LPT. An empty list means
+     *        the phase is serial.
+     * @param overhead_tasks Number of work-queue dispatches paying
+     *        the per-task overhead. Defaults (-1) to the number of
+     *        weights; narrowphase passes the chunk count instead
+     *        (its pairs are pre-partitioned, one chunk per worker).
+     */
+    PhaseTime parallelPhaseTime(Phase phase, const OpVector &ops,
+                                const PhaseMemStats &mem,
+                                unsigned threads,
+                                const std::vector<double> &
+                                    task_weights,
+                                std::int64_t overhead_tasks =
+                                    -1) const;
+
+    /**
+     * LPT makespan of weighted tasks on `threads` machines,
+     * normalized so the weights sum to 1.
+     */
+    static double makespan(const std::vector<double> &weights,
+                           unsigned threads);
+
+    const CgTimingParams &params() const { return params_; }
+
+  private:
+    double stallCycles(Phase phase, const PhaseMemStats &mem) const;
+
+    CgTimingParams params_;
+};
+
+/** Full-frame times per phase, in seconds. */
+struct FrameTime
+{
+    std::array<PhaseTime, numPhases> phase{};
+
+    PhaseTime &operator[](Phase p)
+    { return phase[static_cast<int>(p)]; }
+    const PhaseTime &operator[](Phase p) const
+    { return phase[static_cast<int>(p)]; }
+
+    double
+    total() const
+    {
+        double t = 0;
+        for (const PhaseTime &pt : phase)
+            t += pt.total();
+        return t;
+    }
+
+    double
+    serial() const
+    {
+        return phase[static_cast<int>(Phase::Broadphase)].total() +
+               phase[static_cast<int>(Phase::IslandCreation)]
+                   .total();
+    }
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_CPU_CG_TIMING_HH

@@ -1,0 +1,351 @@
+#include "ooo_core.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+CoreConfig
+CoreConfig::desktop()
+{
+    return CoreConfig{"desktop", 4, 32, 96, 14, 17, 4, 2, 2};
+}
+
+CoreConfig
+CoreConfig::console()
+{
+    return CoreConfig{"console", 2, 8, 32, 12, 17, 2, 1, 1};
+}
+
+CoreConfig
+CoreConfig::shader()
+{
+    return CoreConfig{"shader", 1, 1, 32, 8, 1, 1, 1, 1};
+}
+
+CoreConfig
+CoreConfig::limit()
+{
+    return CoreConfig{"limit", 128, 128, 512, 14, 64, 128, 128, 128};
+}
+
+namespace
+{
+
+/** Functional-unit class of an opcode. */
+enum class FuClass
+{
+    Int,
+    Fp,
+    Mem,
+};
+
+FuClass
+fuClassOf(Opcode op)
+{
+    if (isMemory(op))
+        return FuClass::Mem;
+    switch (op) {
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+      case Opcode::Fdiv:
+      case Opcode::Fsqrt:
+      case Opcode::Fneg:
+      case Opcode::Fabs:
+      case Opcode::Fmov:
+      case Opcode::Fmin:
+      case Opcode::Fmax:
+      case Opcode::Fclt:
+      case Opcode::Fcle:
+      case Opcode::Fceq:
+      case Opcode::Lfi:
+        return FuClass::Fp;
+      default:
+        return FuClass::Int;
+    }
+}
+
+/** True when the FU is busy for the whole latency (unpipelined). */
+bool
+unpipelined(Opcode op)
+{
+    return op == Opcode::Fdiv || op == Opcode::Fsqrt;
+}
+
+/** Ring of recent event times for window/ROB constraints. */
+class TimeRing
+{
+  public:
+    explicit TimeRing(std::size_t size) : times_(size, 0) {}
+
+    Tick
+    at(std::uint64_t index) const
+    {
+        return times_[index % times_.size()];
+    }
+
+    void
+    set(std::uint64_t index, Tick t)
+    {
+        times_[index % times_.size()] = t;
+    }
+
+  private:
+    std::vector<Tick> times_;
+};
+
+/** Source registers of an instruction (int and fp read sets). */
+void
+sourceRegs(const Instruction &inst, int int_srcs[2], int &n_int,
+           int fp_srcs[2], int &n_fp)
+{
+    n_int = 0;
+    n_fp = 0;
+    switch (inst.op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+        int_srcs[n_int++] = inst.ra;
+        int_srcs[n_int++] = inst.rb;
+        break;
+      case Opcode::Addi:
+      case Opcode::Slti:
+        int_srcs[n_int++] = inst.ra;
+        break;
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+      case Opcode::Fdiv:
+      case Opcode::Fmin:
+      case Opcode::Fmax:
+      case Opcode::Fclt:
+      case Opcode::Fcle:
+      case Opcode::Fceq:
+        fp_srcs[n_fp++] = inst.ra;
+        fp_srcs[n_fp++] = inst.rb;
+        break;
+      case Opcode::Fsqrt:
+      case Opcode::Fneg:
+      case Opcode::Fabs:
+      case Opcode::Fmov:
+        fp_srcs[n_fp++] = inst.ra;
+        break;
+      case Opcode::Lw:
+      case Opcode::Lf:
+        int_srcs[n_int++] = inst.ra;
+        break;
+      case Opcode::Sw:
+        int_srcs[n_int++] = inst.ra;
+        int_srcs[n_int++] = inst.rd; // Value source.
+        break;
+      case Opcode::Sf:
+        int_srcs[n_int++] = inst.ra;
+        fp_srcs[n_fp++] = inst.rd; // Value source.
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        int_srcs[n_int++] = inst.ra;
+        int_srcs[n_int++] = inst.rb;
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+OooCore::OooCore(CoreConfig config) : config_(std::move(config))
+{
+    if (config_.width < 1 || config_.windowEntries < 1 ||
+        config_.robEntries < 1) {
+        fatal("core config must have positive width/window/ROB");
+    }
+}
+
+CoreRunResult
+OooCore::run(const Program &program, Machine &machine,
+             std::uint64_t max_instructions)
+{
+    CoreRunResult result;
+    Yags predictor(YagsConfig{config_.predictorKb, 12, 8});
+    ReturnAddressStack ras(64);
+
+    // Per-register ready times.
+    std::vector<Tick> int_ready(numIntRegs, 0);
+    std::vector<Tick> fp_ready(numFpRegs, 0);
+    // Store-to-load forwarding through actual local-memory cells.
+    std::unordered_map<std::int64_t, Tick> store_ready;
+
+    // FU next-free times.
+    std::vector<Tick> int_fu(config_.intUnits, 0);
+    std::vector<Tick> fp_fu(config_.fpUnits, 0);
+    std::vector<Tick> mem_fu(config_.memUnits, 0);
+
+    // Event history for window / ROB / width constraints.
+    TimeRing issue_ring(config_.windowEntries);
+    TimeRing commit_ring(config_.robEntries);
+
+    Tick fetch_cycle = 0;  // Cycle of the current fetch group.
+    int fetch_in_cycle = 0;
+    Tick last_commit = 0;
+    int commit_in_cycle = 0;
+    Tick prev_commit_cycle = 0;
+    Tick prev_done = 0; // For the blocking 1-entry-window case.
+
+    std::int64_t pc = 0;
+    std::uint64_t seq = 0;
+
+    while (seq < max_instructions) {
+        if (pc < 0 ||
+            pc >= static_cast<std::int64_t>(program.size())) {
+            panic("pc %lld out of bounds",
+                  static_cast<long long>(pc));
+        }
+        const Instruction &inst = program.at(pc);
+
+        // --- Functional execution (architectural truth). ---
+        const Machine::ExecResult exec = machine.execute(inst, pc);
+        ++seq;
+        ++result.instructions;
+        if (inst.op != Opcode::Nop)
+            result.dynamicMix[opcodeClass(inst.op)] += 1.0;
+
+        // --- Fetch: `width` per cycle, honoring redirects. ---
+        if (fetch_in_cycle >= config_.width) {
+            ++fetch_cycle;
+            fetch_in_cycle = 0;
+        }
+        const Tick fetch_time = fetch_cycle;
+        ++fetch_in_cycle;
+
+        // --- Dispatch constraints: ROB and window occupancy. ---
+        Tick dispatch = fetch_time;
+        if (seq > static_cast<std::uint64_t>(config_.robEntries))
+            dispatch = std::max(dispatch, commit_ring.at(seq));
+        if (config_.windowEntries == 1) {
+            // A 1-entry window is a blocking in-order core (the
+            // shader class): one instruction in flight at a time.
+            dispatch = std::max(dispatch, prev_done);
+        } else if (seq >
+                   static_cast<std::uint64_t>(
+                       config_.windowEntries)) {
+            dispatch = std::max(dispatch, issue_ring.at(seq));
+        }
+
+        // --- Source operands. ---
+        int int_srcs[2], fp_srcs[2];
+        int n_int = 0, n_fp = 0;
+        sourceRegs(inst, int_srcs, n_int, fp_srcs, n_fp);
+        Tick ready = dispatch;
+        for (int k = 0; k < n_int; ++k) {
+            if (int_srcs[k] != 0)
+                ready = std::max(ready, int_ready[int_srcs[k]]);
+        }
+        for (int k = 0; k < n_fp; ++k)
+            ready = std::max(ready, fp_ready[fp_srcs[k]]);
+
+        // Loads wait on the youngest store to the same cell.
+        if (isLoad(inst.op)) {
+            const std::int64_t addr =
+                machine.intReg(inst.ra) + inst.imm;
+            auto it = store_ready.find(addr);
+            if (it != store_ready.end())
+                ready = std::max(ready, it->second);
+        }
+
+        // --- Functional unit arbitration. ---
+        std::vector<Tick> *units = nullptr;
+        switch (fuClassOf(inst.op)) {
+          case FuClass::Int: units = &int_fu; break;
+          case FuClass::Fp: units = &fp_fu; break;
+          case FuClass::Mem: units = &mem_fu; break;
+        }
+        auto unit = std::min_element(units->begin(), units->end());
+        const Tick issue = std::max(ready, *unit);
+        const int latency = opLatency(inst.op);
+        const Tick done = issue + latency;
+        *unit = issue + (unpipelined(inst.op) ? latency : 1);
+
+        issue_ring.set(seq, issue);
+        prev_done = done;
+
+        // --- Writeback: destination ready times. ---
+        if (inst.op == Opcode::Sw || inst.op == Opcode::Sf) {
+            const std::int64_t addr =
+                machine.intReg(inst.ra) + inst.imm;
+            store_ready[addr] = done;
+        } else if (writesFp(inst.op)) {
+            fp_ready[inst.rd] = done;
+        } else if (inst.rd != 0 && !isBranch(inst.op) &&
+                   inst.op != Opcode::Nop &&
+                   inst.op != Opcode::Halt) {
+            // Integer-writing ops, including loads and FP compares.
+            int_ready[inst.rd] = done;
+        }
+
+        // --- Commit: in order, `width` per cycle. ---
+        Tick commit = std::max(done, last_commit);
+        if (commit == prev_commit_cycle) {
+            if (commit_in_cycle >= config_.width) {
+                ++commit;
+                commit_in_cycle = 0;
+            }
+        } else {
+            commit_in_cycle = 0;
+        }
+        prev_commit_cycle = commit;
+        ++commit_in_cycle;
+        last_commit = commit;
+        commit_ring.set(seq, commit);
+        result.cycles = std::max<std::uint64_t>(result.cycles,
+                                                commit + 1);
+
+        // --- Control flow and prediction. ---
+        if (isConditionalBranch(inst.op)) {
+            ++result.branches;
+            const bool correct = predictor.predictAndUpdate(
+                static_cast<std::uint64_t>(pc), exec.taken);
+            if (!correct) {
+                ++result.mispredicts;
+                // Redirect: fetch resumes after resolution plus the
+                // front-end refill.
+                fetch_cycle = done + config_.pipelineDepth;
+                fetch_in_cycle = 0;
+            }
+        } else if (inst.op == Opcode::Call) {
+            ++result.branches;
+            ras.push(static_cast<std::uint64_t>(pc + 1));
+        } else if (inst.op == Opcode::Ret) {
+            ++result.branches;
+            const std::uint64_t predicted = ras.pop();
+            if (predicted !=
+                static_cast<std::uint64_t>(exec.nextPc)) {
+                ++result.mispredicts;
+                fetch_cycle = done + config_.pipelineDepth;
+                fetch_in_cycle = 0;
+            }
+        }
+        // Unconditional jumps are BTB hits: no penalty.
+
+        if (exec.halted) {
+            result.halted = true;
+            break;
+        }
+        pc = exec.nextPc;
+    }
+    return result;
+}
+
+} // namespace parallax

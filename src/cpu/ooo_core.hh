@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cycle-level out-of-order core timing model.
+ *
+ * A scoreboard/interval model of the Table 5/6 cores: limited fetch
+ * width, instruction window (scheduler), reorder buffer, per-class
+ * functional units, YAGS branch prediction with a pipeline-depth
+ * misprediction penalty, and precise local-memory dependences
+ * (store-to-load through actual addresses). Drives the FG kernel
+ * IPC measurements of Figure 10(a) and the fine-grain core sizing
+ * of Figure 10(b).
+ */
+
+#ifndef PARALLAX_CPU_OOO_CORE_HH
+#define PARALLAX_CPU_OOO_CORE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/machine.hh"
+#include "isa/program.hh"
+#include "sim/ticks.hh"
+#include "yags.hh"
+
+namespace parallax
+{
+
+/** Core microarchitecture parameters (Tables 5 and 6). */
+struct CoreConfig
+{
+    std::string name = "desktop";
+    int width = 4;         // Fetch/issue/commit width.
+    int windowEntries = 32;
+    int robEntries = 96;
+    int pipelineDepth = 14;
+    std::uint32_t predictorKb = 17;
+    int intUnits = 4;
+    int fpUnits = 2;
+    int memUnits = 2;
+
+    /** Table 5 / Intel Core Duo-class desktop core. */
+    static CoreConfig desktop();
+    /** IBM Cell-class console core (Table 6). */
+    static CoreConfig console();
+    /** GPU-shader-class core (Table 6). */
+    static CoreConfig shader();
+    /** Unrealistic ILP limit-study core (Table 6). */
+    static CoreConfig limit();
+};
+
+/** Outcome of a timed run. */
+struct CoreRunResult
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    OpVector dynamicMix;
+    bool halted = false;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles
+                      : 0.0;
+    }
+};
+
+/** The timing simulator. */
+class OooCore
+{
+  public:
+    explicit OooCore(CoreConfig config);
+
+    /**
+     * Execute a program to completion (or the instruction limit) on
+     * the given machine state, producing cycle-accurate timing.
+     */
+    CoreRunResult run(const Program &program, Machine &machine,
+                      std::uint64_t max_instructions = 50'000'000);
+
+    const CoreConfig &config() const { return config_; }
+
+  private:
+    CoreConfig config_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_CPU_OOO_CORE_HH

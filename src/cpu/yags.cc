@@ -1,0 +1,163 @@
+#include "yags.hh"
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+namespace
+{
+
+std::size_t
+roundDownPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p * 2 <= n)
+        p *= 2;
+    return p;
+}
+
+bool
+counterTaken(std::uint8_t c)
+{
+    return c >= 2;
+}
+
+std::uint8_t
+bump(std::uint8_t c, bool taken)
+{
+    if (taken)
+        return c < 3 ? c + 1 : 3;
+    return c > 0 ? c - 1 : 0;
+}
+
+} // namespace
+
+Yags::Yags(YagsConfig config) : config_(config)
+{
+    if (config_.sizeKb == 0)
+        fatal("YAGS predictor needs a non-zero budget");
+    // Budget split: half to the choice PHT (2 bits/entry), a quarter
+    // to each direction cache (2-bit counter + tag ~ 10 bits/entry).
+    const std::uint64_t bits =
+        static_cast<std::uint64_t>(config_.sizeKb) * 1024 * 8;
+    const std::size_t choice_entries =
+        roundDownPow2(static_cast<std::size_t>(bits / 2 / 2));
+    const std::size_t cache_entries = roundDownPow2(
+        static_cast<std::size_t>(bits / 4 / (2 + config_.tagBits)));
+    choice_.assign(std::max<std::size_t>(choice_entries, 16), 1);
+    takenCache_.assign(std::max<std::size_t>(cache_entries, 16),
+                       TaggedEntry{});
+    notTakenCache_.assign(std::max<std::size_t>(cache_entries, 16),
+                          TaggedEntry{});
+}
+
+std::size_t
+Yags::choiceIndex(std::uint64_t pc) const
+{
+    return pc % choice_.size();
+}
+
+std::size_t
+Yags::cacheIndex(std::uint64_t pc) const
+{
+    return (pc ^ history_) % takenCache_.size();
+}
+
+std::uint16_t
+Yags::tagOf(std::uint64_t pc) const
+{
+    return static_cast<std::uint16_t>(pc &
+                                      ((1u << config_.tagBits) - 1));
+}
+
+bool
+Yags::predict(std::uint64_t pc) const
+{
+    ++lookups_;
+    const bool choice_taken = counterTaken(choice_[choiceIndex(pc)]);
+    const std::size_t index = cacheIndex(pc);
+    const std::uint16_t tag = tagOf(pc);
+    // Consult the exception cache for the *opposite* direction.
+    if (choice_taken) {
+        const TaggedEntry &entry = notTakenCache_[index];
+        if (entry.tag == tag)
+            return counterTaken(entry.counter);
+        return true;
+    }
+    const TaggedEntry &entry = takenCache_[index];
+    if (entry.tag == tag)
+        return counterTaken(entry.counter);
+    return false;
+}
+
+void
+Yags::update(std::uint64_t pc, bool taken)
+{
+    const std::size_t ci = choiceIndex(pc);
+    const bool choice_taken = counterTaken(choice_[ci]);
+    const std::size_t index = cacheIndex(pc);
+    const std::uint16_t tag = tagOf(pc);
+
+    if (choice_taken) {
+        TaggedEntry &entry = notTakenCache_[index];
+        if (entry.tag == tag) {
+            entry.counter = bump(entry.counter, taken);
+        } else if (!taken) {
+            // Allocate an exception entry for the surprise.
+            entry.tag = tag;
+            entry.counter = 1;
+        }
+    } else {
+        TaggedEntry &entry = takenCache_[index];
+        if (entry.tag == tag) {
+            entry.counter = bump(entry.counter, taken);
+        } else if (taken) {
+            entry.tag = tag;
+            entry.counter = 2;
+        }
+    }
+    // The choice PHT trains unless the exception cache was both
+    // present and correct while the choice was wrong.
+    choice_[ci] = bump(choice_[ci], taken);
+
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+               ((1ull << config_.historyBits) - 1);
+}
+
+bool
+Yags::predictAndUpdate(std::uint64_t pc, bool taken)
+{
+    const bool predicted = predict(pc);
+    if (predicted != taken)
+        ++mispredicts_;
+    update(pc, taken);
+    return predicted == taken;
+}
+
+ReturnAddressStack::ReturnAddressStack(int depth)
+    : depth_(static_cast<std::size_t>(depth))
+{
+    if (depth <= 0)
+        fatal("RAS depth must be positive");
+}
+
+void
+ReturnAddressStack::push(std::uint64_t return_pc)
+{
+    if (stack_.size() == depth_)
+        stack_.erase(stack_.begin()); // Overflow drops the oldest.
+    stack_.push_back(return_pc);
+}
+
+std::uint64_t
+ReturnAddressStack::pop()
+{
+    if (stack_.empty())
+        return 0;
+    const std::uint64_t pc = stack_.back();
+    stack_.pop_back();
+    return pc;
+}
+
+} // namespace parallax

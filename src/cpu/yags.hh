@@ -1,0 +1,89 @@
+/**
+ * @file
+ * YAGS branch predictor (Eden & Mudge), plus a return-address stack.
+ *
+ * The paper's cores use a 17 KB YAGS predictor with a 64-entry RAS
+ * (Table 5), and the shader-class FG core scales it down to 1 KB
+ * (Table 6). YAGS keeps a bimodal choice PHT indexed by PC and two
+ * tagged exception caches (taken / not-taken) indexed by PC xor
+ * global history; the direction cache is consulted only when its
+ * tag matches, otherwise the choice table decides.
+ */
+
+#ifndef PARALLAX_CPU_YAGS_HH
+#define PARALLAX_CPU_YAGS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace parallax
+{
+
+/** Predictor geometry derived from a storage budget. */
+struct YagsConfig
+{
+    /** Total storage budget in kilobytes (paper: 17 or 1 or 64). */
+    std::uint32_t sizeKb = 17;
+    int historyBits = 12;
+    int tagBits = 8;
+};
+
+/** The YAGS direction predictor. */
+class Yags
+{
+  public:
+    explicit Yags(YagsConfig config = YagsConfig());
+
+    /** Predict the direction of a conditional branch at `pc`. */
+    bool predict(std::uint64_t pc) const;
+
+    /** Train with the actual outcome and advance global history. */
+    void update(std::uint64_t pc, bool taken);
+
+    const YagsConfig &config() const { return config_; }
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Convenience: predict, compare, update; true if correct. */
+    bool predictAndUpdate(std::uint64_t pc, bool taken);
+
+  private:
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0xffff;
+        std::uint8_t counter = 1; // 2-bit saturating.
+    };
+
+    std::size_t choiceIndex(std::uint64_t pc) const;
+    std::size_t cacheIndex(std::uint64_t pc) const;
+    std::uint16_t tagOf(std::uint64_t pc) const;
+
+    YagsConfig config_;
+    std::vector<std::uint8_t> choice_; // 2-bit counters.
+    std::vector<TaggedEntry> takenCache_;
+    std::vector<TaggedEntry> notTakenCache_;
+    std::uint64_t history_ = 0;
+    mutable std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+/** Fixed-depth return address stack (64 entries in the paper). */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(int depth = 64);
+
+    void push(std::uint64_t return_pc);
+
+    /** Pop a prediction; 0 if empty (forced mispredict). */
+    std::uint64_t pop();
+
+  private:
+    std::vector<std::uint64_t> stack_;
+    std::size_t depth_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_CPU_YAGS_HH

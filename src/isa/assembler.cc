@@ -1,0 +1,277 @@
+#include "assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+namespace
+{
+
+const std::map<std::string, Opcode> &
+mnemonicTable()
+{
+    static const std::map<std::string, Opcode> table = {
+        {"add", Opcode::Add},     {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},     {"and", Opcode::And},
+        {"or", Opcode::Or},       {"xor", Opcode::Xor},
+        {"sll", Opcode::Sll},     {"srl", Opcode::Srl},
+        {"addi", Opcode::Addi},   {"slti", Opcode::Slti},
+        {"li", Opcode::Li},       {"lfi", Opcode::Lfi},
+        {"fadd", Opcode::Fadd},   {"fsub", Opcode::Fsub},
+        {"fmul", Opcode::Fmul},   {"fdiv", Opcode::Fdiv},
+        {"fsqrt", Opcode::Fsqrt}, {"fneg", Opcode::Fneg},
+        {"fabs", Opcode::Fabs},   {"fmov", Opcode::Fmov},
+        {"fmin", Opcode::Fmin},   {"fmax", Opcode::Fmax},
+        {"fclt", Opcode::Fclt},   {"fcle", Opcode::Fcle},
+        {"fceq", Opcode::Fceq},   {"lw", Opcode::Lw},
+        {"sw", Opcode::Sw},       {"lf", Opcode::Lf},
+        {"sf", Opcode::Sf},       {"beq", Opcode::Beq},
+        {"bne", Opcode::Bne},     {"blt", Opcode::Blt},
+        {"bge", Opcode::Bge},     {"jmp", Opcode::Jmp},
+        {"call", Opcode::Call},   {"ret", Opcode::Ret},
+        {"halt", Opcode::Halt},   {"nop", Opcode::Nop},
+    };
+    return table;
+}
+
+struct Token
+{
+    std::string text;
+};
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : line) {
+        if (c == '#')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            if (!current.empty()) {
+                tokens.push_back(current);
+                current.clear();
+            }
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        tokens.push_back(current);
+    return tokens;
+}
+
+bool
+parseReg(const std::string &tok, char prefix, int &out)
+{
+    if (tok.size() < 2 || tok[0] != prefix)
+        return false;
+    int value = 0;
+    for (std::size_t i = 1; i < tok.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return false;
+        value = value * 10 + (tok[i] - '0');
+    }
+    if (value >= numIntRegs)
+        return false;
+    out = value;
+    return true;
+}
+
+int
+intReg(const std::string &tok, int line_no)
+{
+    int r = 0;
+    if (!parseReg(tok, 'r', r))
+        fatal("line %d: expected integer register, got '%s'",
+              line_no, tok.c_str());
+    return r;
+}
+
+int
+fpReg(const std::string &tok, int line_no)
+{
+    int r = 0;
+    if (!parseReg(tok, 'f', r))
+        fatal("line %d: expected FP register, got '%s'", line_no,
+              tok.c_str());
+    return r;
+}
+
+/** Parse "offset(rN)" into offset and register. */
+void
+parseMemOperand(const std::string &tok, int line_no,
+                std::int64_t &offset, int &base)
+{
+    const auto open = tok.find('(');
+    const auto close = tok.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+        fatal("line %d: expected offset(reg), got '%s'", line_no,
+              tok.c_str());
+    }
+    offset = std::stoll(tok.substr(0, open));
+    base = intReg(tok.substr(open + 1, close - open - 1), line_no);
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    Program program;
+
+    // Pass 1: labels.
+    {
+        std::istringstream in(source);
+        std::string line;
+        std::int64_t address = 0;
+        int line_no = 0;
+        while (std::getline(in, line)) {
+            ++line_no;
+            auto tokens = tokenize(line);
+            if (tokens.empty())
+                continue;
+            std::size_t start = 0;
+            if (tokens[0].back() == ':') {
+                program.defineLabel(
+                    tokens[0].substr(0, tokens[0].size() - 1),
+                    address);
+                start = 1;
+            }
+            if (start < tokens.size())
+                ++address;
+        }
+    }
+
+    // Pass 2: encode.
+    std::istringstream in(source);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        auto tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+        std::size_t i = 0;
+        if (tokens[0].back() == ':')
+            i = 1;
+        if (i >= tokens.size())
+            continue;
+
+        const auto it = mnemonicTable().find(tokens[i]);
+        if (it == mnemonicTable().end())
+            fatal("line %d: unknown mnemonic '%s'", line_no,
+                  tokens[i].c_str());
+        const Opcode op = it->second;
+        auto operand = [&](std::size_t k) -> const std::string & {
+            if (i + k >= tokens.size())
+                fatal("line %d: missing operand %zu", line_no, k);
+            return tokens[i + k];
+        };
+        auto target = [&](const std::string &name) {
+            const std::int64_t addr = program.label(name);
+            if (addr < 0)
+                fatal("line %d: unknown label '%s'", line_no,
+                      name.c_str());
+            return addr;
+        };
+
+        Instruction inst;
+        inst.op = op;
+        switch (op) {
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Sll:
+          case Opcode::Srl:
+            inst.rd = intReg(operand(1), line_no);
+            inst.ra = intReg(operand(2), line_no);
+            inst.rb = intReg(operand(3), line_no);
+            break;
+          case Opcode::Addi:
+          case Opcode::Slti:
+            inst.rd = intReg(operand(1), line_no);
+            inst.ra = intReg(operand(2), line_no);
+            inst.imm = std::stoll(operand(3));
+            break;
+          case Opcode::Li:
+            inst.rd = intReg(operand(1), line_no);
+            inst.imm = std::stoll(operand(2));
+            break;
+          case Opcode::Lfi:
+            inst.rd = fpReg(operand(1), line_no);
+            inst.fimm = std::stod(operand(2));
+            break;
+          case Opcode::Fadd:
+          case Opcode::Fsub:
+          case Opcode::Fmul:
+          case Opcode::Fdiv:
+          case Opcode::Fmin:
+          case Opcode::Fmax:
+            inst.rd = fpReg(operand(1), line_no);
+            inst.ra = fpReg(operand(2), line_no);
+            inst.rb = fpReg(operand(3), line_no);
+            break;
+          case Opcode::Fsqrt:
+          case Opcode::Fneg:
+          case Opcode::Fabs:
+          case Opcode::Fmov:
+            inst.rd = fpReg(operand(1), line_no);
+            inst.ra = fpReg(operand(2), line_no);
+            break;
+          case Opcode::Fclt:
+          case Opcode::Fcle:
+          case Opcode::Fceq:
+            inst.rd = intReg(operand(1), line_no);
+            inst.ra = fpReg(operand(2), line_no);
+            inst.rb = fpReg(operand(3), line_no);
+            break;
+          case Opcode::Lw:
+            inst.rd = intReg(operand(1), line_no);
+            parseMemOperand(operand(2), line_no, inst.imm, inst.ra);
+            break;
+          case Opcode::Sw:
+            inst.rd = intReg(operand(1), line_no); // Value source.
+            parseMemOperand(operand(2), line_no, inst.imm, inst.ra);
+            break;
+          case Opcode::Lf:
+            inst.rd = fpReg(operand(1), line_no);
+            parseMemOperand(operand(2), line_no, inst.imm, inst.ra);
+            break;
+          case Opcode::Sf:
+            inst.rd = fpReg(operand(1), line_no); // Value source.
+            parseMemOperand(operand(2), line_no, inst.imm, inst.ra);
+            break;
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge:
+            inst.ra = intReg(operand(1), line_no);
+            inst.rb = intReg(operand(2), line_no);
+            inst.imm = target(operand(3));
+            break;
+          case Opcode::Jmp:
+          case Opcode::Call:
+            inst.imm = target(operand(1));
+            break;
+          case Opcode::Ret:
+          case Opcode::Halt:
+          case Opcode::Nop:
+            break;
+        }
+        program.append(inst);
+    }
+    return program;
+}
+
+} // namespace parallax

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Two-pass assembler for PAX assembly text.
+ *
+ * Syntax (one instruction per line, '#' starts a comment):
+ *
+ *     loop:                       # label definition
+ *         li    r1, 42            # integer immediate
+ *         lfi   f0, 3.75          # FP immediate
+ *         add   r3, r1, r2
+ *         addi  r3, r1, -4
+ *         lw    r4, 8(r2)         # load int from [r2 + 8]
+ *         lf    f1, 0(r2)
+ *         sf    f1, 8(r2)
+ *         fclt  r5, f1, f2        # r5 <- (f1 < f2)
+ *         bne   r5, r0, loop      # branch to label
+ *         halt
+ *
+ * Register names are r0-r31 (r0 reads as zero) and f0-f31. Memory
+ * offsets must be multiples of 8 (the local memory is organized as
+ * 8-byte cells).
+ */
+
+#ifndef PARALLAX_ISA_ASSEMBLER_HH
+#define PARALLAX_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "program.hh"
+
+namespace parallax
+{
+
+/** Assemble PAX source text into a Program. Fatal on syntax error. */
+Program assemble(const std::string &source);
+
+} // namespace parallax
+
+#endif // PARALLAX_ISA_ASSEMBLER_HH

@@ -1,0 +1,208 @@
+#include "isa.hh"
+
+namespace parallax
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Addi: return "addi";
+      case Opcode::Slti: return "slti";
+      case Opcode::Li: return "li";
+      case Opcode::Lfi: return "lfi";
+      case Opcode::Fadd: return "fadd";
+      case Opcode::Fsub: return "fsub";
+      case Opcode::Fmul: return "fmul";
+      case Opcode::Fdiv: return "fdiv";
+      case Opcode::Fsqrt: return "fsqrt";
+      case Opcode::Fneg: return "fneg";
+      case Opcode::Fabs: return "fabs";
+      case Opcode::Fmov: return "fmov";
+      case Opcode::Fmin: return "fmin";
+      case Opcode::Fmax: return "fmax";
+      case Opcode::Fclt: return "fclt";
+      case Opcode::Fcle: return "fcle";
+      case Opcode::Fceq: return "fceq";
+      case Opcode::Lw: return "lw";
+      case Opcode::Sw: return "sw";
+      case Opcode::Lf: return "lf";
+      case Opcode::Sf: return "sf";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Halt: return "halt";
+      case Opcode::Nop: return "nop";
+    }
+    return "?";
+}
+
+bool
+isBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isConditionalBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMemory(Opcode op)
+{
+    switch (op) {
+      case Opcode::Lw:
+      case Opcode::Sw:
+      case Opcode::Lf:
+      case Opcode::Sf:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::Lw || op == Opcode::Lf;
+}
+
+bool
+writesFp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+      case Opcode::Fdiv:
+      case Opcode::Fsqrt:
+      case Opcode::Fneg:
+      case Opcode::Fabs:
+      case Opcode::Fmov:
+      case Opcode::Fmin:
+      case Opcode::Fmax:
+      case Opcode::Lf:
+      case Opcode::Lfi:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+opLatency(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mul:
+        return 3;
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmin:
+      case Opcode::Fmax:
+        return 3;
+      case Opcode::Fmul:
+        return 4;
+      case Opcode::Fdiv:
+        return 12;
+      case Opcode::Fsqrt:
+        return 15;
+      case Opcode::Fclt:
+      case Opcode::Fcle:
+      case Opcode::Fceq:
+        return 2;
+      case Opcode::Lw:
+      case Opcode::Lf:
+        return 2; // Single-cycle local memory + address generation.
+      default:
+        return 1;
+    }
+}
+
+OpClass
+opcodeClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Addi:
+      case Opcode::Slti:
+      case Opcode::Li:
+        return OpClass::IntAlu;
+      case Opcode::Lfi:
+        return OpClass::FloatAdd;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret:
+        return OpClass::Branch;
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmin:
+      case Opcode::Fmax:
+      case Opcode::Fneg:
+      case Opcode::Fabs:
+      case Opcode::Fmov:
+      case Opcode::Fclt:
+      case Opcode::Fcle:
+      case Opcode::Fceq:
+        return OpClass::FloatAdd;
+      case Opcode::Fmul:
+        return OpClass::FloatMult;
+      case Opcode::Lw:
+      case Opcode::Lf:
+        return OpClass::RdPort;
+      case Opcode::Sw:
+      case Opcode::Sf:
+        return OpClass::WrPort;
+      case Opcode::Fdiv:
+      case Opcode::Fsqrt:
+      case Opcode::Halt:
+      case Opcode::Nop:
+        return OpClass::Other;
+    }
+    return OpClass::Other;
+}
+
+} // namespace parallax

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The PAX virtual ISA.
+ *
+ * A small RISC ISA for the fine-grain cores. FG cores "use local
+ * instruction and data memories instead of caches" (section 7), so
+ * every memory access hits single-cycle local memory. The three FG
+ * kernels (narrowphase pair test, LCP row relaxation, cloth vertex)
+ * are written in this ISA and executed on the cycle-level core
+ * models to measure the IPC of Figure 10(a).
+ *
+ * 32 integer registers (r0 hardwired to zero), 32 FP registers,
+ * word-addressed byte memory, 32-bit instructions (the paper's
+ * instruction-memory sizing assumes 32- or 64-bit encodings).
+ */
+
+#ifndef PARALLAX_ISA_ISA_HH
+#define PARALLAX_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "workload/phase.hh"
+
+namespace parallax
+{
+
+/** PAX opcodes. */
+enum class Opcode
+{
+    // Integer ALU.
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Addi,
+    Slti,
+    Li,  // Load integer immediate.
+    Lfi, // Load FP immediate into an FP register.
+    // Floating point.
+    Fadd,
+    Fsub,
+    Fmul,
+    Fdiv,
+    Fsqrt,
+    Fneg,
+    Fabs,
+    Fmov,
+    Fmin,
+    Fmax,
+    /** FP compare: rd <- (fa OP fb) as 0/1. */
+    Fclt,
+    Fcle,
+    Fceq,
+    // Memory (always local-memory hits on FG cores).
+    Lw,
+    Sw,
+    Lf,
+    Sf,
+    // Control.
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Jmp,
+    Call,
+    Ret,
+    Halt,
+    Nop,
+};
+
+/** Number of architectural registers per file. */
+constexpr int numIntRegs = 32;
+constexpr int numFpRegs = 32;
+
+/** Decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    int rd = 0;   // Destination (int or fp index by opcode).
+    int ra = 0;   // First source.
+    int rb = 0;   // Second source.
+    std::int64_t imm = 0; // Immediate / branch target / offset.
+    double fimm = 0.0;    // FP immediate (Li into fp via assembler).
+};
+
+/** Mnemonic of an opcode. */
+const char *opcodeName(Opcode op);
+
+/** True for control-transfer instructions. */
+bool isBranch(Opcode op);
+
+/** True for conditional branches. */
+bool isConditionalBranch(Opcode op);
+
+/** True for loads/stores. */
+bool isMemory(Opcode op);
+
+/** True for loads. */
+bool isLoad(Opcode op);
+
+/** True when the instruction writes an FP register. */
+bool writesFp(Opcode op);
+
+/** Execution latency in cycles on the FG cores. */
+int opLatency(Opcode op);
+
+/** Map an opcode to the paper's instruction-mix class (Fig 9b). */
+OpClass opcodeClass(Opcode op);
+
+} // namespace parallax
+
+#endif // PARALLAX_ISA_ISA_HH

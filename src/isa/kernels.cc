@@ -1,0 +1,1052 @@
+#include "kernels.hh"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "assembler.hh"
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+const char *
+kernelName(KernelId id)
+{
+    switch (id) {
+      case KernelId::Narrowphase: return "narrowphase";
+      case KernelId::IslandProcessing: return "island";
+      case KernelId::Cloth: return "cloth";
+    }
+    return "?";
+}
+
+int
+kernelPaperStaticSize(KernelId id)
+{
+    switch (id) {
+      case KernelId::Narrowphase: return 277;
+      case KernelId::IslandProcessing: return 177;
+      case KernelId::Cloth: return 221;
+    }
+    return 0;
+}
+
+std::int64_t
+kernelTaskStride(KernelId)
+{
+    return 512;
+}
+
+namespace
+{
+
+/** printf-style line emitter for assembly generation. */
+class Emitter
+{
+  public:
+    template <typename... Args>
+    void
+    line(const char *fmt, Args &&...args)
+    {
+        out_ << detail::format(fmt, std::forward<Args>(args)...)
+             << '\n';
+    }
+
+    std::string str() const { return out_.str(); }
+
+  private:
+    std::ostringstream out_;
+};
+
+/**
+ * Narrowphase kernel: one object-pair test. Sphere A against a
+ * sphere, oriented box, or capsule B; emits a full contact record
+ * (normal, position, depth, friction basis, restitution bias).
+ * Heavy on data-dependent branches, as the paper observes.
+ */
+std::string
+narrowphaseSource()
+{
+    Emitter e;
+    e.line("    lw   r3, 0(r0)");
+    e.line("    li   r2, 64");
+    e.line("    li   r4, 512");
+    e.line("    li   r1, 0");
+    e.line("loop:");
+    e.line("    bge  r1, r3, done");
+    e.line("    lw   r10, 0(r2)");
+    // posA -> f0..f2, ra -> f3, posB -> f4..f6.
+    e.line("    lf   f0, 8(r2)");
+    e.line("    lf   f1, 16(r2)");
+    e.line("    lf   f2, 24(r2)");
+    e.line("    lf   f3, 32(r2)");
+    e.line("    lf   f4, 40(r2)");
+    e.line("    lf   f5, 48(r2)");
+    e.line("    lf   f6, 56(r2)");
+    e.line("    li   r11, 1");
+    e.line("    beq  r10, r11, boxpath");
+    e.line("    li   r11, 2");
+    e.line("    beq  r10, r11, cappath");
+    e.line("    lf   f7, 64(r2)");
+    e.line("    jmp  spherecore");
+
+    // --- Capsule path: closest point on segment [B, B2] to A,
+    // then fall into the sphere core with that point as center.
+    e.line("cappath:");
+    e.line("    lf   f7, 96(r2)");
+    e.line("    lf   f8, 104(r2)");
+    e.line("    lf   f9, 112(r2)");
+    e.line("    fsub f10, f7, f4"); // ab
+    e.line("    fsub f11, f8, f5");
+    e.line("    fsub f12, f9, f6");
+    e.line("    fsub f13, f0, f4"); // am
+    e.line("    fsub f14, f1, f5");
+    e.line("    fsub f15, f2, f6");
+    e.line("    fmul f16, f10, f10");
+    e.line("    fmul f17, f11, f11");
+    e.line("    fadd f16, f16, f17");
+    e.line("    fmul f17, f12, f12");
+    e.line("    fadd f16, f16, f17"); // ab2
+    e.line("    fmul f17, f13, f10");
+    e.line("    fmul f18, f14, f11");
+    e.line("    fadd f17, f17, f18");
+    e.line("    fmul f18, f15, f12");
+    e.line("    fadd f17, f17, f18"); // dot(am, ab)
+    e.line("    fdiv f17, f17, f16"); // t
+    e.line("    lfi  f18, 0.0");
+    e.line("    fmax f17, f17, f18");
+    e.line("    lfi  f18, 1.0");
+    e.line("    fmin f17, f17, f18");
+    e.line("    fmul f10, f10, f17"); // center = B + ab*t
+    e.line("    fadd f4, f4, f10");
+    e.line("    fmul f11, f11, f17");
+    e.line("    fadd f5, f5, f11");
+    e.line("    fmul f12, f12, f17");
+    e.line("    fadd f6, f6, f12");
+    e.line("    lf   f7, 64(r2)");
+
+    // --- Sphere core: A(f0..f2, f3) vs sphere(f4..f6, f7).
+    // Leaves depth f17, normal f18..f20, contact pos f22..f24.
+    e.line("spherecore:");
+    e.line("    fsub f8, f0, f4");
+    e.line("    fsub f9, f1, f5");
+    e.line("    fsub f10, f2, f6");
+    e.line("    fmul f11, f8, f8");
+    e.line("    fmul f12, f9, f9");
+    e.line("    fmul f13, f10, f10");
+    e.line("    fadd f11, f11, f12");
+    e.line("    fadd f11, f11, f13"); // dist2
+    e.line("    fadd f14, f3, f7");   // rsum
+    e.line("    fmul f15, f14, f14");
+    e.line("    fclt r12, f15, f11");
+    e.line("    bne  r12, r0, nohit");
+    e.line("    lfi  f16, 1e-12");
+    e.line("    fclt r12, f11, f16");
+    e.line("    bne  r12, r0, degen");
+    e.line("    fsqrt f15, f11");     // dist
+    e.line("    fsub f17, f14, f15"); // depth
+    e.line("    fdiv f18, f8, f15");
+    e.line("    fdiv f19, f9, f15");
+    e.line("    fdiv f20, f10, f15");
+    e.line("    lfi  f21, 0.5");
+    e.line("    fmul f21, f17, f21");
+    e.line("    fsub f21, f7, f21"); // rb - depth/2
+    e.line("    fmul f22, f18, f21");
+    e.line("    fadd f22, f4, f22");
+    e.line("    fmul f23, f19, f21");
+    e.line("    fadd f23, f5, f23");
+    e.line("    fmul f24, f20, f21");
+    e.line("    fadd f24, f6, f24");
+    e.line("    jmp  writehit");
+
+    // --- Oriented box path. Rotation R (rows in f25 reload per
+    // element), rel' = R^T (A - B), clamp to half extents with
+    // branches, distance in local frame, normal rotated back.
+    e.line("boxpath:");
+    e.line("    fsub f8, f0, f4");  // rel world
+    e.line("    fsub f9, f1, f5");
+    e.line("    fsub f10, f2, f6");
+    // Local rel: f11..f13 = R^T * rel (columns of R^T are rows of R).
+    for (int axis = 0; axis < 3; ++axis) {
+        // rel_local[axis] = R[0][axis]*relx + R[1][axis]*rely + ...
+        e.line("    lf   f14, %d(r2)", 120 + 0 * 24 + axis * 8);
+        e.line("    fmul f%d, f14, f8", 11 + axis);
+        e.line("    lf   f14, %d(r2)", 120 + 1 * 24 + axis * 8);
+        e.line("    fmul f14, f14, f9");
+        e.line("    fadd f%d, f%d, f14", 11 + axis, 11 + axis);
+        e.line("    lf   f14, %d(r2)", 120 + 2 * 24 + axis * 8);
+        e.line("    fmul f14, f14, f10");
+        e.line("    fadd f%d, f%d, f14", 11 + axis, 11 + axis);
+    }
+    // Clamp each local component into f15..f17 with branches.
+    for (int axis = 0; axis < 3; ++axis) {
+        const int src = 11 + axis;
+        const int dst = 15 + axis;
+        e.line("    lf   f21, %d(r2)", 72 + axis * 8); // half
+        e.line("    fmov f%d, f%d", dst, src);
+        e.line("    fclt r12, f21, f%d", dst);
+        e.line("    beq  r12, r0, bclo%d", axis);
+        e.line("    fmov f%d, f21", dst);
+        e.line("bclo%d:", axis);
+        e.line("    fneg f21, f21");
+        e.line("    fclt r12, f%d, f21", dst);
+        e.line("    beq  r12, r0, bchi%d", axis);
+        e.line("    fmov f%d, f21", dst);
+        e.line("bchi%d:", axis);
+    }
+    // d_local = rel_local - clamped -> f11..f13 (overwrite).
+    e.line("    fsub f11, f11, f15");
+    e.line("    fsub f12, f12, f16");
+    e.line("    fsub f13, f13, f17");
+    e.line("    fmul f18, f11, f11");
+    e.line("    fmul f19, f12, f12");
+    e.line("    fadd f18, f18, f19");
+    e.line("    fmul f19, f13, f13");
+    e.line("    fadd f18, f18, f19"); // dist2
+    e.line("    fmul f19, f3, f3");   // ra^2
+    e.line("    fclt r12, f19, f18");
+    e.line("    bne  r12, r0, nohit");
+    e.line("    lfi  f19, 1e-12");
+    e.line("    fclt r12, f18, f19");
+    e.line("    bne  r12, r0, degen");
+    e.line("    fsqrt f21, f18"); // dist
+    e.line("    fsub f14, f3, f21"); // depth
+    e.line("    fdiv f11, f11, f21"); // n_local
+    e.line("    fdiv f12, f12, f21");
+    e.line("    fdiv f13, f13, f21");
+    // n_world = R * n_local -> f18..f20; pos = B + R*clamped.
+    for (int row = 0; row < 3; ++row) {
+        e.line("    lf   f21, %d(r2)", 120 + row * 24 + 0);
+        e.line("    fmul f%d, f21, f11", 18 + row);
+        e.line("    lf   f21, %d(r2)", 120 + row * 24 + 8);
+        e.line("    fmul f21, f21, f12");
+        e.line("    fadd f%d, f%d, f21", 18 + row, 18 + row);
+        e.line("    lf   f21, %d(r2)", 120 + row * 24 + 16);
+        e.line("    fmul f21, f21, f13");
+        e.line("    fadd f%d, f%d, f21", 18 + row, 18 + row);
+    }
+    for (int row = 0; row < 3; ++row) {
+        e.line("    lf   f21, %d(r2)", 120 + row * 24 + 0);
+        e.line("    fmul f%d, f21, f15", 22 + row);
+        e.line("    lf   f21, %d(r2)", 120 + row * 24 + 8);
+        e.line("    fmul f21, f21, f16");
+        e.line("    fadd f%d, f%d, f21", 22 + row, 22 + row);
+        e.line("    lf   f21, %d(r2)", 120 + row * 24 + 16);
+        e.line("    fmul f21, f21, f17");
+        e.line("    fadd f%d, f%d, f21", 22 + row, 22 + row);
+        e.line("    fadd f%d, f%d, f%d", 22 + row, 22 + row,
+               4 + row);
+    }
+    e.line("    fmov f17, f14"); // depth into the common register.
+    e.line("    jmp  writehit");
+
+    // --- Contact record emission: depth, normal, position, a
+    // tangent basis, and a restitution bias from the relative
+    // velocity along the normal.
+    e.line("writehit:");
+    e.line("    li   r12, 1");
+    e.line("    sw   r12, 240(r2)");
+    e.line("    sf   f17, 248(r2)");
+    e.line("    sf   f18, 256(r2)");
+    e.line("    sf   f19, 264(r2)");
+    e.line("    sf   f20, 272(r2)");
+    e.line("    sf   f22, 280(r2)");
+    e.line("    sf   f23, 288(r2)");
+    e.line("    sf   f24, 296(r2)");
+    // Tangent t1: if |nx| > 0.7071 use (ny, -nx, 0) else (0, nz, -ny),
+    // normalized.
+    e.line("    fabs f0, f18");
+    e.line("    lfi  f1, 0.7071");
+    e.line("    fclt r12, f1, f0");
+    e.line("    beq  r12, r0, tangelse");
+    e.line("    fmov f2, f19");
+    e.line("    fneg f3, f18");
+    e.line("    lfi  f4, 0.0");
+    e.line("    jmp  tangnorm");
+    e.line("tangelse:");
+    e.line("    lfi  f2, 0.0");
+    e.line("    fmov f3, f20");
+    e.line("    fneg f4, f19");
+    e.line("tangnorm:");
+    e.line("    fmul f5, f2, f2");
+    e.line("    fmul f6, f3, f3");
+    e.line("    fadd f5, f5, f6");
+    e.line("    fmul f6, f4, f4");
+    e.line("    fadd f5, f5, f6");
+    e.line("    fsqrt f5, f5");
+    e.line("    fdiv f2, f2, f5");
+    e.line("    fdiv f3, f3, f5");
+    e.line("    fdiv f4, f4, f5");
+    e.line("    sf   f2, 304(r2)");
+    e.line("    sf   f3, 312(r2)");
+    e.line("    sf   f4, 320(r2)");
+    // t2 = n x t1.
+    e.line("    fmul f5, f19, f4");
+    e.line("    fmul f6, f20, f3");
+    e.line("    fsub f5, f5, f6");
+    e.line("    fmul f6, f20, f2");
+    e.line("    fmul f7, f18, f4");
+    e.line("    fsub f6, f6, f7");
+    e.line("    fmul f7, f18, f3");
+    e.line("    fmul f8, f19, f2");
+    e.line("    fsub f7, f7, f8");
+    e.line("    sf   f5, 328(r2)");
+    e.line("    sf   f6, 336(r2)");
+    e.line("    sf   f7, 344(r2)");
+    // Restitution bias: vn = (velA - velB) . n; if vn < -0.5 then
+    // bias = -0.3 * vn else 0.
+    e.line("    lf   f8, 192(r2)");
+    e.line("    lf   f9, 216(r2)");
+    e.line("    fsub f8, f8, f9");
+    e.line("    fmul f8, f8, f18");
+    e.line("    lf   f9, 200(r2)");
+    e.line("    lf   f10, 224(r2)");
+    e.line("    fsub f9, f9, f10");
+    e.line("    fmul f9, f9, f19");
+    e.line("    fadd f8, f8, f9");
+    e.line("    lf   f9, 208(r2)");
+    e.line("    lf   f10, 232(r2)");
+    e.line("    fsub f9, f9, f10");
+    e.line("    fmul f9, f9, f20");
+    e.line("    fadd f8, f8, f9"); // vn
+    e.line("    lfi  f9, -0.5");
+    e.line("    fclt r12, f8, f9");
+    e.line("    lfi  f10, 0.0");
+    e.line("    beq  r12, r0, biasdone");
+    e.line("    lfi  f10, -0.3");
+    e.line("    fmul f10, f10, f8");
+    e.line("biasdone:");
+    e.line("    sf   f10, 352(r2)");
+    e.line("    jmp  next");
+    e.line("nohit:");
+    e.line("    sw   r0, 240(r2)");
+    e.line("    jmp  next");
+    e.line("degen:");
+    e.line("    li   r12, 2");
+    e.line("    sw   r12, 240(r2)");
+    e.line("next:");
+    e.line("    addi r1, r1, 1");
+    e.line("    add  r2, r2, r4");
+    e.line("    jmp  loop");
+    e.line("done:");
+    e.line("    halt");
+    return e.str();
+}
+
+/**
+ * Island-processing kernel: one LCP row relaxation (the inner
+ * iteration of the constraint solver). FP dominant with high ILP
+ * from the 12-wide Jacobian dot products.
+ */
+std::string
+islandSource()
+{
+    Emitter e;
+    e.line("    lw   r3, 0(r0)");
+    e.line("    li   r2, 64");
+    e.line("    li   r4, 512");
+    e.line("    li   r1, 0");
+    e.line("loop:");
+    e.line("    bge  r1, r3, done");
+    // J[12] -> f0..f11, vel[12] -> f12..f23.
+    for (int k = 0; k < 12; ++k)
+        e.line("    lf   f%d, %d(r2)", k, k * 8);
+    for (int k = 0; k < 12; ++k)
+        e.line("    lf   f%d, %d(r2)", 12 + k, 256 + k * 8);
+    // Products in place (tree reduction for ILP).
+    for (int k = 0; k < 12; ++k)
+        e.line("    fmul f%d, f%d, f%d", k, k, 12 + k);
+    e.line("    fadd f0, f0, f1");
+    e.line("    fadd f2, f2, f3");
+    e.line("    fadd f4, f4, f5");
+    e.line("    fadd f6, f6, f7");
+    e.line("    fadd f8, f8, f9");
+    e.line("    fadd f10, f10, f11");
+    e.line("    fadd f0, f0, f2");
+    e.line("    fadd f4, f4, f6");
+    e.line("    fadd f8, f8, f10");
+    e.line("    fadd f0, f0, f4");
+    e.line("    fadd f0, f0, f8"); // jv
+    // Friction bound: if mu > 0, lo/hi = -/+ mu * normalLambda.
+    e.line("    lf   f24, 104(r2)"); // lo
+    e.line("    lf   f25, 112(r2)"); // hi
+    e.line("    lf   f26, 160(r2)"); // mu
+    e.line("    lfi  f27, 0.0");
+    e.line("    fcle r12, f26, f27");
+    e.line("    bne  r12, r0, nofric");
+    e.line("    lf   f27, 168(r2)"); // normal lambda
+    e.line("    fmul f25, f26, f27");
+    e.line("    fneg f24, f25");
+    e.line("nofric:");
+    // Baumgarte bias: rhs_eff = rhs + min(depth * erp/dt, 10).
+    e.line("    lf   f26, 96(r2)");  // rhs
+    e.line("    lf   f27, 184(r2)"); // depth
+    e.line("    lf   f28, 192(r2)"); // erp/dt
+    e.line("    fmul f27, f27, f28");
+    e.line("    lfi  f28, 10.0");
+    e.line("    fmin f27, f27, f28");
+    e.line("    fadd f26, f26, f27");
+    // delta = (rhs_eff - jv - cfm*lambda) * invDiag.
+    e.line("    lf   f27, 136(r2)"); // cfm
+    e.line("    lf   f28, 120(r2)"); // lambda
+    e.line("    fmul f29, f27, f28");
+    e.line("    fsub f26, f26, f0");
+    e.line("    fsub f26, f26, f29");
+    e.line("    lf   f27, 128(r2)"); // invDiag
+    e.line("    fmul f26, f26, f27");
+    e.line("    fadd f26, f28, f26");
+    e.line("    fmax f26, f26, f24");
+    e.line("    fmin f26, f26, f25"); // new lambda
+    e.line("    fsub f29, f26, f28"); // dl
+    e.line("    sf   f26, 120(r2)");
+    // Applied-impulse accumulation for breakable joints.
+    e.line("    lf   f27, 176(r2)");
+    e.line("    fabs f28, f29");
+    e.line("    fadd f27, f27, f28");
+    e.line("    sf   f27, 176(r2)");
+    // Per-body impulse scales: linear parts use the inverse mass,
+    // angular parts the diagonalized inverse inertia.
+    e.line("    lf   f24, 144(r2)"); // invMassA
+    e.line("    lf   f25, 152(r2)"); // invMassB
+    e.line("    fmul f24, f24, f29"); // dlA (linear)
+    e.line("    fmul f25, f25, f29"); // dlB (linear)
+    // vel[k] += J[k] * scale; J reloaded (registers were consumed
+    // by the reduction).
+    for (int k = 0; k < 12; ++k) {
+        e.line("    lf   f28, %d(r2)", k * 8);
+        if (k >= 3 && k < 6) {
+            // Angular A: scale = dl * invInertiaA[k-3].
+            e.line("    lf   f27, %d(r2)", 200 + (k - 3) * 8);
+            e.line("    fmul f27, f27, f29");
+            e.line("    fmul f28, f28, f27");
+        } else if (k >= 9) {
+            // Angular B: scale = dl * invInertiaB[k-9].
+            e.line("    lf   f27, %d(r2)", 224 + (k - 9) * 8);
+            e.line("    fmul f27, f27, f29");
+            e.line("    fmul f28, f28, f27");
+        } else {
+            e.line("    fmul f28, f28, f%d", k < 6 ? 24 : 25);
+        }
+        e.line("    fadd f%d, f%d, f28", 12 + k, 12 + k);
+    }
+    for (int k = 0; k < 12; ++k)
+        e.line("    sf   f%d, %d(r2)", 12 + k, 256 + k * 8);
+    e.line("    addi r1, r1, 1");
+    e.line("    add  r2, r2, r4");
+    e.line("    jmp  loop");
+    e.line("done:");
+    e.line("    halt");
+    return e.str();
+}
+
+/**
+ * Cloth kernel: one vertex — Verlet integration, four distance
+ * constraints, and projection out of two collider spheres. FP
+ * dominant with sqrt/div chains (the paper notes cloth's integer
+ * multiplies, FP divides and square roots).
+ */
+std::string
+clothSource()
+{
+    Emitter e;
+    e.line("    lw   r3, 0(r0)");
+    e.line("    li   r2, 64");
+    e.line("    li   r4, 512");
+    e.line("    li   r1, 0");
+    e.line("loop:");
+    e.line("    bge  r1, r3, done");
+    // pos f0..f2, prev f3..f5.
+    for (int k = 0; k < 3; ++k)
+        e.line("    lf   f%d, %d(r2)", k, k * 8);
+    for (int k = 0; k < 3; ++k)
+        e.line("    lf   f%d, %d(r2)", 3 + k, 24 + k * 8);
+    e.line("    lf   f6, 48(r2)"); // damping
+    e.line("    lf   f7, 56(r2)"); // g*dt^2 (y)
+    // Verlet: new = pos + (pos - prev)*damping (+ gdt2 on y).
+    for (int k = 0; k < 3; ++k) {
+        e.line("    fsub f8, f%d, f%d", k, 3 + k);
+        e.line("    fmul f8, f8, f6");
+        e.line("    fmov f%d, f%d", 3 + k, k); // prev = pos
+        e.line("    fadd f%d, f%d, f8", k, k);
+    }
+    e.line("    fadd f1, f1, f7");
+    // Four distance constraints against fixed neighbours.
+    for (int n = 0; n < 4; ++n) {
+        const int base = 64 + n * 40;
+        e.line("    lf   f9, %d(r2)", base + 32); // weight
+        e.line("    lfi  f10, 0.0");
+        e.line("    fcle r12, f9, f10");
+        e.line("    bne  r12, r0, skipn%d", n);
+        e.line("    lf   f10, %d(r2)", base + 0);
+        e.line("    lf   f11, %d(r2)", base + 8);
+        e.line("    lf   f12, %d(r2)", base + 16);
+        e.line("    fsub f10, f10, f0"); // delta = n - pos
+        e.line("    fsub f11, f11, f1");
+        e.line("    fsub f12, f12, f2");
+        e.line("    fmul f13, f10, f10");
+        e.line("    fmul f14, f11, f11");
+        e.line("    fadd f13, f13, f14");
+        e.line("    fmul f14, f12, f12");
+        e.line("    fadd f13, f13, f14");
+        e.line("    fsqrt f13, f13"); // len
+        e.line("    lfi  f14, 1e-9");
+        e.line("    fclt r12, f13, f14");
+        e.line("    bne  r12, r0, skipn%d", n);
+        e.line("    lf   f14, %d(r2)", base + 24); // rest
+        e.line("    fsub f14, f13, f14"); // len - rest
+        e.line("    fdiv f14, f14, f13");
+        e.line("    fmul f14, f14, f9"); // * weight
+        e.line("    fmul f10, f10, f14");
+        e.line("    fadd f0, f0, f10");
+        e.line("    fmul f11, f11, f14");
+        e.line("    fadd f1, f1, f11");
+        e.line("    fmul f12, f12, f14");
+        e.line("    fadd f2, f2, f12");
+        e.line("skipn%d:", n);
+    }
+    // Two collider spheres: project the vertex out.
+    for (int s = 0; s < 2; ++s) {
+        const int base = 224 + s * 40;
+        e.line("    lf   f9, %d(r2)", base + 32); // active
+        e.line("    lfi  f10, 0.5");
+        e.line("    fclt r12, f9, f10");
+        e.line("    bne  r12, r0, skips%d", s);
+        e.line("    lf   f10, %d(r2)", base + 0);
+        e.line("    lf   f11, %d(r2)", base + 8);
+        e.line("    lf   f12, %d(r2)", base + 16);
+        e.line("    lf   f13, %d(r2)", base + 24); // radius
+        e.line("    fsub f14, f0, f10"); // d = pos - center
+        e.line("    fsub f15, f1, f11");
+        e.line("    fsub f16, f2, f12");
+        e.line("    fmul f17, f14, f14");
+        e.line("    fmul f18, f15, f15");
+        e.line("    fadd f17, f17, f18");
+        e.line("    fmul f18, f16, f16");
+        e.line("    fadd f17, f17, f18"); // dist2
+        e.line("    fmul f18, f13, f13");
+        e.line("    fcle r12, f18, f17"); // r^2 <= dist2: outside
+        e.line("    bne  r12, r0, skips%d", s);
+        e.line("    fsqrt f17, f17");
+        e.line("    lfi  f18, 1e-9");
+        e.line("    fclt r12, f17, f18");
+        e.line("    bne  r12, r0, skips%d", s);
+        e.line("    fdiv f14, f14, f17");
+        e.line("    fdiv f15, f15, f17");
+        e.line("    fdiv f16, f16, f17");
+        e.line("    fmul f14, f14, f13"); // n * r
+        e.line("    fadd f0, f10, f14");
+        e.line("    fmul f15, f15, f13");
+        e.line("    fadd f1, f11, f15");
+        e.line("    fmul f16, f16, f13");
+        e.line("    fadd f2, f12, f16");
+        e.line("skips%d:", s);
+    }
+    // Store pos and prev.
+    for (int k = 0; k < 3; ++k)
+        e.line("    sf   f%d, %d(r2)", k, k * 8);
+    for (int k = 0; k < 3; ++k)
+        e.line("    sf   f%d, %d(r2)", 3 + k, 24 + k * 8);
+    e.line("    addi r1, r1, 1");
+    e.line("    add  r2, r2, r4");
+    e.line("    jmp  loop");
+    e.line("done:");
+    e.line("    halt");
+    return e.str();
+}
+
+} // namespace
+
+std::string
+kernelSource(KernelId id)
+{
+    switch (id) {
+      case KernelId::Narrowphase: return narrowphaseSource();
+      case KernelId::IslandProcessing: return islandSource();
+      case KernelId::Cloth: return clothSource();
+    }
+    return "";
+}
+
+const Program &
+kernelProgram(KernelId id)
+{
+    static std::map<KernelId, Program> cache;
+    auto it = cache.find(id);
+    if (it == cache.end())
+        it = cache.emplace(id, assemble(kernelSource(id))).first;
+    return it->second;
+}
+
+namespace
+{
+
+constexpr std::int64_t taskBase = 64;
+
+double
+vecAt(const Machine &m, std::int64_t addr, int k)
+{
+    return m.loadFp(addr + k * 8);
+}
+
+void
+packNarrowphaseTask(Machine &m, std::int64_t base, int task,
+                    int tasks, Rng &rng)
+{
+    // The CG core hands out pairs grouped by shape combination (the
+    // engine's pair list is sorted), so the type-dispatch branches
+    // run in long predictable runs; the contact hit/miss branches
+    // remain genuinely data dependent.
+    const int type = tasks > 0 ? (task * 3) / tasks : 0;
+    m.storeInt(base + 0, type);
+    double pos_a[3], pos_b[3];
+    for (int k = 0; k < 3; ++k)
+        pos_a[k] = rng.uniform(-1.0, 1.0);
+    // Direction + distance chosen so roughly half the pairs hit.
+    double dir[3];
+    double len2 = 0;
+    for (int k = 0; k < 3; ++k) {
+        dir[k] = rng.uniform(-1.0, 1.0);
+        len2 += dir[k] * dir[k];
+    }
+    const double len = std::sqrt(std::max(len2, 1e-6));
+    const double dist = rng.uniform(0.4, 2.0);
+    for (int k = 0; k < 3; ++k)
+        pos_b[k] = pos_a[k] + dir[k] / len * dist;
+
+    for (int k = 0; k < 3; ++k)
+        m.storeFp(base + 8 + k * 8, pos_a[k]);
+    m.storeFp(base + 32, rng.uniform(0.3, 0.9)); // ra
+    for (int k = 0; k < 3; ++k)
+        m.storeFp(base + 40 + k * 8, pos_b[k]);
+    m.storeFp(base + 64, rng.uniform(0.3, 0.9)); // rb
+    for (int k = 0; k < 3; ++k)
+        m.storeFp(base + 72 + k * 8, rng.uniform(0.3, 0.8));
+    // Capsule far end.
+    for (int k = 0; k < 3; ++k) {
+        m.storeFp(base + 96 + k * 8,
+                  pos_b[k] + rng.uniform(-1.0, 1.0));
+    }
+    // Yaw rotation matrix for the box.
+    const double theta = rng.uniform(0.0, 6.28);
+    const double c = std::cos(theta), s = std::sin(theta);
+    const double rot[3][3] = {{c, 0, s}, {0, 1, 0}, {-s, 0, c}};
+    for (int r = 0; r < 3; ++r)
+        for (int k = 0; k < 3; ++k)
+            m.storeFp(base + 120 + r * 24 + k * 8, rot[r][k]);
+    for (int k = 0; k < 3; ++k) {
+        m.storeFp(base + 192 + k * 8, rng.uniform(-2.0, 2.0));
+        m.storeFp(base + 216 + k * 8, rng.uniform(-2.0, 2.0));
+    }
+}
+
+/** Reference semantics of one narrowphase task (mirrors the asm). */
+struct NpRef
+{
+    int flag = 0;
+    double depth = 0;
+    double n[3] = {};
+    double pos[3] = {};
+};
+
+NpRef
+narrowphaseReference(const Machine &m, std::int64_t base)
+{
+    NpRef ref;
+    const auto type = m.loadInt(base + 0);
+    double a[3], b[3];
+    for (int k = 0; k < 3; ++k) {
+        a[k] = vecAt(m, base + 8, k);
+        b[k] = vecAt(m, base + 40, k);
+    }
+    const double ra = m.loadFp(base + 32);
+
+    auto sphereCore = [&](const double center[3], double r) {
+        double d[3];
+        double dist2 = 0;
+        for (int k = 0; k < 3; ++k) {
+            d[k] = a[k] - center[k];
+            dist2 += d[k] * d[k];
+        }
+        const double rsum = ra + r;
+        if (rsum * rsum < dist2) {
+            ref.flag = 0;
+            return;
+        }
+        if (dist2 < 1e-12) {
+            ref.flag = 2;
+            return;
+        }
+        ref.flag = 1;
+        const double dist = std::sqrt(dist2);
+        ref.depth = rsum - dist;
+        const double scale = r - ref.depth * 0.5;
+        for (int k = 0; k < 3; ++k) {
+            ref.n[k] = d[k] / dist;
+            ref.pos[k] = center[k] + ref.n[k] * scale;
+        }
+    };
+
+    if (type == 0) {
+        sphereCore(b, m.loadFp(base + 64));
+    } else if (type == 2) {
+        double b2[3], ab[3], am[3];
+        double ab2 = 0, dot = 0;
+        for (int k = 0; k < 3; ++k) {
+            b2[k] = vecAt(m, base + 96, k);
+            ab[k] = b2[k] - b[k];
+            am[k] = a[k] - b[k];
+            ab2 += ab[k] * ab[k];
+            dot += am[k] * ab[k];
+        }
+        double t = dot / ab2;
+        t = std::max(0.0, std::min(1.0, t));
+        double closest[3];
+        for (int k = 0; k < 3; ++k)
+            closest[k] = b[k] + ab[k] * t;
+        sphereCore(closest, m.loadFp(base + 64));
+    } else {
+        double rot[3][3], half[3], rel[3];
+        for (int r = 0; r < 3; ++r)
+            for (int k = 0; k < 3; ++k)
+                rot[r][k] = m.loadFp(base + 120 + r * 24 + k * 8);
+        for (int k = 0; k < 3; ++k) {
+            half[k] = m.loadFp(base + 72 + k * 8);
+            rel[k] = a[k] - b[k];
+        }
+        double local[3];
+        for (int k = 0; k < 3; ++k) {
+            local[k] = rot[0][k] * rel[0] + rot[1][k] * rel[1] +
+                       rot[2][k] * rel[2];
+        }
+        double clamped[3];
+        for (int k = 0; k < 3; ++k) {
+            clamped[k] = local[k];
+            if (half[k] < clamped[k])
+                clamped[k] = half[k];
+            if (clamped[k] < -half[k])
+                clamped[k] = -half[k];
+        }
+        double d[3];
+        double dist2 = 0;
+        for (int k = 0; k < 3; ++k) {
+            d[k] = local[k] - clamped[k];
+            dist2 += d[k] * d[k];
+        }
+        if (ra * ra < dist2) {
+            ref.flag = 0;
+            return ref;
+        }
+        if (dist2 < 1e-12) {
+            ref.flag = 2;
+            return ref;
+        }
+        ref.flag = 1;
+        const double dist = std::sqrt(dist2);
+        ref.depth = ra - dist;
+        double nl[3];
+        for (int k = 0; k < 3; ++k)
+            nl[k] = d[k] / dist;
+        for (int r = 0; r < 3; ++r) {
+            ref.n[r] = rot[r][0] * nl[0] + rot[r][1] * nl[1] +
+                       rot[r][2] * nl[2];
+            ref.pos[r] = b[r] + rot[r][0] * clamped[0] +
+                         rot[r][1] * clamped[1] +
+                         rot[r][2] * clamped[2];
+        }
+    }
+    return ref;
+}
+
+void
+packIslandTask(Machine &m, std::int64_t base, int task, Rng &rng)
+{
+    for (int k = 0; k < 12; ++k)
+        m.storeFp(base + k * 8, rng.uniform(-1.0, 1.0)); // J
+    // Rows arrive from the CG core in the solver's natural order:
+    // one normal row followed by its two friction rows (a periodic,
+    // hence predictable, pattern — unlike narrowphase's data-
+    // dependent hits).
+    const bool friction = (task % 3) != 0;
+    m.storeFp(base + 96, rng.uniform(-1.0, 1.0)); // rhs
+    m.storeFp(base + 104, 0.0);                   // lo
+    m.storeFp(base + 112, friction ? 0.0 : 1e9);  // hi
+    m.storeFp(base + 120, rng.uniform(0.0, 0.5)); // lambda
+    m.storeFp(base + 128, rng.uniform(0.1, 1.0)); // invDiag
+    m.storeFp(base + 136, 1e-9);                  // cfm
+    m.storeFp(base + 144, rng.uniform(0.2, 2.0)); // invMassA
+    m.storeFp(base + 152, rng.uniform(0.2, 2.0)); // invMassB
+    m.storeFp(base + 160, friction ? 0.8 : 0.0);  // mu
+    m.storeFp(base + 168, rng.uniform(0.0, 2.0)); // normal lambda
+    m.storeFp(base + 176, 0.0);                   // accum
+    m.storeFp(base + 184, rng.uniform(0.0, 0.05)); // depth
+    m.storeFp(base + 192, 20.0);                   // erp/dt
+    for (int k = 0; k < 3; ++k) {
+        m.storeFp(base + 200 + k * 8, rng.uniform(0.2, 2.0));
+        m.storeFp(base + 224 + k * 8, rng.uniform(0.2, 2.0));
+    }
+    for (int k = 0; k < 12; ++k)
+        m.storeFp(base + 256 + k * 8, rng.uniform(-2.0, 2.0));
+}
+
+struct IslandRef
+{
+    double lambda = 0;
+    double vel[12] = {};
+};
+
+IslandRef
+islandReference(const Machine &m, std::int64_t base)
+{
+    IslandRef ref;
+    double jac[12], vel[12];
+    for (int k = 0; k < 12; ++k) {
+        jac[k] = m.loadFp(base + k * 8);
+        vel[k] = m.loadFp(base + 256 + k * 8);
+    }
+    double jv = 0;
+    for (int k = 0; k < 12; ++k)
+        jv += jac[k] * vel[k];
+    double lo = m.loadFp(base + 104);
+    double hi = m.loadFp(base + 112);
+    const double mu = m.loadFp(base + 160);
+    if (mu > 0.0) {
+        hi = mu * m.loadFp(base + 168);
+        lo = -hi;
+    }
+    const double rhs = m.loadFp(base + 96) +
+        std::min(m.loadFp(base + 184) * m.loadFp(base + 192), 10.0);
+    const double lambda = m.loadFp(base + 120);
+    const double delta =
+        (rhs - jv - m.loadFp(base + 136) * lambda) *
+        m.loadFp(base + 128);
+    double nl = lambda + delta;
+    nl = std::max(nl, lo);
+    nl = std::min(nl, hi);
+    const double dl = nl - lambda;
+    ref.lambda = nl;
+    const double dl_a = m.loadFp(base + 144) * dl;
+    const double dl_b = m.loadFp(base + 152) * dl;
+    for (int k = 0; k < 12; ++k) {
+        double scale;
+        if (k >= 3 && k < 6)
+            scale = m.loadFp(base + 200 + (k - 3) * 8) * dl;
+        else if (k >= 9)
+            scale = m.loadFp(base + 224 + (k - 9) * 8) * dl;
+        else
+            scale = k < 6 ? dl_a : dl_b;
+        ref.vel[k] = vel[k] + jac[k] * scale;
+    }
+    return ref;
+}
+
+void
+packClothTask(Machine &m, std::int64_t base, int task, Rng &rng)
+{
+    for (int k = 0; k < 3; ++k) {
+        const double p = rng.uniform(-1.0, 1.0);
+        m.storeFp(base + k * 8, p);
+        m.storeFp(base + 24 + k * 8,
+                  p + rng.uniform(-0.01, 0.01)); // prev
+    }
+    m.storeFp(base + 48, 0.995);     // damping
+    m.storeFp(base + 56, -0.000981); // g*dt^2
+    for (int n = 0; n < 4; ++n) {
+        const std::int64_t nb = base + 64 + n * 40;
+        for (int k = 0; k < 3; ++k)
+            m.storeFp(nb + k * 8, rng.uniform(-1.2, 1.2));
+        m.storeFp(nb + 24, rng.uniform(0.05, 0.3)); // rest
+        // Boundary vertices (every 8th in the mesh row order) lack
+        // their upper neighbours: a periodic, learnable pattern.
+        const bool missing = (task % 8) == 0 && n >= 2;
+        m.storeFp(nb + 32, missing ? 0.0 : 0.5);
+    }
+    for (int s = 0; s < 2; ++s) {
+        const std::int64_t sb = base + 224 + s * 40;
+        for (int k = 0; k < 3; ++k)
+            m.storeFp(sb + k * 8, rng.uniform(-1.0, 1.0));
+        m.storeFp(sb + 24, rng.uniform(0.3, 0.8)); // radius
+        // First collider alternates per task (CG-sorted contact
+        // list); the second is sparse and data dependent.
+        const bool active =
+            s == 0 ? (task % 2) == 0 : rng.chance(0.3);
+        m.storeFp(sb + 32, active ? 1.0 : 0.0);
+    }
+}
+
+struct ClothRef
+{
+    double pos[3] = {};
+    double prev[3] = {};
+};
+
+ClothRef
+clothReference(const Machine &m, std::int64_t base)
+{
+    ClothRef ref;
+    double pos[3], prev[3];
+    for (int k = 0; k < 3; ++k) {
+        pos[k] = m.loadFp(base + k * 8);
+        prev[k] = m.loadFp(base + 24 + k * 8);
+    }
+    const double damping = m.loadFp(base + 48);
+    const double gdt2 = m.loadFp(base + 56);
+    for (int k = 0; k < 3; ++k) {
+        const double vel = (pos[k] - prev[k]) * damping;
+        ref.prev[k] = pos[k];
+        pos[k] += vel;
+    }
+    pos[1] += gdt2;
+
+    for (int n = 0; n < 4; ++n) {
+        const std::int64_t nb = base + 64 + n * 40;
+        const double weight = m.loadFp(nb + 32);
+        if (weight <= 0.0)
+            continue;
+        double delta[3];
+        double len2 = 0;
+        for (int k = 0; k < 3; ++k) {
+            delta[k] = m.loadFp(nb + k * 8) - pos[k];
+            len2 += delta[k] * delta[k];
+        }
+        const double len = std::sqrt(len2);
+        if (len < 1e-9)
+            continue;
+        const double diff =
+            (len - m.loadFp(nb + 24)) / len * weight;
+        for (int k = 0; k < 3; ++k)
+            pos[k] += delta[k] * diff;
+    }
+
+    for (int s = 0; s < 2; ++s) {
+        const std::int64_t sb = base + 224 + s * 40;
+        if (m.loadFp(sb + 32) < 0.5)
+            continue;
+        double center[3], d[3];
+        double dist2 = 0;
+        for (int k = 0; k < 3; ++k) {
+            center[k] = m.loadFp(sb + k * 8);
+            d[k] = pos[k] - center[k];
+            dist2 += d[k] * d[k];
+        }
+        const double r = m.loadFp(sb + 24);
+        if (r * r <= dist2)
+            continue;
+        const double dist = std::sqrt(dist2);
+        if (dist < 1e-9)
+            continue;
+        for (int k = 0; k < 3; ++k)
+            pos[k] = center[k] + d[k] / dist * r;
+    }
+    for (int k = 0; k < 3; ++k)
+        ref.pos[k] = pos[k];
+    return ref;
+}
+
+bool
+nearlyEqual(double a, double b)
+{
+    return std::fabs(a - b) <= 1e-9 * std::max(1.0, std::fabs(b));
+}
+
+} // namespace
+
+void
+packKernelInputs(KernelId id, Machine &machine, int tasks, Rng &rng)
+{
+    const std::int64_t stride = kernelTaskStride(id);
+    const std::uint64_t needed =
+        (taskBase + static_cast<std::uint64_t>(tasks) * stride) / 8;
+    if (needed > machine.memoryCells())
+        fatal("machine local memory too small for %d tasks", tasks);
+    machine.storeInt(0, tasks);
+    for (int i = 0; i < tasks; ++i) {
+        const std::int64_t base = taskBase + i * stride;
+        switch (id) {
+          case KernelId::Narrowphase:
+            packNarrowphaseTask(machine, base, i, tasks, rng);
+            break;
+          case KernelId::IslandProcessing:
+            packIslandTask(machine, base, i, rng);
+            break;
+          case KernelId::Cloth:
+            packClothTask(machine, base, i, rng);
+            break;
+        }
+    }
+}
+
+int
+verifyKernelOutputs(KernelId id, const Machine &machine, int tasks)
+{
+    // Recompute references from a pristine copy of the inputs: the
+    // caller must pass a machine whose *inputs* are unchanged by the
+    // kernel. Island and cloth kernels update their records in
+    // place, so references are computed from fields the kernel does
+    // not overwrite plus a replay of the reference math on a second
+    // machine packed with the same seed. To keep the interface
+    // simple, verification here re-derives expected outputs from the
+    // current memory for narrowphase (pure outputs), while island /
+    // cloth verification is performed by the tests with two machines.
+    int mismatches = 0;
+    const std::int64_t stride = kernelTaskStride(id);
+    for (int i = 0; i < tasks; ++i) {
+        const std::int64_t base = taskBase + i * stride;
+        switch (id) {
+          case KernelId::Narrowphase: {
+            const NpRef ref = narrowphaseReference(machine, base);
+            const auto flag = machine.loadInt(base + 240);
+            bool ok = flag == ref.flag;
+            if (ok && flag == 1) {
+                ok = nearlyEqual(machine.loadFp(base + 248),
+                                 ref.depth);
+                for (int k = 0; k < 3 && ok; ++k) {
+                    ok = nearlyEqual(
+                             machine.loadFp(base + 256 + k * 8),
+                             ref.n[k]) &&
+                         nearlyEqual(
+                             machine.loadFp(base + 280 + k * 8),
+                             ref.pos[k]);
+                }
+            }
+            mismatches += ok ? 0 : 1;
+            break;
+          }
+          case KernelId::IslandProcessing:
+          case KernelId::Cloth:
+            // In-place kernels: see kernelReferenceIsland/Cloth used
+            // from the tests (two-machine comparison).
+            break;
+        }
+    }
+    return mismatches;
+}
+
+IslandRowResult
+islandRowReference(const Machine &pristine, int task)
+{
+    const std::int64_t base =
+        taskBase + task * kernelTaskStride(KernelId::IslandProcessing);
+    const IslandRef ref = islandReference(pristine, base);
+    IslandRowResult out;
+    out.lambda = ref.lambda;
+    for (int k = 0; k < 12; ++k)
+        out.vel[k] = ref.vel[k];
+    return out;
+}
+
+ClothVertexResult
+clothVertexReference(const Machine &pristine, int task)
+{
+    const std::int64_t base =
+        taskBase + task * kernelTaskStride(KernelId::Cloth);
+    const ClothRef ref = clothReference(pristine, base);
+    ClothVertexResult out;
+    for (int k = 0; k < 3; ++k) {
+        out.pos[k] = ref.pos[k];
+        out.prev[k] = ref.prev[k];
+    }
+    return out;
+}
+
+} // namespace parallax

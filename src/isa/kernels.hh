@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The three fine-grain kernels of section 8.1, written in PAX.
+ *
+ * Each kernel iterates over the tasks packed into its local memory
+ * by the CG core (the control/data packet protocol of section 7.3):
+ * cell 0 holds the iteration count and task records start at byte
+ * 64. The kernels' static sizes track the paper's measurements
+ * (277 / 177 / 221 instructions for Narrowphase / Island
+ * Processing / Cloth); measured sizes are asserted in the tests and
+ * reported in EXPERIMENTS.md.
+ */
+
+#ifndef PARALLAX_ISA_KERNELS_HH
+#define PARALLAX_ISA_KERNELS_HH
+
+#include <string>
+
+#include "machine.hh"
+#include "program.hh"
+#include "sim/rng.hh"
+
+namespace parallax
+{
+
+/** Which FG kernel. */
+enum class KernelId
+{
+    Narrowphase,
+    IslandProcessing,
+    Cloth,
+};
+
+constexpr int numKernels = 3;
+
+constexpr KernelId allKernels[numKernels] = {
+    KernelId::Narrowphase,
+    KernelId::IslandProcessing,
+    KernelId::Cloth,
+};
+
+/** Kernel name. */
+const char *kernelName(KernelId id);
+
+/** Paper-reported static instruction count (section 8.1.2). */
+int kernelPaperStaticSize(KernelId id);
+
+/** PAX assembly source of a kernel. */
+std::string kernelSource(KernelId id);
+
+/** Assembled kernel program (cached). */
+const Program &kernelProgram(KernelId id);
+
+/**
+ * Pack `tasks` synthetic task records into a machine's local memory
+ * (including the iteration count at cell 0). Record contents are
+ * drawn deterministically from `rng` with distributions that mimic
+ * the benchmark data (e.g. roughly half of narrowphase pairs
+ * collide, giving the kernel its data-dependent branches).
+ */
+void packKernelInputs(KernelId id, Machine &machine, int tasks,
+                      Rng &rng);
+
+/** Byte stride of one task record. */
+std::int64_t kernelTaskStride(KernelId id);
+
+/**
+ * Verify a completed run against a C++ reference computation.
+ * For Narrowphase (whose outputs are separate fields) this checks
+ * every task in place; for the in-place kernels use the per-task
+ * reference helpers below with a pristine input machine.
+ *
+ * @return Number of mismatching tasks (0 == correct).
+ */
+int verifyKernelOutputs(KernelId id, const Machine &machine,
+                        int tasks);
+
+/** Expected result of one island-processing row relaxation. */
+struct IslandRowResult
+{
+    double lambda = 0.0;
+    double vel[12] = {};
+};
+
+/** Reference for task `task`, computed from unmodified inputs. */
+IslandRowResult islandRowReference(const Machine &pristine, int task);
+
+/** Expected result of one cloth vertex task. */
+struct ClothVertexResult
+{
+    double pos[3] = {};
+    double prev[3] = {};
+};
+
+/** Reference for task `task`, computed from unmodified inputs. */
+ClothVertexResult clothVertexReference(const Machine &pristine,
+                                       int task);
+
+} // namespace parallax
+
+#endif // PARALLAX_ISA_KERNELS_HH

@@ -1,0 +1,243 @@
+#include "machine.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+Machine::Machine(std::size_t mem_cells)
+    : memI_(mem_cells, 0), memF_(mem_cells, 0.0)
+{
+}
+
+namespace
+{
+
+std::size_t
+cellIndex(std::int64_t addr, std::size_t cells)
+{
+    if (addr < 0 || (addr % 8) != 0)
+        panic("misaligned local-memory address %lld",
+              static_cast<long long>(addr));
+    const auto index = static_cast<std::size_t>(addr / 8);
+    if (index >= cells)
+        panic("local-memory address %lld out of bounds",
+              static_cast<long long>(addr));
+    return index;
+}
+
+} // namespace
+
+std::int64_t
+Machine::loadInt(std::int64_t addr) const
+{
+    return memI_[cellIndex(addr, memI_.size())];
+}
+
+double
+Machine::loadFp(std::int64_t addr) const
+{
+    return memF_[cellIndex(addr, memF_.size())];
+}
+
+void
+Machine::storeInt(std::int64_t addr, std::int64_t v)
+{
+    memI_[cellIndex(addr, memI_.size())] = v;
+}
+
+void
+Machine::storeFp(std::int64_t addr, double v)
+{
+    memF_[cellIndex(addr, memF_.size())] = v;
+}
+
+void
+Machine::resetRegisters()
+{
+    int_.fill(0);
+    fp_.fill(0.0);
+    returnStack_.clear();
+}
+
+Machine::ExecResult
+Machine::execute(const Instruction &inst, std::int64_t pc)
+{
+    ExecResult result;
+    result.nextPc = pc + 1;
+
+    switch (inst.op) {
+      case Opcode::Add:
+        setIntReg(inst.rd, intReg(inst.ra) + intReg(inst.rb));
+        break;
+      case Opcode::Sub:
+        setIntReg(inst.rd, intReg(inst.ra) - intReg(inst.rb));
+        break;
+      case Opcode::Mul:
+        setIntReg(inst.rd, intReg(inst.ra) * intReg(inst.rb));
+        break;
+      case Opcode::And:
+        setIntReg(inst.rd, intReg(inst.ra) & intReg(inst.rb));
+        break;
+      case Opcode::Or:
+        setIntReg(inst.rd, intReg(inst.ra) | intReg(inst.rb));
+        break;
+      case Opcode::Xor:
+        setIntReg(inst.rd, intReg(inst.ra) ^ intReg(inst.rb));
+        break;
+      case Opcode::Sll:
+        setIntReg(inst.rd,
+                  intReg(inst.ra) << (intReg(inst.rb) & 63));
+        break;
+      case Opcode::Srl:
+        setIntReg(inst.rd,
+                  static_cast<std::int64_t>(
+                      static_cast<std::uint64_t>(intReg(inst.ra)) >>
+                      (intReg(inst.rb) & 63)));
+        break;
+      case Opcode::Addi:
+        setIntReg(inst.rd, intReg(inst.ra) + inst.imm);
+        break;
+      case Opcode::Slti:
+        setIntReg(inst.rd, intReg(inst.ra) < inst.imm ? 1 : 0);
+        break;
+      case Opcode::Li:
+        setIntReg(inst.rd, inst.imm);
+        break;
+      case Opcode::Lfi:
+        setFpReg(inst.rd, inst.fimm);
+        break;
+      case Opcode::Fadd:
+        setFpReg(inst.rd, fpReg(inst.ra) + fpReg(inst.rb));
+        break;
+      case Opcode::Fsub:
+        setFpReg(inst.rd, fpReg(inst.ra) - fpReg(inst.rb));
+        break;
+      case Opcode::Fmul:
+        setFpReg(inst.rd, fpReg(inst.ra) * fpReg(inst.rb));
+        break;
+      case Opcode::Fdiv:
+        setFpReg(inst.rd, fpReg(inst.ra) / fpReg(inst.rb));
+        break;
+      case Opcode::Fsqrt:
+        setFpReg(inst.rd, std::sqrt(fpReg(inst.ra)));
+        break;
+      case Opcode::Fneg:
+        setFpReg(inst.rd, -fpReg(inst.ra));
+        break;
+      case Opcode::Fabs:
+        setFpReg(inst.rd, std::fabs(fpReg(inst.ra)));
+        break;
+      case Opcode::Fmov:
+        setFpReg(inst.rd, fpReg(inst.ra));
+        break;
+      case Opcode::Fmin:
+        setFpReg(inst.rd,
+                 std::min(fpReg(inst.ra), fpReg(inst.rb)));
+        break;
+      case Opcode::Fmax:
+        setFpReg(inst.rd,
+                 std::max(fpReg(inst.ra), fpReg(inst.rb)));
+        break;
+      case Opcode::Fclt:
+        setIntReg(inst.rd,
+                  fpReg(inst.ra) < fpReg(inst.rb) ? 1 : 0);
+        break;
+      case Opcode::Fcle:
+        setIntReg(inst.rd,
+                  fpReg(inst.ra) <= fpReg(inst.rb) ? 1 : 0);
+        break;
+      case Opcode::Fceq:
+        setIntReg(inst.rd,
+                  fpReg(inst.ra) == fpReg(inst.rb) ? 1 : 0);
+        break;
+      case Opcode::Lw:
+        setIntReg(inst.rd, loadInt(intReg(inst.ra) + inst.imm));
+        break;
+      case Opcode::Sw:
+        storeInt(intReg(inst.ra) + inst.imm, intReg(inst.rd));
+        break;
+      case Opcode::Lf:
+        setFpReg(inst.rd, loadFp(intReg(inst.ra) + inst.imm));
+        break;
+      case Opcode::Sf:
+        storeFp(intReg(inst.ra) + inst.imm, fpReg(inst.rd));
+        break;
+      case Opcode::Beq:
+        if (intReg(inst.ra) == intReg(inst.rb)) {
+            result.nextPc = inst.imm;
+            result.taken = true;
+        }
+        break;
+      case Opcode::Bne:
+        if (intReg(inst.ra) != intReg(inst.rb)) {
+            result.nextPc = inst.imm;
+            result.taken = true;
+        }
+        break;
+      case Opcode::Blt:
+        if (intReg(inst.ra) < intReg(inst.rb)) {
+            result.nextPc = inst.imm;
+            result.taken = true;
+        }
+        break;
+      case Opcode::Bge:
+        if (intReg(inst.ra) >= intReg(inst.rb)) {
+            result.nextPc = inst.imm;
+            result.taken = true;
+        }
+        break;
+      case Opcode::Jmp:
+        result.nextPc = inst.imm;
+        result.taken = true;
+        break;
+      case Opcode::Call:
+        returnStack_.push_back(pc + 1);
+        result.nextPc = inst.imm;
+        result.taken = true;
+        break;
+      case Opcode::Ret:
+        if (returnStack_.empty())
+            panic("ret with empty return stack at pc %lld",
+                  static_cast<long long>(pc));
+        result.nextPc = returnStack_.back();
+        returnStack_.pop_back();
+        result.taken = true;
+        break;
+      case Opcode::Halt:
+        result.halted = true;
+        break;
+      case Opcode::Nop:
+        break;
+    }
+    return result;
+}
+
+Machine::RunResult
+Machine::run(const Program &program, std::uint64_t max_steps)
+{
+    RunResult result;
+    std::int64_t pc = 0;
+    while (result.dynamicInstructions < max_steps) {
+        if (pc < 0 ||
+            pc >= static_cast<std::int64_t>(program.size())) {
+            panic("pc %lld out of program bounds",
+                  static_cast<long long>(pc));
+        }
+        const Instruction &inst = program.at(pc);
+        const ExecResult exec = execute(inst, pc);
+        ++result.dynamicInstructions;
+        if (inst.op != Opcode::Nop)
+            result.dynamicMix[opcodeClass(inst.op)] += 1.0;
+        if (exec.halted) {
+            result.halted = true;
+            break;
+        }
+        pc = exec.nextPc;
+    }
+    return result;
+}
+
+} // namespace parallax

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Functional PAX machine: architectural state and semantics.
+ *
+ * Models one FG core's architectural view: register files plus the
+ * single-cycle local data memory ("FG cores use local instruction
+ * and data memories instead of caches"). The memory is organized as
+ * 8-byte cells that hold either an integer or a double; addresses
+ * are in bytes and must be 8-aligned.
+ */
+
+#ifndef PARALLAX_ISA_MACHINE_HH
+#define PARALLAX_ISA_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "program.hh"
+
+namespace parallax
+{
+
+/** Architectural state + functional execution. */
+class Machine
+{
+  public:
+    /** @param mem_cells Local data memory size in 8-byte cells. */
+    explicit Machine(std::size_t mem_cells = 65536);
+
+    std::int64_t intReg(int r) const { return r == 0 ? 0 : int_[r]; }
+    double fpReg(int r) const { return fp_[r]; }
+    void setIntReg(int r, std::int64_t v) { if (r != 0) int_[r] = v; }
+    void setFpReg(int r, double v) { fp_[r] = v; }
+
+    std::int64_t loadInt(std::int64_t addr) const;
+    double loadFp(std::int64_t addr) const;
+    void storeInt(std::int64_t addr, std::int64_t v);
+    void storeFp(std::int64_t addr, double v);
+
+    std::size_t memoryCells() const { return memI_.size(); }
+
+    /** Reset registers and return stack (memory preserved). */
+    void resetRegisters();
+
+    /** Outcome of executing one instruction. */
+    struct ExecResult
+    {
+        std::int64_t nextPc = 0;
+        bool taken = false;  // Control transfer taken.
+        bool halted = false;
+    };
+
+    /** Execute one instruction at `pc` and return control flow. */
+    ExecResult execute(const Instruction &inst, std::int64_t pc);
+
+    /** Summary of a functional run. */
+    struct RunResult
+    {
+        std::uint64_t dynamicInstructions = 0;
+        OpVector dynamicMix;
+        bool halted = false;
+    };
+
+    /**
+     * Run a program from pc 0 until Halt or the step limit.
+     * @param max_steps Safety bound on dynamic instructions.
+     */
+    RunResult run(const Program &program,
+                  std::uint64_t max_steps = 100'000'000);
+
+  private:
+    std::array<std::int64_t, numIntRegs> int_{};
+    std::array<double, numFpRegs> fp_{};
+    std::vector<std::int64_t> memI_;
+    std::vector<double> memF_;
+    std::vector<std::int64_t> returnStack_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_ISA_MACHINE_HH

@@ -1,0 +1,25 @@
+#include "program.hh"
+
+namespace parallax
+{
+
+std::int64_t
+Program::label(const std::string &name) const
+{
+    auto it = labels_.find(name);
+    return it == labels_.end() ? -1 : it->second;
+}
+
+OpVector
+Program::staticMix() const
+{
+    OpVector mix;
+    for (const Instruction &inst : instructions_) {
+        if (inst.op == Opcode::Nop)
+            continue; // NOPs are filtered from the paper's mixes.
+        mix[opcodeClass(inst.op)] += 1.0;
+    }
+    return mix;
+}
+
+} // namespace parallax

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * An assembled PAX program.
+ */
+
+#ifndef PARALLAX_ISA_PROGRAM_HH
+#define PARALLAX_ISA_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa.hh"
+
+namespace parallax
+{
+
+/** Instruction sequence plus label table. */
+class Program
+{
+  public:
+    const std::vector<Instruction> &instructions() const
+    { return instructions_; }
+
+    std::size_t size() const { return instructions_.size(); }
+
+    const Instruction &at(std::size_t pc) const
+    { return instructions_[pc]; }
+
+    /** Address of a label; -1 if absent. */
+    std::int64_t label(const std::string &name) const;
+
+    /** Static instruction-memory footprint, bytes (32-bit words). */
+    std::uint64_t footprintBytes() const { return size() * 4; }
+
+    /** Static instruction mix by class. */
+    OpVector staticMix() const;
+
+    // Assembler construction interface.
+    void append(const Instruction &inst)
+    { instructions_.push_back(inst); }
+    void defineLabel(const std::string &name, std::int64_t address)
+    { labels_[name] = address; }
+
+  private:
+    std::vector<Instruction> instructions_;
+    std::map<std::string, std::int64_t> labels_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_ISA_PROGRAM_HH

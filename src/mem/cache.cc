@@ -1,0 +1,118 @@
+#include "cache.hh"
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+Cache::Cache(CacheConfig config) : config_(config)
+{
+    if (config_.sizeBytes == 0 || config_.lineBytes == 0)
+        fatal("cache size and line size must be positive");
+    const std::uint64_t total_lines =
+        config_.sizeBytes / config_.lineBytes;
+    if (total_lines == 0)
+        fatal("cache smaller than one line");
+    if (config_.ways <= 0)
+        fatal("cache needs at least one way");
+    if (static_cast<std::uint64_t>(config_.ways) > total_lines)
+        config_.ways = static_cast<int>(total_lines);
+    numSets_ = static_cast<int>(total_lines / config_.ways);
+    if (numSets_ == 0)
+        numSets_ = 1;
+    lines_.resize(static_cast<std::size_t>(numSets_) * config_.ways);
+}
+
+bool
+Cache::access(std::uint64_t addr, bool write, bool kernel)
+{
+    ++stats_.accesses;
+    const std::uint64_t line = lineIndex(addr);
+    const std::uint64_t set = line % numSets_;
+    Line *base = &lines_[set * config_.ways];
+
+    // Lookup.
+    for (int w = 0; w < config_.ways; ++w) {
+        Line &entry = base[w];
+        if (entry.valid && entry.tag == line) {
+            entry.lastUse = ++useCounter_;
+            entry.dirty |= write;
+            ++stats_.hits;
+            return true;
+        }
+    }
+
+    // Miss: classify, then fill into the LRU way.
+    ++stats_.misses;
+    if (touched_.insert(line).second)
+        ++stats_.compulsoryMisses;
+    if (kernel)
+        ++stats_.kernelMisses;
+    else
+        ++stats_.userMisses;
+
+    Line *victim = &base[0];
+    for (int w = 1; w < config_.ways; ++w) {
+        Line &entry = base[w];
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    if (victim->valid && victim->dirty)
+        ++stats_.writebacks;
+    victim->valid = true;
+    victim->tag = line;
+    victim->dirty = write;
+    victim->lastUse = ++useCounter_;
+    return false;
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    const std::uint64_t line = lineIndex(addr);
+    const std::uint64_t set = line % numSets_;
+    const Line *base = &lines_[set * config_.ways];
+    for (int w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::invalidate(std::uint64_t addr)
+{
+    const std::uint64_t line = lineIndex(addr);
+    const std::uint64_t set = line % numSets_;
+    Line *base = &lines_[set * config_.ways];
+    for (int w = 0; w < config_.ways; ++w) {
+        Line &entry = base[w];
+        if (entry.valid && entry.tag == line) {
+            entry.valid = false;
+            return entry.dirty;
+        }
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Line &entry : lines_)
+        entry.valid = false;
+}
+
+std::uint64_t
+Cache::residentLines() const
+{
+    std::uint64_t count = 0;
+    for (const Line &entry : lines_)
+        count += entry.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace parallax

@@ -1,0 +1,100 @@
+#include "interconnect.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+const char *
+interconnectName(InterconnectKind kind)
+{
+    switch (kind) {
+      case InterconnectKind::OnChipMesh: return "on-chip";
+      case InterconnectKind::Htx: return "HTX";
+      case InterconnectKind::Pcie: return "PCIe";
+    }
+    return "?";
+}
+
+MeshModel::MeshModel(int nodes)
+{
+    if (nodes < 1)
+        fatal("mesh needs at least one node");
+    width_ = static_cast<int>(std::ceil(std::sqrt(nodes)));
+}
+
+int
+MeshModel::hops(int src, int dst) const
+{
+    const int sx = src % width_, sy = src / width_;
+    const int dx = dst % width_, dy = dst / width_;
+    return std::abs(sx - dx) + std::abs(sy - dy);
+}
+
+double
+MeshModel::averageHopsFromPort() const
+{
+    // Port at node 0 (corner): mean Manhattan distance to a node of
+    // a w x w grid is (w - 1) (mean (w-1)/2 per dimension, twice).
+    return static_cast<double>(width_ - 1);
+}
+
+Tick
+MeshModel::packetLatency(int hop_count,
+                         std::uint64_t payload_bytes) const
+{
+    const std::uint64_t flits = std::max<std::uint64_t>(
+        1, flitsForBytes(payload_bytes));
+    const Tick head = static_cast<Tick>(hop_count) *
+        (perHopCycles + routerPipelineCycles);
+    // Remaining flits stream behind the head, one per cycle.
+    return head + (flits - 1);
+}
+
+Tick
+OffChipLink::transferCycles(std::uint64_t payload_bytes) const
+{
+    const double seconds = latencySeconds +
+        static_cast<double>(payload_bytes) / bandwidthBytesPerSec;
+    return static_cast<Tick>(seconds * clockFrequencyHz);
+}
+
+OffChipLink
+OffChipLink::pcie()
+{
+    // 4 GB/s half-duplex system interconnect; ~1 us one-way latency
+    // through the root complex (the GPU/PhysX path).
+    return OffChipLink{1.0e-6, 4.0e9};
+}
+
+OffChipLink
+OffChipLink::htx()
+{
+    // 20.8 GB/s half-duplex coprocessor link; ~150 ns one-way.
+    return OffChipLink{150e-9, 20.8e9};
+}
+
+Tick
+dispatchLatency(InterconnectKind kind, const MeshModel &mesh,
+                double mean_hops, std::uint64_t payload_bytes)
+{
+    const std::uint64_t packet_bytes =
+        payload_bytes + DataPacketHeader::serializedBytes();
+    const Tick mesh_cycles = mesh.packetLatency(
+        static_cast<int>(std::lround(mean_hops)), packet_bytes);
+    switch (kind) {
+      case InterconnectKind::OnChipMesh:
+        return mesh_cycles;
+      case InterconnectKind::Htx:
+        return OffChipLink::htx().transferCycles(packet_bytes) +
+               mesh_cycles;
+      case InterconnectKind::Pcie:
+        return OffChipLink::pcie().transferCycles(packet_bytes) +
+               mesh_cycles;
+    }
+    return mesh_cycles;
+}
+
+} // namespace parallax

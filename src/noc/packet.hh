@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The CG-to-FG communication protocol of section 7.3.
+ *
+ * Hand-shaking between CG and FG cores uses control and data
+ * packets, like a network protocol. The control packet carries a
+ * unique task id, a per-task data-set id, the data size, the
+ * iteration count, and the kernel id; each data packet's header
+ * carries the task and data-set ids. The on-chip network moves
+ * 64-bit flits with an 8-bit header, leaving 56 payload bits per
+ * flit.
+ */
+
+#ifndef PARALLAX_NOC_PACKET_HH
+#define PARALLAX_NOC_PACKET_HH
+
+#include <cstdint>
+
+namespace parallax
+{
+
+/** Flit geometry of the 2D mesh (section 5.1). */
+constexpr int flitBits = 64;
+constexpr int flitHeaderBits = 8;
+constexpr int flitPayloadBits = flitBits - flitHeaderBits;
+
+/** Control packet: sets up the flow of data packets to FG cores. */
+struct ControlPacket
+{
+    std::uint32_t taskId = 0;    // Unique per CG submission.
+    std::uint32_t dataSetId = 0; // Unique per FG core within a task.
+    std::uint32_t dataBytes = 0;
+    std::uint32_t iterationCount = 0;
+    std::uint8_t kernelId = 0;
+
+    /** Payload size when serialized (bytes). */
+    static constexpr std::uint32_t
+    serializedBytes()
+    {
+        return 4 + 4 + 4 + 4 + 1;
+    }
+};
+
+/** Data packet header fields. */
+struct DataPacketHeader
+{
+    std::uint32_t taskId = 0;
+    std::uint32_t dataSetId = 0;
+
+    static constexpr std::uint32_t
+    serializedBytes()
+    {
+        return 8;
+    }
+};
+
+/** Number of flits needed to carry a payload of `bytes`. */
+constexpr std::uint64_t
+flitsForBytes(std::uint64_t bytes)
+{
+    const std::uint64_t bits = bytes * 8;
+    return (bits + flitPayloadBits - 1) / flitPayloadBits;
+}
+
+} // namespace parallax
+
+#endif // PARALLAX_NOC_PACKET_HH

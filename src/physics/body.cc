@@ -1,0 +1,85 @@
+#include "body.hh"
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+RigidBody::RigidBody(BodyId id, const Transform &pose, Real mass,
+                     const Mat3 &inertia)
+    : id_(id), pose_(pose), mass_(mass), inertiaBody_(inertia)
+{
+    if (mass < 0)
+        fatal("body mass must be non-negative (got %g)", mass);
+    if (mass == 0.0) {
+        invMass_ = 0.0;
+        invInertiaBody_ = Mat3::zero();
+    } else {
+        invMass_ = 1.0 / mass;
+        invInertiaBody_ = inertiaBody_.inverse();
+    }
+}
+
+RigidBody
+RigidBody::makeStatic(BodyId id, const Transform &pose)
+{
+    return RigidBody(id, pose, 0.0, Mat3::zero());
+}
+
+Mat3
+RigidBody::invInertiaWorld() const
+{
+    const Mat3 rot = pose_.rotation.toMat3();
+    return rot * invInertiaBody_ * rot.transposed();
+}
+
+void
+RigidBody::applyForceAtPoint(const Vec3 &f, const Vec3 &point)
+{
+    force_ += f;
+    torque_ += (point - pose_.position).cross(f);
+}
+
+void
+RigidBody::applyImpulse(const Vec3 &impulse, const Vec3 &point)
+{
+    if (isStatic())
+        return;
+    wake(); // External disturbance.
+    linVel_ += impulse * invMass_;
+    angVel_ += invInertiaWorld() *
+        (point - pose_.position).cross(impulse);
+}
+
+Vec3
+RigidBody::velocityAt(const Vec3 &point) const
+{
+    return linVel_ + angVel_.cross(point - pose_.position);
+}
+
+void
+RigidBody::integrate(Real dt)
+{
+    integrateVelocities(dt);
+    integratePositions(dt);
+}
+
+void
+RigidBody::integrateVelocities(Real dt)
+{
+    if (isStatic() || !enabled_ || asleep_)
+        return;
+    linVel_ += force_ * (invMass_ * dt);
+    angVel_ += invInertiaWorld() * torque_ * dt;
+}
+
+void
+RigidBody::integratePositions(Real dt)
+{
+    if (isStatic() || !enabled_ || asleep_)
+        return;
+    pose_.position += linVel_ * dt;
+    pose_.rotation = pose_.rotation.integrated(angVel_, dt);
+}
+
+} // namespace parallax

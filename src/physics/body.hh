@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Rigid body state and dynamics.
+ */
+
+#ifndef PARALLAX_PHYSICS_BODY_HH
+#define PARALLAX_PHYSICS_BODY_HH
+
+#include <cstdint>
+
+#include "physics/math/transform.hh"
+
+namespace parallax
+{
+
+class Shape;
+
+/** Identifier of a body within its World. */
+using BodyId = std::uint32_t;
+
+constexpr BodyId invalidBodyId = ~BodyId(0);
+
+/**
+ * A rigid body: pose, velocities, mass properties and force
+ * accumulators. Static bodies have zero inverse mass and never move;
+ * they participate in collision detection only, matching the "static
+ * obstacles" feature of the benchmark suite (Table 2).
+ */
+class RigidBody
+{
+  public:
+    RigidBody(BodyId id, const Transform &pose, Real mass,
+              const Mat3 &inertia);
+
+    /** Create an immovable body at the given pose. */
+    static RigidBody makeStatic(BodyId id, const Transform &pose);
+
+    BodyId id() const { return id_; }
+    bool isStatic() const { return invMass_ == 0.0; }
+
+    /** Disabled bodies are skipped by every phase (debris pre-break). */
+    bool enabled() const { return enabled_; }
+
+    void
+    setEnabled(bool e)
+    {
+        enabled_ = e;
+        if (e)
+            wake();
+    }
+
+    /**
+     * Auto-disable (sleeping): a body whose island has been at rest
+     * for enough steps stops simulating until disturbed. Sleeping
+     * bodies still collide (a contact from an awake body wakes the
+     * whole island).
+     */
+    bool asleep() const { return asleep_; }
+
+    /** Clear sleep state (external disturbance). */
+    void
+    wake()
+    {
+        asleep_ = false;
+        sleepCounter_ = 0;
+    }
+
+    /** Put the body to sleep (island-level decision by the world). */
+    void
+    sleep()
+    {
+        asleep_ = true;
+        linVel_ = {};
+        angVel_ = {};
+    }
+
+    int sleepCounter() const { return sleepCounter_; }
+    void incrementSleepCounter() { ++sleepCounter_; }
+
+    const Transform &pose() const { return pose_; }
+    const Vec3 &position() const { return pose_.position; }
+    const Quat &orientation() const { return pose_.rotation; }
+    void setPose(const Transform &pose) { pose_ = pose; }
+
+    const Vec3 &linearVelocity() const { return linVel_; }
+    const Vec3 &angularVelocity() const { return angVel_; }
+    void setLinearVelocity(const Vec3 &v) { linVel_ = v; }
+    void setAngularVelocity(const Vec3 &w) { angVel_ = w; }
+
+    Real mass() const { return mass_; }
+    Real invMass() const { return invMass_; }
+    const Mat3 &invInertiaBody() const { return invInertiaBody_; }
+
+    /** Inverse inertia tensor in world coordinates. */
+    Mat3 invInertiaWorld() const;
+
+    /** Accumulate a force through the center of mass. */
+    void applyForce(const Vec3 &f) { force_ += f; }
+
+    /** Accumulate a torque. */
+    void applyTorque(const Vec3 &t) { torque_ += t; }
+
+    /** Accumulate a force applied at a world-space point. */
+    void applyForceAtPoint(const Vec3 &f, const Vec3 &point);
+
+    /** Instantaneously change velocity by an impulse at a point. */
+    void applyImpulse(const Vec3 &impulse, const Vec3 &point);
+
+    const Vec3 &force() const { return force_; }
+    const Vec3 &torque() const { return torque_; }
+    void clearAccumulators() { force_ = {}; torque_ = {}; }
+
+    /** Velocity of a world-space point attached to the body. */
+    Vec3 velocityAt(const Vec3 &point) const;
+
+    /**
+     * Semi-implicit Euler integration: velocities from accumulated
+     * loads, then pose from velocities. No-op for static bodies.
+     */
+    void integrate(Real dt);
+
+    /** First integration half: update velocities from forces. */
+    void integrateVelocities(Real dt);
+
+    /** Second integration half: update pose from velocities. */
+    void integratePositions(Real dt);
+
+    /** Island assigned by the most recent island-creation phase. */
+    std::uint32_t islandId() const { return islandId_; }
+    void setIslandId(std::uint32_t id) { islandId_ = id; }
+
+  private:
+    BodyId id_;
+    Transform pose_;
+    Vec3 linVel_;
+    Vec3 angVel_;
+    Vec3 force_;
+    Vec3 torque_;
+    Real mass_;
+    Real invMass_;
+    Mat3 inertiaBody_;
+    Mat3 invInertiaBody_;
+    bool enabled_ = true;
+    bool asleep_ = false;
+    int sleepCounter_ = 0;
+    std::uint32_t islandId_ = ~std::uint32_t(0);
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_BODY_HH

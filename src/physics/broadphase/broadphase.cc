@@ -1,0 +1,204 @@
+#include "broadphase.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace parallax
+{
+
+namespace
+{
+
+/** True for geoms whose AABB is effectively infinite (planes). */
+bool
+unbounded(const Geom &g)
+{
+    return g.shape().type() == ShapeType::Plane;
+}
+
+GeomPair
+canonical(GeomId a, GeomId b)
+{
+    if (a > b)
+        std::swap(a, b);
+    return {a, b};
+}
+
+} // namespace
+
+bool
+Broadphase::pairEligible(const Geom &a, const Geom &b)
+{
+    if (!a.enabled() || !b.enabled())
+        return false;
+    // Same body: never collide a body with itself.
+    if (a.body() != nullptr && a.body() == b.body())
+        return false;
+    // Blast volumes are triggers: they pair with anything (including
+    // static pre-fractured walls) but not with each other.
+    if (a.isBlast() || b.isBlast())
+        return !(a.isBlast() && b.isBlast());
+    // Two immovable geoms generate no useful contacts.
+    const bool a_static = a.body() == nullptr || a.body()->isStatic();
+    const bool b_static = b.body() == nullptr || b.body()->isStatic();
+    if (a_static && b_static)
+        return false;
+    return true;
+}
+
+std::vector<GeomPair>
+SweepAndPrune::findPairs(const std::vector<Geom *> &geoms)
+{
+    stats_.geomsConsidered += geoms.size();
+
+    std::vector<Geom *> bounded;
+    std::vector<Geom *> planes;
+    bounded.reserve(geoms.size());
+    for (Geom *g : geoms) {
+        if (!g->enabled())
+            continue;
+        if (unbounded(*g))
+            planes.push_back(g);
+        else
+            bounded.push_back(g);
+    }
+
+    // Sort by AABB minimum X; this is the structure update the paper
+    // identifies as the serializing part of broadphase.
+    std::sort(bounded.begin(), bounded.end(),
+              [](const Geom *a, const Geom *b) {
+                  if (a->bounds().lo.x != b->bounds().lo.x)
+                      return a->bounds().lo.x < b->bounds().lo.x;
+                  return a->id() < b->id();
+              });
+    stats_.structureUpdates += bounded.size();
+
+    std::vector<GeomPair> pairs;
+
+    // Linear sweep with an active window.
+    std::vector<Geom *> active;
+    for (Geom *g : bounded) {
+        const Aabb &gb = g->bounds();
+        // Retire actives that end before this box begins.
+        std::erase_if(active, [&](const Geom *other) {
+            return other->bounds().hi.x < gb.lo.x;
+        });
+        for (Geom *other : active) {
+            ++stats_.overlapTests;
+            const Aabb &ob = other->bounds();
+            const bool yz = gb.lo.y <= ob.hi.y && gb.hi.y >= ob.lo.y &&
+                            gb.lo.z <= ob.hi.z && gb.hi.z >= ob.lo.z;
+            if (yz && pairEligible(*g, *other))
+                pairs.push_back(canonical(g->id(), other->id()));
+        }
+        active.push_back(g);
+    }
+
+    // Planes pair with every eligible bounded geom.
+    for (Geom *p : planes) {
+        for (Geom *g : bounded) {
+            ++stats_.overlapTests;
+            if (pairEligible(*p, *g))
+                pairs.push_back(canonical(p->id(), g->id()));
+        }
+    }
+
+    std::sort(pairs.begin(), pairs.end(),
+              [](const GeomPair &x, const GeomPair &y) {
+                  return x.a != y.a ? x.a < y.a : x.b < y.b;
+              });
+    stats_.pairsFound += pairs.size();
+    return pairs;
+}
+
+SpatialHash::SpatialHash(Real cell_size) : cellSize_(cell_size)
+{
+}
+
+std::vector<GeomPair>
+SpatialHash::findPairs(const std::vector<Geom *> &geoms)
+{
+    stats_.geomsConsidered += geoms.size();
+
+    std::unordered_map<std::uint64_t, std::vector<Geom *>> cells;
+    std::vector<Geom *> planes;
+
+    auto cellKey = [](std::int64_t ix, std::int64_t iy, std::int64_t iz) {
+        // Morton-free mixing of three 21-bit cell coordinates.
+        const std::uint64_t h =
+            static_cast<std::uint64_t>(ix) * 0x8da6b343ull ^
+            static_cast<std::uint64_t>(iy) * 0xd8163841ull ^
+            static_cast<std::uint64_t>(iz) * 0xcb1ab31full;
+        return h;
+    };
+
+    for (Geom *g : geoms) {
+        if (!g->enabled())
+            continue;
+        if (unbounded(*g)) {
+            planes.push_back(g);
+            continue;
+        }
+        const Aabb &b = g->bounds();
+        const auto lo_x = static_cast<std::int64_t>(
+            std::floor(b.lo.x / cellSize_));
+        const auto hi_x = static_cast<std::int64_t>(
+            std::floor(b.hi.x / cellSize_));
+        const auto lo_y = static_cast<std::int64_t>(
+            std::floor(b.lo.y / cellSize_));
+        const auto hi_y = static_cast<std::int64_t>(
+            std::floor(b.hi.y / cellSize_));
+        const auto lo_z = static_cast<std::int64_t>(
+            std::floor(b.lo.z / cellSize_));
+        const auto hi_z = static_cast<std::int64_t>(
+            std::floor(b.hi.z / cellSize_));
+        for (auto ix = lo_x; ix <= hi_x; ++ix)
+            for (auto iy = lo_y; iy <= hi_y; ++iy)
+                for (auto iz = lo_z; iz <= hi_z; ++iz) {
+                    cells[cellKey(ix, iy, iz)].push_back(g);
+                    ++stats_.structureUpdates;
+                }
+    }
+
+    std::unordered_set<std::uint64_t> seen;
+    std::vector<GeomPair> pairs;
+    for (auto &[key, residents] : cells) {
+        for (size_t i = 0; i < residents.size(); ++i) {
+            for (size_t j = i + 1; j < residents.size(); ++j) {
+                Geom *a = residents[i];
+                Geom *b = residents[j];
+                ++stats_.overlapTests;
+                if (!a->bounds().overlaps(b->bounds()))
+                    continue;
+                if (!pairEligible(*a, *b))
+                    continue;
+                const GeomPair p = canonical(a->id(), b->id());
+                const std::uint64_t pk =
+                    (static_cast<std::uint64_t>(p.a) << 32) | p.b;
+                if (seen.insert(pk).second)
+                    pairs.push_back(p);
+            }
+        }
+    }
+
+    for (Geom *p : planes) {
+        for (Geom *g : geoms) {
+            if (!g->enabled() || unbounded(*g))
+                continue;
+            ++stats_.overlapTests;
+            if (pairEligible(*p, *g))
+                pairs.push_back(canonical(p->id(), g->id()));
+        }
+    }
+
+    std::sort(pairs.begin(), pairs.end(),
+              [](const GeomPair &x, const GeomPair &y) {
+                  return x.a != y.a ? x.a < y.a : x.b < y.b;
+              });
+    stats_.pairsFound += pairs.size();
+    return pairs;
+}
+
+} // namespace parallax

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Broadphase collision culling interface.
+ *
+ * The broadphase is the first step of collision detection (section
+ * 3.2): it culls pairs of objects that cannot possibly collide using
+ * their AABBs. The paper notes this phase is hard to parallelize
+ * because it updates a spatial structure (sweep-and-prune axes or
+ * hash tables); both structures are provided here.
+ */
+
+#ifndef PARALLAX_PHYSICS_BROADPHASE_BROADPHASE_HH
+#define PARALLAX_PHYSICS_BROADPHASE_BROADPHASE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "physics/geom.hh"
+
+namespace parallax
+{
+
+/** A candidate colliding pair produced by the broadphase. */
+struct GeomPair
+{
+    GeomId a;
+    GeomId b;
+
+    bool operator==(const GeomPair &o) const = default;
+};
+
+/** Observability counters for the broadphase phase. */
+struct BroadphaseStats
+{
+    std::uint64_t geomsConsidered = 0;
+    std::uint64_t overlapTests = 0;
+    std::uint64_t pairsFound = 0;
+    std::uint64_t structureUpdates = 0;
+
+    void
+    reset()
+    {
+        *this = BroadphaseStats();
+    }
+};
+
+/** Abstract broadphase algorithm. */
+class Broadphase
+{
+  public:
+    virtual ~Broadphase() = default;
+
+    /**
+     * Find all candidate pairs among the given geoms. Geoms whose
+     * bodies are disabled are skipped; pairs where neither side can
+     * move (both static) are filtered; pairs sharing a body are
+     * filtered. Pair ordering is canonical (a < b) and deterministic.
+     */
+    virtual std::vector<GeomPair>
+    findPairs(const std::vector<Geom *> &geoms) = 0;
+
+    const BroadphaseStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+  protected:
+    /** True when a pair of geoms should be considered at all. */
+    static bool pairEligible(const Geom &a, const Geom &b);
+
+    BroadphaseStats stats_;
+};
+
+/**
+ * Sweep-and-prune broadphase.
+ *
+ * Geoms are sorted by AABB minimum along the X axis; a linear sweep
+ * keeps an active window and tests Y/Z overlap only for X-overlapping
+ * boxes. Unbounded geoms (planes) are handled out of band and paired
+ * with every eligible bounded geom.
+ */
+class SweepAndPrune : public Broadphase
+{
+  public:
+    std::vector<GeomPair>
+    findPairs(const std::vector<Geom *> &geoms) override;
+};
+
+/**
+ * Uniform spatial-hash broadphase.
+ *
+ * Geoms are binned into grid cells of a fixed size; pairs are
+ * generated from co-resident cells and deduplicated.
+ */
+class SpatialHash : public Broadphase
+{
+  public:
+    explicit SpatialHash(Real cell_size = 4.0);
+
+    std::vector<GeomPair>
+    findPairs(const std::vector<Geom *> &geoms) override;
+
+    Real cellSize() const { return cellSize_; }
+
+  private:
+    Real cellSize_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_BROADPHASE_BROADPHASE_HH

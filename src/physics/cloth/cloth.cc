@@ -1,0 +1,228 @@
+#include "cloth.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "physics/shapes/primitives.hh"
+#include "physics/shapes/static_shapes.hh"
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+Cloth::Cloth(ClothId id, int nx, int ny, const Vec3 &origin,
+             Real spacing, Real mass)
+    : id_(id), nx_(nx), ny_(ny)
+{
+    if (nx < 2 || ny < 2)
+        fatal("cloth needs at least a 2x2 particle grid");
+    if (spacing <= 0 || mass <= 0)
+        fatal("cloth spacing and mass must be positive");
+
+    const int count = nx * ny;
+    const Real inv_mass = static_cast<Real>(count) / mass;
+    particles_.reserve(count);
+    for (int j = 0; j < ny; ++j) {
+        for (int i = 0; i < nx; ++i) {
+            Particle p;
+            p.position = origin +
+                Vec3{i * spacing, 0.0, j * spacing};
+            p.previous = p.position;
+            p.invMass = inv_mass;
+            particles_.push_back(p);
+        }
+    }
+
+    auto index = [nx](int i, int j) {
+        return static_cast<std::uint32_t>(j * nx + i);
+    };
+    auto addConstraint = [&](std::uint32_t a, std::uint32_t b) {
+        const Real rest =
+            (particles_[a].position - particles_[b].position).length();
+        constraints_.push_back({a, b, rest});
+    };
+
+    // Structural edges plus one shear diagonal per cell: this tiles
+    // the patch with triangles (the paper's triangular mesh).
+    for (int j = 0; j < ny; ++j) {
+        for (int i = 0; i < nx; ++i) {
+            if (i + 1 < nx)
+                addConstraint(index(i, j), index(i + 1, j));
+            if (j + 1 < ny)
+                addConstraint(index(i, j), index(i, j + 1));
+            if (i + 1 < nx && j + 1 < ny)
+                addConstraint(index(i, j), index(i + 1, j + 1));
+        }
+    }
+}
+
+void
+Cloth::pin(std::uint32_t index)
+{
+    parallax_assert(index < particles_.size());
+    particles_[index].invMass = 0.0;
+}
+
+void
+Cloth::movePinned(std::uint32_t index, const Vec3 &position)
+{
+    parallax_assert(index < particles_.size());
+    particles_[index].position = position;
+    particles_[index].previous = position;
+}
+
+Aabb
+Cloth::bounds(Real margin) const
+{
+    Aabb box;
+    for (const Particle &p : particles_)
+        box.extend(p.position);
+    return box.inflated(margin);
+}
+
+bool
+Cloth::projectOut(const Geom &geom, Vec3 &point, Real margin)
+{
+    const Transform pose = geom.worldPose();
+    switch (geom.shape().type()) {
+      case ShapeType::Sphere: {
+        const auto &s = static_cast<const SphereShape &>(geom.shape());
+        const Vec3 d = point - pose.position;
+        const Real r = s.radius() + margin;
+        const Real dist2 = d.lengthSquared();
+        if (dist2 >= r * r)
+            return false;
+        const Real dist = std::sqrt(dist2);
+        const Vec3 n = dist > 1e-12 ? d / dist : Vec3{0.0, 1.0, 0.0};
+        point = pose.position + n * r;
+        return true;
+      }
+      case ShapeType::Capsule: {
+        const auto &c =
+            static_cast<const CapsuleShape &>(geom.shape());
+        Vec3 a, b;
+        c.segment(pose, a, b);
+        const Vec3 ab = b - a;
+        const Real len2 = ab.lengthSquared();
+        const Real t = len2 > 1e-18
+            ? std::clamp((point - a).dot(ab) / len2, 0.0, 1.0)
+            : 0.0;
+        const Vec3 closest = a + ab * t;
+        const Vec3 d = point - closest;
+        const Real r = c.radius() + margin;
+        const Real dist2 = d.lengthSquared();
+        if (dist2 >= r * r)
+            return false;
+        const Real dist = std::sqrt(dist2);
+        const Vec3 n = dist > 1e-12 ? d / dist : Vec3{0.0, 1.0, 0.0};
+        point = closest + n * r;
+        return true;
+      }
+      case ShapeType::Box: {
+        const auto &bx = static_cast<const BoxShape &>(geom.shape());
+        const Vec3 h = bx.halfExtents() +
+            Vec3{margin, margin, margin};
+        const Vec3 local = pose.applyInverse(point);
+        if (std::fabs(local.x) >= h.x || std::fabs(local.y) >= h.y ||
+            std::fabs(local.z) >= h.z) {
+            return false;
+        }
+        // Push out through the nearest face.
+        const Real dx = h.x - std::fabs(local.x);
+        const Real dy = h.y - std::fabs(local.y);
+        const Real dz = h.z - std::fabs(local.z);
+        Vec3 pushed = local;
+        if (dx <= dy && dx <= dz)
+            pushed.x = local.x >= 0 ? h.x : -h.x;
+        else if (dy <= dz)
+            pushed.y = local.y >= 0 ? h.y : -h.y;
+        else
+            pushed.z = local.z >= 0 ? h.z : -h.z;
+        point = pose.apply(pushed);
+        return true;
+      }
+      case ShapeType::Plane: {
+        const auto &pl = static_cast<const PlaneShape &>(geom.shape());
+        const Real dist = pl.distance(point) - margin;
+        if (dist >= 0)
+            return false;
+        point -= pl.normal() * dist;
+        return true;
+      }
+      case ShapeType::Heightfield: {
+        const auto &hf =
+            static_cast<const HeightfieldShape &>(geom.shape());
+        const Vec3 local = point - pose.position;
+        if (local.x < 0 || local.x > hf.width() || local.z < 0 ||
+            local.z > hf.depth()) {
+            return false;
+        }
+        const Real surface = hf.sampleHeight(local.x, local.z) + margin;
+        if (local.y >= surface)
+            return false;
+        point.y = pose.position.y + surface;
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+void
+Cloth::step(Real dt, const Vec3 &gravity, int iterations,
+            const std::vector<const Geom *> &colliders,
+            ClothStats &stats)
+{
+    ++stats.clothsStepped;
+
+    // Verlet integration: x' = 2x - x_prev + g dt^2 (with mild
+    // damping folded into the velocity term).
+    const Real damping = 0.995;
+    const Vec3 accel_term = gravity * (dt * dt);
+    for (Particle &p : particles_) {
+        ++stats.verticesIntegrated;
+        if (p.invMass == 0.0)
+            continue;
+        const Vec3 velocity = (p.position - p.previous) * damping;
+        p.previous = p.position;
+        p.position += velocity + accel_term;
+    }
+
+    // Interleaved relaxation: each sweep relaxes every distance
+    // constraint, then projects every vertex out of the colliders
+    // (Jakobsen's scheme — collision is just another constraint).
+    const Real margin = 0.02;
+    for (int it = 0; it < iterations; ++it) {
+        for (const DistanceConstraint &c : constraints_) {
+            ++stats.constraintRelaxations;
+            Particle &pa = particles_[c.a];
+            Particle &pb = particles_[c.b];
+            const Real wsum = pa.invMass + pb.invMass;
+            if (wsum == 0.0)
+                continue;
+            const Vec3 delta = pb.position - pa.position;
+            const Real len = delta.length();
+            if (len < 1e-12)
+                continue;
+            const Real diff = (len - c.restLength) / (len * wsum);
+            pa.position += delta * (diff * pa.invMass);
+            pb.position -= delta * (diff * pb.invMass);
+        }
+        for (Particle &p : particles_) {
+            if (p.invMass == 0.0)
+                continue;
+            for (const Geom *g : colliders) {
+                ++stats.collisionTests;
+                if (projectOut(*g, p.position, margin)) {
+                    ++stats.collisionsResolved;
+                    // Kill part of the velocity into the surface by
+                    // dragging the previous position along.
+                    p.previous = p.previous +
+                        (p.position - p.previous) * 0.5;
+                }
+            }
+        }
+    }
+}
+
+} // namespace parallax

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Position-based cloth simulation (Jakobsen's approach).
+ *
+ * A cloth object is a triangular mesh where each edge is a length
+ * constraint. Constraints are solved with an iterative relaxation
+ * solver and the mesh is simulated forward in time with a Verlet
+ * integrator; collision resolution uses vertex projection (section
+ * 3.2). Each vertex is an independent fine-grain task.
+ */
+
+#ifndef PARALLAX_PHYSICS_CLOTH_CLOTH_HH
+#define PARALLAX_PHYSICS_CLOTH_CLOTH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "physics/geom.hh"
+#include "physics/math/aabb.hh"
+#include "physics/math/vec3.hh"
+
+namespace parallax
+{
+
+/** Identifier of a cloth object within its World. */
+using ClothId = std::uint32_t;
+
+/** Observability counters for the cloth phase. */
+struct ClothStats
+{
+    std::uint64_t clothsStepped = 0;
+    std::uint64_t verticesIntegrated = 0;
+    std::uint64_t constraintRelaxations = 0;
+    std::uint64_t collisionTests = 0;
+    std::uint64_t collisionsResolved = 0;
+
+    void
+    reset()
+    {
+        *this = ClothStats();
+    }
+};
+
+/**
+ * A rectangular cloth patch: nx-by-ny particles joined by structural
+ * and shear (diagonal) distance constraints, forming the triangular
+ * mesh of the paper. Large cloths use 625 vertices (25x25); small
+ * ones attached to virtual humans use 25 (5x5).
+ */
+class Cloth
+{
+  public:
+    struct Particle
+    {
+        Vec3 position;
+        Vec3 previous;
+        Real invMass = 1.0; // 0 pins the particle in place.
+    };
+
+    struct DistanceConstraint
+    {
+        std::uint32_t a;
+        std::uint32_t b;
+        Real restLength;
+    };
+
+    /**
+     * Build a cloth patch in the XZ plane starting at `origin`,
+     * spaced `spacing` apart, with total mass `mass`.
+     */
+    Cloth(ClothId id, int nx, int ny, const Vec3 &origin, Real spacing,
+          Real mass);
+
+    ClothId id() const { return id_; }
+    int vertexCount() const { return static_cast<int>(particles_.size()); }
+    int constraintCount() const
+    { return static_cast<int>(constraints_.size()); }
+
+    const std::vector<Particle> &particles() const { return particles_; }
+    const std::vector<DistanceConstraint> &constraints() const
+    { return constraints_; }
+
+    /** Pin a particle so it never moves (attachment points). */
+    void pin(std::uint32_t index);
+
+    /** Displace a pinned particle (to follow an attached body). */
+    void movePinned(std::uint32_t index, const Vec3 &position);
+
+    /** Bounding volume of all particles, inflated by a margin. */
+    Aabb bounds(Real margin = 0.2) const;
+
+    /**
+     * Advance the cloth one step: Verlet integration under gravity,
+     * `iterations` constraint-relaxation sweeps, then vertex
+     * projection out of the given collider geoms.
+     */
+    void step(Real dt, const Vec3 &gravity, int iterations,
+              const std::vector<const Geom *> &colliders,
+              ClothStats &stats);
+
+  private:
+    /** Push a point out of a geom; returns true if it was inside. */
+    static bool projectOut(const Geom &geom, Vec3 &point, Real margin);
+
+    ClothId id_;
+    int nx_;
+    int ny_;
+    std::vector<Particle> particles_;
+    std::vector<DistanceConstraint> constraints_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_CLOTH_CLOTH_HH

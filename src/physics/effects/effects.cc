@@ -1,0 +1,170 @@
+#include "effects.hh"
+
+#include <cmath>
+
+#include "physics/world.hh"
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+void
+EffectsManager::registerExplosive(GeomId geom, const BlastConfig &config)
+{
+    if (config.radius <= 0 || config.duration <= 0)
+        fatal("blast radius and duration must be positive");
+    explosives_[geom] = config;
+}
+
+void
+EffectsManager::registerFractureGroup(BodyId parent,
+                                      std::vector<BodyId> debris)
+{
+    if (debris.empty())
+        fatal("fracture group needs at least one debris body");
+    fractureByParent_[parent] = fractureGroups_.size();
+    fractureGroups_.push_back(FractureGroup{parent, std::move(debris),
+                                            false});
+}
+
+void
+EffectsManager::onContacts(World &world,
+                           const std::vector<Contact> &contacts)
+{
+    for (const Contact &c : contacts) {
+        const Geom *ga = world.geom(c.geomA);
+        const Geom *gb = world.geom(c.geomB);
+        if (ga == nullptr || gb == nullptr)
+            continue;
+
+        // Explosive touched something (that is not a blast volume):
+        // replace it with a blast sphere.
+        for (const Geom *g : {ga, gb}) {
+            const Geom *other = g == ga ? gb : ga;
+            if (g->explosive() && g->enabled() && !other->isBlast())
+                triggerExplosion(world, g->id());
+        }
+
+        // Pre-fractured object touched a blast volume: break it.
+        for (const Geom *g : {ga, gb}) {
+            const Geom *other = g == ga ? gb : ga;
+            if (!other->isBlast() || g->body() == nullptr)
+                continue;
+            auto it = fractureByParent_.find(g->body()->id());
+            if (it == fractureByParent_.end())
+                continue;
+            FractureGroup &group = fractureGroups_[it->second];
+            if (!group.broken) {
+                // Find the blast that owns the trigger geom for its
+                // impulse magnitude.
+                Real impulse = 100.0;
+                Vec3 center = other->worldPose().position;
+                for (const Blast &blast : blasts_) {
+                    if (blast.geom == other->id()) {
+                        impulse = blast.impulse;
+                        center = blast.center;
+                        break;
+                    }
+                }
+                fracture(world, group, center, impulse);
+            }
+        }
+    }
+}
+
+void
+EffectsManager::triggerExplosion(World &world, GeomId geom_id)
+{
+    auto it = explosives_.find(geom_id);
+    if (it == explosives_.end())
+        return;
+    const BlastConfig config = it->second;
+    explosives_.erase(it);
+
+    Geom *geom = world.geom(geom_id);
+    parallax_assert(geom != nullptr);
+    const Vec3 center = geom->worldPose().position;
+
+    // Disable the exploding object.
+    if (geom->body() != nullptr)
+        geom->body()->setEnabled(false);
+
+    // Create the blast volume: a trigger sphere on a static body.
+    const SphereShape *sphere = world.addSphere(config.radius);
+    RigidBody *anchor =
+        world.createStaticBody(Transform(Quat(), center));
+    Geom *blast_geom = world.createGeom(sphere, anchor);
+    blast_geom->setBlast(true);
+
+    blasts_.push_back(Blast{center, config.radius, config.impulse,
+                            config.duration, config.duration,
+                            blast_geom->id()});
+    ++stats_.blastsTriggered;
+}
+
+void
+EffectsManager::fracture(World &world, FractureGroup &group,
+                         const Vec3 &blast_center, Real blast_impulse)
+{
+    group.broken = true;
+    ++stats_.objectsFractured;
+
+    RigidBody *parent = world.body(group.parent);
+    if (parent != nullptr)
+        parent->setEnabled(false);
+
+    for (BodyId debris_id : group.debris) {
+        RigidBody *debris = world.body(debris_id);
+        if (debris == nullptr)
+            continue;
+        debris->setEnabled(true);
+        ++stats_.debrisEnabled;
+        // Kick the debris radially away from the blast.
+        const Vec3 d = debris->position() - blast_center;
+        const Real dist = d.length();
+        const Vec3 dir = dist > 1e-9 ? d / dist : Vec3{0.0, 1.0, 0.0};
+        const Real falloff = 1.0 / (1.0 + dist);
+        debris->applyImpulse(dir * (blast_impulse * falloff * 0.1),
+                             debris->position());
+    }
+}
+
+void
+EffectsManager::update(World &world, Real dt)
+{
+    for (Blast &blast : blasts_) {
+        // Radial impulse to every dynamic body inside the radius.
+        for (const auto &body : world.bodies()) {
+            if (body == nullptr || body->isStatic() ||
+                !body->enabled()) {
+                continue;
+            }
+            const Vec3 d = body->position() - blast.center;
+            const Real dist = d.length();
+            if (dist > blast.radius)
+                continue;
+            const Vec3 dir =
+                dist > 1e-9 ? d / dist : Vec3{0.0, 1.0, 0.0};
+            const Real falloff = 1.0 - dist / blast.radius;
+            // Spread the impulse evenly across the blast duration.
+            const Real scale =
+                blast.impulse * falloff * (dt / blast.duration);
+            body->applyImpulse(dir * scale, body->position());
+            ++stats_.bodiesPushed;
+        }
+        blast.remaining -= dt;
+    }
+
+    // Retire expired blasts (disable their trigger geoms).
+    std::erase_if(blasts_, [&](const Blast &blast) {
+        if (blast.remaining > 0)
+            return false;
+        Geom *geom = world.geom(blast.geom);
+        if (geom != nullptr && geom->body() != nullptr)
+            geom->body()->setEnabled(false);
+        ++stats_.blastsExpired;
+        return true;
+    });
+}
+
+} // namespace parallax

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Gameplay physics effects: explosions and pre-fractured objects.
+ *
+ * From Table 2: each explosive object carries a flag; when it makes
+ * contact with any other object it is replaced by a sphere
+ * representing the blast radius, with predetermined radius and
+ * duration, disabled when the duration is reached. Each pre-fractured
+ * object contains a set amount of debris created at startup and
+ * enabled once the object breaks (when it contacts a blast volume).
+ */
+
+#ifndef PARALLAX_PHYSICS_EFFECTS_EFFECTS_HH
+#define PARALLAX_PHYSICS_EFFECTS_EFFECTS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "physics/body.hh"
+#include "physics/geom.hh"
+#include "physics/narrowphase/contact.hh"
+
+namespace parallax
+{
+
+class World;
+
+/** Parameters of one explosive charge. */
+struct BlastConfig
+{
+    Real radius = 4.0;
+    Real duration = 0.1;  // Seconds the blast volume persists.
+    Real impulse = 200.0; // Peak radial impulse at the center (N*s).
+};
+
+/** Observability counters for the effects subsystem. */
+struct EffectsStats
+{
+    std::uint64_t blastsTriggered = 0;
+    std::uint64_t blastsExpired = 0;
+    std::uint64_t bodiesPushed = 0;
+    std::uint64_t objectsFractured = 0;
+    std::uint64_t debrisEnabled = 0;
+
+    void
+    reset()
+    {
+        *this = EffectsStats();
+    }
+};
+
+/**
+ * Tracks explosives, active blast volumes, and fracture groups, and
+ * applies their effects during the world step.
+ */
+class EffectsManager
+{
+  public:
+    /** Mark a geom as explosive with the given blast parameters. */
+    void registerExplosive(GeomId geom, const BlastConfig &config);
+
+    /**
+     * Register a pre-fractured object: when `parent` touches a blast
+     * volume, it is disabled and its debris bodies are enabled.
+     */
+    void registerFractureGroup(BodyId parent,
+                               std::vector<BodyId> debris);
+
+    /**
+     * React to this step's contacts: trigger explosives that touched
+     * something and fracture objects that touched a blast volume.
+     * Called by World between narrowphase and island creation.
+     */
+    void onContacts(World &world, const std::vector<Contact> &contacts);
+
+    /**
+     * Advance blast timers, apply radial impulses from active blast
+     * volumes, and retire expired blasts. Called once per step.
+     */
+    void update(World &world, Real dt);
+
+    /** Number of currently active blast volumes. */
+    std::size_t activeBlasts() const { return blasts_.size(); }
+
+    const EffectsStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+  private:
+    struct Blast
+    {
+        Vec3 center;
+        Real radius;
+        Real impulse;
+        Real duration;
+        Real remaining;
+        GeomId geom; // The blast-volume geom (for contact matching).
+    };
+
+    struct FractureGroup
+    {
+        BodyId parent;
+        std::vector<BodyId> debris;
+        bool broken = false;
+    };
+
+    void triggerExplosion(World &world, GeomId geom);
+    void fracture(World &world, FractureGroup &group,
+                  const Vec3 &blast_center, Real blast_impulse);
+
+    std::unordered_map<GeomId, BlastConfig> explosives_;
+    std::vector<Blast> blasts_;
+    std::vector<FractureGroup> fractureGroups_;
+    std::unordered_map<BodyId, std::size_t> fractureByParent_;
+    EffectsStats stats_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_EFFECTS_EFFECTS_HH

@@ -1,0 +1,31 @@
+#include "geom.hh"
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+Geom::Geom(GeomId id, const Shape *shape, RigidBody *body,
+           const Transform &local_offset)
+    : id_(id), shape_(shape), body_(body), localOffset_(local_offset)
+{
+    if (shape == nullptr)
+        fatal("geom requires a shape");
+    updateBounds();
+}
+
+Transform
+Geom::worldPose() const
+{
+    if (body_ == nullptr)
+        return localOffset_;
+    return body_->pose() * localOffset_;
+}
+
+void
+Geom::updateBounds()
+{
+    bounds_ = shape_->bounds(worldPose());
+}
+
+} // namespace parallax

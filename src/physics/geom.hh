@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Collision geometry attached to a body.
+ */
+
+#ifndef PARALLAX_PHYSICS_GEOM_HH
+#define PARALLAX_PHYSICS_GEOM_HH
+
+#include <cstdint>
+
+#include "body.hh"
+#include "physics/math/aabb.hh"
+#include "physics/shapes/shape.hh"
+
+namespace parallax
+{
+
+/** Identifier of a geom within its World. */
+using GeomId = std::uint32_t;
+
+constexpr GeomId invalidGeomId = ~GeomId(0);
+
+/**
+ * Placement of a Shape in the world, optionally offset from its
+ * body's frame. Geom-level flags drive the benchmark features of
+ * Table 2: explosives (blast spheres on contact) and pre-fractured
+ * pieces (debris enabled when the parent breaks).
+ */
+class Geom
+{
+  public:
+    Geom(GeomId id, const Shape *shape, RigidBody *body,
+         const Transform &local_offset = Transform());
+
+    GeomId id() const { return id_; }
+    const Shape &shape() const { return *shape_; }
+    RigidBody *body() const { return body_; }
+
+    /** World-space pose: body pose composed with the local offset. */
+    Transform worldPose() const;
+
+    /** Cached world-space AABB from the last updateBounds() call. */
+    const Aabb &bounds() const { return bounds_; }
+
+    /** Recompute the cached AABB from the current body pose. */
+    void updateBounds();
+
+    bool enabled() const { return body_ == nullptr || body_->enabled(); }
+
+    /** Explosive objects spawn a blast sphere on first contact. */
+    bool explosive() const { return explosive_; }
+    void setExplosive(bool e) { explosive_ = e; }
+
+    /** Blast spheres: transient, apply impulses, break prefractured. */
+    bool isBlast() const { return blast_; }
+    void setBlast(bool b) { blast_ = b; }
+
+    /** Marker linking a geom to a pre-fractured parent object. */
+    std::uint32_t fractureGroup() const { return fractureGroup_; }
+    void setFractureGroup(std::uint32_t g) { fractureGroup_ = g; }
+    static constexpr std::uint32_t noFractureGroup = ~std::uint32_t(0);
+
+  private:
+    GeomId id_;
+    const Shape *shape_;
+    RigidBody *body_;
+    Transform localOffset_;
+    Aabb bounds_;
+    bool explosive_ = false;
+    bool blast_ = false;
+    std::uint32_t fractureGroup_ = noFractureGroup;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_GEOM_HH

@@ -1,0 +1,98 @@
+#include "island.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+std::uint32_t
+IslandBuilder::find(std::uint32_t i)
+{
+    ++stats_.findOps;
+    while (parent_[i] != i) {
+        parent_[i] = parent_[parent_[i]]; // Path halving.
+        i = parent_[i];
+    }
+    return i;
+}
+
+std::vector<Island>
+IslandBuilder::build(const std::vector<RigidBody *> &bodies,
+                     const std::vector<Joint *> &joints)
+{
+    const auto n = static_cast<std::uint32_t>(bodies.size());
+    parent_.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        parent_[i] = i;
+    stats_.bodiesVisited += n;
+
+    auto dynamicIndex = [&](RigidBody *b) -> std::int64_t {
+        if (b == nullptr || b->isStatic() || !b->enabled())
+            return -1;
+        return b->id();
+    };
+
+    for (Joint *j : joints) {
+        ++stats_.jointsVisited;
+        if (j->broken())
+            continue;
+        const std::int64_t ia = dynamicIndex(j->bodyA());
+        const std::int64_t ib = dynamicIndex(j->bodyB());
+        if (ia >= 0 && ib >= 0) {
+            const std::uint32_t ra = find(static_cast<std::uint32_t>(ia));
+            const std::uint32_t rb = find(static_cast<std::uint32_t>(ib));
+            if (ra != rb) {
+                parent_[rb] = ra;
+                ++stats_.unionOps;
+            }
+        }
+    }
+
+    // Collect components in deterministic body-id order.
+    std::unordered_map<std::uint32_t, std::uint32_t> root_to_island;
+    std::vector<Island> islands;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        RigidBody *b = bodies[i];
+        if (b == nullptr || b->isStatic() || !b->enabled()) {
+            if (b != nullptr)
+                b->setIslandId(~std::uint32_t(0));
+            continue;
+        }
+        parallax_assert(b->id() == i);
+        const std::uint32_t root = find(i);
+        auto [it, inserted] = root_to_island.try_emplace(
+            root, static_cast<std::uint32_t>(islands.size()));
+        if (inserted)
+            islands.emplace_back();
+        islands[it->second].bodies.push_back(b);
+        b->setIslandId(it->second);
+    }
+
+    // Attach joints to the island of their first dynamic body.
+    for (Joint *j : joints) {
+        if (j->broken())
+            continue;
+        const std::int64_t ia = dynamicIndex(j->bodyA());
+        const std::int64_t ib = dynamicIndex(j->bodyB());
+        const std::int64_t owner = ia >= 0 ? ia : ib;
+        if (owner < 0)
+            continue; // Both endpoints static or disabled.
+        const std::uint32_t island =
+            bodies[static_cast<std::uint32_t>(owner)]->islandId();
+        islands[island].joints.push_back(j);
+    }
+
+    stats_.islandsCreated += islands.size();
+    for (const Island &island : islands) {
+        stats_.largestIslandRows = std::max<std::uint64_t>(
+            stats_.largestIslandRows, island.rowCount());
+        stats_.largestIslandBodies = std::max<std::uint64_t>(
+            stats_.largestIslandBodies, island.bodies.size());
+    }
+    return islands;
+}
+
+} // namespace parallax

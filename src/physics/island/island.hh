@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Island creation: connected components of interacting objects.
+ *
+ * After contact joints link interacting objects together, the engine
+ * steps through all objects to form islands (section 3.2). This phase
+ * is serializing: the full contact topology isn't known until the
+ * last pair is examined, and only then can the constraint solvers
+ * begin. Islands are independent of one another, which is the source
+ * of Island Processing's coarse-grain parallelism.
+ */
+
+#ifndef PARALLAX_PHYSICS_ISLAND_ISLAND_HH
+#define PARALLAX_PHYSICS_ISLAND_ISLAND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "physics/body.hh"
+#include "physics/joints/joint.hh"
+
+namespace parallax
+{
+
+/** A connected component of dynamic bodies and their joints. */
+struct Island
+{
+    std::vector<RigidBody *> bodies;
+    std::vector<Joint *> joints;
+
+    /** Total constraint rows (degrees of freedom removed). */
+    int
+    rowCount() const
+    {
+        int rows = 0;
+        for (const Joint *j : joints)
+            rows += j->numRows();
+        return rows;
+    }
+};
+
+/** Observability counters for the island-creation phase. */
+struct IslandStats
+{
+    std::uint64_t bodiesVisited = 0;
+    std::uint64_t jointsVisited = 0;
+    std::uint64_t unionOps = 0;
+    std::uint64_t findOps = 0;
+    std::uint64_t islandsCreated = 0;
+    std::uint64_t largestIslandRows = 0;
+    std::uint64_t largestIslandBodies = 0;
+
+    void
+    reset()
+    {
+        *this = IslandStats();
+    }
+};
+
+/**
+ * Union-find island builder.
+ *
+ * Joints merge the components of their dynamic endpoints; joints to
+ * static bodies (or the world) keep the dynamic body's component.
+ * Disabled bodies and broken joints are skipped. Output islands and
+ * their member lists are deterministic.
+ */
+class IslandBuilder
+{
+  public:
+    /**
+     * Build islands and stamp each body's islandId.
+     *
+     * @param bodies All bodies in the world (indexed by BodyId).
+     * @param joints Joints to consider (typically permanent joints
+     *               plus this step's contact joints).
+     */
+    std::vector<Island> build(const std::vector<RigidBody *> &bodies,
+                              const std::vector<Joint *> &joints);
+
+    const IslandStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+  private:
+    std::uint32_t find(std::uint32_t i);
+
+    std::vector<std::uint32_t> parent_;
+    IslandStats stats_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_ISLAND_ISLAND_HH

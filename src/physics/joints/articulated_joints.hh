@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Articulation joints: ball, hinge, slider, fixed.
+ *
+ * These are the ideal joints used to assemble the benchmark suite's
+ * articulated figures (Table 2): virtual humans are 16 capsule
+ * segments joined by ball/hinge joints, cars have hinge wheels and a
+ * slider suspension, bridges and buildings use breakable fixed
+ * joints.
+ */
+
+#ifndef PARALLAX_PHYSICS_JOINTS_ARTICULATED_JOINTS_HH
+#define PARALLAX_PHYSICS_JOINTS_ARTICULATED_JOINTS_HH
+
+#include "joint.hh"
+
+namespace parallax
+{
+
+/** Ball-and-socket: pins a shared anchor point (removes 3 DOF). */
+class BallJoint : public Joint
+{
+  public:
+    /** @param anchor World-space anchor at construction time. */
+    BallJoint(JointId id, RigidBody *body_a, RigidBody *body_b,
+              const Vec3 &anchor);
+
+    JointType type() const override { return JointType::Ball; }
+    int numRows() const override { return 3; }
+    void buildRows(const SolverParams &params,
+                   std::vector<ConstraintRow> &out) override;
+
+    /** Current world position of the anchor as seen by body A. */
+    Vec3 anchorOnA() const;
+
+    /** Current world position of the anchor as seen by body B. */
+    Vec3 anchorOnB() const;
+
+  protected:
+    Vec3 localA_;
+    Vec3 localB_;
+};
+
+/**
+ * Hinge: ball joint plus two angular rows locking rotation to one
+ * axis (removes 5 DOF).
+ */
+class HingeJoint : public BallJoint
+{
+  public:
+    HingeJoint(JointId id, RigidBody *body_a, RigidBody *body_b,
+               const Vec3 &anchor, const Vec3 &axis);
+
+    JointType type() const override { return JointType::Hinge; }
+    int numRows() const override { return 5; }
+    void buildRows(const SolverParams &params,
+                   std::vector<ConstraintRow> &out) override;
+
+    /** Hinge axis in world space (from body A's frame). */
+    Vec3 axisWorld() const;
+
+  private:
+    Vec3 axisLocalA_;
+    Vec3 axisLocalB_;
+};
+
+/**
+ * Slider: locks all relative rotation and all translation except
+ * along the slide axis (removes 5 DOF). Used for car suspensions.
+ */
+class SliderJoint : public Joint
+{
+  public:
+    SliderJoint(JointId id, RigidBody *body_a, RigidBody *body_b,
+                const Vec3 &axis);
+
+    JointType type() const override { return JointType::Slider; }
+    int numRows() const override { return 5; }
+    void buildRows(const SolverParams &params,
+                   std::vector<ConstraintRow> &out) override;
+
+    /** Slide axis in world space (from body A's frame). */
+    Vec3 axisWorld() const;
+
+  private:
+    Vec3 axisLocalA_;
+    Vec3 offsetLocalA_; // B's origin in A's frame at creation.
+    Quat relRotation_;  // B's rotation relative to A at creation.
+};
+
+/** Fixed: welds the two bodies rigidly (removes 6 DOF). */
+class FixedJoint : public Joint
+{
+  public:
+    FixedJoint(JointId id, RigidBody *body_a, RigidBody *body_b);
+
+    JointType type() const override { return JointType::Fixed; }
+    int numRows() const override { return 6; }
+    void buildRows(const SolverParams &params,
+                   std::vector<ConstraintRow> &out) override;
+
+  private:
+    Vec3 offsetLocalA_;
+    Quat relRotation_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_JOINTS_ARTICULATED_JOINTS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Contact constraint: non-penetration plus pyramid friction.
+ */
+
+#ifndef PARALLAX_PHYSICS_JOINTS_CONTACT_JOINT_HH
+#define PARALLAX_PHYSICS_JOINTS_CONTACT_JOINT_HH
+
+#include "joint.hh"
+#include "physics/narrowphase/contact.hh"
+
+namespace parallax
+{
+
+/** Surface interaction parameters for a contact. */
+struct ContactMaterial
+{
+    Real friction = 0.8;
+    Real restitution = 0.1;
+    /** Relative normal speed below which restitution is ignored. */
+    Real restitutionThreshold = 0.5;
+};
+
+/**
+ * One contact point between two bodies. Contributes a normal row
+ * (lambda >= 0) and two friction rows bounded by mu * normal lambda.
+ */
+class ContactJoint : public Joint
+{
+  public:
+    ContactJoint(JointId id, RigidBody *body_a, RigidBody *body_b,
+                 const Contact &contact, const ContactMaterial &mat);
+
+    JointType type() const override { return JointType::Contact; }
+    int numRows() const override { return 3; }
+    void buildRows(const SolverParams &params,
+                   std::vector<ConstraintRow> &out) override;
+    void onSolved(const ConstraintRow *rows, int count) override;
+
+    const Contact &contact() const { return contact_; }
+
+    /**
+     * Warm starting: seed this contact with the previous step's
+     * solved impulses (normal, friction1, friction2). The solver
+     * pre-applies them before iterating, which removes the
+     * re-convergence jitter of resting stacks.
+     */
+    void setWarmStart(Real normal, Real friction1, Real friction2);
+
+    /** Solved impulses from the last step (for persistence). */
+    const Real *solvedLambdas() const { return solved_; }
+
+  private:
+    Contact contact_;
+    ContactMaterial material_;
+    Real warm_[3] = {0.0, 0.0, 0.0};
+    Real solved_[3] = {0.0, 0.0, 0.0};
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_JOINTS_CONTACT_JOINT_HH

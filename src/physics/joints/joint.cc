@@ -1,0 +1,45 @@
+#include "joint.hh"
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+const char *
+jointTypeName(JointType type)
+{
+    switch (type) {
+      case JointType::Contact: return "contact";
+      case JointType::Ball: return "ball";
+      case JointType::Hinge: return "hinge";
+      case JointType::Slider: return "slider";
+      case JointType::Fixed: return "fixed";
+    }
+    return "?";
+}
+
+Joint::Joint(JointId id, RigidBody *body_a, RigidBody *body_b)
+    : id_(id), bodyA_(body_a), bodyB_(body_b)
+{
+    if (body_a == nullptr)
+        fatal("joint requires at least one dynamic body (bodyA)");
+}
+
+void
+Joint::recordAppliedImpulse(Real impulse, Real dt)
+{
+    if (dt <= 0)
+        return;
+    lastForce_ = impulse / dt;
+    // Accumulate with decay so sustained overload breaks the joint
+    // while brief spikes below threshold do not accumulate forever.
+    accumForce_ = accumForce_ * 0.5 + lastForce_;
+    if (breakable() && !broken_) {
+        if (lastForce_ > breakForce_ ||
+            accumForce_ > 2.0 * breakForce_) {
+            broken_ = true;
+        }
+    }
+}
+
+} // namespace parallax

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Constraint (joint) base class and the solver row representation.
+ *
+ * Joints connect bodies with ideal constraints following ODE's
+ * constraint-based approach. Each joint contributes rows to the
+ * island's LCP: a row is one scalar velocity constraint with a
+ * 12-element Jacobian, bounds on its impulse, and a bias velocity.
+ */
+
+#ifndef PARALLAX_PHYSICS_JOINTS_JOINT_HH
+#define PARALLAX_PHYSICS_JOINTS_JOINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "physics/body.hh"
+#include "physics/math/vec3.hh"
+
+namespace parallax
+{
+
+/** Identifier of a joint within its World. */
+using JointId = std::uint32_t;
+
+constexpr JointId invalidJointId = ~JointId(0);
+
+/** Joint type discriminator (drives per-type memory sizes too). */
+enum class JointType
+{
+    Contact,
+    Ball,
+    Hinge,
+    Slider,
+    Fixed,
+};
+
+/** Human-readable joint type name. */
+const char *jointTypeName(JointType type);
+
+/**
+ * One scalar constraint row of the island LCP.
+ *
+ * The Jacobian maps the two bodies' (linear, angular) velocities to
+ * the constraint-space velocity. The solver finds an impulse lambda
+ * in [lo, hi] driving J*v toward rhs. Friction rows carry `mu` and
+ * the index of their normal row; their bounds are recomputed from
+ * the normal impulse each sweep (a friction-cone pyramid).
+ */
+struct ConstraintRow
+{
+    Vec3 jLinA;
+    Vec3 jAngA;
+    Vec3 jLinB;
+    Vec3 jAngB;
+    Real rhs = 0.0;
+    Real cfm = 1e-9;
+    Real lo = -1e30;
+    Real hi = 1e30;
+    Real lambda = 0.0;
+    /** Index (within the island's row array) of the friction row's
+     *  normal row, or -1 for non-friction rows. */
+    int normalRow = -1;
+    Real mu = 0.0;
+    /** Owning joint, so impulses can be fed back for breakage. */
+    JointId joint = invalidJointId;
+};
+
+/** Parameters shared by row construction. */
+struct SolverParams
+{
+    Real dt = 0.01;
+    /** Error reduction parameter (Baumgarte stabilization). */
+    Real erp = 0.2;
+    /** Global constraint force mixing (softness). */
+    Real cfm = 1e-9;
+    /** Penetration depth correction cap per step (meters). */
+    Real maxCorrectingVel = 10.0;
+};
+
+/** Abstract joint. bodyB may be null, meaning the static world. */
+class Joint
+{
+  public:
+    Joint(JointId id, RigidBody *body_a, RigidBody *body_b);
+    virtual ~Joint() = default;
+
+    JointId id() const { return id_; }
+    RigidBody *bodyA() const { return bodyA_; }
+    RigidBody *bodyB() const { return bodyB_; }
+
+    virtual JointType type() const = 0;
+
+    /** Number of constraint rows (degrees of freedom removed). */
+    virtual int numRows() const = 0;
+
+    /** Append this joint's rows to the island's row list. */
+    virtual void buildRows(const SolverParams &params,
+                           std::vector<ConstraintRow> &out) = 0;
+
+    /**
+     * Receive the solved impulses for this joint's rows (in the
+     * order buildRows emitted them). Used by contacts to persist
+     * impulses for warm starting; default is a no-op.
+     */
+    virtual void
+    onSolved(const ConstraintRow *rows, int count)
+    {
+        (void)rows;
+        (void)count;
+    }
+
+    /**
+     * Breakable joints (Table 2): the joint breaks when the applied
+     * load exceeds the threshold, either instantaneously or by
+     * accumulation across steps.
+     */
+    bool breakable() const { return breakForce_ > 0.0; }
+    void setBreakForce(Real threshold) { breakForce_ = threshold; }
+    Real breakForce() const { return breakForce_; }
+    bool broken() const { return broken_; }
+
+    /**
+     * Feed back the impulse magnitude applied by the solver this
+     * step; updates accumulated load and the broken flag.
+     *
+     * @param impulse Total constraint impulse magnitude (N*s).
+     * @param dt Step length used to convert impulse to force.
+     */
+    void recordAppliedImpulse(Real impulse, Real dt);
+
+    /** Force magnitude applied in the most recent step (N). */
+    Real lastAppliedForce() const { return lastForce_; }
+
+    /** Accumulated applied load across steps (N, decaying). */
+    Real accumulatedForce() const { return accumForce_; }
+
+  private:
+    JointId id_;
+    RigidBody *bodyA_;
+    RigidBody *bodyB_;
+    Real breakForce_ = 0.0;
+    Real lastForce_ = 0.0;
+    Real accumForce_ = 0.0;
+    bool broken_ = false;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_JOINTS_JOINT_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Axis-aligned bounding box used by the broadphase.
+ */
+
+#ifndef PARALLAX_PHYSICS_MATH_AABB_HH
+#define PARALLAX_PHYSICS_MATH_AABB_HH
+
+#include "vec3.hh"
+
+namespace parallax
+{
+
+/** Axis-aligned bounding box described by min and max corners. */
+struct Aabb
+{
+    Vec3 lo{1e30, 1e30, 1e30};
+    Vec3 hi{-1e30, -1e30, -1e30};
+
+    constexpr Aabb() = default;
+    constexpr Aabb(const Vec3 &lo_, const Vec3 &hi_) : lo(lo_), hi(hi_) {}
+
+    /** True when this box overlaps (or touches) the other. */
+    constexpr bool
+    overlaps(const Aabb &o) const
+    {
+        return lo.x <= o.hi.x && hi.x >= o.lo.x &&
+               lo.y <= o.hi.y && hi.y >= o.lo.y &&
+               lo.z <= o.hi.z && hi.z >= o.lo.z;
+    }
+
+    /** True when the point lies inside (or on) the box. */
+    constexpr bool
+    contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x &&
+               p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    /** Expand to include a point. */
+    void
+    extend(const Vec3 &p)
+    {
+        lo = Vec3::min(lo, p);
+        hi = Vec3::max(hi, p);
+    }
+
+    /** Expand to include another box. */
+    void
+    merge(const Aabb &o)
+    {
+        lo = Vec3::min(lo, o.lo);
+        hi = Vec3::max(hi, o.hi);
+    }
+
+    /** Grow symmetrically by a margin in every direction. */
+    Aabb
+    inflated(Real margin) const
+    {
+        const Vec3 m{margin, margin, margin};
+        return {lo - m, hi + m};
+    }
+
+    constexpr Vec3 center() const { return (lo + hi) * 0.5; }
+    constexpr Vec3 extents() const { return (hi - lo) * 0.5; }
+
+    /** Surface area (for heuristics and tests). */
+    Real
+    surfaceArea() const
+    {
+        const Vec3 d = hi - lo;
+        if (d.x < 0 || d.y < 0 || d.z < 0)
+            return 0.0;
+        return 2.0 * (d.x * d.y + d.y * d.z + d.z * d.x);
+    }
+
+    bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_MATH_AABB_HH

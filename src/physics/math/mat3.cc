@@ -1,0 +1,28 @@
+#include "mat3.hh"
+
+#include <cmath>
+
+namespace parallax
+{
+
+Mat3
+Mat3::inverse() const
+{
+    const Real det = determinant();
+    if (std::fabs(det) < 1e-18)
+        return Mat3::identity();
+    const Real inv = 1.0 / det;
+    Mat3 r = Mat3::zero();
+    r.m[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv;
+    r.m[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv;
+    r.m[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv;
+    r.m[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv;
+    r.m[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv;
+    r.m[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv;
+    r.m[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv;
+    r.m[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv;
+    r.m[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv;
+    return r;
+}
+
+} // namespace parallax

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * 3x3 matrix for rotations and inertia tensors.
+ */
+
+#ifndef PARALLAX_PHYSICS_MATH_MAT3_HH
+#define PARALLAX_PHYSICS_MATH_MAT3_HH
+
+#include "vec3.hh"
+
+namespace parallax
+{
+
+/** Row-major 3x3 matrix of Real. */
+struct Mat3
+{
+    // m[row][col]
+    Real m[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+
+    constexpr Mat3() = default;
+
+    static constexpr Mat3
+    zero()
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = 0.0;
+        return r;
+    }
+
+    static constexpr Mat3 identity() { return Mat3(); }
+
+    /** Diagonal matrix from three values. */
+    static constexpr Mat3
+    diagonal(Real a, Real b, Real c)
+    {
+        Mat3 r = zero();
+        r.m[0][0] = a;
+        r.m[1][1] = b;
+        r.m[2][2] = c;
+        return r;
+    }
+
+    /** Skew-symmetric cross-product matrix: skew(v) * w == v x w. */
+    static constexpr Mat3
+    skew(const Vec3 &v)
+    {
+        Mat3 r = zero();
+        r.m[0][1] = -v.z; r.m[0][2] = v.y;
+        r.m[1][0] = v.z;  r.m[1][2] = -v.x;
+        r.m[2][0] = -v.y; r.m[2][1] = v.x;
+        return r;
+    }
+
+    Vec3
+    operator*(const Vec3 &v) const
+    {
+        return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+                m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+                m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+    }
+
+    Mat3
+    operator*(const Mat3 &o) const
+    {
+        Mat3 r = zero();
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                for (int k = 0; k < 3; ++k)
+                    r.m[i][j] += m[i][k] * o.m[k][j];
+        return r;
+    }
+
+    Mat3
+    operator+(const Mat3 &o) const
+    {
+        Mat3 r = zero();
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[i][j] + o.m[i][j];
+        return r;
+    }
+
+    Mat3
+    operator*(Real s) const
+    {
+        Mat3 r = zero();
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[i][j] * s;
+        return r;
+    }
+
+    Mat3
+    transposed() const
+    {
+        Mat3 r = zero();
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[j][i];
+        return r;
+    }
+
+    Real
+    determinant() const
+    {
+        return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+             - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+             + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    }
+
+    /** Matrix inverse; returns identity for singular input. */
+    Mat3 inverse() const;
+
+    /** Column access as a vector. */
+    Vec3 column(int j) const { return {m[0][j], m[1][j], m[2][j]}; }
+
+    /** Row access as a vector. */
+    Vec3 row(int i) const { return {m[i][0], m[i][1], m[i][2]}; }
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_MATH_MAT3_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit quaternion for rigid-body orientation.
+ */
+
+#ifndef PARALLAX_PHYSICS_MATH_QUAT_HH
+#define PARALLAX_PHYSICS_MATH_QUAT_HH
+
+#include <cmath>
+
+#include "mat3.hh"
+#include "vec3.hh"
+
+namespace parallax
+{
+
+/** Quaternion (w, x, y, z) with helpers for rotations. */
+struct Quat
+{
+    Real w = 1.0;
+    Real x = 0.0;
+    Real y = 0.0;
+    Real z = 0.0;
+
+    constexpr Quat() = default;
+    constexpr Quat(Real w_, Real x_, Real y_, Real z_)
+        : w(w_), x(x_), y(y_), z(z_) {}
+
+    /** Rotation of `angle` radians about the (unit) axis. */
+    static Quat
+    fromAxisAngle(const Vec3 &axis, Real angle)
+    {
+        const Vec3 u = axis.normalized();
+        const Real h = angle * 0.5;
+        const Real s = std::sin(h);
+        return {std::cos(h), u.x * s, u.y * s, u.z * s};
+    }
+
+    constexpr Quat
+    operator*(const Quat &o) const
+    {
+        return {w * o.w - x * o.x - y * o.y - z * o.z,
+                w * o.x + x * o.w + y * o.z - z * o.y,
+                w * o.y - x * o.z + y * o.w + z * o.x,
+                w * o.z + x * o.y - y * o.x + z * o.w};
+    }
+
+    constexpr Quat conjugate() const { return {w, -x, -y, -z}; }
+
+    Real length() const { return std::sqrt(w * w + x * x + y * y + z * z); }
+
+    Quat
+    normalized() const
+    {
+        const Real len = length();
+        if (len < 1e-12)
+            return Quat();
+        return {w / len, x / len, y / len, z / len};
+    }
+
+    /** Rotate a vector by this (unit) quaternion. */
+    Vec3
+    rotate(const Vec3 &v) const
+    {
+        const Vec3 u{x, y, z};
+        const Vec3 t = u.cross(v) * 2.0;
+        return v + t * w + u.cross(t);
+    }
+
+    /** Rotation matrix equivalent of this (unit) quaternion. */
+    Mat3
+    toMat3() const
+    {
+        Mat3 r = Mat3::zero();
+        const Real xx = x * x, yy = y * y, zz = z * z;
+        const Real xy = x * y, xz = x * z, yz = y * z;
+        const Real wx = w * x, wy = w * y, wz = w * z;
+        r.m[0][0] = 1 - 2 * (yy + zz);
+        r.m[0][1] = 2 * (xy - wz);
+        r.m[0][2] = 2 * (xz + wy);
+        r.m[1][0] = 2 * (xy + wz);
+        r.m[1][1] = 1 - 2 * (xx + zz);
+        r.m[1][2] = 2 * (yz - wx);
+        r.m[2][0] = 2 * (xz - wy);
+        r.m[2][1] = 2 * (yz + wx);
+        r.m[2][2] = 1 - 2 * (xx + yy);
+        return r;
+    }
+
+    /**
+     * Integrate angular velocity `omega` over `dt`:
+     * q' = q + dt/2 * (0, omega) * q, renormalized.
+     */
+    Quat
+    integrated(const Vec3 &omega, Real dt) const
+    {
+        const Quat dq{0.0, omega.x, omega.y, omega.z};
+        const Quat qd = dq * (*this);
+        Quat r{w + 0.5 * dt * qd.w,
+               x + 0.5 * dt * qd.x,
+               y + 0.5 * dt * qd.y,
+               z + 0.5 * dt * qd.z};
+        return r.normalized();
+    }
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_MATH_QUAT_HH

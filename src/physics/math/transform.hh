@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Rigid transform (rotation + translation).
+ */
+
+#ifndef PARALLAX_PHYSICS_MATH_TRANSFORM_HH
+#define PARALLAX_PHYSICS_MATH_TRANSFORM_HH
+
+#include "quat.hh"
+#include "vec3.hh"
+
+namespace parallax
+{
+
+/** A rigid-body pose: orientation plus position. */
+struct Transform
+{
+    Quat rotation;
+    Vec3 position;
+
+    Transform() = default;
+    Transform(const Quat &q, const Vec3 &p) : rotation(q), position(p) {}
+
+    /** Map a point from local space to world space. */
+    Vec3
+    apply(const Vec3 &local) const
+    {
+        return rotation.rotate(local) + position;
+    }
+
+    /** Map a world-space point into local space. */
+    Vec3
+    applyInverse(const Vec3 &world) const
+    {
+        return rotation.conjugate().rotate(world - position);
+    }
+
+    /** Rotate a direction (no translation). */
+    Vec3
+    applyDirection(const Vec3 &dir) const
+    {
+        return rotation.rotate(dir);
+    }
+
+    /** Compose: (this * o).apply(p) == this->apply(o.apply(p)). */
+    Transform
+    operator*(const Transform &o) const
+    {
+        return {(rotation * o.rotation).normalized(),
+                apply(o.position)};
+    }
+
+    /** Inverse transform. */
+    Transform
+    inverse() const
+    {
+        const Quat inv = rotation.conjugate();
+        return {inv, inv.rotate(-position)};
+    }
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_MATH_TRANSFORM_HH

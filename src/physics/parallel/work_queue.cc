@@ -1,0 +1,91 @@
+#include "work_queue.hh"
+
+namespace parallax
+{
+
+WorkQueue::WorkQueue(unsigned workers) : workerCount_(workers)
+{
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WorkQueue::~WorkQueue()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    taskAvailable_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+WorkQueue::submit(Task task)
+{
+    if (workerCount_ == 0) {
+        // Inline execution (single-threaded mode).
+        task();
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++executed_;
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++pending_;
+    }
+    taskAvailable_.notify_one();
+}
+
+void
+WorkQueue::waitAll()
+{
+    if (workerCount_ == 0)
+        return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    batchDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+WorkQueue::runBatch(std::vector<Task> tasks)
+{
+    for (Task &t : tasks)
+        submit(std::move(t));
+    waitAll();
+}
+
+std::uint64_t
+WorkQueue::tasksExecuted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return executed_;
+}
+
+void
+WorkQueue::workerLoop()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            taskAvailable_.wait(lock, [this] {
+                return shutdown_ || !queue_.empty();
+            });
+            if (shutdown_ && queue_.empty())
+                return;
+            task = std::move(queue_.back());
+            queue_.pop_back();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++executed_;
+            if (--pending_ == 0)
+                batchDone_.notify_all();
+        }
+    }
+}
+
+} // namespace parallax

@@ -1,0 +1,265 @@
+#include "raycast.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "physics/shapes/primitives.hh"
+#include "physics/shapes/static_shapes.hh"
+
+namespace parallax
+{
+
+namespace
+{
+
+/** Sphere at `center` with `radius`. */
+std::optional<RayHit>
+raySphere(const Ray &ray, const Vec3 &center, Real radius,
+          Real max_t)
+{
+    const Vec3 oc = ray.origin - center;
+    const Real b = oc.dot(ray.direction);
+    const Real c = oc.lengthSquared() - radius * radius;
+    const Real disc = b * b - c;
+    if (disc < 0)
+        return std::nullopt;
+    const Real sqrt_disc = std::sqrt(disc);
+    Real t = -b - sqrt_disc;
+    if (t < 0)
+        t = -b + sqrt_disc; // Origin inside the sphere.
+    if (t < 0 || t > max_t)
+        return std::nullopt;
+    RayHit hit;
+    hit.t = t;
+    hit.point = ray.at(t);
+    hit.normal = (hit.point - center).normalized();
+    return hit;
+}
+
+/** Axis-aligned slab test in the box's local frame. */
+std::optional<RayHit>
+rayBox(const Ray &ray, const Transform &pose, const Vec3 &half,
+       Real max_t)
+{
+    const Vec3 o = pose.applyInverse(ray.origin);
+    const Vec3 d =
+        pose.rotation.conjugate().rotate(ray.direction);
+
+    Real t_near = 0.0;
+    Real t_far = max_t;
+    int near_axis = -1;
+    Real near_sign = 1.0;
+    for (int axis = 0; axis < 3; ++axis) {
+        const Real od = o[axis];
+        const Real dd = d[axis];
+        const Real h = half[axis];
+        if (std::fabs(dd) < 1e-12) {
+            if (od < -h || od > h)
+                return std::nullopt;
+            continue;
+        }
+        Real t0 = (-h - od) / dd;
+        Real t1 = (h - od) / dd;
+        Real sign = -1.0;
+        if (t0 > t1) {
+            std::swap(t0, t1);
+            sign = 1.0;
+        }
+        if (t0 > t_near) {
+            t_near = t0;
+            near_axis = axis;
+            near_sign = sign;
+        }
+        t_far = std::min(t_far, t1);
+        if (t_near > t_far)
+            return std::nullopt;
+    }
+    if (near_axis < 0) {
+        // Origin inside the box: report the exit point.
+        return std::nullopt;
+    }
+    RayHit hit;
+    hit.t = t_near;
+    hit.point = ray.at(t_near);
+    Vec3 n_local;
+    n_local[near_axis] = near_sign;
+    hit.normal = pose.applyDirection(n_local);
+    return hit;
+}
+
+std::optional<RayHit>
+rayTriangle(const Ray &ray, const Vec3 &a, const Vec3 &b,
+            const Vec3 &c, Real max_t)
+{
+    // Moller-Trumbore.
+    const Vec3 e1 = b - a;
+    const Vec3 e2 = c - a;
+    const Vec3 p = ray.direction.cross(e2);
+    const Real det = e1.dot(p);
+    if (std::fabs(det) < 1e-12)
+        return std::nullopt;
+    const Real inv_det = 1.0 / det;
+    const Vec3 tv = ray.origin - a;
+    const Real u = tv.dot(p) * inv_det;
+    if (u < 0 || u > 1)
+        return std::nullopt;
+    const Vec3 q = tv.cross(e1);
+    const Real v = ray.direction.dot(q) * inv_det;
+    if (v < 0 || u + v > 1)
+        return std::nullopt;
+    const Real t = e2.dot(q) * inv_det;
+    if (t < 0 || t > max_t)
+        return std::nullopt;
+    RayHit hit;
+    hit.t = t;
+    hit.point = ray.at(t);
+    Vec3 n = e1.cross(e2).normalized();
+    if (n.dot(ray.direction) > 0)
+        n = -n;
+    hit.normal = n;
+    return hit;
+}
+
+} // namespace
+
+std::optional<RayHit>
+raycastShape(const Shape &shape, const Transform &pose,
+             const Ray &ray, Real max_t)
+{
+    switch (shape.type()) {
+      case ShapeType::Sphere: {
+        const auto &s = static_cast<const SphereShape &>(shape);
+        return raySphere(ray, pose.position, s.radius(), max_t);
+      }
+      case ShapeType::Box: {
+        const auto &b = static_cast<const BoxShape &>(shape);
+        return rayBox(ray, pose, b.halfExtents(), max_t);
+      }
+      case ShapeType::Capsule: {
+        // Segment-swept sphere: sample the closest approach via the
+        // cylinder quadratic, falling back to the cap spheres.
+        const auto &c = static_cast<const CapsuleShape &>(shape);
+        Vec3 p, q;
+        c.segment(pose, p, q);
+        std::optional<RayHit> best;
+        auto consider = [&](const std::optional<RayHit> &hit) {
+            if (hit && (!best || hit->t < best->t))
+                best = hit;
+        };
+        consider(raySphere(ray, p, c.radius(), max_t));
+        consider(raySphere(ray, q, c.radius(), max_t));
+        // Infinite-cylinder intersection clipped to the segment.
+        const Vec3 axis = (q - p).normalized();
+        const Vec3 oc = ray.origin - p;
+        const Vec3 d_perp =
+            ray.direction - axis * ray.direction.dot(axis);
+        const Vec3 o_perp = oc - axis * oc.dot(axis);
+        const Real a2 = d_perp.lengthSquared();
+        if (a2 > 1e-12) {
+            const Real b2 = o_perp.dot(d_perp);
+            const Real c2 =
+                o_perp.lengthSquared() - c.radius() * c.radius();
+            const Real disc = b2 * b2 - a2 * c2;
+            if (disc >= 0) {
+                const Real t = (-b2 - std::sqrt(disc)) / a2;
+                if (t >= 0 && t <= max_t) {
+                    const Vec3 point = ray.at(t);
+                    const Real s = (point - p).dot(axis);
+                    if (s >= 0 && s <= (q - p).length()) {
+                        RayHit hit;
+                        hit.t = t;
+                        hit.point = point;
+                        hit.normal =
+                            (point - (p + axis * s)).normalized();
+                        consider(hit);
+                    }
+                }
+            }
+        }
+        return best;
+      }
+      case ShapeType::Plane: {
+        const auto &pl = static_cast<const PlaneShape &>(shape);
+        const Real denom = pl.normal().dot(ray.direction);
+        if (std::fabs(denom) < 1e-12)
+            return std::nullopt;
+        const Real t = -pl.distance(ray.origin) / denom;
+        if (t < 0 || t > max_t)
+            return std::nullopt;
+        RayHit hit;
+        hit.t = t;
+        hit.point = ray.at(t);
+        hit.normal =
+            denom < 0 ? pl.normal() : -pl.normal();
+        return hit;
+      }
+      case ShapeType::Heightfield: {
+        // March the ray across the grid footprint at half-cell
+        // resolution and bisect on the first below-surface sample.
+        const auto &hf =
+            static_cast<const HeightfieldShape &>(shape);
+        const Real step = hf.spacing() * 0.5;
+        Real prev_t = 0.0;
+        Vec3 prev_local = ray.origin - pose.position;
+        bool prev_above =
+            prev_local.y >
+            hf.sampleHeight(prev_local.x, prev_local.z);
+        if (!prev_above)
+            return std::nullopt; // Starting underground.
+        for (Real t = step; t <= max_t; t += step) {
+            const Vec3 local = ray.at(t) - pose.position;
+            if (local.x < 0 || local.x > hf.width() || local.z < 0 ||
+                local.z > hf.depth()) {
+                prev_t = t;
+                continue;
+            }
+            const bool above =
+                local.y > hf.sampleHeight(local.x, local.z);
+            if (!above) {
+                // Bisect between prev_t and t.
+                Real lo = prev_t, hi = t;
+                for (int i = 0; i < 16; ++i) {
+                    const Real mid = 0.5 * (lo + hi);
+                    const Vec3 m = ray.at(mid) - pose.position;
+                    if (m.y > hf.sampleHeight(m.x, m.z))
+                        lo = mid;
+                    else
+                        hi = mid;
+                }
+                RayHit hit;
+                hit.t = hi;
+                hit.point = ray.at(hi);
+                const Vec3 local_hit = hit.point - pose.position;
+                hit.normal =
+                    hf.sampleNormal(local_hit.x, local_hit.z);
+                return hit;
+            }
+            prev_t = t;
+        }
+        return std::nullopt;
+      }
+      case ShapeType::TriMesh: {
+        const auto &mesh =
+            static_cast<const TriMeshShape &>(shape);
+        // Query candidate triangles via the ray's local AABB.
+        const Vec3 o_local = pose.applyInverse(ray.origin);
+        const Vec3 end_local =
+            pose.applyInverse(ray.at(max_t));
+        Aabb box;
+        box.extend(o_local);
+        box.extend(end_local);
+        std::optional<RayHit> best;
+        for (std::uint32_t tri : mesh.query(box)) {
+            Vec3 a, b, c;
+            mesh.triangleCorners(tri, pose, a, b, c);
+            const auto hit = rayTriangle(ray, a, b, c, max_t);
+            if (hit && (!best || hit->t < best->t))
+                best = hit;
+        }
+        return best;
+      }
+    }
+    return std::nullopt;
+}
+
+} // namespace parallax

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ray casting against shapes and the world.
+ *
+ * The paper's cloth collision detection is "based on a combination
+ * of ray casting and axis-aligned bounding volume hierarchies"
+ * (section 3.2); rays are also the standard query for gameplay
+ * (line of sight, projectile tracing). Rays test against every
+ * shape type; World::raycast walks all geoms (AABB-culled) and
+ * returns the nearest hit.
+ */
+
+#ifndef PARALLAX_PHYSICS_RAYCAST_HH
+#define PARALLAX_PHYSICS_RAYCAST_HH
+
+#include <optional>
+
+#include "geom.hh"
+#include "physics/math/transform.hh"
+#include "physics/shapes/shape.hh"
+
+namespace parallax
+{
+
+/** A ray: origin plus unit direction. */
+struct Ray
+{
+    Vec3 origin;
+    Vec3 direction; // Must be unit length.
+
+    Vec3 at(Real t) const { return origin + direction * t; }
+};
+
+/** A ray intersection. */
+struct RayHit
+{
+    Real t = 0.0;  // Distance along the ray.
+    Vec3 point;    // World-space hit point.
+    Vec3 normal;   // Surface normal at the hit (unit, toward ray).
+    GeomId geom = invalidGeomId; // Filled by World::raycast.
+};
+
+/**
+ * Intersect a ray with one shape under a pose.
+ *
+ * @param max_t Farthest distance considered.
+ * @return The nearest hit with t in [0, max_t], if any.
+ */
+std::optional<RayHit> raycastShape(const Shape &shape,
+                                   const Transform &pose,
+                                   const Ray &ray, Real max_t);
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_RAYCAST_HH

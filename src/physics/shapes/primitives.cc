@@ -1,0 +1,137 @@
+#include "primitives.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+const char *
+shapeTypeName(ShapeType type)
+{
+    switch (type) {
+      case ShapeType::Sphere: return "sphere";
+      case ShapeType::Box: return "box";
+      case ShapeType::Plane: return "plane";
+      case ShapeType::Capsule: return "capsule";
+      case ShapeType::Heightfield: return "heightfield";
+      case ShapeType::TriMesh: return "trimesh";
+    }
+    return "?";
+}
+
+namespace
+{
+constexpr Real pi = 3.141592653589793;
+} // namespace
+
+SphereShape::SphereShape(Real radius) : radius_(radius)
+{
+    if (radius <= 0)
+        fatal("sphere radius must be positive (got %g)", radius);
+}
+
+Aabb
+SphereShape::bounds(const Transform &pose) const
+{
+    const Vec3 r{radius_, radius_, radius_};
+    return {pose.position - r, pose.position + r};
+}
+
+Real
+SphereShape::volume() const
+{
+    return 4.0 / 3.0 * pi * radius_ * radius_ * radius_;
+}
+
+Mat3
+SphereShape::unitInertia() const
+{
+    const Real i = 0.4 * radius_ * radius_;
+    return Mat3::diagonal(i, i, i);
+}
+
+BoxShape::BoxShape(const Vec3 &half_extents) : halfExtents_(half_extents)
+{
+    if (half_extents.x <= 0 || half_extents.y <= 0 || half_extents.z <= 0)
+        fatal("box half-extents must be positive");
+}
+
+Aabb
+BoxShape::bounds(const Transform &pose) const
+{
+    // World extents are |R| * halfExtents.
+    const Mat3 rot = pose.rotation.toMat3();
+    Vec3 ext;
+    for (int i = 0; i < 3; ++i) {
+        ext[i] = std::fabs(rot.m[i][0]) * halfExtents_.x
+               + std::fabs(rot.m[i][1]) * halfExtents_.y
+               + std::fabs(rot.m[i][2]) * halfExtents_.z;
+    }
+    return {pose.position - ext, pose.position + ext};
+}
+
+Real
+BoxShape::volume() const
+{
+    return 8.0 * halfExtents_.x * halfExtents_.y * halfExtents_.z;
+}
+
+Mat3
+BoxShape::unitInertia() const
+{
+    const Vec3 d = halfExtents_ * 2.0;
+    const Real c = 1.0 / 12.0;
+    return Mat3::diagonal(c * (d.y * d.y + d.z * d.z),
+                          c * (d.x * d.x + d.z * d.z),
+                          c * (d.x * d.x + d.y * d.y));
+}
+
+CapsuleShape::CapsuleShape(Real radius, Real half_height)
+    : radius_(radius), halfHeight_(half_height)
+{
+    if (radius <= 0 || half_height < 0)
+        fatal("capsule dimensions must be positive");
+}
+
+Aabb
+CapsuleShape::bounds(const Transform &pose) const
+{
+    Vec3 a, b;
+    segment(pose, a, b);
+    Aabb box;
+    box.extend(a);
+    box.extend(b);
+    return box.inflated(radius_);
+}
+
+Real
+CapsuleShape::volume() const
+{
+    const Real cyl = pi * radius_ * radius_ * (2.0 * halfHeight_);
+    const Real sph = 4.0 / 3.0 * pi * radius_ * radius_ * radius_;
+    return cyl + sph;
+}
+
+Mat3
+CapsuleShape::unitInertia() const
+{
+    // Approximate with the bounding cylinder's inertia; adequate for
+    // game-style humanoid segments.
+    const Real r2 = radius_ * radius_;
+    const Real h = 2.0 * (halfHeight_ + radius_);
+    const Real ix = (3.0 * r2 + h * h) / 12.0;
+    const Real iy = r2 / 2.0;
+    return Mat3::diagonal(ix, iy, ix);
+}
+
+void
+CapsuleShape::segment(const Transform &pose, Vec3 &a, Vec3 &b) const
+{
+    const Vec3 axis = pose.applyDirection({0.0, 1.0, 0.0}) * halfHeight_;
+    a = pose.position - axis;
+    b = pose.position + axis;
+}
+
+} // namespace parallax

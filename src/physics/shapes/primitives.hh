@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Bounded primitive shapes: sphere, box, capsule.
+ */
+
+#ifndef PARALLAX_PHYSICS_SHAPES_PRIMITIVES_HH
+#define PARALLAX_PHYSICS_SHAPES_PRIMITIVES_HH
+
+#include "shape.hh"
+
+namespace parallax
+{
+
+/** Sphere of a given radius, centered at the body origin. */
+class SphereShape : public Shape
+{
+  public:
+    explicit SphereShape(Real radius);
+
+    ShapeType type() const override { return ShapeType::Sphere; }
+    Aabb bounds(const Transform &pose) const override;
+    Real volume() const override;
+    Mat3 unitInertia() const override;
+
+    Real radius() const { return radius_; }
+
+  private:
+    Real radius_;
+};
+
+/** Box with the given half-extents, centered at the body origin. */
+class BoxShape : public Shape
+{
+  public:
+    explicit BoxShape(const Vec3 &half_extents);
+
+    ShapeType type() const override { return ShapeType::Box; }
+    Aabb bounds(const Transform &pose) const override;
+    Real volume() const override;
+    Mat3 unitInertia() const override;
+
+    const Vec3 &halfExtents() const { return halfExtents_; }
+
+  private:
+    Vec3 halfExtents_;
+};
+
+/**
+ * Capsule aligned with the local Y axis: a cylinder of the given
+ * half-height capped with hemispheres of the given radius.
+ */
+class CapsuleShape : public Shape
+{
+  public:
+    CapsuleShape(Real radius, Real half_height);
+
+    ShapeType type() const override { return ShapeType::Capsule; }
+    Aabb bounds(const Transform &pose) const override;
+    Real volume() const override;
+    Mat3 unitInertia() const override;
+
+    Real radius() const { return radius_; }
+    Real halfHeight() const { return halfHeight_; }
+
+    /** World-space segment endpoints of the capsule axis. */
+    void segment(const Transform &pose, Vec3 &a, Vec3 &b) const;
+
+  private:
+    Real radius_;
+    Real halfHeight_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_SHAPES_PRIMITIVES_HH

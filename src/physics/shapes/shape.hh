@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Collision shape base class.
+ *
+ * Shapes are immutable geometric descriptions; placement comes from
+ * the owning Geom/RigidBody. Each shape knows how to compute its
+ * world-space AABB (for the broadphase), its volume, and its inertia
+ * tensor for unit mass (scaled by the body's mass at body setup).
+ */
+
+#ifndef PARALLAX_PHYSICS_SHAPES_SHAPE_HH
+#define PARALLAX_PHYSICS_SHAPES_SHAPE_HH
+
+#include "physics/math/aabb.hh"
+#include "physics/math/mat3.hh"
+#include "physics/math/transform.hh"
+
+namespace parallax
+{
+
+/**
+ * Discriminator for the concrete shape classes.
+ *
+ * Order matters: the narrowphase canonicalizes pairs so that the
+ * lower-valued type comes first, and its dispatch table assumes
+ * convex shapes (sphere, box, capsule) order before environment
+ * shapes (plane, heightfield, trimesh).
+ */
+enum class ShapeType
+{
+    Sphere,
+    Box,
+    Capsule,
+    Plane,
+    Heightfield,
+    TriMesh,
+};
+
+/** Human-readable name of a shape type. */
+const char *shapeTypeName(ShapeType type);
+
+/** Abstract collision shape. */
+class Shape
+{
+  public:
+    virtual ~Shape() = default;
+
+    /** Concrete type of this shape. */
+    virtual ShapeType type() const = 0;
+
+    /** World-space bounding box under the given pose. */
+    virtual Aabb bounds(const Transform &pose) const = 0;
+
+    /** Enclosed volume; 0 for unbounded shapes (plane, heightfield). */
+    virtual Real volume() const = 0;
+
+    /**
+     * Body-frame inertia tensor for unit mass, about the centroid.
+     * Unbounded shapes return identity (they are always static).
+     */
+    virtual Mat3 unitInertia() const = 0;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_SHAPES_SHAPE_HH

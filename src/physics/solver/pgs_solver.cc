@@ -1,0 +1,205 @@
+#include "pgs_solver.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+namespace
+{
+
+/** Per-row precomputed solver state. */
+struct RowState
+{
+    // M^-1 J^T terms.
+    Vec3 mLinA;
+    Vec3 mAngA;
+    Vec3 mLinB;
+    Vec3 mAngB;
+    Real invDiag = 0.0;
+    int bodyA = -1; // Index into island body arrays; -1 == static.
+    int bodyB = -1;
+};
+
+} // namespace
+
+PgsSolver::PgsSolver(int iterations, Real sor)
+    : iterations_(iterations), sor_(sor)
+{
+    if (iterations < 1)
+        fatal("solver iterations must be >= 1 (got %d)", iterations);
+    if (sor <= 0.0 || sor > 2.0)
+        fatal("SOR factor must be in (0, 2] (got %g)", sor);
+}
+
+void
+PgsSolver::solve(Island &island, const SolverParams &params)
+{
+    ++stats_.islandsSolved;
+
+    // Index the island's dynamic bodies.
+    std::unordered_map<const RigidBody *, int> body_index;
+    body_index.reserve(island.bodies.size());
+    for (size_t i = 0; i < island.bodies.size(); ++i)
+        body_index[island.bodies[i]] = static_cast<int>(i);
+
+    // Working copies of velocities.
+    std::vector<Vec3> lin_vel(island.bodies.size());
+    std::vector<Vec3> ang_vel(island.bodies.size());
+    std::vector<Real> inv_mass(island.bodies.size());
+    std::vector<Mat3> inv_inertia(island.bodies.size());
+    for (size_t i = 0; i < island.bodies.size(); ++i) {
+        const RigidBody *b = island.bodies[i];
+        lin_vel[i] = b->linearVelocity();
+        ang_vel[i] = b->angularVelocity();
+        inv_mass[i] = b->invMass();
+        inv_inertia[i] = b->invInertiaWorld();
+    }
+
+    // Build rows, remembering each joint's slice for write-back.
+    std::vector<ConstraintRow> rows;
+    struct JointSlice
+    {
+        Joint *joint;
+        std::size_t begin;
+        std::size_t count;
+    };
+    std::vector<JointSlice> slices;
+    for (Joint *j : island.joints) {
+        if (j->broken())
+            continue;
+        const std::size_t begin = rows.size();
+        j->buildRows(params, rows);
+        slices.push_back(JointSlice{j, begin, rows.size() - begin});
+    }
+    stats_.rowsBuilt += rows.size();
+    if (rows.empty()) {
+        stats_.bodiesIntegrated += island.bodies.size();
+        return;
+    }
+
+    // Precompute M^-1 J^T and row diagonals.
+    std::vector<RowState> states(rows.size());
+    std::unordered_map<JointId, std::pair<RigidBody *, RigidBody *>>
+        joint_bodies;
+    for (Joint *j : island.joints)
+        joint_bodies[j->id()] = {j->bodyA(), j->bodyB()};
+
+    auto indexOf = [&](RigidBody *b) -> int {
+        if (b == nullptr || b->isStatic())
+            return -1;
+        auto it = body_index.find(b);
+        return it == body_index.end() ? -1 : it->second;
+    };
+
+    for (size_t r = 0; r < rows.size(); ++r) {
+        const ConstraintRow &row = rows[r];
+        RowState &st = states[r];
+        const auto [ba, bb] = joint_bodies.at(row.joint);
+        st.bodyA = indexOf(ba);
+        st.bodyB = indexOf(bb);
+
+        Real diag = row.cfm;
+        if (st.bodyA >= 0) {
+            st.mLinA = row.jLinA * inv_mass[st.bodyA];
+            st.mAngA = inv_inertia[st.bodyA] * row.jAngA;
+            diag += row.jLinA.dot(st.mLinA) + row.jAngA.dot(st.mAngA);
+        }
+        if (st.bodyB >= 0) {
+            st.mLinB = row.jLinB * inv_mass[st.bodyB];
+            st.mAngB = inv_inertia[st.bodyB] * row.jAngB;
+            diag += row.jLinB.dot(st.mLinB) + row.jAngB.dot(st.mAngB);
+        }
+        st.invDiag = diag > 1e-18 ? 1.0 / diag : 0.0;
+    }
+
+    // Warm start: rows carrying a previous-step impulse apply it
+    // before iterating, so resting contacts start converged.
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const Real l0 = rows[r].lambda;
+        if (l0 == 0.0)
+            continue;
+        const RowState &st = states[r];
+        if (st.bodyA >= 0) {
+            lin_vel[st.bodyA] += st.mLinA * l0;
+            ang_vel[st.bodyA] += st.mAngA * l0;
+        }
+        if (st.bodyB >= 0) {
+            lin_vel[st.bodyB] += st.mLinB * l0;
+            ang_vel[st.bodyB] += st.mAngB * l0;
+        }
+    }
+
+    // Relaxation sweeps. Each (row, iteration) is one independent
+    // fine-grain task in the ParallAX mapping.
+    for (int it = 0; it < iterations_; ++it) {
+        for (size_t r = 0; r < rows.size(); ++r) {
+            ConstraintRow &row = rows[r];
+            RowState &st = states[r];
+            ++stats_.rowIterations;
+
+            // Friction rows: refresh bounds from the normal impulse.
+            if (row.normalRow >= 0) {
+                const Real limit =
+                    row.mu * rows[row.normalRow].lambda;
+                row.lo = -limit;
+                row.hi = limit;
+            }
+
+            Real jv = 0.0;
+            if (st.bodyA >= 0) {
+                jv += row.jLinA.dot(lin_vel[st.bodyA]) +
+                      row.jAngA.dot(ang_vel[st.bodyA]);
+            }
+            if (st.bodyB >= 0) {
+                jv += row.jLinB.dot(lin_vel[st.bodyB]) +
+                      row.jAngB.dot(ang_vel[st.bodyB]);
+            }
+
+            const Real delta =
+                sor_ * (row.rhs - jv - row.cfm * row.lambda) *
+                st.invDiag;
+            const Real new_lambda =
+                std::clamp(row.lambda + delta, row.lo, row.hi);
+            const Real dl = new_lambda - row.lambda;
+            row.lambda = new_lambda;
+            if (dl == 0.0)
+                continue;
+
+            if (st.bodyA >= 0) {
+                lin_vel[st.bodyA] += st.mLinA * dl;
+                ang_vel[st.bodyA] += st.mAngA * dl;
+            }
+            if (st.bodyB >= 0) {
+                lin_vel[st.bodyB] += st.mLinB * dl;
+                ang_vel[st.bodyB] += st.mAngB * dl;
+            }
+        }
+    }
+
+    // Write back velocities.
+    for (size_t i = 0; i < island.bodies.size(); ++i) {
+        island.bodies[i]->setLinearVelocity(lin_vel[i]);
+        island.bodies[i]->setAngularVelocity(ang_vel[i]);
+    }
+    stats_.bodiesIntegrated += island.bodies.size();
+
+    // Feed solved impulses back to the joints: breakage checks and
+    // contact warm-start persistence.
+    for (const JointSlice &slice : slices) {
+        Real applied = 0;
+        for (std::size_t r = slice.begin;
+             r < slice.begin + slice.count; ++r) {
+            applied += std::fabs(rows[r].lambda);
+        }
+        slice.joint->recordAppliedImpulse(applied, params.dt);
+        slice.joint->onSolved(rows.data() + slice.begin,
+                              static_cast<int>(slice.count));
+    }
+}
+
+} // namespace parallax

@@ -1,0 +1,685 @@
+#include "world.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+void
+StepStats::reset()
+{
+    *this = StepStats();
+}
+
+World::World(WorldConfig config)
+    : config_(std::move(config)),
+      solver_(config_.solverIterations),
+      workQueue_(config_.workerThreads)
+{
+    if (config_.dt <= 0)
+        fatal("world dt must be positive (got %g)", config_.dt);
+    switch (config_.broadphase) {
+      case BroadphaseKind::SweepAndPrune:
+        broadphase_ = std::make_unique<SweepAndPrune>();
+        break;
+      case BroadphaseKind::SpatialHash:
+        broadphase_ = std::make_unique<SpatialHash>();
+        break;
+    }
+}
+
+World::~World() = default;
+
+const SphereShape *
+World::addSphere(Real radius)
+{
+    shapes_.push_back(std::make_unique<SphereShape>(radius));
+    return static_cast<const SphereShape *>(shapes_.back().get());
+}
+
+const BoxShape *
+World::addBox(const Vec3 &half_extents)
+{
+    shapes_.push_back(std::make_unique<BoxShape>(half_extents));
+    return static_cast<const BoxShape *>(shapes_.back().get());
+}
+
+const CapsuleShape *
+World::addCapsule(Real radius, Real half_height)
+{
+    shapes_.push_back(
+        std::make_unique<CapsuleShape>(radius, half_height));
+    return static_cast<const CapsuleShape *>(shapes_.back().get());
+}
+
+const PlaneShape *
+World::addPlane(const Vec3 &normal, Real offset)
+{
+    shapes_.push_back(std::make_unique<PlaneShape>(normal, offset));
+    return static_cast<const PlaneShape *>(shapes_.back().get());
+}
+
+const HeightfieldShape *
+World::addHeightfield(std::vector<Real> heights, int nx, int nz,
+                      Real spacing)
+{
+    shapes_.push_back(std::make_unique<HeightfieldShape>(
+        std::move(heights), nx, nz, spacing));
+    return static_cast<const HeightfieldShape *>(shapes_.back().get());
+}
+
+const TriMeshShape *
+World::addTriMesh(std::vector<Vec3> vertices,
+                  std::vector<TriMeshShape::Triangle> triangles)
+{
+    shapes_.push_back(std::make_unique<TriMeshShape>(
+        std::move(vertices), std::move(triangles)));
+    return static_cast<const TriMeshShape *>(shapes_.back().get());
+}
+
+RigidBody *
+World::createBody(const Transform &pose, Real mass, const Mat3 &inertia)
+{
+    const auto id = static_cast<BodyId>(bodies_.size());
+    bodies_.push_back(
+        std::make_unique<RigidBody>(id, pose, mass, inertia));
+    bodyPtrs_.push_back(bodies_.back().get());
+    return bodies_.back().get();
+}
+
+RigidBody *
+World::createDynamicBody(const Transform &pose, const Shape &shape,
+                         Real density)
+{
+    const Real volume = shape.volume();
+    if (volume <= 0)
+        fatal("cannot derive mass from an unbounded shape");
+    const Real mass = density * volume;
+    const Mat3 inertia = shape.unitInertia() * mass;
+    return createBody(pose, mass, inertia);
+}
+
+RigidBody *
+World::createStaticBody(const Transform &pose)
+{
+    const auto id = static_cast<BodyId>(bodies_.size());
+    bodies_.push_back(std::make_unique<RigidBody>(
+        RigidBody::makeStatic(id, pose)));
+    bodyPtrs_.push_back(bodies_.back().get());
+    return bodies_.back().get();
+}
+
+Geom *
+World::createGeom(const Shape *shape, RigidBody *body,
+                  const Transform &local)
+{
+    const auto id = static_cast<GeomId>(geoms_.size());
+    geoms_.push_back(std::make_unique<Geom>(id, shape, body, local));
+    return geoms_.back().get();
+}
+
+void
+World::rememberConnected(const RigidBody *a, const RigidBody *b)
+{
+    if (a == nullptr || b == nullptr)
+        return;
+    const std::uint64_t lo = std::min(a->id(), b->id());
+    const std::uint64_t hi = std::max(a->id(), b->id());
+    connectedPairs_.insert((lo << 32) | hi);
+}
+
+bool
+World::connectedByJoint(const RigidBody *a, const RigidBody *b) const
+{
+    if (a == nullptr || b == nullptr)
+        return false;
+    const std::uint64_t lo = std::min(a->id(), b->id());
+    const std::uint64_t hi = std::max(a->id(), b->id());
+    return connectedPairs_.count((lo << 32) | hi) != 0;
+}
+
+BallJoint *
+World::createBallJoint(RigidBody *a, RigidBody *b, const Vec3 &anchor)
+{
+    const auto id = static_cast<JointId>(joints_.size());
+    joints_.push_back(std::make_unique<BallJoint>(id, a, b, anchor));
+    rememberConnected(a, b);
+    return static_cast<BallJoint *>(joints_.back().get());
+}
+
+HingeJoint *
+World::createHingeJoint(RigidBody *a, RigidBody *b, const Vec3 &anchor,
+                        const Vec3 &axis)
+{
+    const auto id = static_cast<JointId>(joints_.size());
+    joints_.push_back(
+        std::make_unique<HingeJoint>(id, a, b, anchor, axis));
+    rememberConnected(a, b);
+    return static_cast<HingeJoint *>(joints_.back().get());
+}
+
+SliderJoint *
+World::createSliderJoint(RigidBody *a, RigidBody *b, const Vec3 &axis)
+{
+    const auto id = static_cast<JointId>(joints_.size());
+    joints_.push_back(std::make_unique<SliderJoint>(id, a, b, axis));
+    rememberConnected(a, b);
+    return static_cast<SliderJoint *>(joints_.back().get());
+}
+
+FixedJoint *
+World::createFixedJoint(RigidBody *a, RigidBody *b)
+{
+    const auto id = static_cast<JointId>(joints_.size());
+    joints_.push_back(std::make_unique<FixedJoint>(id, a, b));
+    rememberConnected(a, b);
+    return static_cast<FixedJoint *>(joints_.back().get());
+}
+
+Cloth *
+World::createCloth(int nx, int ny, const Vec3 &origin, Real spacing,
+                   Real mass)
+{
+    const auto id = static_cast<ClothId>(cloths_.size());
+    cloths_.push_back(
+        std::make_unique<Cloth>(id, nx, ny, origin, spacing, mass));
+    return cloths_.back().get();
+}
+
+void
+World::attachClothParticle(Cloth *cloth, std::uint32_t particle,
+                           RigidBody *body, const Vec3 &local_point)
+{
+    parallax_assert(cloth != nullptr && body != nullptr);
+    cloth->pin(particle);
+    clothAttachments_.push_back(
+        ClothAttachment{cloth, particle, body, local_point});
+}
+
+std::optional<RayHit>
+World::raycast(const Ray &ray, Real max_t) const
+{
+    std::optional<RayHit> best;
+    Real limit = max_t;
+    for (const auto &g : geoms_) {
+        if (!g->enabled() || g->isBlast())
+            continue;
+        const auto hit =
+            raycastShape(g->shape(), g->worldPose(), ray, limit);
+        if (hit && (!best || hit->t < best->t)) {
+            best = hit;
+            best->geom = g->id();
+            limit = hit->t; // Narrow the search as we go.
+        }
+    }
+    return best;
+}
+
+RigidBody *
+World::body(BodyId id)
+{
+    return id < bodies_.size() ? bodies_[id].get() : nullptr;
+}
+
+const RigidBody *
+World::body(BodyId id) const
+{
+    return id < bodies_.size() ? bodies_[id].get() : nullptr;
+}
+
+Geom *
+World::geom(GeomId id)
+{
+    return id < geoms_.size() ? geoms_[id].get() : nullptr;
+}
+
+const Geom *
+World::geom(GeomId id) const
+{
+    return id < geoms_.size() ? geoms_[id].get() : nullptr;
+}
+
+Joint *
+World::joint(JointId id)
+{
+    return id < joints_.size() ? joints_[id].get() : nullptr;
+}
+
+void
+World::fillStats(StatGroup &group) const
+{
+    const StepStats &s = stepStats_;
+    group.counter("pairs_found").set(
+        static_cast<double>(s.pairsFound));
+    group.counter("contacts_created").set(
+        static_cast<double>(s.contactsCreated));
+    group.counter("contact_joints").set(
+        static_cast<double>(s.contactJointsCreated));
+    group.counter("islands").set(
+        static_cast<double>(s.islands.size()));
+    group.counter("solver_rows").set(
+        static_cast<double>(s.solver.rowsBuilt));
+    group.counter("solver_row_iterations").set(
+        static_cast<double>(s.solver.rowIterations));
+    group.counter("cloth_vertices").set(
+        static_cast<double>(s.cloth.verticesIntegrated));
+    group.counter("joints_broken").set(
+        static_cast<double>(s.jointsBroken));
+    group.counter("bodies_asleep").set(
+        static_cast<double>(s.bodiesAsleep));
+    Distribution &rows = group.distribution("island_rows");
+    rows.reset();
+    for (const IslandSummary &island : s.islands)
+        rows.sample(island.rows);
+}
+
+void
+World::step()
+{
+    stepStats_.reset();
+    broadphase_->resetStats();
+    narrowphase_.resetStats();
+    islandBuilder_.resetStats();
+    solver_.resetStats();
+    // Effects stats are cumulative across the run (blasts and
+    // fractures are one-shot events, not per-step rates).
+
+    // 2(a): apply external forces (gravity).
+    for (const auto &body : bodies_) {
+        if (!body->isStatic() && body->enabled() && !body->asleep())
+            body->applyForce(config_.gravity * body->mass());
+    }
+
+    phaseBroadphase();
+    phaseNarrowphase();
+
+    // 2(c).ii-iv: explosion triggers, fracture triggers, blast ticks.
+    effects_.onContacts(*this, lastContacts_);
+    effects_.update(*this, config_.dt);
+
+    phaseIslandCreation();
+    phaseIslandProcessing();
+    phaseCloth();
+
+    // Collect stats snapshots.
+    stepStats_.broadphase = broadphase_->stats();
+    stepStats_.narrowphase = narrowphase_.stats();
+    stepStats_.island = islandBuilder_.stats();
+    stepStats_.solver = solver_.stats();
+    stepStats_.effects = effects_.stats();
+
+    for (const auto &body : bodies_)
+        body->clearAccumulators();
+    time_ += config_.dt;
+}
+
+void
+World::stepFrame(int substeps)
+{
+    for (int i = 0; i < substeps; ++i)
+        step();
+}
+
+void
+World::phaseBroadphase()
+{
+    // 2(b): find all pairs of objects potentially in contact.
+    std::vector<Geom *> geom_ptrs;
+    geom_ptrs.reserve(geoms_.size());
+    for (const auto &g : geoms_) {
+        g->updateBounds();
+        geom_ptrs.push_back(g.get());
+    }
+    lastPairs_ = broadphase_->findPairs(geom_ptrs);
+    // Drop pairs whose bodies share a permanent joint (ODE's
+    // dAreConnected rule): articulated segments do not self-collide.
+    std::erase_if(lastPairs_, [this](const GeomPair &pair) {
+        return connectedByJoint(geoms_[pair.a]->body(),
+                                geoms_[pair.b]->body());
+    });
+    stepStats_.pairsFound = lastPairs_.size();
+}
+
+void
+World::phaseNarrowphase()
+{
+    // 2(c).i: compute contact points for each pair. Object-pairs are
+    // independent: partition them into equal sets, one per worker,
+    // each with its own contact store (the paper's per-thread joint
+    // group that removes ODE's artificial serialization).
+    lastContacts_.clear();
+
+    const unsigned parts = std::max(1u, workQueue_.workerCount());
+    if (parts <= 1 || lastPairs_.size() < 64) {
+        for (const GeomPair &pair : lastPairs_) {
+            narrowphase_.collide(*geoms_[pair.a], *geoms_[pair.b],
+                                 lastContacts_);
+        }
+    } else {
+        std::vector<std::vector<Contact>> buffers(parts);
+        std::vector<WorkQueue::Task> tasks;
+        const size_t chunk = (lastPairs_.size() + parts - 1) / parts;
+        // Worker narrowphase instances keep stats races away; merge
+        // their counters after the batch.
+        std::vector<Narrowphase> locals(parts);
+        for (unsigned p = 0; p < parts; ++p) {
+            const size_t begin = p * chunk;
+            const size_t end =
+                std::min(lastPairs_.size(), begin + chunk);
+            if (begin >= end)
+                continue;
+            tasks.push_back([this, p, begin, end, &buffers, &locals] {
+                for (size_t i = begin; i < end; ++i) {
+                    const GeomPair &pair = lastPairs_[i];
+                    locals[p].collide(*geoms_[pair.a],
+                                      *geoms_[pair.b], buffers[p]);
+                }
+            });
+        }
+        workQueue_.runBatch(std::move(tasks));
+        for (unsigned p = 0; p < parts; ++p) {
+            lastContacts_.insert(lastContacts_.end(),
+                                 buffers[p].begin(), buffers[p].end());
+            const NarrowphaseStats &ls = locals[p].stats();
+            // Fold the worker counters into the shared instance.
+            narrowphase_.mergeStats(ls);
+        }
+    }
+    stepStats_.contactsCreated = lastContacts_.size();
+}
+
+void
+World::phaseIslandCreation()
+{
+    // 2(c).i (joints) + 2(d): create contact joints, then form
+    // islands of objects interconnected by joints. Serial phase.
+    contactJoints_.clear();
+    JointId next_contact_id = static_cast<JointId>(joints_.size());
+    for (const Contact &c : lastContacts_) {
+        Geom *ga = geoms_[c.geomA].get();
+        Geom *gb = geoms_[c.geomB].get();
+        // Blast volumes are non-solid triggers.
+        if (ga->isBlast() || gb->isBlast())
+            continue;
+        RigidBody *ba = ga->body();
+        RigidBody *bb = gb->body();
+        // Bodies connected by a permanent joint never get contact
+        // joints (their constraint already governs the pair).
+        if (connectedByJoint(ba, bb))
+            continue;
+        // Ensure bodyA is dynamic (Joint requires it).
+        Contact contact = c;
+        if (ba == nullptr || ba->isStatic()) {
+            std::swap(ba, bb);
+            std::swap(contact.geomA, contact.geomB);
+            contact.normal = -contact.normal;
+        }
+        if (ba == nullptr || ba->isStatic() || !ba->enabled())
+            continue;
+        if (bb != nullptr && !bb->enabled())
+            continue;
+        auto joint = std::make_unique<ContactJoint>(
+            next_contact_id++, ba,
+            (bb != nullptr && !bb->isStatic()) ? bb : nullptr,
+            contact, config_.defaultMaterial);
+
+        // Warm start: inherit the impulses of the nearest matching
+        // contact from the previous step (same geom pair, within a
+        // small positional tolerance, compatible normal).
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(
+                 std::min(contact.geomA, contact.geomB))
+             << 32) |
+            std::max(contact.geomA, contact.geomB);
+        auto cached = warmCache_.find(key);
+        if (cached != warmCache_.end()) {
+            const CachedContact *best = nullptr;
+            Real best_d2 = 0.05 * 0.05;
+            for (const CachedContact &old : cached->second) {
+                const Real d2 =
+                    (old.position - contact.position)
+                        .lengthSquared();
+                if (d2 < best_d2) {
+                    best_d2 = d2;
+                    best = &old;
+                }
+            }
+            if (best != nullptr) {
+                const bool aligned =
+                    best->normal.dot(contact.normal) > 0.95;
+                joint->setWarmStart(
+                    best->lambdas[0],
+                    aligned ? best->lambdas[1] : 0.0,
+                    aligned ? best->lambdas[2] : 0.0);
+            }
+        }
+        contactJoints_.push_back(std::move(joint));
+    }
+    stepStats_.contactJointsCreated = contactJoints_.size();
+
+    std::vector<Joint *> all_joints;
+    all_joints.reserve(joints_.size() + contactJoints_.size());
+    for (const auto &j : joints_) {
+        if (!j->broken())
+            all_joints.push_back(j.get());
+    }
+    for (const auto &j : contactJoints_)
+        all_joints.push_back(j.get());
+
+    lastIslandList_ = islandBuilder_.build(bodyPtrs_, all_joints);
+
+    stepStats_.islands.clear();
+    for (const Island &island : lastIslandList_) {
+        stepStats_.islands.push_back(IslandSummary{
+            static_cast<int>(island.bodies.size()),
+            static_cast<int>(island.joints.size()),
+            island.rowCount()});
+    }
+}
+
+void
+World::phaseIslandProcessing()
+{
+    // 2(e): for each island compute loads and new velocities, then
+    // integrate. Islands are independent: big ones go to the work
+    // queue, small ones execute on the main thread (paper threshold:
+    // 25 degrees of freedom removed).
+    SolverParams params;
+    params.dt = config_.dt;
+    params.erp = config_.erp;
+    params.cfm = config_.cfm;
+
+    for (const auto &body : bodies_)
+        body->integrateVelocities(config_.dt);
+
+    // Auto-disable, part 1: islands sleep and wake as a unit. An
+    // island that mixes sleeping and awake bodies has been disturbed
+    // (e.g. a projectile contacted a sleeping wall): wake everyone
+    // so the solver and integrator treat them consistently.
+    if (config_.autoDisable) {
+        for (Island &island : lastIslandList_) {
+            bool any_awake = false;
+            bool any_asleep = false;
+            for (const RigidBody *body : island.bodies) {
+                any_awake |= !body->asleep();
+                any_asleep |= body->asleep();
+            }
+            if (any_awake && any_asleep) {
+                for (RigidBody *body : island.bodies)
+                    body->wake();
+            }
+        }
+    }
+
+    std::vector<Island *> queued;
+    std::vector<Island *> inline_islands;
+    for (Island &island : lastIslandList_) {
+        // Fully sleeping islands are not solved or integrated.
+        bool all_asleep = !island.bodies.empty();
+        for (const RigidBody *body : island.bodies)
+            all_asleep &= body->asleep();
+        if (all_asleep) {
+            ++stepStats_.islandsAsleep;
+            stepStats_.bodiesAsleep += island.bodies.size();
+            continue;
+        }
+        if (island.rowCount() > config_.islandWorkQueueThreshold &&
+            workQueue_.workerCount() > 0) {
+            queued.push_back(&island);
+        } else {
+            inline_islands.push_back(&island);
+        }
+    }
+    stepStats_.islandsToWorkQueue = queued.size();
+    stepStats_.islandsOnMainThread = inline_islands.size();
+
+    if (!queued.empty()) {
+        // Worker solvers avoid stats races; merged below.
+        std::vector<PgsSolver> solvers(
+            queued.size(), PgsSolver(config_.solverIterations));
+        std::vector<WorkQueue::Task> tasks;
+        for (size_t i = 0; i < queued.size(); ++i) {
+            tasks.push_back([i, &queued, &solvers, &params] {
+                solvers[i].solve(*queued[i], params);
+            });
+        }
+        workQueue_.runBatch(std::move(tasks));
+        for (const PgsSolver &s : solvers)
+            solver_.mergeStats(s.stats());
+    }
+    for (Island *island : inline_islands)
+        solver_.solve(*island, params);
+
+    for (const auto &body : bodies_)
+        body->integratePositions(config_.dt);
+
+    // Auto-disable, part 2: with post-solve velocities (resting
+    // contacts cancelled gravity), decide which islands go to sleep.
+    if (config_.autoDisable) {
+        for (Island &island : lastIslandList_) {
+            bool all_asleep = !island.bodies.empty();
+            for (const RigidBody *body : island.bodies)
+                all_asleep &= body->asleep();
+            if (all_asleep)
+                continue; // Already sleeping.
+            bool calm = true;
+            for (const RigidBody *body : island.bodies) {
+                if (body->linearVelocity().length() >
+                        config_.sleepLinearVelocity ||
+                    body->angularVelocity().length() >
+                        config_.sleepAngularVelocity) {
+                    calm = false;
+                    break;
+                }
+            }
+            if (!calm) {
+                for (RigidBody *body : island.bodies)
+                    body->wake();
+                continue;
+            }
+            bool all_ripe = true;
+            for (RigidBody *body : island.bodies) {
+                body->incrementSleepCounter();
+                all_ripe &=
+                    body->sleepCounter() >= config_.sleepSteps;
+            }
+            if (all_ripe) {
+                for (RigidBody *body : island.bodies)
+                    body->sleep();
+            }
+        }
+    }
+
+    // Persist this step's solved contact impulses for warm starting
+    // the next step's matching contacts.
+    warmCache_.clear();
+    for (const auto &joint : contactJoints_) {
+        const Contact &c = joint->contact();
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(std::min(c.geomA, c.geomB))
+             << 32) |
+            std::max(c.geomA, c.geomB);
+        const Real *l = joint->solvedLambdas();
+        warmCache_[key].push_back(
+            CachedContact{c.position, c.normal,
+                          {l[0], l[1], l[2]}});
+    }
+
+    // 2(f): check all breakable joints. Report the joints that broke
+    // during this step as the delta of the running total.
+    std::uint64_t total_broken = 0;
+    for (const auto &joint : joints_) {
+        if (joint->broken())
+            ++total_broken;
+    }
+    stepStats_.jointsBroken = total_broken - totalJointsBroken_;
+    totalJointsBroken_ = total_broken;
+}
+
+void
+World::phaseCloth()
+{
+    // 2(g): process all cloth objects with a forward step. Each
+    // cloth is independent (coarse grain); vertices are independent
+    // (fine grain).
+    ClothStats &stats = stepStats_.cloth;
+
+    // Follow attachments: pinned particles track their bodies.
+    for (const ClothAttachment &att : clothAttachments_) {
+        att.cloth->movePinned(
+            att.particle, att.body->pose().apply(att.localPoint));
+    }
+
+    stepStats_.clothVertexCounts.clear();
+    if (cloths_.empty())
+        return;
+
+    // Build per-cloth collider lists from bounding-volume overlap
+    // (the paper's "cloth contact list").
+    std::vector<std::vector<const Geom *>> colliders(cloths_.size());
+    for (size_t ci = 0; ci < cloths_.size(); ++ci) {
+        const Aabb cloth_bounds = cloths_[ci]->bounds();
+        for (const auto &g : geoms_) {
+            if (!g->enabled() || g->isBlast())
+                continue;
+            if (g->shape().type() == ShapeType::Plane ||
+                g->bounds().overlaps(cloth_bounds)) {
+                colliders[ci].push_back(g.get());
+                ++stepStats_.clothColliderInsertions;
+            }
+        }
+        stepStats_.clothVertexCounts.push_back(
+            cloths_[ci]->vertexCount());
+    }
+
+    if (workQueue_.workerCount() > 0 && cloths_.size() > 1) {
+        std::vector<ClothStats> locals(cloths_.size());
+        std::vector<WorkQueue::Task> tasks;
+        for (size_t ci = 0; ci < cloths_.size(); ++ci) {
+            tasks.push_back([this, ci, &colliders, &locals] {
+                cloths_[ci]->step(config_.dt, config_.gravity,
+                                  config_.clothIterations,
+                                  colliders[ci], locals[ci]);
+            });
+        }
+        workQueue_.runBatch(std::move(tasks));
+        for (const ClothStats &ls : locals) {
+            stats.clothsStepped += ls.clothsStepped;
+            stats.verticesIntegrated += ls.verticesIntegrated;
+            stats.constraintRelaxations += ls.constraintRelaxations;
+            stats.collisionTests += ls.collisionTests;
+            stats.collisionsResolved += ls.collisionsResolved;
+        }
+    } else {
+        for (size_t ci = 0; ci < cloths_.size(); ++ci) {
+            cloths_[ci]->step(config_.dt, config_.gravity,
+                              config_.clothIterations, colliders[ci],
+                              stats);
+        }
+    }
+}
+
+} // namespace parallax

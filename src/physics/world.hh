@@ -1,0 +1,283 @@
+/**
+ * @file
+ * The simulation world: the five-phase physics pipeline of Figure 1.
+ *
+ * World owns all bodies, geoms, shapes, joints and cloths, and steps
+ * them through Broadphase -> Narrowphase -> Island Creation ->
+ * Island Processing -> Cloth. Per-phase statistics feed the workload
+ * characterization and the architecture timing models.
+ */
+
+#ifndef PARALLAX_PHYSICS_WORLD_HH
+#define PARALLAX_PHYSICS_WORLD_HH
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "physics/broadphase/broadphase.hh"
+#include "physics/cloth/cloth.hh"
+#include "physics/effects/effects.hh"
+#include "physics/island/island.hh"
+#include "physics/joints/articulated_joints.hh"
+#include "physics/joints/contact_joint.hh"
+#include "physics/narrowphase/collide.hh"
+#include "physics/parallel/work_queue.hh"
+#include "physics/raycast.hh"
+#include "physics/shapes/primitives.hh"
+#include "physics/shapes/static_shapes.hh"
+#include "physics/solver/pgs_solver.hh"
+#include "sim/stats.hh"
+
+namespace parallax
+{
+
+/** Which broadphase structure the world uses. */
+enum class BroadphaseKind
+{
+    SweepAndPrune,
+    SpatialHash,
+};
+
+/** Tunable world parameters (paper values as defaults). */
+struct WorldConfig
+{
+    Vec3 gravity{0.0, -9.81, 0.0};
+    /** Simulation time step (paper: 0.01 s, 3 steps per frame). */
+    Real dt = 0.01;
+    /** Constraint solver relaxation sweeps (paper: 20). */
+    int solverIterations = 20;
+    /** Cloth constraint relaxation sweeps per step (collision is
+     *  interleaved with every sweep, Jakobsen-style; the paper uses
+     *  20 relaxation iterations for its constraint solvers). */
+    int clothIterations = 20;
+    /** Persistent worker threads (0 = single-threaded). */
+    unsigned workerThreads = 0;
+    /** Islands with more rows than this go to the work queue;
+     *  smaller islands execute on the main thread (paper: 25). */
+    int islandWorkQueueThreshold = 25;
+    BroadphaseKind broadphase = BroadphaseKind::SweepAndPrune;
+    ContactMaterial defaultMaterial;
+    Real erp = 0.2;
+    Real cfm = 1e-9;
+
+    /**
+     * Auto-disable (ODE-style sleeping): islands whose bodies stay
+     * below the velocity thresholds for `sleepSteps` consecutive
+     * steps stop being solved and integrated until disturbed.
+     */
+    /** Thresholds sit just above the Baumgarte resting jitter
+     *  (~g*dt) so settled structures qualify. */
+    bool autoDisable = false;
+    Real sleepLinearVelocity = 0.12;
+    Real sleepAngularVelocity = 0.18;
+    int sleepSteps = 10;
+};
+
+/** Compact description of one island from the last step. */
+struct IslandSummary
+{
+    int bodies = 0;
+    int joints = 0;
+    int rows = 0;
+};
+
+/** Everything observable about the most recent step. */
+struct StepStats
+{
+    BroadphaseStats broadphase;
+    NarrowphaseStats narrowphase;
+    IslandStats island;
+    SolverStats solver;
+    ClothStats cloth;
+    EffectsStats effects;
+
+    std::uint64_t pairsFound = 0;
+    std::uint64_t contactsCreated = 0;
+    std::uint64_t contactJointsCreated = 0;
+    std::uint64_t jointsBroken = 0;
+    std::uint64_t islandsToWorkQueue = 0;
+    std::uint64_t islandsOnMainThread = 0;
+    std::uint64_t clothColliderInsertions = 0;
+    std::uint64_t islandsAsleep = 0;
+    std::uint64_t bodiesAsleep = 0;
+
+    std::vector<IslandSummary> islands;
+    std::vector<int> clothVertexCounts;
+
+    void reset();
+};
+
+/** The physics simulation world. */
+class World
+{
+  public:
+    explicit World(WorldConfig config = WorldConfig());
+    ~World();
+
+    World(const World &) = delete;
+    World &operator=(const World &) = delete;
+
+    // --- Shape factories (shapes are owned by the world). ---
+    const SphereShape *addSphere(Real radius);
+    const BoxShape *addBox(const Vec3 &half_extents);
+    const CapsuleShape *addCapsule(Real radius, Real half_height);
+    const PlaneShape *addPlane(const Vec3 &normal, Real offset);
+    const HeightfieldShape *addHeightfield(std::vector<Real> heights,
+                                           int nx, int nz,
+                                           Real spacing);
+    const TriMeshShape *
+    addTriMesh(std::vector<Vec3> vertices,
+               std::vector<TriMeshShape::Triangle> triangles);
+
+    // --- Body / geom factories. ---
+    /** Create a dynamic body with explicit mass properties. */
+    RigidBody *createBody(const Transform &pose, Real mass,
+                          const Mat3 &inertia);
+
+    /** Create a dynamic body whose mass comes from shape * density. */
+    RigidBody *createDynamicBody(const Transform &pose,
+                                 const Shape &shape, Real density);
+
+    /** Create an immovable body. */
+    RigidBody *createStaticBody(const Transform &pose);
+
+    Geom *createGeom(const Shape *shape, RigidBody *body,
+                     const Transform &local = Transform());
+
+    // --- Joint factories. ---
+    BallJoint *createBallJoint(RigidBody *a, RigidBody *b,
+                               const Vec3 &anchor);
+    HingeJoint *createHingeJoint(RigidBody *a, RigidBody *b,
+                                 const Vec3 &anchor, const Vec3 &axis);
+    SliderJoint *createSliderJoint(RigidBody *a, RigidBody *b,
+                                   const Vec3 &axis);
+    FixedJoint *createFixedJoint(RigidBody *a, RigidBody *b);
+
+    // --- Cloth. ---
+    Cloth *createCloth(int nx, int ny, const Vec3 &origin,
+                       Real spacing, Real mass);
+
+    /** Pin a cloth particle to a world point on a body. */
+    void attachClothParticle(Cloth *cloth, std::uint32_t particle,
+                             RigidBody *body, const Vec3 &local_point);
+
+    EffectsManager &effects() { return effects_; }
+    const EffectsManager &effects() const { return effects_; }
+
+    /**
+     * Cast a ray against every enabled, non-blast geom and return
+     * the nearest hit (with its geom id), if any.
+     */
+    std::optional<RayHit> raycast(const Ray &ray,
+                                  Real max_t = 1e9) const;
+
+    // --- Stepping. ---
+    /** Advance one dt step through all five phases. */
+    void step();
+
+    /** Advance one display frame (paper: 3 steps per frame). */
+    void stepFrame(int substeps = 3);
+
+    // --- Introspection. ---
+    RigidBody *body(BodyId id);
+    const RigidBody *body(BodyId id) const;
+    Geom *geom(GeomId id);
+    const Geom *geom(GeomId id) const;
+    Joint *joint(JointId id);
+
+    std::size_t bodyCount() const { return bodies_.size(); }
+    std::size_t geomCount() const { return geoms_.size(); }
+    std::size_t jointCount() const { return joints_.size(); }
+    std::size_t clothCount() const { return cloths_.size(); }
+
+    const std::vector<std::unique_ptr<Shape>> &shapes() const
+    { return shapes_; }
+    const std::vector<std::unique_ptr<RigidBody>> &bodies() const
+    { return bodies_; }
+    const std::vector<std::unique_ptr<Geom>> &geoms() const
+    { return geoms_; }
+    const std::vector<std::unique_ptr<Joint>> &joints() const
+    { return joints_; }
+    const std::vector<std::unique_ptr<Cloth>> &cloths() const
+    { return cloths_; }
+
+    const StepStats &lastStepStats() const { return stepStats_; }
+    const std::vector<GeomPair> &lastPairs() const { return lastPairs_; }
+    const std::vector<Contact> &lastContacts() const
+    { return lastContacts_; }
+    const std::vector<IslandSummary> &lastIslands() const
+    { return stepStats_.islands; }
+
+    Real time() const { return time_; }
+    const WorldConfig &config() const { return config_; }
+
+    /**
+     * Export the last step's statistics into a StatGroup (the
+     * gem5-style stats idiom: harnesses dump groups as text).
+     */
+    void fillStats(StatGroup &group) const;
+
+  private:
+    struct ClothAttachment
+    {
+        Cloth *cloth;
+        std::uint32_t particle;
+        RigidBody *body;
+        Vec3 localPoint;
+    };
+
+    void rememberConnected(const RigidBody *a, const RigidBody *b);
+    bool connectedByJoint(const RigidBody *a,
+                          const RigidBody *b) const;
+
+    void phaseBroadphase();
+    void phaseNarrowphase();
+    void phaseIslandCreation();
+    void phaseIslandProcessing();
+    void phaseCloth();
+
+    WorldConfig config_;
+    std::vector<std::unique_ptr<Shape>> shapes_;
+    std::vector<std::unique_ptr<RigidBody>> bodies_;
+    std::vector<RigidBody *> bodyPtrs_;
+    std::vector<std::unique_ptr<Geom>> geoms_;
+    std::vector<std::unique_ptr<Joint>> joints_;
+    std::vector<std::unique_ptr<Cloth>> cloths_;
+    std::vector<ClothAttachment> clothAttachments_;
+    /** Body-id pairs connected by a permanent joint: contacts
+     *  between them are suppressed (ODE's dAreConnected rule). */
+    std::unordered_set<std::uint64_t> connectedPairs_;
+
+    std::unique_ptr<Broadphase> broadphase_;
+    Narrowphase narrowphase_;
+    IslandBuilder islandBuilder_;
+    PgsSolver solver_;
+    EffectsManager effects_;
+    WorkQueue workQueue_;
+
+    // Per-step scratch state.
+    std::vector<GeomPair> lastPairs_;
+    std::vector<Contact> lastContacts_;
+    std::vector<std::unique_ptr<ContactJoint>> contactJoints_;
+    std::vector<Island> lastIslandList_;
+    StepStats stepStats_;
+    std::uint64_t totalJointsBroken_ = 0;
+    Real time_ = 0.0;
+
+    /** Persisted contact impulses for warm starting, keyed by the
+     *  geom pair; matched by contact position between steps. */
+    struct CachedContact
+    {
+        Vec3 position;
+        Vec3 normal;
+        Real lambdas[3];
+    };
+    std::unordered_map<std::uint64_t, std::vector<CachedContact>>
+        warmCache_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_WORLD_HH

@@ -1,0 +1,50 @@
+#include "event_queue.hh"
+
+#include "logging.hh"
+
+namespace parallax
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic("scheduling event in the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    events_.push(Event{when, nextSequence_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delta, Callback cb)
+{
+    schedule(now_ + delta, std::move(cb));
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (!events_.empty() && events_.top().when <= limit) {
+        if (!step())
+            break;
+        ++executed;
+    }
+    return executed;
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    // priority_queue::top() returns const&; move out via const_cast is
+    // unsafe with heap invariants, so copy the callback handle instead.
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.when;
+    ev.cb();
+    return true;
+}
+
+} // namespace parallax

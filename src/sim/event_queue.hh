@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A minimal event queue in the gem5 style: events are callbacks
+ * scheduled at absolute Ticks; run() drains the queue in time order.
+ * The NoC and the ParallAX task scheduler are built on this kernel;
+ * the trace-driven cache models run in bulk and only use Ticks for
+ * accounting.
+ */
+
+#ifndef PARALLAX_SIM_EVENT_QUEUE_HH
+#define PARALLAX_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "ticks.hh"
+
+namespace parallax
+{
+
+/** Time-ordered queue of callback events. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule a callback at an absolute tick (>= now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule a callback delta ticks after now. */
+    void scheduleAfter(Tick delta, Callback cb);
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /**
+     * Run events until the queue is empty or the time limit is
+     * reached.
+     *
+     * @param limit Stop before executing events later than this tick.
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Tick limit = ~Tick(0));
+
+    /** Execute the single next event, if any. Returns false if empty. */
+    bool step();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t sequence;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick now_ = 0;
+    std::uint64_t nextSequence_ = 0;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,43 @@
+#include "logging.hh"
+
+#include <cstdio>
+
+namespace parallax
+{
+namespace detail
+{
+
+namespace
+{
+
+const char *
+prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+log(LogLevel level, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", prefix(level), msg.c_str());
+}
+
+void
+logAndExit(LogLevel level, const std::string &msg)
+{
+    log(level, msg);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace parallax

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 idiom.
+ *
+ * fatal() is for user error (bad configuration, invalid arguments):
+ * it prints the message and exits with status 1. panic() is for
+ * conditions that indicate a bug in the simulator itself: it prints
+ * the message and aborts. inform() and warn() report status without
+ * stopping the simulation.
+ */
+
+#ifndef PARALLAX_SIM_LOGGING_HH
+#define PARALLAX_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace parallax
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Info,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail
+{
+
+[[noreturn]] void logAndExit(LogLevel level, const std::string &msg);
+void log(LogLevel level, const std::string &msg);
+
+/** Minimal printf-style formatter returning a std::string. */
+template <typename... Args>
+std::string
+format(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        int n = std::snprintf(nullptr, 0, fmt, args...);
+        if (n < 0)
+            return std::string(fmt);
+        std::string buf(static_cast<size_t>(n), '\0');
+        std::snprintf(buf.data(), buf.size() + 1, fmt, args...);
+        return buf;
+    }
+}
+
+} // namespace detail
+
+/** Report normal operating status to the user. */
+template <typename... Args>
+void
+inform(const char *fmt, Args &&...args)
+{
+    detail::log(LogLevel::Info,
+                detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Report behaviour that might work well enough but deserves attention. */
+template <typename... Args>
+void
+warn(const char *fmt, Args &&...args)
+{
+    detail::log(LogLevel::Warn,
+                detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Terminate due to a condition that is the user's fault. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args &&...args)
+{
+    detail::logAndExit(LogLevel::Fatal,
+                       detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Terminate due to a condition that should never happen (a bug). */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args &&...args)
+{
+    detail::logAndExit(LogLevel::Panic,
+                       detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** panic() unless the given condition holds. */
+#define parallax_assert(cond)                                           \
+    do {                                                                 \
+        if (!(cond))                                                     \
+            ::parallax::panic("assertion '%s' failed at %s:%d",          \
+                              #cond, __FILE__, __LINE__);                \
+    } while (0)
+
+} // namespace parallax
+
+#endif // PARALLAX_SIM_LOGGING_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Simulated time units.
+ *
+ * All timing models in the simulator express time in cycles of a
+ * 2 GHz clock (the frequency used for every core in the paper,
+ * Tables 5 and 6). Helpers convert between cycles, seconds, and the
+ * 30 FPS frame budget.
+ */
+
+#ifndef PARALLAX_SIM_TICKS_HH
+#define PARALLAX_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace parallax
+{
+
+/** A point or span of simulated time, measured in clock cycles. */
+using Tick = std::uint64_t;
+
+/** Clock frequency shared by all modelled cores (Hz). */
+constexpr double clockFrequencyHz = 2.0e9;
+
+/** Frame budget for interactive frame rates: 30 FPS. */
+constexpr double targetFps = 30.0;
+
+/** Convert a cycle count at 2 GHz into seconds. */
+constexpr double
+cyclesToSeconds(Tick cycles)
+{
+    return static_cast<double>(cycles) / clockFrequencyHz;
+}
+
+/** Convert seconds into cycles at 2 GHz. */
+constexpr Tick
+secondsToCycles(double seconds)
+{
+    return static_cast<Tick>(seconds * clockFrequencyHz);
+}
+
+/** One frame's worth of time at 30 FPS, in seconds (~33 ms). */
+constexpr double
+frameBudgetSeconds()
+{
+    return 1.0 / targetFps;
+}
+
+/** One frame's worth of time at 30 FPS, in cycles. */
+constexpr Tick
+frameBudgetCycles()
+{
+    return secondsToCycles(frameBudgetSeconds());
+}
+
+} // namespace parallax
+
+#endif // PARALLAX_SIM_TICKS_HH

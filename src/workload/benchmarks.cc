@@ -1,0 +1,456 @@
+#include "benchmarks.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "scene_builder.hh"
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+namespace
+{
+
+constexpr BenchmarkInfo infos[numBenchmarks] = {
+    {"Periodic Contact", "Per", "role-playing", 34.0},
+    {"Ragdoll Effects", "Rag", "first-person shooter", 36.0},
+    {"Continuous Contact", "Con", "racing", 47.0},
+    {"Breakable", "Bre", "first-person shooter", 256.0},
+    {"Deformable", "Def", "sports/action", 409.0},
+    {"Explosions", "Exp", "real-time strategy", 547.0},
+    {"Highspeed", "Hig", "action", 518.0},
+    {"Mix", "Mix", "combined", 829.0},
+};
+
+int
+scaled(int count, double scale)
+{
+    return std::max(1, static_cast<int>(std::lround(count * scale)));
+}
+
+/**
+ * Periodic Contact: role-playing hand-to-hand combat. 30 humanoids
+ * in 3 groups of 5, 3 of 3, and 3 of 2, all members of each group
+ * engaged with one another (velocities toward the group center).
+ */
+void
+buildPeriodic(SceneBuilder &sb, double scale)
+{
+    sb.addGround();
+    const int group_sizes[3] = {5, 3, 2};
+    int group_index = 0;
+    for (int size_class = 0; size_class < 3; ++size_class) {
+        for (int g = 0; g < scaled(3, scale); ++g, ++group_index) {
+            const Vec3 center{(group_index % 3) * 10.0,
+                              1.05,
+                              (group_index / 3) * 10.0};
+            const int members = group_sizes[size_class];
+            // Ring radius chosen so neighbours' arms interleave:
+            // combatants start engaged (hand-to-hand range).
+            const double radius =
+                0.5 / (2.0 * std::sin(M_PI / members));
+            for (int m = 0; m < members; ++m) {
+                const double angle = 2.0 * M_PI * m / members;
+                const Vec3 offset{radius * std::cos(angle), 0.0,
+                                  radius * std::sin(angle)};
+                sb.addHumanoid(center + offset, -offset * 2.0);
+            }
+        }
+    }
+}
+
+/** Ragdoll Effects: 30 ragdolls all falling away from each other. */
+void
+buildRagdoll(SceneBuilder &sb, double scale)
+{
+    sb.addGround();
+    const int count = scaled(30, scale);
+    for (int i = 0; i < count; ++i) {
+        const double angle = 2.0 * M_PI * i / count;
+        // Low enough to crumple on the ground during the measured
+        // frames.
+        const Vec3 pos{3.0 * std::cos(angle),
+                       1.05 + (i % 5) * 0.1,
+                       3.0 * std::sin(angle)};
+        const Vec3 away{2.5 * std::cos(angle), -3.0,
+                        2.5 * std::sin(angle)};
+        sb.addHumanoid(pos, away);
+    }
+}
+
+/**
+ * Continuous Contact: rally race. 30 cars driving over heightfield
+ * and trimesh terrain between static obstacles, with loose dynamic
+ * scatter on the course.
+ */
+void
+buildContinuous(SceneBuilder &sb, double scale)
+{
+    sb.addGround();
+    sb.addHeightfieldTerrain({-10, 0, -10}, 40, 40, 2.0, 1.2);
+    sb.addTriMeshTerrain({-10, 0, 75}, 30, 20, 2.0, 1.0);
+
+    const int cars = scaled(30, scale);
+    for (int i = 0; i < cars; ++i) {
+        // On the terrain surface (amplitude 1.2, wheels at +0.3).
+        const Vec3 pos{(i % 6) * 5.0, 1.5, (i / 6) * 6.0};
+        sb.addCar(pos, {9.0 + (i % 4), 0, 0});
+    }
+
+    // Course markers: rows of static obstacles along the track.
+    const int obstacles = scaled(1700, scale);
+    for (int i = 0; i < obstacles; ++i) {
+        const Vec3 pos{-12.0 + (i % 85) * 1.2,
+                       0.5,
+                       -14.0 + (i / 85) * 5.0};
+        sb.addStaticObstacle(pos, {0.3, 0.5, 0.3});
+    }
+
+    // Loose dynamic scatter (cones, rocks) in touching piles along
+    // the course, so settled scatter clusters into contact islands.
+    // Loose dynamic scatter (cones, rocks) in clusters on the flat
+    // apron before the terrain (the heightfield footprint starts at
+    // z = -10). Spheres rest with single ground contacts, keeping
+    // the racing benchmark's per-object cost light, as in the paper.
+    const int piles = scaled(34, scale);
+    for (int p = 0; p < piles; ++p) {
+        const Vec3 base{(p % 17) * 4.5, 0.0,
+                        -13.0 - (p / 17) * 4.0};
+        for (int i = 0; i < 14; ++i) {
+            const Vec3 offset{(i % 3) * 0.51,
+                              0.26 + (i / 7) * 0.51,
+                              ((i / 3) % 3) * 0.51};
+            sb.addProjectile(base + offset, {}, 0.26);
+        }
+    }
+}
+
+/**
+ * Breakable: cannons and exploding vehicles versus pre-fractured
+ * brick walls. Three areas each enclosed by three walls of
+ * fracturable bricks, two breakable bridges per area, 30 humans in
+ * groups of 10, six vehicles ramming the walls and exploding.
+ */
+void
+buildBreakable(SceneBuilder &sb, double scale)
+{
+    sb.addGround();
+    const int areas = scaled(3, scale);
+    for (int a = 0; a < areas; ++a) {
+        const Vec3 center{a * 50.0, 0, 0};
+        // Three pre-fractured walls (25 x 5 bricks each).
+        const Vec3 brick_half{0.5, 0.25, 0.25};
+        const double len = 25 * brick_half.x * 2.001;
+        sb.addWall(center + Vec3{-len / 2, 0, -8}, {1, 0, 0},
+                   scaled(25, 1.0), 5, brick_half, true, 5);
+        sb.addWall(center + Vec3{-len / 2, 0, 8}, {1, 0, 0},
+                   scaled(25, 1.0), 5, brick_half, true, 5);
+        sb.addWall(center + Vec3{-len / 2 - 1, 0, -8 + 0.25},
+                   {0, 0, 1}, scaled(25, 1.0), 5,
+                   Vec3{0.25, 0.25, 0.5}, true, 5);
+
+        // Two bridges.
+        sb.addBridge(center + Vec3{-8, 2.0, -4}, 15, 5e4);
+        sb.addBridge(center + Vec3{-8, 2.0, 4}, 15, 5e4);
+
+        // Ten humans in a group.
+        for (int h = 0; h < 10; ++h) {
+            sb.addHumanoid(center + Vec3{-4.0 + (h % 5) * 2.0, 1.05,
+                                         -2.0 + (h / 5) * 4.0});
+        }
+
+        // Two vehicles ramming the walls, exploding on contact;
+        // close and fast enough to hit inside the measured frames.
+        for (int v = 0; v < 2; ++v) {
+            RigidBody *car = sb.addCar(
+                center + Vec3{0.0, 0.2, v == 0 ? -4.0 : 4.0},
+                {0, 0, v == 0 ? -25.0 : 25.0});
+            // The chassis geom is the explosive trigger.
+            for (const auto &g : sb.world().geoms()) {
+                if (g->body() == car) {
+                    g->setExplosive(true);
+                    sb.world().effects().registerExplosive(
+                        g->id(), BlastConfig{3.5, 0.08, 250.0});
+                    break;
+                }
+            }
+        }
+
+        // Cannonballs already in flight toward the walls, arcing
+        // over the bridges (planks sit at y = 2).
+        for (int c = 0; c < 2; ++c) {
+            sb.addProjectile(
+                center + Vec3{-6.0 + c * 12.0, 3.2, -2.5},
+                {0.0, -2.0, -30.0}, 0.3, true,
+                BlastConfig{3.0, 0.08, 250.0});
+        }
+    }
+}
+
+/**
+ * Deformable: 30 uniformed players (small cloth each) and two large
+ * cloths, each in contact with one player.
+ */
+void
+buildDeformable(SceneBuilder &sb, double scale)
+{
+    sb.addGround();
+    const int players = scaled(30, scale);
+    std::vector<RigidBody *> roots;
+    for (int i = 0; i < players; ++i) {
+        const Vec3 pos{(i % 6) * 3.0, 1.05, (i / 6) * 3.0};
+        RigidBody *root = sb.addHumanoid(
+            pos, {sb.rng().uniform(-1.5, 1.5), 0,
+                  sb.rng().uniform(-1.5, 1.5)});
+        sb.addSmallClothOnBody(root);
+        roots.push_back(root);
+    }
+    // Two large cloths hung in contact with two players.
+    if (!roots.empty()) {
+        sb.addLargeCloth(roots.front()->position() +
+                         Vec3{-1.4, 1.6, -1.4});
+        sb.addLargeCloth(roots.back()->position() +
+                         Vec3{-1.4, 1.6, -1.4});
+    }
+
+    // Stadium props: static obstacles around the field.
+    const int props = scaled(480, scale);
+    for (int i = 0; i < props; ++i) {
+        const Vec3 pos{-6.0 + (i % 40) * 0.8, 0.5,
+                       -4.0 + (i / 40) * 2.2 +
+                           ((i % 40) < 20 ? -6.0 : 18.0)};
+        sb.addStaticObstacle(pos, {0.3, 0.5, 0.3});
+    }
+}
+
+/**
+ * Explosions: an army in an urban environment. Ten walled areas,
+ * 50 roaming vehicles, 10 cannons shooting exploding projectiles.
+ * No breakable joints or pre-fractured objects.
+ */
+void
+buildExplosions(SceneBuilder &sb, double scale)
+{
+    sb.addGround();
+    const int areas = scaled(10, scale);
+    for (int a = 0; a < areas; ++a) {
+        const Vec3 center{(a % 5) * 40.0, 0, (a / 5) * 40.0};
+        sb.addBuilding(center, 15, 8, false);
+    }
+    const int vehicles = scaled(50, scale);
+    for (int v = 0; v < vehicles; ++v) {
+        const Vec3 pos{(v % 10) * 16.0 + 6.0, 0.2,
+                       (v / 10) * 14.0 + 6.0};
+        const double heading = sb.rng().uniform(0.0, 2.0 * M_PI);
+        sb.addCar(pos, {9.0 * std::cos(heading), 0,
+                        9.0 * std::sin(heading)});
+    }
+    const int shells = scaled(10, scale);
+    for (int c = 0; c < shells; ++c) {
+        // In flight toward each area's wall, impacting during the
+        // measured frames.
+        const Vec3 target{(c % 5) * 40.0, 1.0, (c / 5) * 40.0 - 6.0};
+        const Vec3 from = target + Vec3{0.0, 2.0, 5.0};
+        sb.addProjectile(from, {0.0, -1.0, -33.0}, 0.3, true,
+                         BlastConfig{5.0, 0.1, 300.0});
+    }
+}
+
+/**
+ * Highspeed: cars crashing into walls and high-speed rockets
+ * hitting buildings — no explosions, just the complexity of
+ * detecting high-speed impacts.
+ */
+void
+buildHighspeed(SceneBuilder &sb, double scale)
+{
+    sb.addGround();
+    const int buildings = scaled(10, scale);
+    for (int b = 0; b < buildings; ++b) {
+        const Vec3 center{(b % 5) * 40.0, 0, (b / 5) * 40.0};
+        sb.addBuilding(center, 13, 8, false);
+    }
+    const int cars = scaled(20, scale);
+    for (int v = 0; v < cars; ++v) {
+        const Vec3 center{(v % 5) * 40.0, 0, ((v / 5) % 2) * 40.0};
+        // Charging straight at a building side wall at speed,
+        // impacting during the measured frames.
+        sb.addCar(center + Vec3{(v % 3 - 1) * 2.0, 0.2, 11.0},
+                  {0, 0, -30.0});
+    }
+    const int rockets = scaled(10, scale);
+    for (int r = 0; r < rockets; ++r) {
+        const Vec3 target{(r % 5) * 40.0, 2.0, (r / 5) * 40.0};
+        sb.addProjectile(target + Vec3{1.0, 0.0, 18.0},
+                         {0.0, 0.0, -100.0}, 0.25);
+    }
+}
+
+/**
+ * Mix: every feature combined — 3 pre-fractured buildings, 6
+ * breakable bridges, 30 cloth-draped humanoids, 6 vehicles, large
+ * cloths over the building openings, heightfield terrain, and
+ * exploding projectiles.
+ */
+void
+buildMix(SceneBuilder &sb, double scale)
+{
+    sb.addGround();
+    sb.addHeightfieldTerrain({-60, 0, 30}, 30, 30, 2.0, 1.0);
+
+    const int buildings = scaled(3, scale);
+    for (int b = 0; b < buildings; ++b) {
+        const Vec3 center{b * 50.0, 0, 0};
+        // Pre-fractured walls, 25 x 5 bricks, 5 debris each.
+        const Vec3 brick_half{0.5, 0.25, 0.25};
+        const double len = 25 * brick_half.x * 2.001;
+        sb.addWall(center + Vec3{-len / 2, 0, -8}, {1, 0, 0}, 25, 5,
+                   brick_half, true, 5);
+        sb.addWall(center + Vec3{-len / 2, 0, 8}, {1, 0, 0}, 25, 5,
+                   brick_half, true, 5);
+        sb.addWall(center + Vec3{-len / 2 - 1, 0, -8 + 0.25},
+                   {0, 0, 1}, 25, 5, Vec3{0.25, 0.25, 0.5}, true, 5);
+        // Large cloth covering the building opening.
+        sb.addLargeCloth(center + Vec3{len / 2 - 1.0, 3.0, -1.5});
+    }
+
+    const int bridges = scaled(6, scale);
+    for (int br = 0; br < bridges; ++br) {
+        sb.addBridge({br * 20.0 - 40.0, 2.0, 20.0}, 15, 5e4);
+    }
+
+    const int humans = scaled(30, scale);
+    for (int h = 0; h < humans; ++h) {
+        RigidBody *root = sb.addHumanoid(
+            {-20.0 + (h % 10) * 3.0, 1.05, -18.0 + (h / 10) * 3.0},
+            {sb.rng().uniform(-1.0, 1.0), 0,
+             sb.rng().uniform(-1.0, 1.0)});
+        sb.addSmallClothOnBody(root);
+    }
+
+    const int vehicles = scaled(6, scale);
+    for (int v = 0; v < vehicles; ++v) {
+        sb.addCar({-30.0 + v * 9.0, 0.2, 14.0},
+                  {8.0, 0, -4.0});
+    }
+
+    const int shells = scaled(6, scale);
+    for (int c = 0; c < shells; ++c) {
+        // Shells arcing into each building's walls.
+        const Vec3 target{(c % 3) * 50.0, 1.5, c < 3 ? -8.0 : 8.0};
+        sb.addProjectile(target + Vec3{1.0, 1.5,
+                                       c < 3 ? 5.0 : -5.0},
+                         {0.0, -1.0, c < 3 ? -32.0 : 32.0}, 0.3,
+                         true, BlastConfig{4.0, 0.1, 300.0});
+    }
+}
+
+} // namespace
+
+const BenchmarkInfo &
+benchmarkInfo(BenchmarkId id)
+{
+    return infos[static_cast<int>(id)];
+}
+
+std::unique_ptr<World>
+buildBenchmark(BenchmarkId id, const WorldConfig &config, double scale)
+{
+    auto world = std::make_unique<World>(config);
+    SceneBuilder sb(*world, 12345 + static_cast<int>(id));
+    switch (id) {
+      case BenchmarkId::Periodic: buildPeriodic(sb, scale); break;
+      case BenchmarkId::Ragdoll: buildRagdoll(sb, scale); break;
+      case BenchmarkId::Continuous: buildContinuous(sb, scale); break;
+      case BenchmarkId::Breakable: buildBreakable(sb, scale); break;
+      case BenchmarkId::Deformable: buildDeformable(sb, scale); break;
+      case BenchmarkId::Explosions: buildExplosions(sb, scale); break;
+      case BenchmarkId::Highspeed: buildHighspeed(sb, scale); break;
+      case BenchmarkId::Mix: buildMix(sb, scale); break;
+    }
+    return world;
+}
+
+SceneSpec
+staticSceneSpec(const World &world)
+{
+    SceneSpec spec;
+    for (const auto &body : world.bodies()) {
+        if (body->isStatic()) {
+            ++spec.staticObjs;
+        } else if (body->enabled()) {
+            ++spec.dynamicObjs;
+        } else {
+            // Disabled dynamic bodies at scene start are debris.
+            ++spec.prefracturedObjs;
+        }
+    }
+    spec.staticJoints = static_cast<int>(world.jointCount());
+    spec.clothObjs = static_cast<int>(world.clothCount());
+    for (const auto &cloth : world.cloths())
+        spec.clothVertices += cloth->vertexCount();
+    return spec;
+}
+
+const FrameProfile &
+BenchmarkRun::worstFrame() const
+{
+    parallax_assert(!frames.empty());
+    const FrameProfile *worst = &frames.front();
+    for (const FrameProfile &frame : frames) {
+        if (frame.totalOps() > worst->totalOps())
+            worst = &frame;
+    }
+    return *worst;
+}
+
+StepProfile
+BenchmarkRun::worstFrameProfile() const
+{
+    return worstFrame().aggregate();
+}
+
+BenchmarkRun
+runBenchmark(BenchmarkId id, const RunOptions &options)
+{
+    auto world = buildBenchmark(id, options.config, options.scale);
+
+    BenchmarkRun run;
+    run.id = id;
+    run.spec = staticSceneSpec(*world);
+
+    for (int i = 0; i < options.warmupSteps; ++i)
+        world->step();
+
+    double pair_total = 0;
+    double island_total = 0;
+    int steps_measured = 0;
+
+    for (int f = 0; f < options.frames; ++f) {
+        FrameProfile frame;
+        for (int s = 0; s < options.stepsPerFrame; ++s) {
+            world->step();
+            frame.steps.push_back(
+                Instrumentation::profileStep(*world));
+            // Obj-pairs in the Table 4 sense: all AABB-overlapping
+            // pairs the broadphase reports, before the jointed-pair
+            // cull (ODE's near-callback sees these).
+            pair_total +=
+                world->lastStepStats().broadphase.pairsFound;
+            island_total += world->lastStepStats().islands.size();
+            ++steps_measured;
+        }
+        run.frames.push_back(std::move(frame));
+    }
+
+    if (steps_measured > 0) {
+        run.spec.objPairs = static_cast<std::uint64_t>(
+            pair_total / steps_measured);
+        run.spec.islands = static_cast<std::uint64_t>(
+            island_total / steps_measured);
+    }
+    return run;
+}
+
+} // namespace parallax

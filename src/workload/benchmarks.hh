@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The forward-looking physics benchmark suite (Tables 3 and 4).
+ *
+ * Eight parameterized scenes covering the high-level physical
+ * actions of Table 1 — continuous contact, periodic contact, high
+ * velocity impulse, explosions, and deformations — across the game
+ * genres the paper enumerates. Entity counts reproduce the scale of
+ * Table 4; derived quantities (object-pairs, islands) are measured
+ * from simulation, exactly as in the paper.
+ */
+
+#ifndef PARALLAX_WORKLOAD_BENCHMARKS_HH
+#define PARALLAX_WORKLOAD_BENCHMARKS_HH
+
+#include <memory>
+#include <string>
+
+#include "instrumentation.hh"
+#include "physics/world.hh"
+
+namespace parallax
+{
+
+/** The eight benchmarks of the suite. */
+enum class BenchmarkId
+{
+    Periodic,
+    Ragdoll,
+    Continuous,
+    Breakable,
+    Deformable,
+    Explosions,
+    Highspeed,
+    Mix,
+};
+
+constexpr int numBenchmarks = 8;
+
+constexpr BenchmarkId allBenchmarks[numBenchmarks] = {
+    BenchmarkId::Periodic,   BenchmarkId::Ragdoll,
+    BenchmarkId::Continuous, BenchmarkId::Breakable,
+    BenchmarkId::Deformable, BenchmarkId::Explosions,
+    BenchmarkId::Highspeed,  BenchmarkId::Mix,
+};
+
+/** Paper-reported reference numbers for calibration checks. */
+struct BenchmarkInfo
+{
+    const char *name;      // Full name.
+    const char *shortName; // Three-letter tag used in the figures.
+    const char *genre;
+    double paperInstPerFrame; // Table 3, in millions.
+};
+
+/** Static metadata for a benchmark. */
+const BenchmarkInfo &benchmarkInfo(BenchmarkId id);
+
+/** Scene statistics in the shape of Table 4. */
+struct SceneSpec
+{
+    std::uint64_t objPairs = 0; // Measured (broadphase output).
+    std::uint64_t islands = 0;  // Measured (island creation output).
+    int clothObjs = 0;
+    int clothVertices = 0;
+    int staticObjs = 0;
+    int dynamicObjs = 0;
+    int prefracturedObjs = 0; // Debris pieces (disabled at start).
+    int staticJoints = 0;     // Permanent (non-contact) joints.
+};
+
+/**
+ * Build one benchmark scene.
+ *
+ * @param id Which benchmark.
+ * @param config World configuration (threads, broadphase, ...).
+ * @param scale Linear scale on entity counts (1.0 = Table 4 scale).
+ */
+std::unique_ptr<World> buildBenchmark(BenchmarkId id,
+                                      const WorldConfig &config =
+                                          WorldConfig(),
+                                      double scale = 1.0);
+
+/** Count the static portion of a SceneSpec from a built world. */
+SceneSpec staticSceneSpec(const World &world);
+
+/** Options controlling a measured benchmark run. */
+struct RunOptions
+{
+    /**
+     * Warmup steps before measurement. The paper lets activity
+     * develop and measures frames 5-7; four frames of warmup (12
+     * steps) place the measured window there.
+     */
+    int warmupSteps = 12;
+    /** Measured frames (paper: 3). */
+    int frames = 3;
+    /** Steps per frame (paper: 3). */
+    int stepsPerFrame = 3;
+    WorldConfig config;
+    double scale = 1.0;
+};
+
+/** Result of a measured run. */
+struct BenchmarkRun
+{
+    BenchmarkId id;
+    SceneSpec spec;                   // Static + measured averages.
+    std::vector<FrameProfile> frames; // One per measured frame.
+
+    /** The worst frame by total operations (the paper's metric). */
+    const FrameProfile &worstFrame() const;
+
+    /** Aggregate profile of the worst frame. */
+    StepProfile worstFrameProfile() const;
+};
+
+/** Build, warm up, and measure one benchmark. */
+BenchmarkRun runBenchmark(BenchmarkId id,
+                          const RunOptions &options = RunOptions());
+
+} // namespace parallax
+
+#endif // PARALLAX_WORKLOAD_BENCHMARKS_HH

@@ -1,0 +1,61 @@
+#include "cost_model.hh"
+
+namespace parallax
+{
+namespace cost
+{
+
+OpVector
+npPairTest(ShapeType a, ShapeType b)
+{
+    // Canonicalize to the lower-valued type first.
+    if (static_cast<int>(a) > static_cast<int>(b))
+        std::swap(a, b);
+
+    // Costs reflect the relative complexity of the colliders:
+    // sphere tests are cheap; box-box SAT + clipping is the most
+    // expensive convex pair; terrain tests pay for triangle / cell
+    // lookup. Mixes are integer/branch heavy per Figure 7(b).
+    auto pair = [](ShapeType x, ShapeType y, ShapeType px,
+                   ShapeType py) {
+        return x == px && y == py;
+    };
+
+    using ST = ShapeType;
+    if (pair(a, b, ST::Sphere, ST::Sphere))
+        return opVec(30, 10, 16, 14, 18, 4, 4);
+    if (pair(a, b, ST::Sphere, ST::Box))
+        return opVec(60, 22, 28, 26, 30, 6, 6);
+    if (pair(a, b, ST::Sphere, ST::Capsule))
+        return opVec(55, 18, 30, 28, 26, 5, 6);
+    if (pair(a, b, ST::Sphere, ST::Plane))
+        return opVec(24, 8, 10, 8, 12, 3, 2);
+    if (pair(a, b, ST::Sphere, ST::Heightfield))
+        return opVec(90, 34, 40, 36, 60, 6, 8);
+    if (pair(a, b, ST::Sphere, ST::TriMesh))
+        return opVec(150, 60, 70, 62, 110, 8, 12);
+    if (pair(a, b, ST::Box, ST::Box))
+        return opVec(280, 110, 150, 170, 180, 24, 16);
+    if (pair(a, b, ST::Box, ST::Capsule))
+        return opVec(160, 62, 82, 84, 96, 14, 10);
+    if (pair(a, b, ST::Box, ST::Plane))
+        return opVec(70, 26, 36, 34, 40, 12, 6);
+    if (pair(a, b, ST::Box, ST::Heightfield))
+        return opVec(200, 82, 96, 88, 140, 16, 14);
+    if (pair(a, b, ST::Box, ST::TriMesh))
+        return opVec(300, 130, 140, 128, 220, 18, 20);
+    if (pair(a, b, ST::Capsule, ST::Capsule))
+        return opVec(90, 30, 52, 50, 44, 8, 8);
+    if (pair(a, b, ST::Capsule, ST::Plane))
+        return opVec(46, 16, 22, 20, 24, 8, 4);
+    if (pair(a, b, ST::Capsule, ST::Heightfield))
+        return opVec(130, 52, 60, 54, 90, 10, 10);
+    if (pair(a, b, ST::Capsule, ST::TriMesh))
+        return opVec(210, 90, 100, 90, 160, 12, 14);
+    // Static-static combinations are filtered by the broadphase;
+    // charge a bare dispatch if one slips through.
+    return opVec(10, 4, 0, 0, 4, 0, 1);
+}
+
+} // namespace cost
+} // namespace parallax

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Operation-cost model: converts engine work counters into the
+ * instruction-level workload the architecture study consumes.
+ *
+ * The paper measured instruction counts from SPARC binaries under
+ * Simics; we do not have that stack, so each unit of engine work
+ * (one pair test, one LCP row relaxation, one cloth vertex, ...) is
+ * assigned an operation vector whose magnitude and class mix are
+ * calibrated against the paper's anchors: Table 3's per-frame
+ * instruction counts, Figure 7(b)'s per-phase instruction mix, and
+ * Figure 9(b)'s kernel mix. Constants live here, in one place, so
+ * the calibration is auditable.
+ */
+
+#ifndef PARALLAX_WORKLOAD_COST_MODEL_HH
+#define PARALLAX_WORKLOAD_COST_MODEL_HH
+
+#include "phase.hh"
+#include "physics/shapes/shape.hh"
+
+namespace parallax
+{
+
+/** Per-unit operation vectors for every kind of engine work. */
+namespace cost
+{
+
+/** Build an OpVector from per-class counts. */
+constexpr OpVector
+opVec(double int_alu, double branch, double fadd, double fmul,
+      double rd, double wr, double other)
+{
+    OpVector v{};
+    v.ops[static_cast<int>(OpClass::IntAlu)] = int_alu;
+    v.ops[static_cast<int>(OpClass::Branch)] = branch;
+    v.ops[static_cast<int>(OpClass::FloatAdd)] = fadd;
+    v.ops[static_cast<int>(OpClass::FloatMult)] = fmul;
+    v.ops[static_cast<int>(OpClass::RdPort)] = rd;
+    v.ops[static_cast<int>(OpClass::WrPort)] = wr;
+    v.ops[static_cast<int>(OpClass::Other)] = other;
+    return v;
+}
+
+// --- Broadphase (serial; integer/branch dominant). ---
+/** AABB refresh for one geom. */
+inline constexpr OpVector bpGeomUpdate = opVec(18, 4, 8, 6, 10, 4, 2);
+/** One geom's share of the sort-axis structure update. */
+inline constexpr OpVector bpSortPerGeom = opVec(40, 22, 0, 0, 18, 8, 2);
+/** One AABB overlap test in the sweep. */
+inline constexpr OpVector bpOverlapTest = opVec(8, 5, 0, 0, 6, 0, 1);
+/** Emitting one candidate pair. */
+inline constexpr OpVector bpPairEmit = opVec(6, 2, 0, 0, 2, 3, 1);
+
+// --- Narrowphase (fine-grain parallel; int + branch heavy). ---
+/** Dispatch overhead per pair (the CG portion). */
+inline constexpr OpVector npDispatch = opVec(30, 8, 0, 0, 12, 2, 2);
+/** Contact emission (one contact point). */
+inline constexpr OpVector npContactEmit = opVec(30, 6, 8, 4, 8, 18, 2);
+/** Pair-test cost by unordered shape combination (the FG kernel). */
+OpVector npPairTest(ShapeType a, ShapeType b);
+
+// --- Island creation (serial; pointer chasing). ---
+inline constexpr OpVector icPerBody = opVec(40, 16, 0, 0, 24, 6, 4);
+inline constexpr OpVector icPerJoint = opVec(85, 35, 0, 0, 55, 12, 8);
+inline constexpr OpVector icPerFind = opVec(7, 3, 0, 0, 4, 1, 0);
+inline constexpr OpVector icPerIsland = opVec(24, 6, 0, 0, 8, 10, 2);
+
+// --- Island processing (FP dominant). ---
+/** Building one constraint row (Jacobian setup; CG portion). */
+inline constexpr OpVector ipRowBuild =
+    opVec(40, 10, 60, 68, 52, 22, 8);
+/** One row relaxation (the FG kernel inner iteration). */
+inline constexpr OpVector ipRowIteration =
+    opVec(26, 9, 52, 58, 42, 12, 6);
+/** Integrating one body (CG portion). */
+inline constexpr OpVector ipBodyIntegrate =
+    opVec(18, 4, 42, 48, 26, 16, 8);
+
+// --- Cloth (FP dominant; more branches + special FP ops). ---
+/** Verlet integration of one vertex (FG kernel). */
+inline constexpr OpVector clVertexIntegrate =
+    opVec(10, 3, 16, 12, 12, 8, 2);
+/** One distance-constraint relaxation (FG kernel; includes sqrt). */
+inline constexpr OpVector clConstraintRelax =
+    opVec(12, 6, 18, 16, 14, 8, 6);
+/** One vertex-vs-collider projection test (FG kernel). The paper's
+ *  cloth collision uses ray casting against AABB hierarchies, so a
+ *  single test is far heavier than the projection math alone. */
+inline constexpr OpVector clCollisionTest =
+    opVec(120, 78, 156, 150, 192, 24, 60);
+/** Per-cloth CG overhead (collider gathering, task setup). */
+inline constexpr OpVector clPerClothSetup =
+    opVec(220, 60, 30, 20, 150, 40, 10);
+
+} // namespace cost
+
+} // namespace parallax
+
+#endif // PARALLAX_WORKLOAD_COST_MODEL_HH

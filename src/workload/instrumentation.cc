@@ -1,0 +1,147 @@
+#include "instrumentation.hh"
+
+#include <cmath>
+
+namespace parallax
+{
+
+OpVector
+StepProfile::cg(Phase p) const
+{
+    OpVector r = ops(p);
+    const OpVector &f = fg(p);
+    for (int i = 0; i < numOpClasses; ++i)
+        r.ops[i] -= f.ops[i];
+    return r;
+}
+
+double
+StepProfile::totalOps() const
+{
+    double t = 0;
+    for (const OpVector &v : phaseOps)
+        t += v.total();
+    return t;
+}
+
+double
+StepProfile::serialOps() const
+{
+    return ops(Phase::Broadphase).total() +
+           ops(Phase::IslandCreation).total();
+}
+
+StepProfile &
+StepProfile::operator+=(const StepProfile &o)
+{
+    for (int i = 0; i < numPhases; ++i) {
+        phaseOps[i] += o.phaseOps[i];
+        fgOps[i] += o.fgOps[i];
+    }
+    pairTasks += o.pairTasks;
+    islandRows.insert(islandRows.end(), o.islandRows.begin(),
+                      o.islandRows.end());
+    clothVertices.insert(clothVertices.end(), o.clothVertices.begin(),
+                         o.clothVertices.end());
+    return *this;
+}
+
+StepProfile
+FrameProfile::aggregate() const
+{
+    StepProfile sum;
+    for (const StepProfile &s : steps)
+        sum += s;
+    return sum;
+}
+
+double
+FrameProfile::totalOps() const
+{
+    double t = 0;
+    for (const StepProfile &s : steps)
+        t += s.totalOps();
+    return t;
+}
+
+StepProfile
+Instrumentation::profileStep(const World &world)
+{
+    const StepStats &stats = world.lastStepStats();
+    StepProfile profile;
+
+    // --- Broadphase (serial). ---
+    {
+        OpVector &ops = profile.ops(Phase::Broadphase);
+        const auto &bp = stats.broadphase;
+        const double n = std::max<double>(2.0, bp.structureUpdates);
+        const double sort_levels = std::log2(n);
+        ops += cost::bpGeomUpdate * bp.geomsConsidered;
+        ops += cost::bpSortPerGeom *
+               (bp.structureUpdates * sort_levels / 2.0);
+        ops += cost::bpOverlapTest * bp.overlapTests;
+        ops += cost::bpPairEmit * bp.pairsFound;
+    }
+
+    // --- Narrowphase (FG parallel over object-pairs). ---
+    {
+        OpVector &ops = profile.ops(Phase::Narrowphase);
+        OpVector &fg = profile.fg(Phase::Narrowphase);
+        const auto &np = stats.narrowphase;
+        for (int i = 0; i < 6; ++i) {
+            for (int j = i; j < 6; ++j) {
+                const double count = np.testsByType[i][j];
+                if (count == 0)
+                    continue;
+                const OpVector per = cost::npPairTest(
+                    static_cast<ShapeType>(i),
+                    static_cast<ShapeType>(j));
+                fg += per * count;
+            }
+        }
+        fg += cost::npContactEmit * np.contactsCreated;
+        ops += fg;
+        ops += cost::npDispatch * np.pairsTested;
+        profile.pairTasks = np.pairsTested;
+    }
+
+    // --- Island creation (serial). ---
+    {
+        OpVector &ops = profile.ops(Phase::IslandCreation);
+        const auto &ic = stats.island;
+        ops += cost::icPerBody * ic.bodiesVisited;
+        ops += cost::icPerJoint * ic.jointsVisited;
+        ops += cost::icPerFind * ic.findOps;
+        ops += cost::icPerIsland * ic.islandsCreated;
+    }
+
+    // --- Island processing (CG over islands, FG over rows). ---
+    {
+        OpVector &ops = profile.ops(Phase::IslandProcessing);
+        OpVector &fg = profile.fg(Phase::IslandProcessing);
+        const auto &sv = stats.solver;
+        fg += cost::ipRowIteration * sv.rowIterations;
+        ops += fg;
+        ops += cost::ipRowBuild * sv.rowsBuilt;
+        ops += cost::ipBodyIntegrate * sv.bodiesIntegrated;
+        for (const IslandSummary &island : stats.islands)
+            profile.islandRows.push_back(island.rows);
+    }
+
+    // --- Cloth (CG over cloths, FG over vertices). ---
+    {
+        OpVector &ops = profile.ops(Phase::Cloth);
+        OpVector &fg = profile.fg(Phase::Cloth);
+        const auto &cl = stats.cloth;
+        fg += cost::clVertexIntegrate * cl.verticesIntegrated;
+        fg += cost::clConstraintRelax * cl.constraintRelaxations;
+        fg += cost::clCollisionTest * cl.collisionTests;
+        ops += fg;
+        ops += cost::clPerClothSetup * cl.clothsStepped;
+        profile.clothVertices = stats.clothVertexCounts;
+    }
+
+    return profile;
+}
+
+} // namespace parallax

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Converts engine step statistics into per-phase operation profiles
+ * and fine-grain task inventories.
+ */
+
+#ifndef PARALLAX_WORKLOAD_INSTRUMENTATION_HH
+#define PARALLAX_WORKLOAD_INSTRUMENTATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cost_model.hh"
+#include "phase.hh"
+#include "physics/world.hh"
+
+namespace parallax
+{
+
+/** Operation profile and task inventory of one simulation step. */
+struct StepProfile
+{
+    /** Total operations per phase. */
+    std::array<OpVector, numPhases> phaseOps{};
+
+    /**
+     * The fine-grain-parallel subset of each phase's operations:
+     * pair tests in Narrowphase, row relaxations in Island
+     * Processing, vertex work in Cloth. Zero for serial phases.
+     */
+    std::array<OpVector, numPhases> fgOps{};
+
+    /** Narrowphase FG tasks: independent object-pairs. */
+    std::uint64_t pairTasks = 0;
+
+    /** Island Processing FG tasks per island: LCP rows. */
+    std::vector<int> islandRows;
+
+    /** Cloth FG tasks per cloth object: vertices. */
+    std::vector<int> clothVertices;
+
+    OpVector &ops(Phase p) { return phaseOps[static_cast<int>(p)]; }
+    const OpVector &ops(Phase p) const
+    { return phaseOps[static_cast<int>(p)]; }
+    OpVector &fg(Phase p) { return fgOps[static_cast<int>(p)]; }
+    const OpVector &fg(Phase p) const
+    { return fgOps[static_cast<int>(p)]; }
+
+    /** Coarse-grain (non-FG) operations of a phase. */
+    OpVector cg(Phase p) const;
+
+    /** Total operations across all phases. */
+    double totalOps() const;
+
+    /** Operations in the serial phases (Broadphase + Island Cr.). */
+    double serialOps() const;
+
+    StepProfile &operator+=(const StepProfile &o);
+};
+
+/** A frame is a fixed number of steps (paper: 3 at dt = 0.01). */
+struct FrameProfile
+{
+    std::vector<StepProfile> steps;
+
+    StepProfile aggregate() const;
+    double totalOps() const;
+};
+
+/**
+ * Derives a StepProfile from the World's last-step statistics and
+ * the cost model.
+ */
+class Instrumentation
+{
+  public:
+    static StepProfile profileStep(const World &world);
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_WORKLOAD_INSTRUMENTATION_HH

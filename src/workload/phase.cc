@@ -1,0 +1,34 @@
+#include "phase.hh"
+
+namespace parallax
+{
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Broadphase: return "Broadphase";
+      case Phase::Narrowphase: return "Narrowphase";
+      case Phase::IslandCreation: return "IslandCreation";
+      case Phase::IslandProcessing: return "IslandProcessing";
+      case Phase::Cloth: return "Cloth";
+    }
+    return "?";
+}
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "int_alu";
+      case OpClass::Branch: return "branch";
+      case OpClass::FloatAdd: return "float_add";
+      case OpClass::FloatMult: return "float_mult";
+      case OpClass::RdPort: return "rd_port";
+      case OpClass::WrPort: return "wr_port";
+      case OpClass::Other: return "other";
+    }
+    return "?";
+}
+
+} // namespace parallax

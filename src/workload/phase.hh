@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The five computational phases of the physics workload (Figure 1)
+ * and the operation classes of the instruction-mix analysis (Figures
+ * 7b and 9b).
+ */
+
+#ifndef PARALLAX_WORKLOAD_PHASE_HH
+#define PARALLAX_WORKLOAD_PHASE_HH
+
+#include <array>
+#include <cstdint>
+
+namespace parallax
+{
+
+/** Pipeline phases; all serialized with respect to each other. */
+enum class Phase
+{
+    Broadphase,
+    Narrowphase,
+    IslandCreation,
+    IslandProcessing,
+    Cloth,
+};
+
+constexpr int numPhases = 5;
+
+/** Human-readable phase name. */
+const char *phaseName(Phase phase);
+
+/** Phases that cannot exploit parallelism within the stage. */
+constexpr bool
+phaseIsSerial(Phase phase)
+{
+    return phase == Phase::Broadphase ||
+           phase == Phase::IslandCreation;
+}
+
+/** Instruction classes of the paper's instruction-mix figures. */
+enum class OpClass
+{
+    IntAlu,
+    Branch,
+    FloatAdd,
+    FloatMult,
+    RdPort,
+    WrPort,
+    Other,
+};
+
+constexpr int numOpClasses = 7;
+
+/** Human-readable operation class name. */
+const char *opClassName(OpClass cls);
+
+/** A vector of operation counts by class. */
+struct OpVector
+{
+    std::array<double, numOpClasses> ops{};
+
+    double &operator[](OpClass cls)
+    { return ops[static_cast<int>(cls)]; }
+    double operator[](OpClass cls) const
+    { return ops[static_cast<int>(cls)]; }
+
+    OpVector &
+    operator+=(const OpVector &o)
+    {
+        for (int i = 0; i < numOpClasses; ++i)
+            ops[i] += o.ops[i];
+        return *this;
+    }
+
+    OpVector
+    operator*(double scale) const
+    {
+        OpVector r = *this;
+        for (double &v : r.ops)
+            v *= scale;
+        return r;
+    }
+
+    OpVector
+    operator+(const OpVector &o) const
+    {
+        OpVector r = *this;
+        r += o;
+        return r;
+    }
+
+    /** Total operations across all classes. */
+    double
+    total() const
+    {
+        double t = 0;
+        for (double v : ops)
+            t += v;
+        return t;
+    }
+
+    /** Fraction of the total in the given class (0 if empty). */
+    double
+    fraction(OpClass cls) const
+    {
+        const double t = total();
+        return t > 0 ? (*this)[cls] / t : 0.0;
+    }
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_WORKLOAD_PHASE_HH

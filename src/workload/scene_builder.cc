@@ -1,0 +1,397 @@
+#include "scene_builder.hh"
+
+#include <cmath>
+
+namespace parallax
+{
+
+SceneBuilder::SceneBuilder(World &world, std::uint64_t seed)
+    : world_(world), rng_(seed)
+{
+}
+
+const BoxShape *
+SceneBuilder::boxShape(const Vec3 &half)
+{
+    for (const auto &[dims, shape] : boxCache_) {
+        if (dims == half)
+            return shape;
+    }
+    const BoxShape *shape = world_.addBox(half);
+    boxCache_.emplace_back(half, shape);
+    return shape;
+}
+
+const SphereShape *
+SceneBuilder::sphereShape(Real radius)
+{
+    for (const auto &[r, shape] : sphereCache_) {
+        if (r == radius)
+            return shape;
+    }
+    const SphereShape *shape = world_.addSphere(radius);
+    sphereCache_.emplace_back(radius, shape);
+    return shape;
+}
+
+const CapsuleShape *
+SceneBuilder::capsuleShape(Real radius, Real half_height)
+{
+    for (const auto &[dims, shape] : capsuleCache_) {
+        if (dims.first == radius && dims.second == half_height)
+            return shape;
+    }
+    const CapsuleShape *shape = world_.addCapsule(radius, half_height);
+    capsuleCache_.emplace_back(std::make_pair(radius, half_height),
+                               shape);
+    return shape;
+}
+
+void
+SceneBuilder::addGround()
+{
+    const PlaneShape *plane = world_.addPlane({0, 1, 0}, 0.0);
+    world_.createGeom(plane, world_.createStaticBody(Transform()));
+}
+
+RigidBody *
+SceneBuilder::addHumanoid(const Vec3 &pos, const Vec3 &velocity)
+{
+    // Anthropomorphic capsule segments (radius, half-height, offset
+    // from pelvis, density).
+    struct SegmentSpec
+    {
+        Real radius;
+        Real halfHeight;
+        Vec3 offset;
+    };
+
+    // Pelvis sits at `pos`; the figure stands along +y.
+    const SegmentSpec specs[16] = {
+        {0.12, 0.08, {0.00, 0.00, 0.00}},   // 0 pelvis
+        {0.11, 0.10, {0.00, 0.25, 0.00}},   // 1 torso
+        {0.12, 0.10, {0.00, 0.50, 0.00}},   // 2 chest
+        {0.09, 0.05, {0.00, 0.75, 0.00}},   // 3 head
+        {0.05, 0.12, {0.22, 0.55, 0.00}},   // 4 R upper arm
+        {0.04, 0.12, {0.22, 0.25, 0.00}},   // 5 R forearm
+        {0.04, 0.04, {0.22, 0.05, 0.00}},   // 6 R hand
+        {0.05, 0.12, {-0.22, 0.55, 0.00}},  // 7 L upper arm
+        {0.04, 0.12, {-0.22, 0.25, 0.00}},  // 8 L forearm
+        {0.04, 0.04, {-0.22, 0.05, 0.00}},  // 9 L hand
+        {0.07, 0.17, {0.10, -0.30, 0.00}},  // 10 R thigh
+        {0.05, 0.17, {0.10, -0.70, 0.00}},  // 11 R shin
+        {0.04, 0.05, {0.10, -0.95, 0.07}},  // 12 R foot
+        {0.07, 0.17, {-0.10, -0.30, 0.00}}, // 13 L thigh
+        {0.05, 0.17, {-0.10, -0.70, 0.00}}, // 14 L shin
+        {0.04, 0.05, {-0.10, -0.95, 0.07}}, // 15 L foot
+    };
+
+    std::vector<RigidBody *> segments;
+    segments.reserve(16);
+    for (const SegmentSpec &spec : specs) {
+        const CapsuleShape *cap =
+            capsuleShape(spec.radius, spec.halfHeight);
+        RigidBody *body = world_.createDynamicBody(
+            Transform(Quat(), pos + spec.offset), *cap, 985.0);
+        body->setLinearVelocity(velocity);
+        world_.createGeom(cap, body);
+        segments.push_back(body);
+    }
+
+    // Joint tree: (child, parent, ball?) with anchors between them.
+    struct JointSpec
+    {
+        int child;
+        int parent;
+        bool ball;
+    };
+    const JointSpec joint_specs[15] = {
+        {1, 0, true},   // torso-pelvis
+        {2, 1, true},   // chest-torso
+        {3, 2, true},   // head-chest (neck)
+        {4, 2, true},   // R shoulder
+        {5, 4, false},  // R elbow
+        {6, 5, false},  // R wrist
+        {7, 2, true},   // L shoulder
+        {8, 7, false},  // L elbow
+        {9, 8, false},  // L wrist
+        {10, 0, true},  // R hip
+        {11, 10, false}, // R knee
+        {12, 11, false}, // R ankle
+        {13, 0, true},  // L hip
+        {14, 13, false}, // L knee
+        {15, 14, false}, // L ankle
+    };
+    for (const JointSpec &js : joint_specs) {
+        const Vec3 anchor = (segments[js.child]->position() +
+                             segments[js.parent]->position()) *
+                            0.5;
+        if (js.ball) {
+            world_.createBallJoint(segments[js.child],
+                                   segments[js.parent], anchor);
+        } else {
+            world_.createHingeJoint(segments[js.child],
+                                    segments[js.parent], anchor,
+                                    {1, 0, 0});
+        }
+    }
+    return segments[0];
+}
+
+RigidBody *
+SceneBuilder::addCar(const Vec3 &pos, const Vec3 &velocity)
+{
+    const BoxShape *chassis_shape = boxShape({1.0, 0.25, 0.5});
+    const BoxShape *frame_shape = boxShape({0.9, 0.08, 0.45});
+    const SphereShape *wheel_shape = sphereShape(0.3);
+
+    RigidBody *chassis = world_.createDynamicBody(
+        Transform(Quat(), pos + Vec3{0, 0.9, 0}), *chassis_shape,
+        400.0);
+    chassis->setLinearVelocity(velocity);
+    world_.createGeom(chassis_shape, chassis);
+
+    RigidBody *frame = world_.createDynamicBody(
+        Transform(Quat(), pos + Vec3{0, 0.4, 0}), *frame_shape,
+        400.0);
+    frame->setLinearVelocity(velocity);
+    world_.createGeom(frame_shape, frame);
+
+    // Suspension: the frame slides vertically under the chassis.
+    world_.createSliderJoint(chassis, frame, {0, 1, 0});
+
+    const Vec3 wheel_offsets[4] = {{0.7, 0.3, 0.55},
+                                   {0.7, 0.3, -0.55},
+                                   {-0.7, 0.3, 0.55},
+                                   {-0.7, 0.3, -0.55}};
+    for (const Vec3 &off : wheel_offsets) {
+        RigidBody *wheel = world_.createDynamicBody(
+            Transform(Quat(), pos + off), *wheel_shape, 150.0);
+        wheel->setLinearVelocity(velocity);
+        world_.createGeom(wheel_shape, wheel);
+        world_.createHingeJoint(wheel, frame, pos + off, {0, 0, 1});
+    }
+    return chassis;
+}
+
+std::vector<RigidBody *>
+SceneBuilder::addWall(const Vec3 &origin, const Vec3 &along,
+                      int bricks_x, int bricks_y,
+                      const Vec3 &brick_half, bool prefractured,
+                      int debris_per_brick)
+{
+    const BoxShape *brick = boxShape(brick_half);
+    const Vec3 dir = along.normalized();
+    // Stride by the brick's extent along the wall direction (a
+    // z-running wall of z-long bricks must step by the z extent).
+    const Real along_half = std::fabs(dir.x) * brick_half.x +
+                            std::fabs(dir.y) * brick_half.y +
+                            std::fabs(dir.z) * brick_half.z;
+    // Running bond: alternate rows offset by half a brick, so each
+    // brick rests on two below. The wall is one contact-connected
+    // island through its vertical contacts, while the small lateral
+    // gap keeps side neighbours from doubling the contact count.
+    const Real step_x = along_half * 2.001;
+    const Real step_y = brick_half.y * 2.0;
+
+    std::vector<RigidBody *> bricks;
+    for (int y = 0; y < bricks_y; ++y) {
+        const Real bond = (y % 2) ? along_half : 0.0;
+        for (int x = 0; x < bricks_x; ++x) {
+            const Vec3 pos = origin + dir * (x * step_x + bond) +
+                Vec3{0, brick_half.y + y * step_y, 0};
+            RigidBody *body;
+            if (prefractured) {
+                // Parent brick is a dynamic body (the wall can be
+                // toppled) that swaps for its debris when a blast
+                // volume touches it.
+                body = world_.createDynamicBody(
+                    Transform(Quat(), pos), *brick, 800.0);
+                world_.createGeom(brick, body);
+
+                // Debris pieces: disabled dynamic boxes in the 2x2x2
+                // octant grid of the parent's volume, so enabled
+                // debris starts in contact rather than interpenetrating
+                // (which would inject solver energy).
+                const Vec3 piece_half = brick_half * 0.5;
+                const BoxShape *piece = boxShape(piece_half);
+                std::vector<BodyId> debris;
+                for (int k = 0; k < debris_per_brick; ++k) {
+                    const int slot = k % 8;
+                    const Vec3 offset{
+                        ((slot & 1) ? 1.0 : -1.0) * piece_half.x,
+                        ((slot & 2) ? 1.0 : -1.0) * piece_half.y,
+                        ((slot & 4) ? 1.0 : -1.0) * piece_half.z};
+                    RigidBody *d = world_.createDynamicBody(
+                        Transform(Quat(), pos + offset), *piece,
+                        800.0);
+                    d->setEnabled(false);
+                    world_.createGeom(piece, d);
+                    debris.push_back(d->id());
+                }
+                world_.effects().registerFractureGroup(body->id(),
+                                                       debris);
+            } else {
+                body = world_.createDynamicBody(
+                    Transform(Quat(), pos), *brick, 800.0);
+                world_.createGeom(brick, body);
+            }
+            bricks.push_back(body);
+        }
+    }
+    return bricks;
+}
+
+std::vector<RigidBody *>
+SceneBuilder::addBridge(const Vec3 &start, int planks,
+                        Real break_force)
+{
+    const Vec3 plank_half{0.5, 0.05, 1.0};
+    const BoxShape *plank_shape = boxShape(plank_half);
+    const Real step = plank_half.x * 2.02;
+
+    std::vector<RigidBody *> plank_bodies;
+    RigidBody *prev = world_.createStaticBody(
+        Transform(Quat(), start - Vec3{step, 0, 0}));
+    for (int i = 0; i < planks; ++i) {
+        const Vec3 pos = start + Vec3{i * step, 0, 0};
+        RigidBody *plank = world_.createDynamicBody(
+            Transform(Quat(), pos), *plank_shape, 600.0);
+        world_.createGeom(plank_shape, plank);
+        FixedJoint *j = world_.createFixedJoint(plank, prev);
+        j->setBreakForce(break_force);
+        plank_bodies.push_back(plank);
+        prev = plank;
+    }
+    // Anchor the far end too.
+    RigidBody *end_anchor = world_.createStaticBody(Transform(
+        Quat(), start + Vec3{planks * step, 0, 0}));
+    FixedJoint *j = world_.createFixedJoint(plank_bodies.back(),
+                                            end_anchor);
+    j->setBreakForce(break_force);
+    return plank_bodies;
+}
+
+void
+SceneBuilder::addBuilding(const Vec3 &center, int bricks_per_wall,
+                          int rows, bool prefractured,
+                          int debris_per_brick)
+{
+    const Vec3 brick_half{0.5, 0.25, 0.25};
+    const Real wall_len = bricks_per_wall * brick_half.x * 2.001;
+    // Three walls enclosing the area, open toward +x: two parallel
+    // walls along x, and a closing wall along z set just outside
+    // their ends so the corners do not interpenetrate.
+    addWall(center + Vec3{-wall_len / 2, 0, -wall_len / 2},
+            {1, 0, 0}, bricks_per_wall, rows, brick_half,
+            prefractured, debris_per_brick);
+    addWall(center + Vec3{-wall_len / 2, 0, wall_len / 2}, {1, 0, 0},
+            bricks_per_wall, rows, brick_half, prefractured,
+            debris_per_brick);
+    addWall(center + Vec3{-wall_len / 2 - 0.8, 0,
+                          -wall_len / 2 + 0.5},
+            {0, 0, 1}, bricks_per_wall - 1, rows,
+            Vec3{0.25, 0.25, 0.5}, prefractured, debris_per_brick);
+}
+
+void
+SceneBuilder::addHeightfieldTerrain(const Vec3 &origin, int nx,
+                                    int nz, Real spacing,
+                                    Real amplitude)
+{
+    std::vector<Real> heights;
+    heights.reserve(static_cast<size_t>(nx) * nz);
+    for (int z = 0; z < nz; ++z) {
+        for (int x = 0; x < nx; ++x) {
+            const Real h =
+                amplitude *
+                (std::sin(x * 0.7) * std::cos(z * 0.5) * 0.5 + 0.5) +
+                rng_.uniform(0.0, amplitude * 0.1);
+            heights.push_back(h);
+        }
+    }
+    const HeightfieldShape *hf = world_.addHeightfield(
+        std::move(heights), nx, nz, spacing);
+    world_.createGeom(hf, world_.createStaticBody(
+                              Transform(Quat(), origin)));
+}
+
+void
+SceneBuilder::addTriMeshTerrain(const Vec3 &origin, int nx, int nz,
+                                Real spacing, Real amplitude)
+{
+    std::vector<Vec3> verts;
+    verts.reserve(static_cast<size_t>(nx) * nz);
+    for (int z = 0; z < nz; ++z) {
+        for (int x = 0; x < nx; ++x) {
+            const Real h =
+                amplitude *
+                (std::cos(x * 0.6) * std::sin(z * 0.8) * 0.5 + 0.5);
+            verts.push_back(Vec3{x * spacing, h, z * spacing});
+        }
+    }
+    std::vector<TriMeshShape::Triangle> tris;
+    auto index = [nx](int x, int z) {
+        return static_cast<std::uint32_t>(z * nx + x);
+    };
+    for (int z = 0; z + 1 < nz; ++z) {
+        for (int x = 0; x + 1 < nx; ++x) {
+            tris.push_back({index(x, z), index(x, z + 1),
+                            index(x + 1, z)});
+            tris.push_back({index(x + 1, z), index(x, z + 1),
+                            index(x + 1, z + 1)});
+        }
+    }
+    const TriMeshShape *mesh =
+        world_.addTriMesh(std::move(verts), std::move(tris));
+    world_.createGeom(mesh, world_.createStaticBody(
+                                Transform(Quat(), origin)));
+}
+
+void
+SceneBuilder::addStaticObstacle(const Vec3 &pos, const Vec3 &half)
+{
+    const BoxShape *box = boxShape(half);
+    world_.createGeom(box, world_.createStaticBody(
+                               Transform(Quat(), pos)));
+}
+
+RigidBody *
+SceneBuilder::addProjectile(const Vec3 &pos, const Vec3 &velocity,
+                            Real radius, bool explosive,
+                            const BlastConfig &blast)
+{
+    const SphereShape *s = sphereShape(radius);
+    RigidBody *body = world_.createDynamicBody(
+        Transform(Quat(), pos), *s, 2000.0);
+    body->setLinearVelocity(velocity);
+    Geom *geom = world_.createGeom(s, body);
+    if (explosive) {
+        geom->setExplosive(true);
+        world_.effects().registerExplosive(geom->id(), blast);
+    }
+    return body;
+}
+
+Cloth *
+SceneBuilder::addLargeCloth(const Vec3 &origin)
+{
+    Cloth *cloth = world_.createCloth(25, 25, origin, 0.12, 3.0);
+    // Pin the first row (drapery / netting hung from above).
+    for (int i = 0; i < 25; ++i)
+        cloth->pin(i);
+    return cloth;
+}
+
+Cloth *
+SceneBuilder::addSmallClothOnBody(RigidBody *body)
+{
+    const Vec3 origin = body->position() + Vec3{-0.2, 0.4, -0.2};
+    Cloth *cloth = world_.createCloth(5, 5, origin, 0.1, 0.3);
+    // Attach the two front corners to the body (a uniform/cape).
+    world_.attachClothParticle(cloth, 0, body, {-0.2, 0.4, -0.2});
+    world_.attachClothParticle(cloth, 4, body, {0.2, 0.4, -0.2});
+    return cloth;
+}
+
+} // namespace parallax

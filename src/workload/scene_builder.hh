@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Reusable scene entities for the benchmark suite (Table 2).
+ *
+ * SceneBuilder assembles the features the benchmarks are made of:
+ * constrained rigid bodies (16-segment virtual humans, cars with
+ * rotating wheels and slider suspensions), terrains (heightfields and
+ * trimeshes), breakable joints, pre-fractured objects, explosives,
+ * static obstacles, and cloth.
+ */
+
+#ifndef PARALLAX_WORKLOAD_SCENE_BUILDER_HH
+#define PARALLAX_WORKLOAD_SCENE_BUILDER_HH
+
+#include <vector>
+
+#include "physics/world.hh"
+#include "sim/rng.hh"
+
+namespace parallax
+{
+
+/** Builds benchmark scene entities inside a World. */
+class SceneBuilder
+{
+  public:
+    explicit SceneBuilder(World &world, std::uint64_t seed = 1);
+
+    World &world() { return world_; }
+    Rng &rng() { return rng_; }
+
+    /** Add the ground plane (y = 0). */
+    void addGround();
+
+    /**
+     * Add a 16-segment virtual human of anthropomorphic dimensions:
+     * pelvis, torso, chest, head, and 2x (upper arm, forearm, hand,
+     * thigh, shin, foot), joined by ball and hinge joints.
+     *
+     * @param pos Pelvis position.
+     * @param velocity Initial velocity applied to every segment.
+     * @return The pelvis body (the figure's root).
+     */
+    RigidBody *addHumanoid(const Vec3 &pos,
+                           const Vec3 &velocity = Vec3());
+
+    /**
+     * Add a car: chassis box, suspension frame on a slider joint,
+     * and four wheels on hinge joints (6 bodies, 5 joints).
+     *
+     * @return The chassis body.
+     */
+    RigidBody *addCar(const Vec3 &pos, const Vec3 &velocity = Vec3());
+
+    /**
+     * Add a wall of bricks.
+     *
+     * @param origin Lower-left-front corner of the wall.
+     * @param along Unit direction the wall runs along (horizontal).
+     * @param bricks_x Bricks per row.
+     * @param bricks_y Rows.
+     * @param brick_half Brick half-extents.
+     * @param prefractured If true each brick is a static parent with
+     *        `debris_per_brick` disabled debris pieces, registered
+     *        with the effects manager.
+     * @param debris_per_brick Debris pieces per brick.
+     * @return Brick bodies created (parents when prefractured).
+     */
+    std::vector<RigidBody *>
+    addWall(const Vec3 &origin, const Vec3 &along, int bricks_x,
+            int bricks_y, const Vec3 &brick_half,
+            bool prefractured = false, int debris_per_brick = 4);
+
+    /**
+     * Add a bridge of planks spanning from `start` toward +x, with
+     * breakable fixed joints between neighbours and static anchors
+     * at both ends.
+     */
+    std::vector<RigidBody *>
+    addBridge(const Vec3 &start, int planks, Real break_force);
+
+    /**
+     * Add a three-walled building enclosure around `center`, open
+     * toward +x.
+     */
+    void addBuilding(const Vec3 &center, int bricks_per_wall,
+                     int rows, bool prefractured,
+                     int debris_per_brick = 4);
+
+    /** Add rolling heightfield terrain with the given footprint. */
+    void addHeightfieldTerrain(const Vec3 &origin, int nx, int nz,
+                               Real spacing, Real amplitude);
+
+    /** Add a trimesh terrain patch (triangulated ramp grid). */
+    void addTriMeshTerrain(const Vec3 &origin, int nx, int nz,
+                           Real spacing, Real amplitude);
+
+    /** Add an immobile box obstacle. */
+    void addStaticObstacle(const Vec3 &pos, const Vec3 &half);
+
+    /**
+     * Add a sphere projectile with an initial velocity; optionally
+     * explosive with the given blast parameters.
+     */
+    RigidBody *addProjectile(const Vec3 &pos, const Vec3 &velocity,
+                             Real radius, bool explosive = false,
+                             const BlastConfig &blast = BlastConfig());
+
+    /** Add a large 25x25 (625-vertex) cloth pinned along one edge. */
+    Cloth *addLargeCloth(const Vec3 &origin);
+
+    /** Add a small 5x5 (25-vertex) cloth attached to a body. */
+    Cloth *addSmallClothOnBody(RigidBody *body);
+
+  private:
+    /** Cached shape lookup to avoid duplicating identical shapes. */
+    const BoxShape *boxShape(const Vec3 &half);
+    const SphereShape *sphereShape(Real radius);
+    const CapsuleShape *capsuleShape(Real radius, Real half_height);
+
+    World &world_;
+    Rng rng_;
+    std::vector<std::pair<Vec3, const BoxShape *>> boxCache_;
+    std::vector<std::pair<Real, const SphereShape *>> sphereCache_;
+    std::vector<std::pair<std::pair<Real, Real>, const CapsuleShape *>>
+        capsuleCache_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_WORKLOAD_SCENE_BUILDER_HH

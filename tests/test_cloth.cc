@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the position-based cloth simulation.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "physics/world.hh"
+
+namespace parallax
+{
+namespace
+{
+
+TEST(Cloth, GridConstruction)
+{
+    World world;
+    Cloth *cloth = world.createCloth(5, 5, {0, 2, 0}, 0.1, 1.0);
+    EXPECT_EQ(cloth->vertexCount(), 25);
+    // Structural: 2*5*4 = 40; shear diagonals: 4*4 = 16.
+    EXPECT_EQ(cloth->constraintCount(), 56);
+}
+
+TEST(Cloth, PaperSizes)
+{
+    World world;
+    // Large cloth objects use 625 vertices; small ones use 25.
+    Cloth *large = world.createCloth(25, 25, {0, 5, 0}, 0.2, 2.0);
+    Cloth *small = world.createCloth(5, 5, {10, 5, 0}, 0.1, 0.3);
+    EXPECT_EQ(large->vertexCount(), 625);
+    EXPECT_EQ(small->vertexCount(), 25);
+}
+
+TEST(Cloth, FreeClothFallsUnderGravity)
+{
+    World world;
+    Cloth *cloth = world.createCloth(5, 5, {0, 10, 0}, 0.1, 1.0);
+    for (int i = 0; i < 50; ++i)
+        world.step();
+    for (const auto &p : cloth->particles())
+        EXPECT_LT(p.position.y, 10.0);
+}
+
+TEST(Cloth, PinnedCornersHoldTheSheet)
+{
+    World world;
+    Cloth *cloth = world.createCloth(10, 10, {0, 5, 0}, 0.1, 1.0);
+    cloth->pin(0);
+    cloth->pin(9);
+    const Vec3 corner0 = cloth->particles()[0].position;
+    for (int i = 0; i < 100; ++i)
+        world.step();
+    // Pinned corners stay put.
+    EXPECT_NEAR(
+        (cloth->particles()[0].position - corner0).length(), 0.0,
+        1e-9);
+    // The free middle sags below the pinned row.
+    const auto &mid = cloth->particles()[55];
+    EXPECT_LT(mid.position.y, 5.0);
+    // But the sheet hasn't fallen away: constraints hold it.
+    EXPECT_GT(mid.position.y, 3.0);
+}
+
+TEST(Cloth, ConstraintsPreserveEdgeLengths)
+{
+    World world;
+    Cloth *cloth = world.createCloth(8, 8, {0, 5, 0}, 0.1, 1.0);
+    cloth->pin(0);
+    cloth->pin(7);
+    for (int i = 0; i < 150; ++i)
+        world.step();
+    // After settling, stretched edge error should be bounded.
+    Real worst = 0.0;
+    for (const auto &c : cloth->constraints()) {
+        const Real len = (cloth->particles()[c.a].position -
+                          cloth->particles()[c.b].position)
+                             .length();
+        worst = std::max(worst,
+                         std::fabs(len - c.restLength) / c.restLength);
+    }
+    EXPECT_LT(worst, 0.15);
+}
+
+TEST(Cloth, DrapesOverSphereWithoutPenetration)
+{
+    World world;
+    const SphereShape *s = world.addSphere(1.0);
+    RigidBody *ball = world.createStaticBody(
+        Transform(Quat(), {0.45, 2.0, 0.45}));
+    world.createGeom(s, ball);
+
+    Cloth *cloth = world.createCloth(10, 10, {0, 3.2, 0}, 0.1, 1.0);
+    for (int i = 0; i < 200; ++i)
+        world.step();
+
+    // No particle may rest inside the sphere.
+    for (const auto &p : cloth->particles()) {
+        const Real dist = (p.position - ball->position()).length();
+        EXPECT_GT(dist, 0.97);
+    }
+}
+
+TEST(Cloth, RestsOnPlane)
+{
+    World world;
+    const PlaneShape *plane = world.addPlane({0, 1, 0}, 0.0);
+    world.createGeom(plane, world.createStaticBody(Transform()));
+    Cloth *cloth = world.createCloth(6, 6, {0, 1.0, 0}, 0.2, 1.0);
+    for (int i = 0; i < 200; ++i)
+        world.step();
+    for (const auto &p : cloth->particles()) {
+        EXPECT_GT(p.position.y, -0.01);
+        EXPECT_LT(p.position.y, 0.2);
+    }
+}
+
+TEST(Cloth, AttachmentFollowsBody)
+{
+    World world;
+    const SphereShape *s = world.addSphere(0.3);
+    RigidBody *carrier = world.createDynamicBody(
+        Transform(Quat(), {0, 5, 0}), *s, 1.0);
+    world.createGeom(s, carrier);
+    carrier->setLinearVelocity({2, 9.81 * 0.5, 0});
+
+    Cloth *cloth = world.createCloth(5, 5, {0, 5, 0}, 0.1, 0.3);
+    world.attachClothParticle(cloth, 0, carrier, {0, 0.3, 0});
+
+    for (int i = 0; i < 30; ++i)
+        world.step();
+    // The pinned particle tracks the carrier's current pose.
+    const Vec3 expected = carrier->pose().apply({0, 0.3, 0});
+    EXPECT_NEAR((cloth->particles()[0].position - expected).length(),
+                0.0, 1e-9);
+    EXPECT_GT(cloth->particles()[0].position.x, 0.3);
+}
+
+TEST(Cloth, BoundsCoverAllParticles)
+{
+    World world;
+    Cloth *cloth = world.createCloth(5, 5, {1, 2, 3}, 0.25, 1.0);
+    const Aabb b = cloth->bounds(0.0);
+    for (const auto &p : cloth->particles())
+        EXPECT_TRUE(b.contains(p.position));
+}
+
+TEST(Cloth, StatsAccumulate)
+{
+    World world;
+    world.createCloth(5, 5, {0, 5, 0}, 0.1, 1.0);
+    world.step();
+    const ClothStats &stats = world.lastStepStats().cloth;
+    EXPECT_EQ(stats.clothsStepped, 1u);
+    EXPECT_EQ(stats.verticesIntegrated, 25u);
+    // 56 constraints x clothIterations sweeps.
+    EXPECT_EQ(stats.constraintRelaxations,
+              56u * world.config().clothIterations);
+}
+
+TEST(Cloth, InvalidConstructionRejected)
+{
+    World world;
+    EXPECT_EXIT(world.createCloth(1, 5, {0, 0, 0}, 0.1, 1.0),
+                ::testing::ExitedWithCode(1), "2x2");
+    EXPECT_EXIT(world.createCloth(5, 5, {0, 0, 0}, -0.1, 1.0),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace
+} // namespace parallax

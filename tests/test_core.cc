@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the ParallAX core module: FG core model, arbitration,
+ * area model, and system sizing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/arbiter.hh"
+#include "core/area_model.hh"
+#include "core/parallax_system.hh"
+
+namespace parallax
+{
+namespace
+{
+
+/** Shared, lazily-built FG core model (the OoO runs are costly). */
+const FgCoreModel &
+sharedModel()
+{
+    static FgCoreModel model(100, 1);
+    return model;
+}
+
+TEST(FgCoreModelTest, IpcOrderingAcrossClasses)
+{
+    const FgCoreModel &m = sharedModel();
+    for (KernelId kernel : allKernels) {
+        const double desktop =
+            m.timing(FgCoreClass::Desktop, kernel).ipc;
+        const double console =
+            m.timing(FgCoreClass::Console, kernel).ipc;
+        const double shader =
+            m.timing(FgCoreClass::Shader, kernel).ipc;
+        const double limit =
+            m.timing(FgCoreClass::Limit, kernel).ipc;
+        EXPECT_GT(desktop, console) << kernelName(kernel);
+        EXPECT_GT(console, shader) << kernelName(kernel);
+        EXPECT_GT(limit, desktop) << kernelName(kernel);
+    }
+}
+
+TEST(FgCoreModelTest, IslandLimitIpcExceedsFour)
+{
+    // Figure 10(a): the limit-study core reaches an IPC over 4 on
+    // the island kernel and ~1.5 on cloth.
+    const FgCoreModel &m = sharedModel();
+    EXPECT_GT(m.timing(FgCoreClass::Limit,
+                       KernelId::IslandProcessing).ipc, 4.0);
+    const double cloth =
+        m.timing(FgCoreClass::Limit, KernelId::Cloth).ipc;
+    EXPECT_GT(cloth, 1.0);
+    EXPECT_LT(cloth, 2.2);
+}
+
+TEST(FgCoreModelTest, NarrowphaseHasWorstMispredicts)
+{
+    const FgCoreModel &m = sharedModel();
+    const double np = m.timing(FgCoreClass::Desktop,
+                               KernelId::Narrowphase).mispredictRate;
+    const double is = m.timing(FgCoreClass::Desktop,
+                               KernelId::IslandProcessing)
+                          .mispredictRate;
+    EXPECT_GT(np, is);
+    EXPECT_GT(np, 0.10);
+    EXPECT_LT(is, 0.05);
+}
+
+TEST(FgCoreModelTest, PaperFootprints)
+{
+    EXPECT_EQ(FgCoreModel::uniqueReadBytesPer100(
+                  KernelId::Narrowphase), 1668u);
+    EXPECT_EQ(FgCoreModel::uniqueWriteBytesPer100(KernelId::Cloth),
+              308u);
+    // 2 KB of local store buffers well over 100 tasks of any kernel.
+    for (KernelId k : allKernels)
+        EXPECT_LT(FgCoreModel::dataBytesForTasks(k, 100), 2048u);
+}
+
+TEST(ArbiterTest, SingleQueueUsesWholePoolWhenFlexible)
+{
+    // One CG core floods tasks; the other three are idle. Flexible
+    // arbitration borrows all FG cores for the busy CG core.
+    std::vector<std::vector<FgTask>> queues(4);
+    for (int i = 0; i < 400; ++i)
+        queues[0].push_back(FgTask{100, 0});
+
+    const FgScheduler flexible(4, 16, 10, ArbitrationPolicy::Flexible);
+    const FgScheduler fixed(4, 16, 10, ArbitrationPolicy::Static);
+    const ScheduleResult flex = flexible.run(queues);
+    const ScheduleResult stat = fixed.run(queues);
+
+    EXPECT_EQ(flex.tasksExecuted, 400u);
+    EXPECT_EQ(stat.tasksExecuted, 400u);
+    // Flexible: ~400/16 x 100 cycles; static: 400/4 x 100.
+    EXPECT_LT(flex.makespan, stat.makespan / 3);
+    EXPECT_GT(flex.tasksBorrowed, 200u);
+    EXPECT_EQ(stat.tasksBorrowed, 0u);
+    EXPECT_GT(flex.fgUtilization, 0.9);
+    EXPECT_LT(stat.fgUtilization, 0.3);
+}
+
+TEST(ArbiterTest, BalancedLoadPreservesLocality)
+{
+    // Even demand across CG cores: the flexible policy should keep
+    // each CG core's tasks on its own FG set (locality), borrowing
+    // almost nothing.
+    std::vector<std::vector<FgTask>> queues(4);
+    for (int cg = 0; cg < 4; ++cg) {
+        for (int i = 0; i < 100; ++i)
+            queues[cg].push_back(FgTask{100, cg});
+    }
+    const FgScheduler flexible(4, 16, 10,
+                               ArbitrationPolicy::Flexible);
+    const ScheduleResult r = flexible.run(queues);
+    EXPECT_EQ(r.tasksExecuted, 400u);
+    // Each FG set executed ~a quarter of the work.
+    for (std::uint64_t set_tasks : r.tasksPerFgSet) {
+        EXPECT_GT(set_tasks, 80u);
+        EXPECT_LT(set_tasks, 120u);
+    }
+    EXPECT_LT(r.tasksBorrowed, 40u);
+}
+
+TEST(ArbiterTest, FlexibleNeverSlowerThanStatic)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<std::vector<FgTask>> queues(4);
+        for (int cg = 0; cg < 4; ++cg) {
+            const int n = static_cast<int>(rng.below(200));
+            for (int i = 0; i < n; ++i) {
+                queues[cg].push_back(
+                    FgTask{50 + rng.below(200), cg});
+            }
+        }
+        const FgScheduler flexible(4, 12, 20,
+                                   ArbitrationPolicy::Flexible);
+        const FgScheduler fixed(4, 12, 20,
+                                ArbitrationPolicy::Static);
+        auto q1 = queues;
+        auto q2 = queues;
+        EXPECT_LE(flexible.run(std::move(q1)).makespan,
+                  fixed.run(std::move(q2)).makespan + 1);
+    }
+}
+
+TEST(AreaModelTest, PaperTotals)
+{
+    // Section 8.2.1: 30 desktop = 1388 mm^2, 43 console = 926 mm^2,
+    // 150 shader = 591 mm^2 (within ~2%).
+    EXPECT_NEAR(fgPoolArea(FgCoreClass::Desktop, 30).total(), 1388,
+                35);
+    EXPECT_NEAR(fgPoolArea(FgCoreClass::Console, 43).total(), 926,
+                25);
+    EXPECT_NEAR(fgPoolArea(FgCoreClass::Shader, 150).total(), 591,
+                15);
+}
+
+TEST(AreaModelTest, ShaderIsMostAreaEfficient)
+{
+    // The paper's conclusion: the simplest cores give the most
+    // area-efficient configuration.
+    const double desktop =
+        fgPoolArea(FgCoreClass::Desktop, 30).total();
+    const double console =
+        fgPoolArea(FgCoreClass::Console, 43).total();
+    const double shader =
+        fgPoolArea(FgCoreClass::Shader, 150).total();
+    EXPECT_LT(shader, console);
+    EXPECT_LT(console, desktop);
+}
+
+TEST(ParallaxSystemTest, CoresScaleWithDemandAndBudget)
+{
+    const ParallaxSystem system(sharedModel());
+    std::array<double, numKernels> demand{};
+    demand[0] = 10e6; // Narrowphase FG instructions per frame.
+    demand[1] = 60e6;
+    demand[2] = 20e6;
+
+    const double budget = 0.32 / 30.0; // 32% of one frame.
+    const int base = system.coresRequired(
+        FgCoreClass::Shader, demand, budget,
+        InterconnectKind::OnChipMesh);
+    EXPECT_GT(base, 1);
+
+    // Doubling demand needs ~2x cores.
+    std::array<double, numKernels> heavy = demand;
+    for (double &d : heavy)
+        d *= 2.0;
+    const int doubled = system.coresRequired(
+        FgCoreClass::Shader, heavy, budget,
+        InterconnectKind::OnChipMesh);
+    EXPECT_NEAR(doubled, 2 * base, base / 4 + 2);
+
+    // Halving the budget needs ~2x cores too.
+    const int squeezed = system.coresRequired(
+        FgCoreClass::Shader, demand, budget / 2,
+        InterconnectKind::OnChipMesh);
+    EXPECT_NEAR(squeezed, 2 * base, base / 4 + 2);
+}
+
+TEST(ParallaxSystemTest, SimplerCoresNeedMore)
+{
+    const ParallaxSystem system(sharedModel());
+    std::array<double, numKernels> demand{20e6, 80e6, 30e6};
+    const double budget = 0.32 / 30.0;
+    const int desktop = system.coresRequired(
+        FgCoreClass::Desktop, demand, budget,
+        InterconnectKind::OnChipMesh);
+    const int console = system.coresRequired(
+        FgCoreClass::Console, demand, budget,
+        InterconnectKind::OnChipMesh);
+    const int shader = system.coresRequired(
+        FgCoreClass::Shader, demand, budget,
+        InterconnectKind::OnChipMesh);
+    EXPECT_LT(desktop, console);
+    EXPECT_LT(console, shader);
+}
+
+TEST(ParallaxSystemTest, OffChipNeedsAtLeastAsManyCores)
+{
+    const ParallaxSystem system(sharedModel());
+    std::array<double, numKernels> demand{20e6, 80e6, 30e6};
+    const double budget = 0.32 / 30.0;
+    const int on_chip = system.coresRequired(
+        FgCoreClass::Shader, demand, budget,
+        InterconnectKind::OnChipMesh);
+    const int htx = system.coresRequired(
+        FgCoreClass::Shader, demand, budget, InterconnectKind::Htx);
+    const int pcie = system.coresRequired(
+        FgCoreClass::Shader, demand, budget, InterconnectKind::Pcie);
+    EXPECT_LE(on_chip, htx);
+    EXPECT_LE(htx, pcie);
+}
+
+TEST(ParallaxSystemTest, Table7Ordering)
+{
+    const ParallaxSystem system(sharedModel());
+    for (KernelId kernel : allKernels) {
+        const auto on_chip = system.tasksToHide(
+            FgCoreClass::Shader, kernel,
+            InterconnectKind::OnChipMesh, 150);
+        const auto htx = system.tasksToHide(
+            FgCoreClass::Shader, kernel, InterconnectKind::Htx,
+            150);
+        const auto pcie = system.tasksToHide(
+            FgCoreClass::Shader, kernel, InterconnectKind::Pcie,
+            150);
+        EXPECT_LE(on_chip, htx) << kernelName(kernel);
+        EXPECT_LT(htx, pcie) << kernelName(kernel);
+        EXPECT_GE(on_chip, 150u); // At least one task per core.
+    }
+}
+
+TEST(ParallaxSystemTest, FilteredWorkFraction)
+{
+    // Islands with 10, 20, 1000 rows; threshold 50 filters the
+    // small ones: 30/1030 of the work stays on CG cores.
+    const std::vector<int> islands{10, 20, 1000};
+    EXPECT_NEAR(ParallaxSystem::filteredWorkFraction(islands, 50),
+                30.0 / 1030.0, 1e-12);
+    EXPECT_DOUBLE_EQ(
+        ParallaxSystem::filteredWorkFraction(islands, 1), 0.0);
+    EXPECT_DOUBLE_EQ(
+        ParallaxSystem::filteredWorkFraction({}, 100), 0.0);
+}
+
+TEST(KernelForPhaseTest, ParallelPhasesMap)
+{
+    EXPECT_EQ(kernelForPhase(Phase::Narrowphase),
+              KernelId::Narrowphase);
+    EXPECT_EQ(kernelForPhase(Phase::IslandProcessing),
+              KernelId::IslandProcessing);
+    EXPECT_EQ(kernelForPhase(Phase::Cloth), KernelId::Cloth);
+    EXPECT_DEATH(kernelForPhase(Phase::Broadphase), "no FG kernel");
+}
+
+} // namespace
+} // namespace parallax

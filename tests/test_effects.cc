@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for explosions, blast volumes, and pre-fractured objects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "physics/world.hh"
+
+namespace parallax
+{
+namespace
+{
+
+TEST(Effects, ExplosiveTriggersOnContact)
+{
+    World world;
+    const SphereShape *s = world.addSphere(0.5);
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    world.createGeom(p, world.createStaticBody(Transform()));
+
+    RigidBody *bomb = world.createDynamicBody(
+        Transform(Quat(), {0, 0.4, 0}), *s, 1.0);
+    Geom *bomb_geom = world.createGeom(s, bomb);
+    bomb_geom->setExplosive(true);
+    world.effects().registerExplosive(bomb_geom->id(),
+                                      BlastConfig{4.0, 0.05, 100.0});
+
+    world.step(); // Touching the plane triggers the blast.
+    EXPECT_EQ(world.effects().stats().blastsTriggered, 1u);
+    EXPECT_EQ(world.effects().activeBlasts(), 1u);
+    // The exploding object is disabled and replaced by the blast.
+    EXPECT_FALSE(bomb->enabled());
+}
+
+TEST(Effects, BlastExpiresAfterDuration)
+{
+    World world;
+    const SphereShape *s = world.addSphere(0.5);
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    world.createGeom(p, world.createStaticBody(Transform()));
+    RigidBody *bomb = world.createDynamicBody(
+        Transform(Quat(), {0, 0.4, 0}), *s, 1.0);
+    Geom *g = world.createGeom(s, bomb);
+    g->setExplosive(true);
+    // Duration 0.05 s = 5 steps at dt = 0.01.
+    world.effects().registerExplosive(g->id(),
+                                      BlastConfig{4.0, 0.05, 100.0});
+
+    for (int i = 0; i < 10; ++i)
+        world.step();
+    EXPECT_EQ(world.effects().activeBlasts(), 0u);
+    EXPECT_EQ(world.effects().stats().blastsExpired, 1u);
+}
+
+TEST(Effects, BlastPushesNearbyBodies)
+{
+    World world;
+    const SphereShape *s = world.addSphere(0.5);
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    world.createGeom(p, world.createStaticBody(Transform()));
+
+    RigidBody *bomb = world.createDynamicBody(
+        Transform(Quat(), {0, 0.4, 0}), *s, 1.0);
+    Geom *g = world.createGeom(s, bomb);
+    g->setExplosive(true);
+    world.effects().registerExplosive(g->id(),
+                                      BlastConfig{5.0, 0.05, 500.0});
+
+    RigidBody *bystander = world.createDynamicBody(
+        Transform(Quat(), {2.0, 0.5, 0}), *s, 1.0);
+    world.createGeom(s, bystander);
+
+    for (int i = 0; i < 6; ++i)
+        world.step();
+
+    // The bystander must have been pushed away radially (+x).
+    EXPECT_GT(bystander->linearVelocity().x +
+                  (bystander->position().x - 2.0) * 10,
+              0.5);
+    EXPECT_GT(world.effects().stats().bodiesPushed, 0u);
+}
+
+TEST(Effects, PrefracturedObjectBreaksIntoDebris)
+{
+    World world;
+    const SphereShape *s = world.addSphere(0.5);
+    const BoxShape *brick = world.addBox({0.5, 0.5, 0.5});
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    world.createGeom(p, world.createStaticBody(Transform()));
+
+    // Parent wall block (static until fractured).
+    RigidBody *wall = world.createStaticBody(
+        Transform(Quat(), {1.5, 0.5, 0}));
+    world.createGeom(brick, wall);
+
+    // Debris created at startup, disabled.
+    std::vector<BodyId> debris_ids;
+    const BoxShape *piece = world.addBox({0.2, 0.2, 0.2});
+    for (int i = 0; i < 4; ++i) {
+        RigidBody *d = world.createDynamicBody(
+            Transform(Quat(), {1.3 + 0.2 * (i % 2), 0.3 + 0.4 * (i / 2),
+                               0}),
+            *piece, 1.0);
+        d->setEnabled(false);
+        world.createGeom(piece, d);
+        debris_ids.push_back(d->id());
+    }
+    world.effects().registerFractureGroup(wall->id(), debris_ids);
+
+    // Bomb right next to the wall.
+    RigidBody *bomb = world.createDynamicBody(
+        Transform(Quat(), {0, 0.4, 0}), *s, 1.0);
+    Geom *g = world.createGeom(s, bomb);
+    g->setExplosive(true);
+    world.effects().registerExplosive(g->id(),
+                                      BlastConfig{4.0, 0.1, 300.0});
+
+    for (int i = 0; i < 5; ++i)
+        world.step();
+
+    EXPECT_EQ(world.effects().stats().objectsFractured, 1u);
+    EXPECT_EQ(world.effects().stats().debrisEnabled, 4u);
+    EXPECT_FALSE(wall->enabled());
+    for (BodyId id : debris_ids)
+        EXPECT_TRUE(world.body(id)->enabled());
+}
+
+TEST(Effects, FractureHappensOnlyOnce)
+{
+    World world;
+    const SphereShape *s = world.addSphere(0.5);
+    const BoxShape *brick = world.addBox({0.5, 0.5, 0.5});
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    world.createGeom(p, world.createStaticBody(Transform()));
+
+    RigidBody *wall = world.createStaticBody(
+        Transform(Quat(), {1.5, 0.5, 0}));
+    world.createGeom(brick, wall);
+    RigidBody *d = world.createDynamicBody(
+        Transform(Quat(), {1.5, 0.5, 0}), *brick, 1.0);
+    d->setEnabled(false);
+    world.createGeom(brick, d);
+    world.effects().registerFractureGroup(wall->id(), {d->id()});
+
+    // Two bombs in blast contact with the wall.
+    for (int k = 0; k < 2; ++k) {
+        RigidBody *bomb = world.createDynamicBody(
+            Transform(Quat(), {-0.5 + k, 0.4, 0}), *s, 1.0);
+        Geom *g = world.createGeom(s, bomb);
+        g->setExplosive(true);
+        world.effects().registerExplosive(
+            g->id(), BlastConfig{4.0, 0.1, 300.0});
+    }
+
+    for (int i = 0; i < 10; ++i)
+        world.step();
+    EXPECT_EQ(world.effects().stats().objectsFractured, 1u);
+    EXPECT_EQ(world.effects().stats().debrisEnabled, 1u);
+}
+
+TEST(Effects, NonExplosiveContactDoesNotTrigger)
+{
+    World world;
+    const SphereShape *s = world.addSphere(0.5);
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    world.createGeom(p, world.createStaticBody(Transform()));
+    RigidBody *ball = world.createDynamicBody(
+        Transform(Quat(), {0, 0.4, 0}), *s, 1.0);
+    world.createGeom(s, ball);
+
+    world.step();
+    EXPECT_EQ(world.effects().stats().blastsTriggered, 0u);
+    EXPECT_TRUE(ball->enabled());
+}
+
+TEST(Effects, BlastVolumeIsNotSolid)
+{
+    World world;
+    const SphereShape *s = world.addSphere(0.5);
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    world.createGeom(p, world.createStaticBody(Transform()));
+    RigidBody *bomb = world.createDynamicBody(
+        Transform(Quat(), {0, 0.4, 0}), *s, 1.0);
+    Geom *g = world.createGeom(s, bomb);
+    g->setExplosive(true);
+    world.effects().registerExplosive(g->id(),
+                                      BlastConfig{6.0, 0.5, 10.0});
+    world.step();
+    ASSERT_EQ(world.effects().activeBlasts(), 1u);
+
+    // A ball resting inside the blast radius must still rest on the
+    // plane (no contact joints against the blast volume).
+    RigidBody *ball = world.createDynamicBody(
+        Transform(Quat(), {1.0, 0.5, 0}), *s, 1.0);
+    world.createGeom(s, ball);
+    for (int i = 0; i < 30; ++i)
+        world.step();
+    EXPECT_LT(ball->position().y, 1.0);
+}
+
+TEST(Effects, InvalidRegistrationRejected)
+{
+    World world;
+    EXPECT_EXIT(world.effects().registerExplosive(
+                    0, BlastConfig{-1.0, 0.1, 10.0}),
+                ::testing::ExitedWithCode(1), "positive");
+    EXPECT_EXIT(world.effects().registerFractureGroup(0, {}),
+                ::testing::ExitedWithCode(1), "debris");
+}
+
+} // namespace
+} // namespace parallax

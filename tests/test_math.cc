@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Unit and property tests for the math primitives.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "physics/math/aabb.hh"
+#include "physics/math/mat3.hh"
+#include "physics/math/quat.hh"
+#include "physics/math/transform.hh"
+#include "physics/math/vec3.hh"
+#include "sim/rng.hh"
+
+namespace parallax
+{
+namespace
+{
+
+constexpr double kEps = 1e-9;
+
+void
+expectNear(const Vec3 &a, const Vec3 &b, double eps = kEps)
+{
+    EXPECT_NEAR(a.x, b.x, eps);
+    EXPECT_NEAR(a.y, b.y, eps);
+    EXPECT_NEAR(a.z, b.z, eps);
+}
+
+TEST(Vec3, Arithmetic)
+{
+    const Vec3 a{1, 2, 3};
+    const Vec3 b{4, 5, 6};
+    expectNear(a + b, {5, 7, 9});
+    expectNear(a - b, {-3, -3, -3});
+    expectNear(a * 2.0, {2, 4, 6});
+    expectNear(2.0 * a, {2, 4, 6});
+    expectNear(-a, {-1, -2, -3});
+}
+
+TEST(Vec3, DotAndCross)
+{
+    const Vec3 x{1, 0, 0};
+    const Vec3 y{0, 1, 0};
+    EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+    expectNear(x.cross(y), {0, 0, 1});
+    const Vec3 a{1, 2, 3};
+    const Vec3 b{4, 5, 6};
+    EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+    // Cross product is perpendicular to both inputs.
+    const Vec3 c = a.cross(b);
+    EXPECT_NEAR(c.dot(a), 0.0, kEps);
+    EXPECT_NEAR(c.dot(b), 0.0, kEps);
+}
+
+TEST(Vec3, Normalization)
+{
+    const Vec3 v{3, 4, 0};
+    EXPECT_DOUBLE_EQ(v.length(), 5.0);
+    EXPECT_NEAR(v.normalized().length(), 1.0, kEps);
+    // Degenerate input returns zero rather than NaN.
+    expectNear(Vec3{}.normalized(), {0, 0, 0});
+}
+
+TEST(Vec3, IndexAccess)
+{
+    Vec3 v{7, 8, 9};
+    EXPECT_DOUBLE_EQ(v[0], 7.0);
+    EXPECT_DOUBLE_EQ(v[1], 8.0);
+    EXPECT_DOUBLE_EQ(v[2], 9.0);
+    v[1] = 42.0;
+    EXPECT_DOUBLE_EQ(v.y, 42.0);
+}
+
+TEST(Vec3, MinMax)
+{
+    const Vec3 a{1, 5, 3};
+    const Vec3 b{2, 4, 3};
+    expectNear(Vec3::min(a, b), {1, 4, 3});
+    expectNear(Vec3::max(a, b), {2, 5, 3});
+}
+
+TEST(Mat3, IdentityAndDiagonal)
+{
+    const Mat3 id = Mat3::identity();
+    const Vec3 v{1, 2, 3};
+    expectNear(id * v, v);
+    const Mat3 d = Mat3::diagonal(2, 3, 4);
+    expectNear(d * v, {2, 6, 12});
+}
+
+TEST(Mat3, MatrixProduct)
+{
+    const Mat3 a = Mat3::diagonal(1, 2, 3);
+    const Mat3 b = Mat3::diagonal(4, 5, 6);
+    const Mat3 c = a * b;
+    EXPECT_DOUBLE_EQ(c.m[0][0], 4.0);
+    EXPECT_DOUBLE_EQ(c.m[1][1], 10.0);
+    EXPECT_DOUBLE_EQ(c.m[2][2], 18.0);
+}
+
+TEST(Mat3, InverseProperty)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 50; ++trial) {
+        Mat3 m = Mat3::zero();
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                m.m[i][j] = rng.uniform(-2.0, 2.0);
+        if (std::fabs(m.determinant()) < 1e-3)
+            continue; // Skip near-singular draws.
+        const Mat3 prod = m * m.inverse();
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                EXPECT_NEAR(prod.m[i][j], i == j ? 1.0 : 0.0, 1e-8);
+    }
+}
+
+TEST(Mat3, SingularInverseReturnsIdentity)
+{
+    const Mat3 singular = Mat3::zero();
+    const Mat3 inv = singular.inverse();
+    EXPECT_DOUBLE_EQ(inv.m[0][0], 1.0);
+    EXPECT_DOUBLE_EQ(inv.m[1][1], 1.0);
+}
+
+TEST(Mat3, SkewMatchesCrossProduct)
+{
+    Rng rng(13);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Vec3 v{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                     rng.uniform(-1, 1)};
+        const Vec3 w{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                     rng.uniform(-1, 1)};
+        expectNear(Mat3::skew(v) * w, v.cross(w), 1e-12);
+    }
+}
+
+TEST(Mat3, TransposeProperty)
+{
+    Rng rng(3);
+    Mat3 m = Mat3::zero();
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            m.m[i][j] = rng.uniform(-1, 1);
+    const Mat3 t = m.transposed();
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(t.m[i][j], m.m[j][i]);
+}
+
+TEST(Quat, IdentityRotation)
+{
+    const Quat q;
+    expectNear(q.rotate({1, 2, 3}), {1, 2, 3});
+}
+
+TEST(Quat, AxisAngleRotation)
+{
+    const Quat q = Quat::fromAxisAngle({0, 0, 1}, M_PI / 2);
+    expectNear(q.rotate({1, 0, 0}), {0, 1, 0}, 1e-12);
+}
+
+TEST(Quat, CompositionMatchesSequentialRotation)
+{
+    const Quat qa = Quat::fromAxisAngle({0, 1, 0}, 0.3);
+    const Quat qb = Quat::fromAxisAngle({1, 0, 0}, 0.7);
+    const Vec3 v{0.5, -1.0, 2.0};
+    expectNear((qa * qb).rotate(v), qa.rotate(qb.rotate(v)), 1e-12);
+}
+
+TEST(Quat, ConjugateInvertsRotation)
+{
+    const Quat q = Quat::fromAxisAngle({1, 2, 3}, 1.1);
+    const Vec3 v{4, 5, 6};
+    expectNear(q.conjugate().rotate(q.rotate(v)), v, 1e-12);
+}
+
+TEST(Quat, RotationPreservesLength)
+{
+    Rng rng(17);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Quat q = Quat::fromAxisAngle(
+            {rng.uniform(-1, 1), rng.uniform(-1, 1),
+             rng.uniform(-1, 1)},
+            rng.uniform(0, 6.28));
+        const Vec3 v{rng.uniform(-5, 5), rng.uniform(-5, 5),
+                     rng.uniform(-5, 5)};
+        EXPECT_NEAR(q.rotate(v).length(), v.length(), 1e-9);
+    }
+}
+
+TEST(Quat, ToMat3MatchesRotate)
+{
+    Rng rng(23);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Quat q = Quat::fromAxisAngle(
+            {rng.uniform(-1, 1), rng.uniform(-1, 1),
+             rng.uniform(-1, 1)},
+            rng.uniform(0, 6.28));
+        const Vec3 v{rng.uniform(-5, 5), rng.uniform(-5, 5),
+                     rng.uniform(-5, 5)};
+        expectNear(q.toMat3() * v, q.rotate(v), 1e-9);
+    }
+}
+
+TEST(Quat, IntegrationStaysUnit)
+{
+    Quat q;
+    const Vec3 omega{3.0, -2.0, 1.0};
+    for (int i = 0; i < 1000; ++i)
+        q = q.integrated(omega, 0.01);
+    EXPECT_NEAR(q.length(), 1.0, 1e-9);
+}
+
+TEST(Quat, ZeroOmegaIntegrationIsIdentityOp)
+{
+    const Quat q = Quat::fromAxisAngle({0, 1, 0}, 0.5);
+    const Quat q2 = q.integrated({0, 0, 0}, 0.01);
+    EXPECT_NEAR(q2.w, q.w, 1e-12);
+    EXPECT_NEAR(q2.x, q.x, 1e-12);
+}
+
+TEST(Transform, ApplyAndInverseRoundTrip)
+{
+    Rng rng(29);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Transform t(
+            Quat::fromAxisAngle({rng.uniform(-1, 1),
+                                 rng.uniform(-1, 1),
+                                 rng.uniform(-1, 1)},
+                                rng.uniform(0, 6.28)),
+            {rng.uniform(-10, 10), rng.uniform(-10, 10),
+             rng.uniform(-10, 10)});
+        const Vec3 p{rng.uniform(-5, 5), rng.uniform(-5, 5),
+                     rng.uniform(-5, 5)};
+        expectNear(t.applyInverse(t.apply(p)), p, 1e-9);
+        expectNear(t.inverse().apply(t.apply(p)), p, 1e-9);
+    }
+}
+
+TEST(Transform, CompositionAssociativity)
+{
+    const Transform a(Quat::fromAxisAngle({0, 1, 0}, 0.4), {1, 2, 3});
+    const Transform b(Quat::fromAxisAngle({1, 0, 0}, -0.9), {4, 5, 6});
+    const Vec3 p{0.1, 0.2, 0.3};
+    expectNear((a * b).apply(p), a.apply(b.apply(p)), 1e-12);
+}
+
+TEST(Aabb, OverlapAndContainment)
+{
+    const Aabb a({0, 0, 0}, {2, 2, 2});
+    const Aabb b({1, 1, 1}, {3, 3, 3});
+    const Aabb c({5, 5, 5}, {6, 6, 6});
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_TRUE(b.overlaps(a));
+    EXPECT_FALSE(a.overlaps(c));
+    EXPECT_TRUE(a.contains({1, 1, 1}));
+    EXPECT_FALSE(a.contains({3, 1, 1}));
+}
+
+TEST(Aabb, TouchingBoxesOverlap)
+{
+    const Aabb a({0, 0, 0}, {1, 1, 1});
+    const Aabb b({1, 0, 0}, {2, 1, 1});
+    EXPECT_TRUE(a.overlaps(b));
+}
+
+TEST(Aabb, ExtendAndMerge)
+{
+    Aabb box;
+    EXPECT_FALSE(box.valid());
+    box.extend({1, 2, 3});
+    EXPECT_TRUE(box.valid());
+    box.extend({-1, 4, 0});
+    expectNear(box.lo, {-1, 2, 0});
+    expectNear(box.hi, {1, 4, 3});
+
+    Aabb other({10, 10, 10}, {11, 11, 11});
+    box.merge(other);
+    expectNear(box.hi, {11, 11, 11});
+}
+
+TEST(Aabb, InflateAndArea)
+{
+    const Aabb unit({0, 0, 0}, {1, 1, 1});
+    EXPECT_DOUBLE_EQ(unit.surfaceArea(), 6.0);
+    const Aabb big = unit.inflated(0.5);
+    expectNear(big.lo, {-0.5, -0.5, -0.5});
+    expectNear(big.hi, {1.5, 1.5, 1.5});
+    expectNear(unit.center(), {0.5, 0.5, 0.5});
+}
+
+} // namespace
+} // namespace parallax

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the cache model and the partitioned memory hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+#include "workload/benchmarks.hh"
+
+namespace parallax
+{
+namespace
+{
+
+TEST(CacheTest, HitsAfterFill)
+{
+    Cache cache(CacheConfig{1024, 4, 64});
+    EXPECT_FALSE(cache.access(0x1000, false));
+    EXPECT_TRUE(cache.access(0x1000, false));
+    EXPECT_TRUE(cache.access(0x1020, false)); // Same line.
+    EXPECT_FALSE(cache.access(0x1040, false)); // Next line.
+    EXPECT_EQ(cache.stats().accesses, 4u);
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CacheTest, LruEvictionWithinSet)
+{
+    // 4-way, line 64: size 1024 -> 4 sets. Lines mapping to set 0:
+    // addresses k * 4 * 64.
+    Cache cache(CacheConfig{1024, 4, 64});
+    const std::uint64_t stride = 4 * 64;
+    for (int i = 0; i < 4; ++i)
+        cache.access(i * stride, false);
+    // Touch line 0 to refresh it, then insert a 5th line.
+    EXPECT_TRUE(cache.access(0, false));
+    cache.access(4 * stride, false);
+    // The LRU victim was line 1, not line 0.
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_FALSE(cache.probe(stride));
+}
+
+TEST(CacheTest, CompulsoryMissClassification)
+{
+    Cache cache(CacheConfig{1024, 4, 64});
+    cache.access(0, false);
+    cache.access(64, false);
+    // Force capacity evictions, then re-touch.
+    for (int i = 0; i < 64; ++i)
+        cache.access(i * 256, false);
+    cache.access(0, false); // Non-compulsory miss (seen before).
+    const CacheStats &stats = cache.stats();
+    EXPECT_EQ(stats.compulsoryMisses + 0,
+              stats.compulsoryMisses);
+    EXPECT_LT(stats.compulsoryMisses, stats.misses);
+}
+
+TEST(CacheTest, FullyAssociativeHasNoConflicts)
+{
+    // Same capacity, direct-mapped vs fully associative: a
+    // conflict-heavy stream misses only in the direct-mapped one.
+    Cache direct(CacheConfig{4096, 1, 64});
+    Cache full(CacheConfig{4096, 64, 64});
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 8; ++i) {
+            // 8 lines, all mapping to the same direct-mapped set.
+            direct.access(i * 4096, false);
+            full.access(i * 4096, false);
+        }
+    }
+    EXPECT_GT(direct.stats().misses, full.stats().misses);
+    EXPECT_EQ(full.stats().misses, 8u); // Compulsory only.
+}
+
+TEST(CacheTest, WritebackOnDirtyEviction)
+{
+    Cache cache(CacheConfig{256, 1, 64}); // 4 sets, direct mapped.
+    cache.access(0, true);     // Dirty.
+    cache.access(256, false);  // Evicts line 0 (same set).
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(CacheTest, KernelUserMissSplit)
+{
+    Cache cache(CacheConfig{1024, 4, 64});
+    cache.access(0, false, false);
+    cache.access(4096, false, true);
+    EXPECT_EQ(cache.stats().userMisses, 1u);
+    EXPECT_EQ(cache.stats().kernelMisses, 1u);
+}
+
+TEST(CacheTest, InvalidConfigRejected)
+{
+    EXPECT_EXIT(Cache(CacheConfig{0, 4, 64}),
+                ::testing::ExitedWithCode(1), "positive");
+    EXPECT_EXIT(Cache(CacheConfig{1024, 0, 64}),
+                ::testing::ExitedWithCode(1), "way");
+}
+
+TEST(L2PlanTest, SharedMapsAllPhasesToOnePartition)
+{
+    const L2Plan plan = L2Plan::shared(4);
+    EXPECT_EQ(plan.partitionBytes.size(), 1u);
+    EXPECT_EQ(plan.partitionBytes[0], 4ull << 20);
+    for (int p = 0; p < numPhases; ++p)
+        EXPECT_EQ(plan.partitionOf[p], 0);
+}
+
+TEST(L2PlanTest, PaperPartitioningShape)
+{
+    // Section 6.2: 12 MB = 4 MB Broadphase + 4 MB Island Creation +
+    // 4 MB shared by the parallel phases.
+    const L2Plan plan = L2Plan::paperPartitioned();
+    EXPECT_EQ(plan.partitionBytes.size(), 3u);
+    std::uint64_t total = 0;
+    for (auto bytes : plan.partitionBytes)
+        total += bytes;
+    EXPECT_EQ(total, 12ull << 20);
+    EXPECT_NE(plan.partitionOf[static_cast<int>(Phase::Broadphase)],
+              plan.partitionOf[static_cast<int>(
+                  Phase::IslandCreation)]);
+    EXPECT_EQ(plan.partitionOf[static_cast<int>(Phase::Narrowphase)],
+              plan.partitionOf[static_cast<int>(Phase::Cloth)]);
+}
+
+TEST(HierarchyTest, LatencyAccumulation)
+{
+    HierarchyConfig config;
+    config.plan = L2Plan::shared(1);
+    MemoryHierarchy mem(config);
+    const MemRef ref{0x10000, 64, false, false};
+    // Cold: L1 miss + L2 miss -> 2 + 15 + 340.
+    EXPECT_EQ(mem.access(0, Phase::Broadphase, ref), 357u);
+    // Warm: L1 hit -> 2.
+    EXPECT_EQ(mem.access(0, Phase::Broadphase, ref), 2u);
+    const PhaseMemStats &stats = mem.phaseStats(Phase::Broadphase);
+    EXPECT_EQ(stats.refs, 2u);
+    EXPECT_EQ(stats.l1Hits, 1u);
+    EXPECT_EQ(stats.l2Misses, 1u);
+}
+
+TEST(HierarchyTest, L2HitAfterL1Eviction)
+{
+    HierarchyConfig config;
+    config.plan = L2Plan::shared(4);
+    MemoryHierarchy mem(config);
+    // Fill far more than L1 (32 KB) but well under L2 (4 MB).
+    for (std::uint64_t a = 0; a < (256u << 10); a += 64)
+        mem.access(0, Phase::Narrowphase, {a, 64, false, false});
+    // Second pass: everything L2-hits (L1 too small).
+    mem.resetStats();
+    for (std::uint64_t a = 0; a < (256u << 10); a += 64)
+        mem.access(0, Phase::Narrowphase, {a, 64, false, false});
+    const PhaseMemStats &stats = mem.phaseStats(Phase::Narrowphase);
+    EXPECT_EQ(stats.l2Misses, 0u);
+    EXPECT_GT(stats.l2Hits, 3000u);
+}
+
+TEST(HierarchyTest, PartitionsIsolatePhases)
+{
+    // With dedicated partitions, a huge narrowphase stream cannot
+    // evict broadphase's working set — the paper's key observation.
+    auto serialMissesAfterPollution = [](bool partitioned) {
+        HierarchyConfig config;
+        config.plan = partitioned ? L2Plan::dedicatedPerPhase(1)
+                                  : L2Plan::shared(1);
+        MemoryHierarchy mem(config);
+        // Warm broadphase working set (512 KB).
+        for (std::uint64_t a = 0; a < (512u << 10); a += 64) {
+            mem.access(0, Phase::Broadphase,
+                       {a, 64, false, false});
+        }
+        // Pollute with a 4 MB narrowphase stream at other addrs.
+        for (std::uint64_t a = 0; a < (4096u << 10); a += 64) {
+            mem.access(0, Phase::Narrowphase,
+                       {0x4000'0000 + a, 64, false, false});
+        }
+        // Re-run broadphase and count L2 misses.
+        mem.resetStats();
+        for (std::uint64_t a = 0; a < (512u << 10); a += 64) {
+            mem.access(0, Phase::Broadphase,
+                       {a, 64, false, false});
+        }
+        return mem.phaseStats(Phase::Broadphase).l2Misses;
+    };
+    EXPECT_GT(serialMissesAfterPollution(false),
+              10 * std::max<std::uint64_t>(
+                       1, serialMissesAfterPollution(true)));
+}
+
+TEST(HierarchyTest, WriteInvalidatesOtherL1s)
+{
+    HierarchyConfig config;
+    config.threads = 2;
+    config.plan = L2Plan::shared(1);
+    MemoryHierarchy mem(config);
+    const MemRef read{0x8000, 64, false, false};
+    mem.access(0, Phase::Narrowphase, read);
+    mem.access(1, Phase::Narrowphase, read);
+    // Thread 1 writes: thread 0's copy is invalidated.
+    mem.access(1, Phase::Narrowphase, {0x8000, 64, true, false});
+    EXPECT_GT(mem.phaseStats(Phase::Narrowphase).invalidations, 0u);
+    // Thread 0 must now miss in L1 (L2 still has it).
+    const Tick lat = mem.access(0, Phase::Narrowphase, read);
+    EXPECT_EQ(lat, 2u + 15u);
+}
+
+TEST(HierarchyTest, ReplayStepCoversAllPhases)
+{
+    auto world = buildBenchmark(BenchmarkId::Periodic, WorldConfig(),
+                                0.2);
+    for (int i = 0; i < 3; ++i)
+        world->step();
+    TraceGenerator gen;
+    const StepTrace trace = gen.generate(*world);
+
+    HierarchyConfig config;
+    config.plan = L2Plan::shared(1);
+    MemoryHierarchy mem(config);
+    mem.replayStep(trace);
+    for (int p = 0; p < numPhases; ++p) {
+        const Phase phase = static_cast<Phase>(p);
+        EXPECT_EQ(mem.phaseStats(phase).refs,
+                  trace.refs(phase).size());
+    }
+}
+
+TEST(HierarchyTest, BiggerL2ReducesMisses)
+{
+    auto world = buildBenchmark(BenchmarkId::Mix, WorldConfig(), 0.3);
+    for (int i = 0; i < 3; ++i)
+        world->step();
+    TraceGenerator gen;
+    const StepTrace trace = gen.generate(*world);
+
+    auto misses = [&](int mb) {
+        HierarchyConfig config;
+        config.plan = L2Plan::shared(mb);
+        MemoryHierarchy mem(config);
+        // Two replays: the first warms, the second measures.
+        mem.replayStep(trace);
+        mem.resetStats();
+        mem.replayStep(trace);
+        return mem.totalStats().l2Misses;
+    };
+    EXPECT_GE(misses(1), misses(4));
+    EXPECT_GE(misses(4), misses(16));
+}
+
+TEST(HierarchyTest, InvalidThreadsRejected)
+{
+    HierarchyConfig config;
+    config.threads = 0;
+    EXPECT_EXIT(MemoryHierarchy mem(config),
+                ::testing::ExitedWithCode(1), "thread");
+}
+
+} // namespace
+} // namespace parallax

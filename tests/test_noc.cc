@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the interconnect models: mesh, off-chip links, packets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/interconnect.hh"
+#include "noc/packet.hh"
+
+namespace parallax
+{
+namespace
+{
+
+TEST(PacketTest, FlitMath)
+{
+    // 56 payload bits per 64-bit flit.
+    EXPECT_EQ(flitsForBytes(0), 0u);
+    EXPECT_EQ(flitsForBytes(1), 1u);
+    EXPECT_EQ(flitsForBytes(7), 1u);  // 56 bits exactly.
+    EXPECT_EQ(flitsForBytes(8), 2u);  // 64 bits -> 2 flits.
+    EXPECT_EQ(flitsForBytes(70), 10u);
+}
+
+TEST(PacketTest, ControlPacketFields)
+{
+    // Task id, data-set id, size, iteration count, kernel id
+    // (section 7.3).
+    EXPECT_EQ(ControlPacket::serializedBytes(), 17u);
+    EXPECT_EQ(DataPacketHeader::serializedBytes(), 8u);
+}
+
+TEST(MeshTest, GridGeometry)
+{
+    const MeshModel mesh(16);
+    EXPECT_EQ(mesh.width(), 4);
+    // Corner to corner: (3 + 3) hops.
+    EXPECT_EQ(mesh.hops(0, 15), 6);
+    EXPECT_EQ(mesh.hops(5, 5), 0);
+    EXPECT_EQ(mesh.hops(0, 1), 1);
+}
+
+TEST(MeshTest, NonSquareRoundsUp)
+{
+    const MeshModel mesh(150);
+    EXPECT_EQ(mesh.width(), 13);
+}
+
+TEST(MeshTest, PacketLatencyComposition)
+{
+    const MeshModel mesh(16);
+    // 1 hop, 1 flit: 1 wire + 5 router = 6 cycles.
+    EXPECT_EQ(mesh.packetLatency(1, 4), 6u);
+    // Serialization adds one cycle per extra flit.
+    EXPECT_EQ(mesh.packetLatency(1, 70), 6u + 9u);
+    // More hops scale the head latency.
+    EXPECT_EQ(mesh.packetLatency(4, 4), 24u);
+}
+
+TEST(OffChipTest, BandwidthAndLatency)
+{
+    const OffChipLink pcie = OffChipLink::pcie();
+    const OffChipLink htx = OffChipLink::htx();
+    // HTX is both lower latency and higher bandwidth.
+    EXPECT_LT(htx.latencySeconds, pcie.latencySeconds);
+    EXPECT_GT(htx.bandwidthBytesPerSec, pcie.bandwidthBytesPerSec);
+    // 4 KB over PCIe at 4 GB/s: 1 us transfer + 1 us latency
+    // = 2 us = 4000 cycles at 2 GHz.
+    EXPECT_NEAR(static_cast<double>(pcie.transferCycles(4096)),
+                4096.0, 120.0);
+}
+
+TEST(DispatchLatencyTest, OrderingAcrossInterconnects)
+{
+    const MeshModel mesh(64);
+    const double hops = mesh.averageHopsFromPort();
+    const Tick on_chip = dispatchLatency(
+        InterconnectKind::OnChipMesh, mesh, hops, 256);
+    const Tick htx = dispatchLatency(InterconnectKind::Htx, mesh,
+                                     hops, 256);
+    const Tick pcie = dispatchLatency(InterconnectKind::Pcie, mesh,
+                                      hops, 256);
+    EXPECT_LT(on_chip, htx);
+    EXPECT_LT(htx, pcie);
+    // On-chip is tens of cycles; PCIe is thousands.
+    EXPECT_LT(on_chip, 200u);
+    EXPECT_GT(pcie, 2000u);
+}
+
+TEST(DispatchLatencyTest, OffChipIncludesFarSideMesh)
+{
+    const MeshModel mesh(64);
+    const double hops = mesh.averageHopsFromPort();
+    const Tick htx = dispatchLatency(InterconnectKind::Htx, mesh,
+                                     hops, 64);
+    EXPECT_GT(htx, OffChipLink::htx().transferCycles(
+                       64 + DataPacketHeader::serializedBytes()));
+}
+
+TEST(InterconnectNames, AllNamed)
+{
+    EXPECT_STREQ(interconnectName(InterconnectKind::OnChipMesh),
+                 "on-chip");
+    EXPECT_STREQ(interconnectName(InterconnectKind::Htx), "HTX");
+    EXPECT_STREQ(interconnectName(InterconnectKind::Pcie), "PCIe");
+}
+
+} // namespace
+} // namespace parallax

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for ray casting against shapes and the world.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "physics/world.hh"
+#include "sim/rng.hh"
+
+namespace parallax
+{
+namespace
+{
+
+TEST(Raycast, SphereHeadOn)
+{
+    const SphereShape s(1.0);
+    const Ray ray{{-5, 0, 0}, {1, 0, 0}};
+    const auto hit = raycastShape(s, Transform(), ray, 100.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NEAR(hit->t, 4.0, 1e-9);
+    EXPECT_NEAR(hit->point.x, -1.0, 1e-9);
+    EXPECT_NEAR(hit->normal.x, -1.0, 1e-9);
+}
+
+TEST(Raycast, SphereMiss)
+{
+    const SphereShape s(1.0);
+    const Ray ray{{-5, 2.5, 0}, {1, 0, 0}};
+    EXPECT_FALSE(raycastShape(s, Transform(), ray, 100.0));
+}
+
+TEST(Raycast, SphereBeyondMaxT)
+{
+    const SphereShape s(1.0);
+    const Ray ray{{-5, 0, 0}, {1, 0, 0}};
+    EXPECT_FALSE(raycastShape(s, Transform(), ray, 3.0));
+}
+
+TEST(Raycast, SphereFromInsideHitsExit)
+{
+    const SphereShape s(2.0);
+    const Ray ray{{0, 0, 0}, {0, 1, 0}};
+    const auto hit = raycastShape(s, Transform(), ray, 100.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NEAR(hit->t, 2.0, 1e-9);
+}
+
+TEST(Raycast, BoxFaceAndNormal)
+{
+    const BoxShape box({1, 2, 3});
+    const Ray ray{{-10, 0.5, 0.5}, {1, 0, 0}};
+    const auto hit = raycastShape(box, Transform(), ray, 100.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NEAR(hit->t, 9.0, 1e-9);
+    EXPECT_NEAR(hit->normal.x, -1.0, 1e-9);
+}
+
+TEST(Raycast, RotatedBox)
+{
+    const BoxShape box({1, 1, 1});
+    const Transform pose(
+        Quat::fromAxisAngle({0, 0, 1}, M_PI / 4), {0, 0, 0});
+    // Along +x, the rotated cube's corner reaches sqrt(2).
+    const Ray ray{{-10, 0, 0}, {1, 0, 0}};
+    const auto hit = raycastShape(box, pose, ray, 100.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NEAR(hit->t, 10.0 - std::sqrt(2.0), 1e-9);
+}
+
+TEST(Raycast, PlaneFromAbove)
+{
+    const PlaneShape plane({0, 1, 0}, 0.0);
+    const Ray down{{3, 5, -2}, {0, -1, 0}};
+    const auto hit = raycastShape(plane, Transform(), down, 100.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NEAR(hit->t, 5.0, 1e-9);
+    EXPECT_NEAR(hit->normal.y, 1.0, 1e-9);
+    // Parallel ray misses.
+    const Ray level{{0, 5, 0}, {1, 0, 0}};
+    EXPECT_FALSE(raycastShape(plane, Transform(), level, 100.0));
+}
+
+TEST(Raycast, CapsuleSideAndCap)
+{
+    const CapsuleShape cap(0.5, 1.0);
+    // Side hit at the cylinder.
+    const Ray side{{-5, 0.5, 0}, {1, 0, 0}};
+    auto hit = raycastShape(cap, Transform(), side, 100.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NEAR(hit->t, 4.5, 1e-9);
+    // Cap hit from above.
+    const Ray top{{0, 5, 0}, {0, -1, 0}};
+    hit = raycastShape(cap, Transform(), top, 100.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NEAR(hit->t, 5.0 - 1.5, 1e-9);
+}
+
+TEST(Raycast, HeightfieldRamp)
+{
+    // Flat field at height 1 over a 10x10 footprint.
+    std::vector<Real> heights(9, 1.0);
+    const HeightfieldShape hf(std::move(heights), 3, 3, 5.0);
+    const Ray down{{5, 10, 5}, {0, -1, 0}};
+    const auto hit = raycastShape(hf, Transform(), down, 100.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NEAR(hit->t, 9.0, 0.01);
+    EXPECT_GT(hit->normal.y, 0.9);
+}
+
+TEST(Raycast, TriMeshNearestTriangle)
+{
+    std::vector<Vec3> verts{
+        {0, 0, 0}, {10, 0, 0}, {10, 0, 10}, {0, 0, 10}};
+    std::vector<TriMeshShape::Triangle> tris{{0, 1, 2}, {0, 2, 3}};
+    const TriMeshShape mesh(std::move(verts), std::move(tris));
+    const Ray down{{5, 3, 5}, {0, -1, 0}};
+    const auto hit = raycastShape(mesh, Transform(), down, 100.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NEAR(hit->t, 3.0, 1e-9);
+    EXPECT_NEAR(hit->normal.y, 1.0, 1e-9);
+}
+
+TEST(Raycast, WorldReturnsNearestGeom)
+{
+    World world;
+    const SphereShape *s = world.addSphere(0.5);
+    RigidBody *near_body = world.createDynamicBody(
+        Transform(Quat(), {3, 0, 0}), *s, 1.0);
+    world.createGeom(s, near_body);
+    RigidBody *far_body = world.createDynamicBody(
+        Transform(Quat(), {8, 0, 0}), *s, 1.0);
+    Geom *far_geom = world.createGeom(s, far_body);
+
+    const Ray ray{{0, 0, 0}, {1, 0, 0}};
+    const auto hit = world.raycast(ray);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_NEAR(hit->t, 2.5, 1e-9);
+    EXPECT_EQ(hit->geom, 0u);
+
+    // Disable the near body: the far one is hit.
+    near_body->setEnabled(false);
+    const auto hit2 = world.raycast(ray);
+    ASSERT_TRUE(hit2.has_value());
+    EXPECT_EQ(hit2->geom, far_geom->id());
+}
+
+TEST(Raycast, WorldSkipsBlastVolumes)
+{
+    World world;
+    const SphereShape *s = world.addSphere(2.0);
+    Geom *blast = world.createGeom(
+        s, world.createStaticBody(Transform(Quat(), {3, 0, 0})));
+    blast->setBlast(true);
+    EXPECT_FALSE(world.raycast(Ray{{0, 0, 0}, {1, 0, 0}}, 100.0));
+}
+
+// Property: for random rays that hit a sphere, the hit point lies
+// on the surface and the normal faces the ray origin.
+class RaySphereProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RaySphereProperty, HitPointOnSurface)
+{
+    Rng rng(GetParam());
+    const SphereShape sphere(rng.uniform(0.5, 2.0));
+    const Vec3 center{rng.uniform(-3, 3), rng.uniform(-3, 3),
+                      rng.uniform(-3, 3)};
+    const Transform pose(Quat(), center);
+    for (int i = 0; i < 50; ++i) {
+        const Vec3 origin{rng.uniform(-10, 10),
+                          rng.uniform(-10, 10),
+                          rng.uniform(-10, 10)};
+        const Vec3 dir = (center - origin).normalized();
+        if ((center - origin).length() < sphere.radius() + 0.1)
+            continue; // Skip origins inside/near the sphere.
+        const auto hit =
+            raycastShape(sphere, pose, Ray{origin, dir}, 1e9);
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_NEAR((hit->point - center).length(),
+                    sphere.radius(), 1e-9);
+        EXPECT_LT(hit->normal.dot(dir), 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRays, RaySphereProperty,
+                         ::testing::Range(1, 9));
+
+} // namespace
+} // namespace parallax

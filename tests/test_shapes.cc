@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for collision shapes: bounds, volume, inertia, sampling.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "physics/shapes/primitives.hh"
+#include "physics/shapes/static_shapes.hh"
+#include "sim/rng.hh"
+
+namespace parallax
+{
+namespace
+{
+
+TEST(SphereShape, BoundsAndVolume)
+{
+    const SphereShape s(2.0);
+    const Transform pose(Quat(), {1, 2, 3});
+    const Aabb b = s.bounds(pose);
+    EXPECT_DOUBLE_EQ(b.lo.x, -1.0);
+    EXPECT_DOUBLE_EQ(b.hi.y, 4.0);
+    EXPECT_NEAR(s.volume(), 4.0 / 3.0 * M_PI * 8.0, 1e-9);
+}
+
+TEST(SphereShape, InertiaIsIsotropic)
+{
+    const SphereShape s(1.5);
+    const Mat3 i = s.unitInertia();
+    EXPECT_DOUBLE_EQ(i.m[0][0], i.m[1][1]);
+    EXPECT_DOUBLE_EQ(i.m[1][1], i.m[2][2]);
+    EXPECT_NEAR(i.m[0][0], 0.4 * 1.5 * 1.5, 1e-12);
+}
+
+TEST(BoxShape, AxisAlignedBounds)
+{
+    const BoxShape box({1, 2, 3});
+    const Aabb b = box.bounds(Transform(Quat(), {10, 0, 0}));
+    EXPECT_DOUBLE_EQ(b.lo.x, 9.0);
+    EXPECT_DOUBLE_EQ(b.hi.x, 11.0);
+    EXPECT_DOUBLE_EQ(b.hi.y, 2.0);
+    EXPECT_DOUBLE_EQ(b.hi.z, 3.0);
+    EXPECT_DOUBLE_EQ(box.volume(), 48.0);
+}
+
+TEST(BoxShape, RotatedBoundsGrow)
+{
+    const BoxShape box({1, 1, 1});
+    const Transform pose(Quat::fromAxisAngle({0, 0, 1}, M_PI / 4),
+                         {});
+    const Aabb b = box.bounds(pose);
+    // A unit cube rotated 45 degrees about Z spans sqrt(2) in X/Y.
+    EXPECT_NEAR(b.hi.x, std::sqrt(2.0), 1e-9);
+    EXPECT_NEAR(b.hi.y, std::sqrt(2.0), 1e-9);
+    EXPECT_NEAR(b.hi.z, 1.0, 1e-9);
+}
+
+TEST(BoxShape, BoundsContainAllCorners)
+{
+    Rng rng(31);
+    const BoxShape box({0.5, 1.0, 2.0});
+    for (int trial = 0; trial < 20; ++trial) {
+        const Transform pose(
+            Quat::fromAxisAngle({rng.uniform(-1, 1),
+                                 rng.uniform(-1, 1),
+                                 rng.uniform(-1, 1)},
+                                rng.uniform(0, 6.28)),
+            {rng.uniform(-5, 5), rng.uniform(-5, 5),
+             rng.uniform(-5, 5)});
+        // Tiny inflation absorbs quaternion-vs-matrix rounding.
+        const Aabb b = box.bounds(pose).inflated(1e-9);
+        for (int i = 0; i < 8; ++i) {
+            const Vec3 corner{(i & 1) ? 0.5 : -0.5,
+                              (i & 2) ? 1.0 : -1.0,
+                              (i & 4) ? 2.0 : -2.0};
+            EXPECT_TRUE(b.contains(pose.apply(corner)));
+        }
+    }
+}
+
+TEST(CapsuleShape, SegmentAndBounds)
+{
+    const CapsuleShape cap(0.5, 1.0);
+    Vec3 a, b;
+    cap.segment(Transform(Quat(), {0, 5, 0}), a, b);
+    EXPECT_DOUBLE_EQ(a.y, 4.0);
+    EXPECT_DOUBLE_EQ(b.y, 6.0);
+    const Aabb bounds = cap.bounds(Transform(Quat(), {0, 5, 0}));
+    EXPECT_DOUBLE_EQ(bounds.lo.y, 3.5);
+    EXPECT_DOUBLE_EQ(bounds.hi.y, 6.5);
+    EXPECT_DOUBLE_EQ(bounds.hi.x, 0.5);
+}
+
+TEST(CapsuleShape, VolumeIsCylinderPlusSphere)
+{
+    const CapsuleShape cap(1.0, 2.0);
+    const double expected =
+        M_PI * 1.0 * 4.0 + 4.0 / 3.0 * M_PI;
+    EXPECT_NEAR(cap.volume(), expected, 1e-9);
+}
+
+TEST(PlaneShape, DistanceIsSigned)
+{
+    const PlaneShape plane({0, 1, 0}, 2.0);
+    EXPECT_DOUBLE_EQ(plane.distance({0, 5, 0}), 3.0);
+    EXPECT_DOUBLE_EQ(plane.distance({0, 0, 0}), -2.0);
+}
+
+TEST(PlaneShape, NormalIsNormalized)
+{
+    const PlaneShape plane({0, 2, 0}, 1.0);
+    EXPECT_NEAR(plane.normal().length(), 1.0, 1e-12);
+}
+
+TEST(HeightfieldShape, SamplingInterpolates)
+{
+    // 3x3 grid: a ramp rising along +x from 0 to 2.
+    std::vector<Real> heights{0, 1, 2, 0, 1, 2, 0, 1, 2};
+    const HeightfieldShape hf(std::move(heights), 3, 3, 1.0);
+    EXPECT_DOUBLE_EQ(hf.sampleHeight(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(hf.sampleHeight(2.0, 2.0), 2.0);
+    EXPECT_NEAR(hf.sampleHeight(0.5, 1.0), 0.5, 1e-12);
+    EXPECT_NEAR(hf.sampleHeight(1.5, 0.3), 1.5, 1e-12);
+}
+
+TEST(HeightfieldShape, SamplingClampsOutside)
+{
+    std::vector<Real> heights{0, 1, 0, 1};
+    const HeightfieldShape hf(std::move(heights), 2, 2, 1.0);
+    EXPECT_DOUBLE_EQ(hf.sampleHeight(-5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(hf.sampleHeight(50.0, 0.0), 1.0);
+}
+
+TEST(HeightfieldShape, NormalPointsUphill)
+{
+    // Ramp rising along +x: normal should lean toward -x.
+    std::vector<Real> heights{0, 1, 2, 0, 1, 2, 0, 1, 2};
+    const HeightfieldShape hf(std::move(heights), 3, 3, 1.0);
+    const Vec3 n = hf.sampleNormal(1.0, 1.0);
+    EXPECT_LT(n.x, 0.0);
+    EXPECT_GT(n.y, 0.0);
+    EXPECT_NEAR(n.length(), 1.0, 1e-12);
+}
+
+TEST(TriMeshShape, QueryFindsOverlappingTriangles)
+{
+    // Two triangles tiling the unit square in the XZ plane.
+    std::vector<Vec3> verts{
+        {0, 0, 0}, {1, 0, 0}, {1, 0, 1}, {0, 0, 1}};
+    std::vector<TriMeshShape::Triangle> tris{{0, 1, 2}, {0, 2, 3}};
+    const TriMeshShape mesh(std::move(verts), std::move(tris));
+
+    const Aabb near_first({0.8, -0.1, 0.05}, {0.9, 0.1, 0.15});
+    const auto hits = mesh.query(near_first);
+    EXPECT_FALSE(hits.empty());
+
+    const Aabb far_away({10, 10, 10}, {11, 11, 11});
+    EXPECT_TRUE(mesh.query(far_away).empty());
+}
+
+TEST(TriMeshShape, BoundsCoverMesh)
+{
+    std::vector<Vec3> verts{{-1, 0, -2}, {3, 1, 0}, {0, 5, 2}};
+    std::vector<TriMeshShape::Triangle> tris{{0, 1, 2}};
+    const TriMeshShape mesh(std::move(verts), std::move(tris));
+    const Aabb b = mesh.bounds(Transform());
+    EXPECT_DOUBLE_EQ(b.lo.x, -1.0);
+    EXPECT_DOUBLE_EQ(b.hi.y, 5.0);
+    EXPECT_DOUBLE_EQ(b.hi.z, 2.0);
+}
+
+TEST(ShapeTypeName, AllNamed)
+{
+    EXPECT_STREQ(shapeTypeName(ShapeType::Sphere), "sphere");
+    EXPECT_STREQ(shapeTypeName(ShapeType::Box), "box");
+    EXPECT_STREQ(shapeTypeName(ShapeType::Plane), "plane");
+    EXPECT_STREQ(shapeTypeName(ShapeType::Capsule), "capsule");
+    EXPECT_STREQ(shapeTypeName(ShapeType::Heightfield),
+                 "heightfield");
+    EXPECT_STREQ(shapeTypeName(ShapeType::TriMesh), "trimesh");
+}
+
+} // namespace
+} // namespace parallax

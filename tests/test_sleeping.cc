@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for auto-disable (island sleeping).
+ */
+
+#include <gtest/gtest.h>
+
+#include "physics/world.hh"
+
+namespace parallax
+{
+namespace
+{
+
+WorldConfig
+sleepyConfig()
+{
+    WorldConfig config;
+    config.autoDisable = true;
+    config.sleepSteps = 10;
+    config.defaultMaterial.restitution = 0.0;
+    return config;
+}
+
+/** Ground + a small stack of boxes. */
+RigidBody *
+buildStack(World &world, int boxes = 2)
+{
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    world.createGeom(p, world.createStaticBody(Transform()));
+    const BoxShape *box = world.addBox({0.5, 0.5, 0.5});
+    RigidBody *top = nullptr;
+    for (int i = 0; i < boxes; ++i) {
+        top = world.createDynamicBody(
+            Transform(Quat(), {0, 0.5 + i * 1.0, 0}), *box, 100.0);
+        world.createGeom(box, top);
+    }
+    return top;
+}
+
+TEST(Sleeping, RestingStackFallsAsleep)
+{
+    World world(sleepyConfig());
+    RigidBody *top = buildStack(world);
+    for (int i = 0; i < 150; ++i)
+        world.step();
+    EXPECT_TRUE(top->asleep());
+    EXPECT_GT(world.lastStepStats().islandsAsleep, 0u);
+    EXPECT_EQ(world.lastStepStats().bodiesAsleep, 2u);
+    // No solver work for a sleeping world.
+    EXPECT_EQ(world.lastStepStats().solver.rowsBuilt, 0u);
+    // The stack hasn't drifted.
+    EXPECT_NEAR(top->position().y, 1.5, 0.1);
+}
+
+TEST(Sleeping, DisabledByDefault)
+{
+    World world; // autoDisable off.
+    RigidBody *top = buildStack(world);
+    for (int i = 0; i < 150; ++i)
+        world.step();
+    EXPECT_FALSE(top->asleep());
+    EXPECT_GT(world.lastStepStats().solver.rowsBuilt, 0u);
+}
+
+TEST(Sleeping, ProjectileWakesTheIsland)
+{
+    World world(sleepyConfig());
+    RigidBody *top = buildStack(world);
+    for (int i = 0; i < 150; ++i)
+        world.step();
+    ASSERT_TRUE(top->asleep());
+
+    // Fire a heavy ball at the stack.
+    const SphereShape *s = world.addSphere(0.4);
+    RigidBody *ball = world.createDynamicBody(
+        Transform(Quat(), {-6, 1.0, 0}), *s, 200.0);
+    ball->setLinearVelocity({15, 0, 0});
+    world.createGeom(s, ball);
+
+    bool woke = false;
+    for (int i = 0; i < 100 && !woke; ++i) {
+        world.step();
+        woke = !top->asleep();
+    }
+    EXPECT_TRUE(woke);
+    // The impact knocked the top box around.
+    for (int i = 0; i < 50; ++i)
+        world.step();
+    EXPECT_GT(std::fabs(top->position().x), 0.05);
+}
+
+TEST(Sleeping, BlastImpulseWakesBodies)
+{
+    World world(sleepyConfig());
+    RigidBody *top = buildStack(world);
+    for (int i = 0; i < 150; ++i)
+        world.step();
+    ASSERT_TRUE(top->asleep());
+
+    top->applyImpulse({100, 50, 0}, top->position());
+    EXPECT_FALSE(top->asleep());
+    world.step();
+    EXPECT_GT(top->linearVelocity().length(), 0.1);
+}
+
+TEST(Sleeping, SleepingBodiesStillCollideAsObstacles)
+{
+    // A sphere dropped onto a sleeping stack must not pass through.
+    World world(sleepyConfig());
+    RigidBody *top = buildStack(world);
+    for (int i = 0; i < 150; ++i)
+        world.step();
+    ASSERT_TRUE(top->asleep());
+
+    const SphereShape *s = world.addSphere(0.3);
+    RigidBody *ball = world.createDynamicBody(
+        Transform(Quat(), {0, 4.0, 0}), *s, 5.0);
+    world.createGeom(s, ball);
+    for (int i = 0; i < 200; ++i)
+        world.step();
+    // The ball rests on (or beside) the stack, not under the floor.
+    EXPECT_GT(ball->position().y, 0.25);
+}
+
+TEST(Sleeping, WakeClearsCounter)
+{
+    World world(sleepyConfig());
+    RigidBody *top = buildStack(world, 1);
+    for (int i = 0; i < 8; ++i)
+        world.step();
+    EXPECT_GT(top->sleepCounter(), 0);
+    top->wake();
+    EXPECT_EQ(top->sleepCounter(), 0);
+    EXPECT_FALSE(top->asleep());
+}
+
+TEST(Sleeping, ReducesMeasuredWorkload)
+{
+    // The ablation claim: sleeping removes resting-contact solver
+    // load. Compare row iterations over the same settled scene.
+    auto rowIterations = [](bool auto_disable) {
+        WorldConfig config;
+        config.autoDisable = auto_disable;
+        config.defaultMaterial.restitution = 0.0;
+        World world(config);
+        const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+        world.createGeom(p, world.createStaticBody(Transform()));
+        const BoxShape *box = world.addBox({0.5, 0.25, 0.25});
+        for (int i = 0; i < 40; ++i) {
+            RigidBody *b = world.createDynamicBody(
+                Transform(Quat(), {(i % 8) * 1.001, 0.25 +
+                                   (i / 8) * 0.5, 0}),
+                *box, 100.0);
+            world.createGeom(box, b);
+        }
+        std::uint64_t rows = 0;
+        for (int i = 0; i < 100; ++i) {
+            world.step();
+            rows += world.lastStepStats().solver.rowIterations;
+        }
+        return rows;
+    };
+    EXPECT_LT(rowIterations(true), rowIterations(false) / 2);
+}
+
+} // namespace
+} // namespace parallax

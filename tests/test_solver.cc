@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the projected Gauss-Seidel solver: physical behaviour of
+ * bodies under contacts and joints, driven through the World API.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "physics/world.hh"
+
+namespace parallax
+{
+namespace
+{
+
+WorldConfig
+quietConfig()
+{
+    WorldConfig config;
+    config.defaultMaterial.restitution = 0.0;
+    return config;
+}
+
+TEST(Solver, FreeFallMatchesGravity)
+{
+    World world;
+    const SphereShape *s = world.addSphere(0.5);
+    RigidBody *body = world.createDynamicBody(
+        Transform(Quat(), {0, 100, 0}), *s, 1.0);
+    world.createGeom(s, body);
+
+    const Real t = 0.5;
+    const int steps = static_cast<int>(t / world.config().dt);
+    for (int i = 0; i < steps; ++i)
+        world.step();
+
+    // y = y0 - 1/2 g t^2 (semi-implicit Euler is slightly below).
+    const Real expected = 100.0 - 0.5 * 9.81 * t * t;
+    EXPECT_NEAR(body->position().y, expected, 0.2);
+    EXPECT_NEAR(body->linearVelocity().y, -9.81 * t, 0.1);
+}
+
+TEST(Solver, SphereRestsOnPlane)
+{
+    World world(quietConfig());
+    const SphereShape *s = world.addSphere(0.5);
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    RigidBody *ball = world.createDynamicBody(
+        Transform(Quat(), {0, 2.0, 0}), *s, 1.0);
+    world.createGeom(s, ball);
+    world.createGeom(p, world.createStaticBody(Transform()));
+
+    for (int i = 0; i < 300; ++i)
+        world.step();
+
+    // Ball should be resting on the plane with its center ~radius up.
+    EXPECT_NEAR(ball->position().y, 0.5, 0.05);
+    EXPECT_NEAR(ball->linearVelocity().length(), 0.0, 0.1);
+}
+
+TEST(Solver, BoxStackRemainsStanding)
+{
+    World world(quietConfig());
+    const BoxShape *box = world.addBox({0.5, 0.5, 0.5});
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    world.createGeom(p, world.createStaticBody(Transform()));
+
+    std::vector<RigidBody *> stack;
+    for (int i = 0; i < 3; ++i) {
+        RigidBody *b = world.createDynamicBody(
+            Transform(Quat(), {0, 0.5 + i * 1.001, 0}), *box, 1.0);
+        world.createGeom(box, b);
+        stack.push_back(b);
+    }
+
+    for (int i = 0; i < 200; ++i)
+        world.step();
+
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_NEAR(stack[i]->position().y, 0.5 + i * 1.0, 0.15)
+            << "box " << i << " moved";
+        EXPECT_NEAR(stack[i]->position().x, 0.0, 0.1);
+    }
+}
+
+TEST(Solver, RestitutionBouncesBall)
+{
+    WorldConfig config;
+    config.defaultMaterial.restitution = 0.8;
+    World world(config);
+    const SphereShape *s = world.addSphere(0.5);
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    RigidBody *ball = world.createDynamicBody(
+        Transform(Quat(), {0, 3.0, 0}), *s, 1.0);
+    world.createGeom(s, ball);
+    world.createGeom(p, world.createStaticBody(Transform()));
+
+    Real apex_after_bounce = 0.0;
+    bool bounced = false;
+    for (int i = 0; i < 400; ++i) {
+        world.step();
+        if (ball->linearVelocity().y > 0.1)
+            bounced = true;
+        if (bounced) {
+            apex_after_bounce =
+                std::max(apex_after_bounce, ball->position().y);
+        }
+    }
+    EXPECT_TRUE(bounced);
+    // With e = 0.8 the rebound apex should be a significant fraction
+    // of the 2.5 m drop height (energy ratio e^2 = 0.64).
+    EXPECT_GT(apex_after_bounce, 1.0);
+    EXPECT_LT(apex_after_bounce, 2.6);
+}
+
+TEST(Solver, FrictionStopsSlidingBox)
+{
+    World world(quietConfig());
+    const BoxShape *box = world.addBox({0.5, 0.5, 0.5});
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    RigidBody *b = world.createDynamicBody(
+        Transform(Quat(), {0, 0.5, 0}), *box, 1.0);
+    b->setLinearVelocity({3.0, 0, 0});
+    world.createGeom(box, b);
+    world.createGeom(p, world.createStaticBody(Transform()));
+
+    for (int i = 0; i < 300; ++i)
+        world.step();
+
+    // Friction (mu = 0.8) must bring the box to rest.
+    EXPECT_NEAR(b->linearVelocity().x, 0.0, 0.05);
+    EXPECT_GT(b->position().x, 0.1); // It did slide some distance.
+}
+
+TEST(Solver, FrictionlessSurfaceKeepsSliding)
+{
+    WorldConfig config = quietConfig();
+    config.defaultMaterial.friction = 0.0;
+    World world(config);
+    const BoxShape *box = world.addBox({0.5, 0.5, 0.5});
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    RigidBody *b = world.createDynamicBody(
+        Transform(Quat(), {0, 0.5, 0}), *box, 1.0);
+    b->setLinearVelocity({3.0, 0, 0});
+    world.createGeom(box, b);
+    world.createGeom(p, world.createStaticBody(Transform()));
+
+    for (int i = 0; i < 100; ++i)
+        world.step();
+
+    EXPECT_NEAR(b->linearVelocity().x, 3.0, 0.1);
+}
+
+TEST(Solver, BallJointKeepsBodiesLinked)
+{
+    World world(quietConfig());
+    const SphereShape *s = world.addSphere(0.2);
+    // Pendulum: anchor body is static, bob swings below.
+    RigidBody *anchor = world.createStaticBody(
+        Transform(Quat(), {0, 5, 0}));
+    RigidBody *bob = world.createDynamicBody(
+        Transform(Quat(), {1, 5, 0}), *s, 1.0);
+    world.createGeom(s, bob);
+    world.createBallJoint(bob, anchor, {0, 5, 0});
+
+    for (int i = 0; i < 300; ++i) {
+        world.step();
+        // The bob must stay ~1 m from the anchor at all times
+        // (Baumgarte stabilization allows a few percent stretch at
+        // the bottom of the swing where centripetal load peaks).
+        const Real dist = (bob->position() - Vec3{0, 5, 0}).length();
+        ASSERT_NEAR(dist, 1.0, 0.12) << "at step " << i;
+    }
+    // And it should have swung downward.
+    EXPECT_LT(bob->position().y, 5.0);
+}
+
+TEST(Solver, FixedJointMovesBodiesTogether)
+{
+    World world(quietConfig());
+    const BoxShape *box = world.addBox({0.5, 0.5, 0.5});
+    RigidBody *a = world.createDynamicBody(
+        Transform(Quat(), {0, 10, 0}), *box, 1.0);
+    RigidBody *b = world.createDynamicBody(
+        Transform(Quat(), {1.2, 10, 0}), *box, 1.0);
+    world.createGeom(box, a);
+    world.createGeom(box, b);
+    world.createFixedJoint(a, b);
+
+    const Vec3 initial_offset = b->position() - a->position();
+    for (int i = 0; i < 100; ++i)
+        world.step();
+    const Vec3 final_offset = b->position() - a->position();
+    EXPECT_NEAR((final_offset - initial_offset).length(), 0.0, 0.05);
+    // Both fell together.
+    EXPECT_LT(a->position().y, 9.0);
+}
+
+TEST(Solver, BreakableJointSnapsUnderLoad)
+{
+    World world(quietConfig());
+    const BoxShape *box = world.addBox({0.5, 0.5, 0.5});
+    RigidBody *anchor = world.createStaticBody(Transform());
+    RigidBody *hanging = world.createDynamicBody(
+        Transform(Quat(), {0, -1.2, 0}), *box, 50.0); // Heavy.
+    world.createGeom(box, hanging);
+    BallJoint *j = world.createBallJoint(hanging, anchor, {0, 0, 0});
+    // Threshold far below the hanging weight (50 kg * 9.81).
+    j->setBreakForce(100.0);
+
+    std::uint64_t broke_at_step = 0;
+    for (int i = 0; i < 100; ++i) {
+        world.step();
+        if (j->broken() && broke_at_step == 0)
+            broke_at_step = i + 1;
+    }
+    EXPECT_TRUE(j->broken());
+    EXPECT_GT(broke_at_step, 0u);
+    // After breaking, the body falls freely.
+    EXPECT_LT(hanging->position().y, -2.0);
+}
+
+TEST(Solver, StrongJointHoldsLoad)
+{
+    World world(quietConfig());
+    const BoxShape *box = world.addBox({0.5, 0.5, 0.5});
+    RigidBody *anchor = world.createStaticBody(Transform());
+    RigidBody *hanging = world.createDynamicBody(
+        Transform(Quat(), {0, -1.2, 0}), *box, 1.0);
+    world.createGeom(box, hanging);
+    BallJoint *j = world.createBallJoint(hanging, anchor, {0, 0, 0});
+    j->setBreakForce(1000.0); // Far above 1 kg * 9.81 N.
+
+    for (int i = 0; i < 100; ++i)
+        world.step();
+    EXPECT_FALSE(j->broken());
+    EXPECT_GT(hanging->position().y, -2.0);
+}
+
+TEST(Solver, EnergyDoesNotExplode)
+{
+    // Property: a pile of spheres settles; kinetic energy must decay,
+    // not blow up (solver stability check).
+    World world(quietConfig());
+    const SphereShape *s = world.addSphere(0.4);
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    world.createGeom(p, world.createStaticBody(Transform()));
+    std::vector<RigidBody *> balls;
+    for (int i = 0; i < 20; ++i) {
+        RigidBody *b = world.createDynamicBody(
+            Transform(Quat(), {(i % 4) * 0.7, 1.0 + (i / 4) * 0.9,
+                               (i % 3) * 0.7}),
+            *s, 1.0);
+        world.createGeom(s, b);
+        balls.push_back(b);
+    }
+
+    auto kinetic = [&] {
+        Real e = 0;
+        for (const RigidBody *b : balls)
+            e += 0.5 * b->mass() * b->linearVelocity().lengthSquared();
+        return e;
+    };
+
+    for (int i = 0; i < 400; ++i) {
+        world.step();
+        ASSERT_LT(kinetic(), 1e4) << "energy explosion at step " << i;
+    }
+    // Spheres may still be rolling apart (rolling is frictionless in
+    // the tangent plane), but the pile must have calmed well below
+    // its impact energy.
+    EXPECT_LT(kinetic(), 50.0);
+}
+
+TEST(Solver, StatsCountRowsAndIterations)
+{
+    World world(quietConfig());
+    const SphereShape *s = world.addSphere(0.5);
+    const PlaneShape *p = world.addPlane({0, 1, 0}, 0.0);
+    RigidBody *ball = world.createDynamicBody(
+        Transform(Quat(), {0, 0.4, 0}), *s, 1.0);
+    world.createGeom(s, ball);
+    world.createGeom(p, world.createStaticBody(Transform()));
+    world.step();
+
+    const SolverStats &stats = world.lastStepStats().solver;
+    // One contact: 3 rows, 20 iterations each.
+    EXPECT_EQ(stats.rowsBuilt, 3u);
+    EXPECT_EQ(stats.rowIterations, 60u);
+    EXPECT_GE(stats.islandsSolved, 1u);
+}
+
+} // namespace
+} // namespace parallax
