@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sleeping.dir/bench_ablation_sleeping.cc.o"
+  "CMakeFiles/bench_ablation_sleeping.dir/bench_ablation_sleeping.cc.o.d"
+  "bench_ablation_sleeping"
+  "bench_ablation_sleeping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sleeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

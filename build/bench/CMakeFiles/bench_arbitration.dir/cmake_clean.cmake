@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arbitration.dir/bench_arbitration.cc.o"
+  "CMakeFiles/bench_arbitration.dir/bench_arbitration.cc.o.d"
+  "bench_arbitration"
+  "bench_arbitration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arbitration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_cores_required.dir/bench_fig10b_cores_required.cc.o"
+  "CMakeFiles/bench_fig10b_cores_required.dir/bench_fig10b_cores_required.cc.o.d"
+  "bench_fig10b_cores_required"
+  "bench_fig10b_cores_required.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_cores_required.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

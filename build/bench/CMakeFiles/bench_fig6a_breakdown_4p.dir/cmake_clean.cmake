@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_breakdown_4p.dir/bench_fig6a_breakdown_4p.cc.o"
+  "CMakeFiles/bench_fig6a_breakdown_4p.dir/bench_fig6a_breakdown_4p.cc.o.d"
+  "bench_fig6a_breakdown_4p"
+  "bench_fig6a_breakdown_4p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_breakdown_4p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

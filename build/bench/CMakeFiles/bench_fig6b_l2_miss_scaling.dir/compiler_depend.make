@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6b_l2_miss_scaling.
+# This may be replaced when dependencies are built.

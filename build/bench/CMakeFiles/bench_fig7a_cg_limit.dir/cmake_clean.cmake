@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_cg_limit.dir/bench_fig7a_cg_limit.cc.o"
+  "CMakeFiles/bench_fig7a_cg_limit.dir/bench_fig7a_cg_limit.cc.o.d"
+  "bench_fig7a_cg_limit"
+  "bench_fig7a_cg_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_cg_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9a_cg_fg_split.dir/bench_fig9a_cg_fg_split.cc.o"
+  "CMakeFiles/bench_fig9a_cg_fg_split.dir/bench_fig9a_cg_fg_split.cc.o.d"
+  "bench_fig9a_cg_fg_split"
+  "bench_fig9a_cg_fg_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_cg_fg_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

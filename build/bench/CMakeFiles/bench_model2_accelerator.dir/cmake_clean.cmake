@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model2_accelerator.dir/bench_model2_accelerator.cc.o"
+  "CMakeFiles/bench_model2_accelerator.dir/bench_model2_accelerator.cc.o.d"
+  "bench_model2_accelerator"
+  "bench_model2_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model2_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pax_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/pax_bench_harness.dir/harness.cc.o.d"
+  "libpax_bench_harness.a"
+  "libpax_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pax_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cloth_stage.cpp" "examples/CMakeFiles/cloth_stage.dir/cloth_stage.cpp.o" "gcc" "examples/CMakeFiles/cloth_stage.dir/cloth_stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pax_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/pax_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pax_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pax_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pax_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pax_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/pax_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pax_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

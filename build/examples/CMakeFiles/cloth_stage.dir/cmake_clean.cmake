@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloth_stage.dir/cloth_stage.cpp.o"
+  "CMakeFiles/cloth_stage.dir/cloth_stage.cpp.o.d"
+  "cloth_stage"
+  "cloth_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloth_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/destruction.dir/destruction.cpp.o"
+  "CMakeFiles/destruction.dir/destruction.cpp.o.d"
+  "destruction"
+  "destruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/destruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pax_playground.dir/pax_playground.cpp.o"
+  "CMakeFiles/pax_playground.dir/pax_playground.cpp.o.d"
+  "pax_playground"
+  "pax_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pax_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arbiter.cc" "src/core/CMakeFiles/pax_core.dir/arbiter.cc.o" "gcc" "src/core/CMakeFiles/pax_core.dir/arbiter.cc.o.d"
+  "/root/repo/src/core/area_model.cc" "src/core/CMakeFiles/pax_core.dir/area_model.cc.o" "gcc" "src/core/CMakeFiles/pax_core.dir/area_model.cc.o.d"
+  "/root/repo/src/core/fg_core_model.cc" "src/core/CMakeFiles/pax_core.dir/fg_core_model.cc.o" "gcc" "src/core/CMakeFiles/pax_core.dir/fg_core_model.cc.o.d"
+  "/root/repo/src/core/parallax_system.cc" "src/core/CMakeFiles/pax_core.dir/parallax_system.cc.o" "gcc" "src/core/CMakeFiles/pax_core.dir/parallax_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/pax_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pax_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/pax_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pax_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pax_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pax_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/pax_physics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pax_core.dir/arbiter.cc.o"
+  "CMakeFiles/pax_core.dir/arbiter.cc.o.d"
+  "CMakeFiles/pax_core.dir/area_model.cc.o"
+  "CMakeFiles/pax_core.dir/area_model.cc.o.d"
+  "CMakeFiles/pax_core.dir/fg_core_model.cc.o"
+  "CMakeFiles/pax_core.dir/fg_core_model.cc.o.d"
+  "CMakeFiles/pax_core.dir/parallax_system.cc.o"
+  "CMakeFiles/pax_core.dir/parallax_system.cc.o.d"
+  "libpax_core.a"
+  "libpax_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pax_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

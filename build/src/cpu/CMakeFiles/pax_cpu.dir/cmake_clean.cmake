@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pax_cpu.dir/cg_timing.cc.o"
+  "CMakeFiles/pax_cpu.dir/cg_timing.cc.o.d"
+  "CMakeFiles/pax_cpu.dir/ooo_core.cc.o"
+  "CMakeFiles/pax_cpu.dir/ooo_core.cc.o.d"
+  "CMakeFiles/pax_cpu.dir/yags.cc.o"
+  "CMakeFiles/pax_cpu.dir/yags.cc.o.d"
+  "libpax_cpu.a"
+  "libpax_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pax_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

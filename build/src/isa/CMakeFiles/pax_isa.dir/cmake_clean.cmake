@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pax_isa.dir/assembler.cc.o"
+  "CMakeFiles/pax_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/pax_isa.dir/isa.cc.o"
+  "CMakeFiles/pax_isa.dir/isa.cc.o.d"
+  "CMakeFiles/pax_isa.dir/kernels.cc.o"
+  "CMakeFiles/pax_isa.dir/kernels.cc.o.d"
+  "CMakeFiles/pax_isa.dir/machine.cc.o"
+  "CMakeFiles/pax_isa.dir/machine.cc.o.d"
+  "CMakeFiles/pax_isa.dir/program.cc.o"
+  "CMakeFiles/pax_isa.dir/program.cc.o.d"
+  "libpax_isa.a"
+  "libpax_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pax_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpax_isa.a"
+)

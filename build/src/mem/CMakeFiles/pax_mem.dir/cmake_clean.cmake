@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pax_mem.dir/cache.cc.o"
+  "CMakeFiles/pax_mem.dir/cache.cc.o.d"
+  "CMakeFiles/pax_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/pax_mem.dir/hierarchy.cc.o.d"
+  "libpax_mem.a"
+  "libpax_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pax_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pax_noc.dir/interconnect.cc.o"
+  "CMakeFiles/pax_noc.dir/interconnect.cc.o.d"
+  "libpax_noc.a"
+  "libpax_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pax_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

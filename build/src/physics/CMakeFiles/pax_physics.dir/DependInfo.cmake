@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physics/body.cc" "src/physics/CMakeFiles/pax_physics.dir/body.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/body.cc.o.d"
+  "/root/repo/src/physics/broadphase/broadphase.cc" "src/physics/CMakeFiles/pax_physics.dir/broadphase/broadphase.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/broadphase/broadphase.cc.o.d"
+  "/root/repo/src/physics/cloth/cloth.cc" "src/physics/CMakeFiles/pax_physics.dir/cloth/cloth.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/cloth/cloth.cc.o.d"
+  "/root/repo/src/physics/effects/effects.cc" "src/physics/CMakeFiles/pax_physics.dir/effects/effects.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/effects/effects.cc.o.d"
+  "/root/repo/src/physics/geom.cc" "src/physics/CMakeFiles/pax_physics.dir/geom.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/geom.cc.o.d"
+  "/root/repo/src/physics/island/island.cc" "src/physics/CMakeFiles/pax_physics.dir/island/island.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/island/island.cc.o.d"
+  "/root/repo/src/physics/joints/articulated_joints.cc" "src/physics/CMakeFiles/pax_physics.dir/joints/articulated_joints.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/joints/articulated_joints.cc.o.d"
+  "/root/repo/src/physics/joints/contact_joint.cc" "src/physics/CMakeFiles/pax_physics.dir/joints/contact_joint.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/joints/contact_joint.cc.o.d"
+  "/root/repo/src/physics/joints/joint.cc" "src/physics/CMakeFiles/pax_physics.dir/joints/joint.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/joints/joint.cc.o.d"
+  "/root/repo/src/physics/math/mat3.cc" "src/physics/CMakeFiles/pax_physics.dir/math/mat3.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/math/mat3.cc.o.d"
+  "/root/repo/src/physics/narrowphase/collide.cc" "src/physics/CMakeFiles/pax_physics.dir/narrowphase/collide.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/narrowphase/collide.cc.o.d"
+  "/root/repo/src/physics/parallel/work_queue.cc" "src/physics/CMakeFiles/pax_physics.dir/parallel/work_queue.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/parallel/work_queue.cc.o.d"
+  "/root/repo/src/physics/raycast.cc" "src/physics/CMakeFiles/pax_physics.dir/raycast.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/raycast.cc.o.d"
+  "/root/repo/src/physics/shapes/primitives.cc" "src/physics/CMakeFiles/pax_physics.dir/shapes/primitives.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/shapes/primitives.cc.o.d"
+  "/root/repo/src/physics/shapes/static_shapes.cc" "src/physics/CMakeFiles/pax_physics.dir/shapes/static_shapes.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/shapes/static_shapes.cc.o.d"
+  "/root/repo/src/physics/solver/pgs_solver.cc" "src/physics/CMakeFiles/pax_physics.dir/solver/pgs_solver.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/solver/pgs_solver.cc.o.d"
+  "/root/repo/src/physics/world.cc" "src/physics/CMakeFiles/pax_physics.dir/world.cc.o" "gcc" "src/physics/CMakeFiles/pax_physics.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pax_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pax_sim.dir/event_queue.cc.o"
+  "CMakeFiles/pax_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/pax_sim.dir/logging.cc.o"
+  "CMakeFiles/pax_sim.dir/logging.cc.o.d"
+  "CMakeFiles/pax_sim.dir/rng.cc.o"
+  "CMakeFiles/pax_sim.dir/rng.cc.o.d"
+  "CMakeFiles/pax_sim.dir/stats.cc.o"
+  "CMakeFiles/pax_sim.dir/stats.cc.o.d"
+  "libpax_sim.a"
+  "libpax_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pax_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmarks.cc" "src/workload/CMakeFiles/pax_workload.dir/benchmarks.cc.o" "gcc" "src/workload/CMakeFiles/pax_workload.dir/benchmarks.cc.o.d"
+  "/root/repo/src/workload/cost_model.cc" "src/workload/CMakeFiles/pax_workload.dir/cost_model.cc.o" "gcc" "src/workload/CMakeFiles/pax_workload.dir/cost_model.cc.o.d"
+  "/root/repo/src/workload/instrumentation.cc" "src/workload/CMakeFiles/pax_workload.dir/instrumentation.cc.o" "gcc" "src/workload/CMakeFiles/pax_workload.dir/instrumentation.cc.o.d"
+  "/root/repo/src/workload/mem_trace.cc" "src/workload/CMakeFiles/pax_workload.dir/mem_trace.cc.o" "gcc" "src/workload/CMakeFiles/pax_workload.dir/mem_trace.cc.o.d"
+  "/root/repo/src/workload/phase.cc" "src/workload/CMakeFiles/pax_workload.dir/phase.cc.o" "gcc" "src/workload/CMakeFiles/pax_workload.dir/phase.cc.o.d"
+  "/root/repo/src/workload/scene_builder.cc" "src/workload/CMakeFiles/pax_workload.dir/scene_builder.cc.o" "gcc" "src/workload/CMakeFiles/pax_workload.dir/scene_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/physics/CMakeFiles/pax_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pax_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pax_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/pax_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/pax_workload.dir/cost_model.cc.o"
+  "CMakeFiles/pax_workload.dir/cost_model.cc.o.d"
+  "CMakeFiles/pax_workload.dir/instrumentation.cc.o"
+  "CMakeFiles/pax_workload.dir/instrumentation.cc.o.d"
+  "CMakeFiles/pax_workload.dir/mem_trace.cc.o"
+  "CMakeFiles/pax_workload.dir/mem_trace.cc.o.d"
+  "CMakeFiles/pax_workload.dir/phase.cc.o"
+  "CMakeFiles/pax_workload.dir/phase.cc.o.d"
+  "CMakeFiles/pax_workload.dir/scene_builder.cc.o"
+  "CMakeFiles/pax_workload.dir/scene_builder.cc.o.d"
+  "libpax_workload.a"
+  "libpax_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pax_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

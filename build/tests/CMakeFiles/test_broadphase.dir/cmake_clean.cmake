@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_broadphase.dir/test_broadphase.cc.o"
+  "CMakeFiles/test_broadphase.dir/test_broadphase.cc.o.d"
+  "test_broadphase"
+  "test_broadphase.pdb"
+  "test_broadphase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_broadphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloth.dir/test_cloth.cc.o"
+  "CMakeFiles/test_cloth.dir/test_cloth.cc.o.d"
+  "test_cloth"
+  "test_cloth.pdb"
+  "test_cloth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

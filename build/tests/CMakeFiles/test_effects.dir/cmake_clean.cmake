@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_effects.dir/test_effects.cc.o"
+  "CMakeFiles/test_effects.dir/test_effects.cc.o.d"
+  "test_effects"
+  "test_effects.pdb"
+  "test_effects[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_joints.dir/test_joints.cc.o"
+  "CMakeFiles/test_joints.dir/test_joints.cc.o.d"
+  "test_joints"
+  "test_joints.pdb"
+  "test_joints[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_joints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_narrowphase.dir/test_narrowphase.cc.o"
+  "CMakeFiles/test_narrowphase.dir/test_narrowphase.cc.o.d"
+  "test_narrowphase"
+  "test_narrowphase.pdb"
+  "test_narrowphase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_narrowphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

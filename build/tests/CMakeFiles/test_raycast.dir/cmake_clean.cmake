@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raycast.dir/test_raycast.cc.o"
+  "CMakeFiles/test_raycast.dir/test_raycast.cc.o.d"
+  "test_raycast"
+  "test_raycast.pdb"
+  "test_raycast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raycast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

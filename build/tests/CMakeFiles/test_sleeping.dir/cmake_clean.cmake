@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sleeping.dir/test_sleeping.cc.o"
+  "CMakeFiles/test_sleeping.dir/test_sleeping.cc.o.d"
+  "test_sleeping"
+  "test_sleeping.pdb"
+  "test_sleeping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sleeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_math[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_broadphase[1]_include.cmake")
+include("/root/repo/build/tests/test_narrowphase[1]_include.cmake")
+include("/root/repo/build/tests/test_joints[1]_include.cmake")
+include("/root/repo/build/tests/test_island[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_cloth[1]_include.cmake")
+include("/root/repo/build/tests/test_effects[1]_include.cmake")
+include("/root/repo/build/tests/test_world[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_raycast[1]_include.cmake")
+include("/root/repo/build/tests/test_sleeping[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_noc[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
