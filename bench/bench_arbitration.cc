@@ -17,7 +17,6 @@
 
 #include <cstdio>
 
-#include "core/arbiter.hh"
 #include "harness.hh"
 
 using namespace parallax;

@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "core/fg_core_model.hh"
+#include "parallax.hh"
 
 using namespace parallax;
 

@@ -8,8 +8,6 @@
  * and the area estimates of section 8.2.1.
  */
 
-#include "core/area_model.hh"
-#include "core/parallax_system.hh"
 #include "harness.hh"
 
 using namespace parallax;

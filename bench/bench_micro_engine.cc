@@ -10,8 +10,7 @@
 #include "cpu/ooo_core.hh"
 #include "isa/kernels.hh"
 #include "mem/cache.hh"
-#include "physics/world.hh"
-#include "workload/benchmarks.hh"
+#include "parallax.hh"
 
 namespace parallax
 {
@@ -52,6 +51,35 @@ BM_BenchmarkSceneStep(benchmark::State &state)
 BENCHMARK(BM_BenchmarkSceneStep)
     ->Arg(static_cast<int>(BenchmarkId::Periodic))
     ->Arg(static_cast<int>(BenchmarkId::Mix));
+
+/**
+ * The stepped scene at full Table 4 scale under the work-stealing
+ * scheduler: worker-count sweep for the host parallel-speedup
+ * trajectory (compare the workers=1 and workers=4 rows).
+ */
+void
+BM_SteppedSceneWorkers(benchmark::State &state)
+{
+    WorldConfig config;
+    config.workerThreads = static_cast<unsigned>(state.range(0));
+    config.deterministic = true; // Identical work at every count.
+    auto world = buildBenchmark(BenchmarkId::Mix, config, 1.0);
+    // Warm up past scene settling so steps are comparable.
+    for (int i = 0; i < 12; ++i)
+        world->step();
+    for (auto _ : state)
+        world->step();
+    state.counters["steals/step"] = benchmark::Counter(
+        static_cast<double>(world->scheduler().tasksStolen()),
+        benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SteppedSceneWorkers)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void
 BM_CacheAccess(benchmark::State &state)

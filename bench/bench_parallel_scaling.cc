@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Host parallel-speedup trajectory of the engine itself.
+ *
+ * Steps a benchmark scene under the work-stealing scheduler at a
+ * sweep of worker counts, reports per-phase wall-clock speedup over
+ * the single-lane run, and stages the result as
+ * BENCH_parallel_scaling.json so successive commits can track the
+ * perf trajectory. Unlike the figure benches (which model the
+ * paper's hardware), this measures the reproduction's own host
+ * performance — the "as fast as the hardware allows" axis.
+ *
+ * Run: ./build/bench/bench_parallel_scaling [Per|...|Mix] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness.hh"
+
+using namespace parallax;
+using namespace parallax::bench;
+
+namespace
+{
+
+BenchmarkId
+parseBenchmark(const char *name)
+{
+    for (BenchmarkId id : allBenchmarks) {
+        if (std::strcmp(benchmarkInfo(id).shortName, name) == 0)
+            return id;
+    }
+    std::fprintf(stderr, "unknown benchmark '%s', using Mix\n", name);
+    return BenchmarkId::Mix;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchmarkId id =
+        argc > 1 ? parseBenchmark(argv[1]) : BenchmarkId::Mix;
+    const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+    printHeader("Host parallel scaling (work-stealing scheduler)",
+                "section 3.1 threading model");
+
+    const unsigned worker_counts[] = {0, 1, 2, 4};
+    std::vector<HostPhaseSeconds> runs;
+    for (unsigned workers : worker_counts)
+        runs.push_back(measureHostPhases(id, workers, scale));
+    const HostPhaseSeconds &base = runs.front();
+
+    std::printf("%s at scale %.2f, per-phase seconds over 9 steps "
+                "(speedup vs 0 workers):\n\n",
+                benchmarkInfo(id).name, scale);
+    std::printf("%-18s", "phase");
+    for (const HostPhaseSeconds &run : runs)
+        std::printf("   w=%-10u", run.workers);
+    std::printf("\n");
+    for (int p = 0; p < numPipelinePhases; ++p) {
+        std::printf("%-18s",
+                    pipelinePhaseName(static_cast<PipelinePhase>(p)));
+        for (const HostPhaseSeconds &run : runs) {
+            const double speedup = run.seconds[p] > 0
+                                       ? base.seconds[p] /
+                                             run.seconds[p]
+                                       : 0.0;
+            std::printf("   %7.4fs x%-4.2f", run.seconds[p],
+                        speedup);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-18s", "total");
+    for (const HostPhaseSeconds &run : runs) {
+        std::printf("   %7.4fs x%-4.2f", run.total,
+                    run.total > 0 ? base.total / run.total : 0.0);
+    }
+    std::printf("\n\n");
+
+    JsonWriter json;
+    json.field("benchmark", benchmarkInfo(id).shortName)
+        .field("scale", scale);
+    json.beginArray("workers");
+    for (const HostPhaseSeconds &run : runs)
+        json.arrayValue(run.workers);
+    json.endArray();
+    json.beginObject("phase_seconds");
+    for (int p = 0; p < numPipelinePhases; ++p) {
+        json.beginArray(
+            pipelinePhaseName(static_cast<PipelinePhase>(p)));
+        for (const HostPhaseSeconds &run : runs)
+            json.arrayValue(run.seconds[p]);
+        json.endArray();
+    }
+    json.endObject();
+    json.beginArray("total_seconds");
+    for (const HostPhaseSeconds &run : runs)
+        json.arrayValue(run.total);
+    json.endArray();
+    json.beginArray("speedup");
+    for (const HostPhaseSeconds &run : runs)
+        json.arrayValue(run.total > 0 ? base.total / run.total
+                                      : 0.0);
+    json.endArray();
+    json.beginArray("tasks_stolen");
+    for (const HostPhaseSeconds &run : runs)
+        json.arrayValue(static_cast<double>(run.tasksStolen));
+    json.endArray();
+
+    const char *out = "BENCH_parallel_scaling.json";
+    if (json.write(out))
+        std::printf("wrote %s\n", out);
+    else
+        std::fprintf(stderr, "failed to write %s\n", out);
+    return 0;
+}

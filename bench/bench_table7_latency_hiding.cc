@@ -6,7 +6,6 @@
  * islands/cloths must be filtered off the FG cores.
  */
 
-#include "core/parallax_system.hh"
 #include "harness.hh"
 
 using namespace parallax;

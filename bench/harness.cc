@@ -1,6 +1,7 @@
 #include "harness.hh"
 
 #include <cmath>
+#include <tuple>
 
 namespace parallax
 {
@@ -43,12 +44,23 @@ MeasuredRun::worstFrameStart() const
     return best_start;
 }
 
+WorldConfig
+MeasureOptions::worldConfig() const
+{
+    WorldConfig config;
+    config.workerThreads = hostWorkers;
+    config.grainSize = hostGrainSize;
+    config.deterministic = hostDeterministic;
+    return config;
+}
+
 const MeasuredRun &
 measuredRun(BenchmarkId id, const MeasureOptions &options)
 {
-    using Key = std::pair<int, unsigned>;
+    using Key = std::tuple<int, unsigned, unsigned>;
     static std::map<Key, std::unique_ptr<MeasuredRun>> cache;
-    const Key key{static_cast<int>(id), options.threads};
+    const Key key{static_cast<int>(id), options.threads,
+                  options.hostWorkers};
     auto it = cache.find(key);
     if (it != cache.end())
         return *it->second;
@@ -57,7 +69,8 @@ measuredRun(BenchmarkId id, const MeasureOptions &options)
     run->id = id;
     run->stepsPerFrame = options.stepsPerFrame;
 
-    auto world = buildBenchmark(id, WorldConfig(), options.scale);
+    auto world =
+        buildBenchmark(id, options.worldConfig(), options.scale);
     run->spec = staticSceneSpec(*world);
 
     for (int i = 0; i < options.warmupSteps; ++i)
@@ -201,6 +214,126 @@ const char *
 tag(BenchmarkId id)
 {
     return benchmarkInfo(id).shortName;
+}
+
+// --- JsonWriter --------------------------------------------------------
+
+void
+JsonWriter::comma()
+{
+    if (needComma_)
+        out_ += ",";
+    needComma_ = true;
+}
+
+JsonWriter &
+JsonWriter::field(const char *key, double value)
+{
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    out_ += std::string("\"") + key + "\":" + buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const char *key, const char *value)
+{
+    comma();
+    out_ += std::string("\"") + key + "\":\"" + value + "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject(const char *key)
+{
+    comma();
+    out_ += std::string("\"") + key + "\":{";
+    needComma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out_ += "}";
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray(const char *key)
+{
+    comma();
+    out_ += std::string("\"") + key + "\":[";
+    needComma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::arrayValue(double value)
+{
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out_ += "]";
+    needComma_ = true;
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    return out_ + "}";
+}
+
+bool
+JsonWriter::write(const char *path) const
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr)
+        return false;
+    const std::string text = str();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+}
+
+// --- Host parallel-speedup measurement ---------------------------------
+
+HostPhaseSeconds
+measureHostPhases(BenchmarkId id, unsigned workers, double scale,
+                  int warmup, int steps)
+{
+    WorldConfig config;
+    config.workerThreads = workers;
+    config.deterministic = true; // Same work at every worker count.
+    auto world = buildBenchmark(id, config, scale);
+
+    for (int i = 0; i < warmup; ++i)
+        world->step();
+
+    HostPhaseSeconds result;
+    result.workers = workers;
+    const std::uint64_t steals0 = world->scheduler().tasksStolen();
+    for (int i = 0; i < steps; ++i) {
+        world->step();
+        const StepStats &stats = world->lastStepStats();
+        for (int p = 0; p < numPipelinePhases; ++p)
+            result.seconds[p] += stats.phaseSeconds[p];
+    }
+    result.tasksStolen = world->scheduler().tasksStolen() - steals0;
+    for (double s : result.seconds)
+        result.total += s;
+    return result;
 }
 
 } // namespace bench

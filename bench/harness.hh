@@ -16,12 +16,12 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cpu/cg_timing.hh"
 #include "mem/hierarchy.hh"
-#include "workload/benchmarks.hh"
-#include "workload/mem_trace.hh"
+#include "parallax.hh"
 
 namespace parallax
 {
@@ -52,6 +52,18 @@ struct MeasureOptions
     int stepsPerFrame = 3;
     unsigned threads = 1; // Trace-generation thread model.
     double scale = 1.0;
+
+    /** Host-side work-stealing workers driving the simulation
+     *  itself (independent of the modeled `threads` above). */
+    unsigned hostWorkers = 0;
+    /** Host scheduler grain (pairs/islands/cloths per chunk). */
+    unsigned hostGrainSize = 16;
+    /** Fixed tiling + ordered reduction on the host scheduler, so
+     *  measured runs are bitwise reproducible per worker count. */
+    bool hostDeterministic = true;
+
+    /** WorldConfig carrying the host scheduler knobs. */
+    WorldConfig worldConfig() const;
 };
 
 /** Run (or fetch from cache) a measured benchmark. */
@@ -82,6 +94,55 @@ void printHeader(const char *experiment, const char *paper_ref);
 
 /** Short benchmark tag column. */
 const char *tag(BenchmarkId id);
+
+/**
+ * Minimal JSON emitter for BENCH_*.json result staging: benches
+ * append scalar fields, arrays, and nested objects, then write the
+ * file. Enough structure for trend tracking, no dependency.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &field(const char *key, double value);
+    JsonWriter &field(const char *key, const char *value);
+    JsonWriter &beginObject(const char *key);
+    JsonWriter &endObject();
+    JsonWriter &beginArray(const char *key);
+    JsonWriter &arrayValue(double value);
+    JsonWriter &endArray();
+
+    /** Serialize to text and write to `path` (returns success). */
+    bool write(const char *path) const;
+
+    std::string str() const;
+
+  private:
+    void comma();
+
+    std::string out_ = "{";
+    bool needComma_ = false;
+};
+
+/**
+ * Per-phase wall-clock seconds of a stepped scene at one worker
+ * count, summed over the measured steps (host time, not simulated
+ * time — this is the engine's own parallel-speedup trajectory).
+ */
+struct HostPhaseSeconds
+{
+    unsigned workers = 0;
+    std::array<double, numPipelinePhases> seconds{};
+    double total = 0;
+    std::uint64_t tasksStolen = 0;
+};
+
+/**
+ * Step `id` at the given scale/worker count and measure per-phase
+ * host seconds over `steps` steps (after `warmup` steps).
+ */
+HostPhaseSeconds measureHostPhases(BenchmarkId id, unsigned workers,
+                                   double scale = 1.0,
+                                   int warmup = 12, int steps = 9);
 
 } // namespace bench
 } // namespace parallax

@@ -15,9 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "core/area_model.hh"
-#include "core/parallax_system.hh"
-#include "workload/benchmarks.hh"
+#include "parallax.hh"
 
 using namespace parallax;
 

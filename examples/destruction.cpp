@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "workload/scene_builder.hh"
+#include "parallax.hh"
 
 using namespace parallax;
 

@@ -9,20 +9,61 @@
  *
  * Build and run:
  *     cmake -B build -G Ninja && cmake --build build
- *     ./build/examples/quickstart
+ *     ./build/examples/quickstart [--workers N] [--grain N]
+ *                                 [--deterministic]
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
-#include "physics/world.hh"
+#include "parallax.hh"
 
 using namespace parallax;
 
-int
-main()
+namespace
 {
-    World world; // Default config: gravity, dt = 0.01, 20 solver
-                 // iterations — the paper's parameters.
+
+unsigned
+parseCount(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const unsigned long value = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr, "%s expects a number, got '%s'\n", flag,
+                     text);
+        std::exit(1);
+    }
+    return static_cast<unsigned>(value);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    WorldConfig config; // Defaults: gravity, dt = 0.01, 20 solver
+                        // iterations — the paper's parameters.
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+            config.workerThreads = parseCount("--workers", argv[++i]);
+        } else if (std::strcmp(argv[i], "--grain") == 0 &&
+                   i + 1 < argc) {
+            config.grainSize = parseCount("--grain", argv[++i]);
+        } else if (std::strcmp(argv[i], "--deterministic") == 0) {
+            config.deterministic = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--workers N] [--grain N] "
+                         "[--deterministic]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    World world(config);
+    std::printf("workers=%u grain=%u deterministic=%s\n",
+                world.config().workerThreads, world.config().grainSize,
+                world.config().deterministic ? "yes" : "no");
 
     // Static environment: the ground plane.
     const PlaneShape *ground = world.addPlane({0, 1, 0}, 0.0);

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Umbrella public header for the ParallAX reproduction.
+ *
+ * Consumers (benches, examples, downstream tools) include this one
+ * header instead of reaching into `physics/...`, `workload/...`, or
+ * `core/...` internals, so the engine's threading model and module
+ * layout can evolve without breaking call sites.
+ *
+ * Exports, by area:
+ *  - Engine:       World, WorldConfig (+ validate()), StepStats,
+ *                  RigidBody, Geom, Joint, Cloth, shapes, raycasts.
+ *  - Scheduling:   TaskScheduler, SchedulerConfig, LaneStats
+ *                  (the work-stealing parallel_for runtime).
+ *  - Workload:     BenchmarkId, buildBenchmark/runBenchmark,
+ *                  StepProfile, Instrumentation, TraceGenerator,
+ *                  scene-builder helpers.
+ *  - Architecture: ParallaxSystem, FgCoreModel, AreaModel, Arbiter.
+ *  - Simulation:   StatGroup, Counter, Distribution, logging.
+ *
+ * Lower-level simulator internals (cpu/, isa/, mem/, noc/) remain
+ * separate opt-in includes: they model hardware, not the engine API.
+ */
+
+#ifndef PARALLAX_PARALLAX_HH
+#define PARALLAX_PARALLAX_HH
+
+#include "core/arbiter.hh"
+#include "core/area_model.hh"
+#include "core/fg_core_model.hh"
+#include "core/parallax_system.hh"
+#include "physics/parallel/task_scheduler.hh"
+#include "physics/raycast.hh"
+#include "physics/world.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "workload/benchmarks.hh"
+#include "workload/instrumentation.hh"
+#include "workload/mem_trace.hh"
+#include "workload/scene_builder.hh"
+
+#endif // PARALLAX_PARALLAX_HH

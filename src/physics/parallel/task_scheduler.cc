@@ -1,0 +1,276 @@
+#include "task_scheduler.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+// --- WorkStealingDeque -------------------------------------------------
+
+WorkStealingDeque::WorkStealingDeque()
+    : ring_(new std::atomic<std::uint64_t>[capacity])
+{
+}
+
+void
+WorkStealingDeque::push(std::uint64_t value)
+{
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(capacity)) {
+        // Cannot happen with binary splitting (depth <= log2(2^32)),
+        // so treat overflow as a scheduler bug rather than growing.
+        panic("work-stealing deque overflow (%lld entries)",
+              static_cast<long long>(b - t));
+    }
+    ring_[static_cast<std::size_t>(b) & mask].store(
+        value, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+}
+
+bool
+WorkStealingDeque::pop(std::uint64_t &value)
+{
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+
+    if (t > b) {
+        // Deque was already empty; restore bottom.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;
+    }
+    value = ring_[static_cast<std::size_t>(b) & mask].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+        // Last element: race against thieves for it.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst,
+            std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return won;
+    }
+    return true;
+}
+
+bool
+WorkStealingDeque::steal(std::uint64_t &value)
+{
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b)
+        return false;
+    value = ring_[static_cast<std::size_t>(t) & mask].load(
+        std::memory_order_relaxed);
+    return top_.compare_exchange_strong(t, t + 1,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed);
+}
+
+bool
+WorkStealingDeque::empty() const
+{
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+}
+
+// --- TaskScheduler -----------------------------------------------------
+
+TaskScheduler::TaskScheduler(SchedulerConfig config)
+    : config_(config), workerCount_(config.workerThreads)
+{
+    if (config_.grainSize == 0)
+        config_.grainSize = 1;
+    lanes_.reserve(laneCount());
+    for (unsigned i = 0; i < laneCount(); ++i)
+        lanes_.push_back(std::make_unique<Lane>());
+    threads_.reserve(workerCount_);
+    for (unsigned i = 0; i < workerCount_; ++i)
+        threads_.emplace_back([this, i] { workerMain(i + 1); });
+}
+
+TaskScheduler::~TaskScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+TaskScheduler::Tiling
+TaskScheduler::tiling(std::size_t count, std::size_t grain) const
+{
+    Tiling t;
+    t.grain = std::max<std::size_t>(1, grain);
+    if (!config_.deterministic) {
+        // Widen the grain so the loop yields at most a handful of
+        // chunks per lane; tiling then depends on the lane count,
+        // which is why this path is not deterministic across
+        // worker counts once reductions care about chunk identity.
+        const std::size_t target =
+            static_cast<std::size_t>(laneCount()) * 8;
+        t.grain = std::max(t.grain, (count + target - 1) / target);
+    }
+    t.chunks = count == 0 ? 0 : (count + t.grain - 1) / t.grain;
+    return t;
+}
+
+void
+TaskScheduler::parallelFor(std::size_t count, std::size_t grain,
+                           const LoopBody &body)
+{
+    if (count == 0)
+        return;
+    const Tiling tile = tiling(count, grain);
+    loopsRun_.fetch_add(1, std::memory_order_relaxed);
+
+    Lane &self = *lanes_[0];
+    if (workerCount_ == 0 || tile.chunks == 1) {
+        // Inline execution, chunk by chunk in index order (same
+        // boundaries as the parallel path, so ordered reductions
+        // match bit for bit).
+        for (std::size_t c = 0; c < tile.chunks; ++c) {
+            const std::size_t begin = c * tile.grain;
+            const std::size_t end =
+                std::min(count, begin + tile.grain);
+            body(begin, end, 0);
+            self.executed.fetch_add(1, std::memory_order_relaxed);
+            self.items.fetch_add(end - begin,
+                                 std::memory_order_relaxed);
+        }
+        return;
+    }
+
+    // Publish the loop, seed lane 0's deque with the full chunk
+    // range, and wake the workers. Workers read body_/grain_/count_
+    // only after a successful steal, which synchronizes with the
+    // seeding push through the deque indices.
+    body_ = &body;
+    grain_ = tile.grain;
+    count_ = count;
+    remaining_.store(static_cast<std::int64_t>(tile.chunks),
+                     std::memory_order_relaxed);
+    self.deque.push(pack(0, tile.chunks));
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        ++epoch_;
+    }
+    wake_.notify_all();
+
+    participate(0);
+    // remaining_ hit zero: every chunk body has completed and those
+    // completions happen-before this return (release decrement /
+    // acquire load), so per-chunk results are safe to reduce.
+}
+
+void
+TaskScheduler::workerMain(unsigned lane)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(wakeMutex_);
+            wake_.wait(lock, [this, seen] {
+                return shutdown_ || epoch_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = epoch_;
+        }
+        participate(lane);
+    }
+}
+
+void
+TaskScheduler::participate(unsigned lane)
+{
+    const unsigned lanes = laneCount();
+    for (;;) {
+        std::uint64_t task;
+        if (lanes_[lane]->deque.pop(task)) {
+            runRange(lane, task, false);
+            continue;
+        }
+        if (remaining_.load(std::memory_order_acquire) <= 0)
+            return;
+        bool got = false;
+        for (unsigned v = 1; v < lanes && !got; ++v) {
+            const unsigned victim = (lane + v) % lanes;
+            got = lanes_[victim]->deque.steal(task);
+        }
+        if (got) {
+            runRange(lane, task, true);
+        } else if (remaining_.load(std::memory_order_acquire) <= 0) {
+            return;
+        } else {
+            // Someone holds the remaining chunks; let them run.
+            std::this_thread::yield();
+        }
+    }
+}
+
+void
+TaskScheduler::runRange(unsigned lane, std::uint64_t packed,
+                        bool stolen)
+{
+    Lane &self = *lanes_[lane];
+    std::uint64_t c0 = packed >> 32;
+    std::uint64_t c1 = packed & 0xffffffffu;
+    if (stolen)
+        self.stolen.fetch_add(1, std::memory_order_relaxed);
+
+    // Lazy binary splitting: keep the left half, expose the right
+    // half to thieves, until a single chunk remains.
+    while (c1 - c0 > 1) {
+        const std::uint64_t mid = c0 + (c1 - c0) / 2;
+        self.deque.push(pack(mid, c1));
+        c1 = mid;
+    }
+
+    const std::size_t begin = static_cast<std::size_t>(c0) * grain_;
+    const std::size_t end = std::min(count_, begin + grain_);
+    (*body_)(begin, end, lane);
+    self.executed.fetch_add(1, std::memory_order_relaxed);
+    self.items.fetch_add(end - begin, std::memory_order_relaxed);
+    remaining_.fetch_sub(1, std::memory_order_release);
+}
+
+std::uint64_t
+TaskScheduler::tasksExecuted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &lane : lanes_)
+        total += lane->executed.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t
+TaskScheduler::tasksStolen() const
+{
+    std::uint64_t total = 0;
+    for (const auto &lane : lanes_)
+        total += lane->stolen.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::vector<LaneStats>
+TaskScheduler::laneStats() const
+{
+    std::vector<LaneStats> stats(lanes_.size());
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        stats[i].chunksExecuted =
+            lanes_[i]->executed.load(std::memory_order_relaxed);
+        stats[i].rangesStolen =
+            lanes_[i]->stolen.load(std::memory_order_relaxed);
+        stats[i].itemsProcessed =
+            lanes_[i]->items.load(std::memory_order_relaxed);
+    }
+    return stats;
+}
+
+} // namespace parallax

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Work-stealing task scheduler with persistent worker threads.
+ *
+ * The paper's engine is parallelized "using pthreads and a work-queue
+ * model with persistent worker threads" (section 3.1). This is the
+ * modern equivalent: instead of one shared mutex/condvar queue, every
+ * execution lane (the calling thread plus each persistent worker)
+ * owns a Chase-Lev deque. A parallelFor() call tiles the iteration
+ * space into fixed-size chunks, seeds the caller's deque with the
+ * whole range, and lets idle lanes steal half-open sub-ranges until
+ * the loop is drained. Owners push and pop at the bottom of their
+ * deque (LIFO, cache-friendly); thieves steal from the top (FIFO,
+ * takes the largest outstanding split first).
+ *
+ * Deterministic mode pins the tiling to the configured grain size so
+ * chunk boundaries never depend on the number of workers; callers
+ * combine per-chunk partial results in chunk-index order ("ordered
+ * reduction") and obtain bitwise-identical simulation state for any
+ * worker count.
+ */
+
+#ifndef PARALLAX_PHYSICS_PARALLEL_TASK_SCHEDULER_HH
+#define PARALLAX_PHYSICS_PARALLEL_TASK_SCHEDULER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parallax
+{
+
+/** Tunables of the work-stealing scheduler. */
+struct SchedulerConfig
+{
+    /** Persistent worker threads (0 = run everything inline). */
+    unsigned workerThreads = 0;
+
+    /**
+     * Loop-tiling grain: iterations per chunk handed to one lane.
+     * Small grains balance better; large grains amortize dispatch.
+     */
+    std::size_t grainSize = 16;
+
+    /**
+     * Fix the tiling to `grainSize` regardless of worker count and
+     * promise callers that chunk boundaries are reproducible, so
+     * ordered per-chunk reductions give bitwise-identical results
+     * for any number of workers.
+     */
+    bool deterministic = false;
+};
+
+/** Per-lane execution counters (lane 0 is the calling thread). */
+struct LaneStats
+{
+    std::uint64_t chunksExecuted = 0;
+    std::uint64_t rangesStolen = 0;
+    std::uint64_t itemsProcessed = 0;
+};
+
+/**
+ * A lock-free single-owner double-ended queue of packed chunk
+ * ranges (the Chase-Lev deque; memory ordering follows Le et al.,
+ * "Correct and Efficient Work-Stealing for Weak Memory Models",
+ * with seq_cst on the top/bottom indices, which ThreadSanitizer
+ * models exactly).
+ *
+ * Capacity is fixed: a lane's deque holds at most one entry per
+ * binary split of its current range, so depth is bounded by
+ * log2(chunk count) <= 32 well under the ring size.
+ */
+class WorkStealingDeque
+{
+  public:
+    WorkStealingDeque();
+
+    WorkStealingDeque(const WorkStealingDeque &) = delete;
+    WorkStealingDeque &operator=(const WorkStealingDeque &) = delete;
+
+    /** Owner only: push a packed range at the bottom. */
+    void push(std::uint64_t value);
+
+    /** Owner only: pop the most recently pushed range. */
+    bool pop(std::uint64_t &value);
+
+    /** Any thread: steal the oldest (largest) range from the top. */
+    bool steal(std::uint64_t &value);
+
+    bool empty() const;
+
+  private:
+    static constexpr std::size_t capacity = 256;
+    static constexpr std::size_t mask = capacity - 1;
+
+    std::atomic<std::int64_t> top_{0};
+    std::atomic<std::int64_t> bottom_{0};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> ring_;
+};
+
+/**
+ * Fork-join parallel-for over persistent workers with work stealing.
+ *
+ * The calling thread is always lane 0 and participates in every
+ * loop; `workerThreads` additional lanes park on a condition
+ * variable between loops. With zero workers every loop runs inline,
+ * chunk by chunk, in index order.
+ */
+class TaskScheduler
+{
+  public:
+    /** Chunk body: [begin, end) iteration range + executing lane. */
+    using LoopBody =
+        std::function<void(std::size_t begin, std::size_t end,
+                           unsigned lane)>;
+
+    /** How parallelFor() will tile `count` iterations. */
+    struct Tiling
+    {
+        std::size_t grain = 1;
+        std::size_t chunks = 0;
+
+        /** Chunk index covering iteration `i`. */
+        std::size_t chunkOf(std::size_t i) const { return i / grain; }
+    };
+
+    explicit TaskScheduler(SchedulerConfig config = SchedulerConfig());
+    ~TaskScheduler();
+
+    TaskScheduler(const TaskScheduler &) = delete;
+    TaskScheduler &operator=(const TaskScheduler &) = delete;
+
+    unsigned workerCount() const { return workerCount_; }
+
+    /** Execution lanes: workers plus the calling thread. */
+    unsigned laneCount() const { return workerCount_ + 1; }
+
+    bool deterministic() const { return config_.deterministic; }
+    const SchedulerConfig &schedulerConfig() const { return config_; }
+
+    /**
+     * The tiling parallelFor(count, grain, ...) will use. In
+     * deterministic mode this is exactly `grain`; otherwise the
+     * grain is widened so no loop produces more than a few chunks
+     * per lane (less dispatch overhead, tiling varies with lanes).
+     */
+    Tiling tiling(std::size_t count, std::size_t grain) const;
+    Tiling tiling(std::size_t count) const
+    { return tiling(count, config_.grainSize); }
+
+    /**
+     * Run `body` over [0, count) in parallel and wait for
+     * completion. Chunks execute exactly on the boundaries reported
+     * by tiling(); each chunk runs on exactly one lane.
+     */
+    void parallelFor(std::size_t count, std::size_t grain,
+                     const LoopBody &body);
+    void parallelFor(std::size_t count, const LoopBody &body)
+    { parallelFor(count, config_.grainSize, body); }
+
+    // --- Execution counters (since construction). ---
+    std::uint64_t tasksExecuted() const;
+    std::uint64_t tasksStolen() const;
+    std::uint64_t loopsRun() const
+    { return loopsRun_.load(std::memory_order_relaxed); }
+
+    /** Per-lane counter snapshot (lane 0 = calling thread). */
+    std::vector<LaneStats> laneStats() const;
+
+  private:
+    /** One execution lane: a deque plus its private counters. */
+    struct alignas(64) Lane
+    {
+        WorkStealingDeque deque;
+        std::atomic<std::uint64_t> executed{0};
+        std::atomic<std::uint64_t> stolen{0};
+        std::atomic<std::uint64_t> items{0};
+    };
+
+    static std::uint64_t pack(std::uint64_t c0, std::uint64_t c1)
+    { return (c0 << 32) | c1; }
+
+    void workerMain(unsigned lane);
+
+    /** Pop/steal/split until the current loop has no chunks left. */
+    void participate(unsigned lane);
+
+    /** Split a range down to one chunk and execute it. */
+    void runRange(unsigned lane, std::uint64_t packed, bool stolen);
+
+    SchedulerConfig config_;
+    unsigned workerCount_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    std::vector<std::thread> threads_;
+
+    // Current-loop state. body_/grain_/count_ are written by lane 0
+    // before the seeding push and read by other lanes only after a
+    // successful steal, which synchronizes through the deque.
+    const LoopBody *body_ = nullptr;
+    std::size_t grain_ = 1;
+    std::size_t count_ = 0;
+    std::atomic<std::int64_t> remaining_{0};
+    std::atomic<std::uint64_t> loopsRun_{0};
+
+    // Worker parking between loops.
+    std::mutex wakeMutex_;
+    std::condition_variable wake_;
+    std::uint64_t epoch_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_PARALLEL_TASK_SCHEDULER_HH

@@ -1,6 +1,7 @@
 #include "world.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "sim/logging.hh"
@@ -8,19 +9,109 @@
 namespace parallax
 {
 
+const char *
+pipelinePhaseName(PipelinePhase phase)
+{
+    switch (phase) {
+      case PipelinePhase::Broadphase: return "broadphase";
+      case PipelinePhase::Narrowphase: return "narrowphase";
+      case PipelinePhase::IslandCreation: return "island_creation";
+      case PipelinePhase::IslandProcessing:
+        return "island_processing";
+      case PipelinePhase::Cloth: return "cloth";
+    }
+    return "unknown";
+}
+
+double
+StepStats::totalSeconds() const
+{
+    double total = 0;
+    for (double s : phaseSeconds)
+        total += s;
+    return total;
+}
+
 void
 StepStats::reset()
 {
     *this = StepStats();
 }
 
-World::World(WorldConfig config)
-    : config_(std::move(config)),
-      solver_(config_.solverIterations),
-      workQueue_(config_.workerThreads)
+std::vector<std::string>
+WorldConfig::validate() const
 {
-    if (config_.dt <= 0)
-        fatal("world dt must be positive (got %g)", config_.dt);
+    std::vector<std::string> errors;
+    auto check = [&errors](bool ok, std::string msg) {
+        if (!ok)
+            errors.push_back(std::move(msg));
+    };
+    check(std::isfinite(dt) && dt > 0,
+          "dt must be positive and finite (got " +
+              std::to_string(dt) + ")");
+    check(solverIterations >= 1,
+          "solverIterations must be >= 1 (got " +
+              std::to_string(solverIterations) + ")");
+    check(clothIterations >= 1,
+          "clothIterations must be >= 1 (got " +
+              std::to_string(clothIterations) + ")");
+    check(islandWorkQueueThreshold >= 0,
+          "islandWorkQueueThreshold must be >= 0 (got " +
+              std::to_string(islandWorkQueueThreshold) + ")");
+    check(workerThreads <= 1024,
+          "workerThreads must be <= 1024 (got " +
+              std::to_string(workerThreads) + ")");
+    check(grainSize >= 1,
+          "grainSize must be >= 1 (got " +
+              std::to_string(grainSize) + ")");
+    check(std::isfinite(erp) && erp >= 0 && erp <= 1,
+          "erp must be in [0, 1] (got " + std::to_string(erp) + ")");
+    check(std::isfinite(cfm) && cfm >= 0,
+          "cfm must be >= 0 (got " + std::to_string(cfm) + ")");
+    check(std::isfinite(gravity.x) && std::isfinite(gravity.y) &&
+              std::isfinite(gravity.z),
+          "gravity must be finite");
+    check(sleepLinearVelocity >= 0,
+          "sleepLinearVelocity must be >= 0 (got " +
+              std::to_string(sleepLinearVelocity) + ")");
+    check(sleepAngularVelocity >= 0,
+          "sleepAngularVelocity must be >= 0 (got " +
+              std::to_string(sleepAngularVelocity) + ")");
+    check(sleepSteps >= 1,
+          "sleepSteps must be >= 1 (got " +
+              std::to_string(sleepSteps) + ")");
+    return errors;
+}
+
+namespace
+{
+
+/** Reject invalid configs before any subsystem sees them. */
+WorldConfig
+validatedConfig(WorldConfig config)
+{
+    const std::vector<std::string> errors = config.validate();
+    if (!errors.empty()) {
+        std::string joined;
+        for (const std::string &e : errors) {
+            if (!joined.empty())
+                joined += "; ";
+            joined += e;
+        }
+        fatal("invalid WorldConfig: %s", joined.c_str());
+    }
+    return config;
+}
+
+} // namespace
+
+World::World(WorldConfig config)
+    : config_(validatedConfig(std::move(config))),
+      solver_(config_.solverIterations),
+      scheduler_(SchedulerConfig{config_.workerThreads,
+                                 config_.grainSize,
+                                 config_.deterministic})
+{
     switch (config_.broadphase) {
       case BroadphaseKind::SweepAndPrune:
         broadphase_ = std::make_unique<SweepAndPrune>();
@@ -274,6 +365,18 @@ World::fillStats(StatGroup &group) const
     rows.reset();
     for (const IslandSummary &island : s.islands)
         rows.sample(island.rows);
+
+    // Work-stealing scheduler: per-worker execution counters.
+    group.counter("par_workers").set(
+        static_cast<double>(scheduler_.workerCount()));
+    group.counter("par_tasks_executed").set(
+        static_cast<double>(s.parTasksExecuted));
+    group.counter("par_tasks_stolen").set(
+        static_cast<double>(s.parTasksStolen));
+    Distribution &per_lane = group.distribution("par_lane_tasks");
+    per_lane.reset();
+    for (const LaneStats &lane : scheduler_.laneStats())
+        per_lane.sample(static_cast<double>(lane.chunksExecuted));
 }
 
 void
@@ -293,16 +396,33 @@ World::step()
             body->applyForce(config_.gravity * body->mass());
     }
 
-    phaseBroadphase();
-    phaseNarrowphase();
+    const std::uint64_t tasks_before = scheduler_.tasksExecuted();
+    const std::uint64_t steals_before = scheduler_.tasksStolen();
+    using Clock = std::chrono::steady_clock;
+    auto timed = [this](PipelinePhase phase, auto &&fn) {
+        const Clock::time_point t0 = Clock::now();
+        fn();
+        stepStats_.phaseSeconds[static_cast<int>(phase)] =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+
+    timed(PipelinePhase::Broadphase, [this] { phaseBroadphase(); });
+    timed(PipelinePhase::Narrowphase, [this] { phaseNarrowphase(); });
 
     // 2(c).ii-iv: explosion triggers, fracture triggers, blast ticks.
     effects_.onContacts(*this, lastContacts_);
     effects_.update(*this, config_.dt);
 
-    phaseIslandCreation();
-    phaseIslandProcessing();
-    phaseCloth();
+    timed(PipelinePhase::IslandCreation,
+          [this] { phaseIslandCreation(); });
+    timed(PipelinePhase::IslandProcessing,
+          [this] { phaseIslandProcessing(); });
+    timed(PipelinePhase::Cloth, [this] { phaseCloth(); });
+
+    stepStats_.parTasksExecuted =
+        scheduler_.tasksExecuted() - tasks_before;
+    stepStats_.parTasksStolen =
+        scheduler_.tasksStolen() - steals_before;
 
     // Collect stats snapshots.
     stepStats_.broadphase = broadphase_->stats();
@@ -347,47 +467,72 @@ void
 World::phaseNarrowphase()
 {
     // 2(c).i: compute contact points for each pair. Object-pairs are
-    // independent: partition them into equal sets, one per worker,
-    // each with its own contact store (the paper's per-thread joint
-    // group that removes ODE's artificial serialization).
+    // independent: the scheduler tiles them into chunks that idle
+    // lanes steal, each chunk appending to its own contact store
+    // (the paper's per-thread joint group that removes ODE's
+    // artificial serialization).
     lastContacts_.clear();
 
-    const unsigned parts = std::max(1u, workQueue_.workerCount());
-    if (parts <= 1 || lastPairs_.size() < 64) {
+    const std::size_t pairs = lastPairs_.size();
+    if (scheduler_.laneCount() == 1 || pairs < 2 * config_.grainSize) {
         for (const GeomPair &pair : lastPairs_) {
             narrowphase_.collide(*geoms_[pair.a], *geoms_[pair.b],
                                  lastContacts_);
         }
-    } else {
-        std::vector<std::vector<Contact>> buffers(parts);
-        std::vector<WorkQueue::Task> tasks;
-        const size_t chunk = (lastPairs_.size() + parts - 1) / parts;
-        // Worker narrowphase instances keep stats races away; merge
-        // their counters after the batch.
-        std::vector<Narrowphase> locals(parts);
-        for (unsigned p = 0; p < parts; ++p) {
-            const size_t begin = p * chunk;
-            const size_t end =
-                std::min(lastPairs_.size(), begin + chunk);
-            if (begin >= end)
-                continue;
-            tasks.push_back([this, p, begin, end, &buffers, &locals] {
-                for (size_t i = begin; i < end; ++i) {
-                    const GeomPair &pair = lastPairs_[i];
-                    locals[p].collide(*geoms_[pair.a],
-                                      *geoms_[pair.b], buffers[p]);
-                }
-            });
+        stepStats_.contactsCreated = lastContacts_.size();
+        return;
+    }
+
+    // Worker narrowphase instances keep stats races away; their
+    // counters (plain integers, order-independent) merge after the
+    // loop.
+    const TaskScheduler::Tiling tile = scheduler_.tiling(pairs);
+    std::vector<Narrowphase> locals(scheduler_.laneCount());
+    auto collideRange = [this, &locals](std::size_t begin,
+                                        std::size_t end,
+                                        unsigned lane,
+                                        std::vector<Contact> &out) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const GeomPair &pair = lastPairs_[i];
+            locals[lane].collide(*geoms_[pair.a], *geoms_[pair.b],
+                                 out);
         }
-        workQueue_.runBatch(std::move(tasks));
-        for (unsigned p = 0; p < parts; ++p) {
-            lastContacts_.insert(lastContacts_.end(),
-                                 buffers[p].begin(), buffers[p].end());
-            const NarrowphaseStats &ls = locals[p].stats();
-            // Fold the worker counters into the shared instance.
-            narrowphase_.mergeStats(ls);
+    };
+
+    if (config_.deterministic) {
+        // Ordered reduction: one buffer per fixed tile, concatenated
+        // in chunk-index order, so the contact order (and therefore
+        // every downstream solver row) is independent of which lane
+        // ran which chunk.
+        std::vector<std::vector<Contact>> buffers(tile.chunks);
+        scheduler_.parallelFor(
+            pairs,
+            [&](std::size_t begin, std::size_t end, unsigned lane) {
+                collideRange(begin, end, lane,
+                             buffers[tile.chunkOf(begin)]);
+            });
+        for (const std::vector<Contact> &buf : buffers) {
+            lastContacts_.insert(lastContacts_.end(), buf.begin(),
+                                 buf.end());
+        }
+    } else {
+        // Per-lane buffers merged in lane order: fewer allocations,
+        // but the chunk-to-lane assignment (and thus contact order)
+        // depends on stealing.
+        std::vector<std::vector<Contact>> buffers(
+            scheduler_.laneCount());
+        scheduler_.parallelFor(
+            pairs,
+            [&](std::size_t begin, std::size_t end, unsigned lane) {
+                collideRange(begin, end, lane, buffers[lane]);
+            });
+        for (const std::vector<Contact> &buf : buffers) {
+            lastContacts_.insert(lastContacts_.end(), buf.begin(),
+                                 buf.end());
         }
     }
+    for (const Narrowphase &local : locals)
+        narrowphase_.mergeStats(local.stats());
     stepStats_.contactsCreated = lastContacts_.size();
 }
 
@@ -527,7 +672,7 @@ World::phaseIslandProcessing()
             continue;
         }
         if (island.rowCount() > config_.islandWorkQueueThreshold &&
-            workQueue_.workerCount() > 0) {
+            scheduler_.workerCount() > 0) {
             queued.push_back(&island);
         } else {
             inline_islands.push_back(&island);
@@ -537,16 +682,22 @@ World::phaseIslandProcessing()
     stepStats_.islandsOnMainThread = inline_islands.size();
 
     if (!queued.empty()) {
-        // Worker solvers avoid stats races; merged below.
+        // One chunk per island (islands are coarse and unbalanced;
+        // stealing load-balances them). Islands touch disjoint body
+        // sets, so results are bitwise identical whichever lane
+        // solves them; per-lane solver instances keep the stats
+        // counters race-free.
         std::vector<PgsSolver> solvers(
-            queued.size(), PgsSolver(config_.solverIterations));
-        std::vector<WorkQueue::Task> tasks;
-        for (size_t i = 0; i < queued.size(); ++i) {
-            tasks.push_back([i, &queued, &solvers, &params] {
-                solvers[i].solve(*queued[i], params);
+            scheduler_.laneCount(),
+            PgsSolver(config_.solverIterations));
+        scheduler_.parallelFor(
+            queued.size(), 1,
+            [&queued, &solvers, &params](std::size_t begin,
+                                         std::size_t end,
+                                         unsigned lane) {
+                for (std::size_t i = begin; i < end; ++i)
+                    solvers[lane].solve(*queued[i], params);
             });
-        }
-        workQueue_.runBatch(std::move(tasks));
         for (const PgsSolver &s : solvers)
             solver_.mergeStats(s.stats());
     }
@@ -655,17 +806,22 @@ World::phaseCloth()
             cloths_[ci]->vertexCount());
     }
 
-    if (workQueue_.workerCount() > 0 && cloths_.size() > 1) {
+    if (scheduler_.workerCount() > 0 && cloths_.size() > 1) {
+        // One chunk per cloth; relaxation sweeps within a cloth are
+        // sequential, so cloths are the stealable unit. Per-cloth
+        // stats buffers reduce in cloth order (deterministic either
+        // way: each cloth is touched by exactly one lane).
         std::vector<ClothStats> locals(cloths_.size());
-        std::vector<WorkQueue::Task> tasks;
-        for (size_t ci = 0; ci < cloths_.size(); ++ci) {
-            tasks.push_back([this, ci, &colliders, &locals] {
-                cloths_[ci]->step(config_.dt, config_.gravity,
-                                  config_.clothIterations,
-                                  colliders[ci], locals[ci]);
+        scheduler_.parallelFor(
+            cloths_.size(), 1,
+            [this, &colliders, &locals](std::size_t begin,
+                                        std::size_t end, unsigned) {
+                for (std::size_t ci = begin; ci < end; ++ci) {
+                    cloths_[ci]->step(config_.dt, config_.gravity,
+                                      config_.clothIterations,
+                                      colliders[ci], locals[ci]);
+                }
             });
-        }
-        workQueue_.runBatch(std::move(tasks));
         for (const ClothStats &ls : locals) {
             stats.clothsStepped += ls.clothsStepped;
             stats.verticesIntegrated += ls.verticesIntegrated;

@@ -11,7 +11,9 @@
 #ifndef PARALLAX_PHYSICS_WORLD_HH
 #define PARALLAX_PHYSICS_WORLD_HH
 
+#include <array>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -23,7 +25,7 @@
 #include "physics/joints/articulated_joints.hh"
 #include "physics/joints/contact_joint.hh"
 #include "physics/narrowphase/collide.hh"
-#include "physics/parallel/work_queue.hh"
+#include "physics/parallel/task_scheduler.hh"
 #include "physics/raycast.hh"
 #include "physics/shapes/primitives.hh"
 #include "physics/shapes/static_shapes.hh"
@@ -54,9 +56,17 @@ struct WorldConfig
     int clothIterations = 20;
     /** Persistent worker threads (0 = single-threaded). */
     unsigned workerThreads = 0;
-    /** Islands with more rows than this go to the work queue;
-     *  smaller islands execute on the main thread (paper: 25). */
+    /** Islands with more rows than this go to the work-stealing
+     *  scheduler; smaller islands execute on the main thread
+     *  (paper: 25). */
     int islandWorkQueueThreshold = 25;
+    /** parallel_for tiling grain: iterations (pair tests, islands,
+     *  cloths) per scheduler chunk. */
+    unsigned grainSize = 16;
+    /** Fixed tiling + ordered reduction: simulation state is
+     *  bitwise identical for any worker count (costs some merge
+     *  overhead in the narrowphase). */
+    bool deterministic = false;
     BroadphaseKind broadphase = BroadphaseKind::SweepAndPrune;
     ContactMaterial defaultMaterial;
     Real erp = 0.2;
@@ -73,7 +83,29 @@ struct WorldConfig
     Real sleepLinearVelocity = 0.12;
     Real sleepAngularVelocity = 0.18;
     int sleepSteps = 10;
+
+    /**
+     * Check every field and return one human-readable message per
+     * problem (empty = valid). World's constructor refuses invalid
+     * configs instead of silently clamping them.
+     */
+    std::vector<std::string> validate() const;
 };
+
+/** Pipeline phases of one step, in execution order (Figure 1). */
+enum class PipelinePhase
+{
+    Broadphase,
+    Narrowphase,
+    IslandCreation,
+    IslandProcessing,
+    Cloth,
+};
+
+constexpr int numPipelinePhases = 5;
+
+/** Human-readable pipeline phase name. */
+const char *pipelinePhaseName(PipelinePhase phase);
 
 /** Compact description of one island from the last step. */
 struct IslandSummary
@@ -103,8 +135,21 @@ struct StepStats
     std::uint64_t islandsAsleep = 0;
     std::uint64_t bodiesAsleep = 0;
 
+    /** Scheduler chunks executed / ranges stolen during this step. */
+    std::uint64_t parTasksExecuted = 0;
+    std::uint64_t parTasksStolen = 0;
+
+    /** Host wall-clock seconds spent in each pipeline phase. */
+    std::array<double, numPipelinePhases> phaseSeconds{};
+
     std::vector<IslandSummary> islands;
     std::vector<int> clothVertexCounts;
+
+    double seconds(PipelinePhase p) const
+    { return phaseSeconds[static_cast<int>(p)]; }
+
+    /** Wall-clock sum across all five phases. */
+    double totalSeconds() const;
 
     void reset();
 };
@@ -213,6 +258,9 @@ class World
     Real time() const { return time_; }
     const WorldConfig &config() const { return config_; }
 
+    /** The work-stealing scheduler driving the parallel phases. */
+    const TaskScheduler &scheduler() const { return scheduler_; }
+
     /**
      * Export the last step's statistics into a StatGroup (the
      * gem5-style stats idiom: harnesses dump groups as text).
@@ -255,7 +303,7 @@ class World
     IslandBuilder islandBuilder_;
     PgsSolver solver_;
     EffectsManager effects_;
-    WorkQueue workQueue_;
+    TaskScheduler scheduler_;
 
     // Per-step scratch state.
     std::vector<GeomPair> lastPairs_;
