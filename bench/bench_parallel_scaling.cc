@@ -11,6 +11,7 @@
  * performance — the "as fast as the hardware allows" axis.
  *
  * Run: ./build/bench/bench_parallel_scaling [Per|...|Mix] [scale]
+ *          [--check-invariants]
  */
 
 #include <cstdio>
@@ -41,6 +42,7 @@ parseBenchmark(const char *name)
 int
 main(int argc, char **argv)
 {
+    parseCommonFlags(&argc, argv);
     const BenchmarkId id =
         argc > 1 ? parseBenchmark(argv[1]) : BenchmarkId::Mix;
     const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;

@@ -1,6 +1,7 @@
 #include "harness.hh"
 
 #include <cmath>
+#include <cstring>
 #include <tuple>
 
 namespace parallax
@@ -44,6 +45,38 @@ MeasuredRun::worstFrameStart() const
     return best_start;
 }
 
+namespace
+{
+
+bool invariantChecks = false;
+
+} // namespace
+
+void
+parseCommonFlags(int *argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        if (std::strcmp(argv[i], "--check-invariants") == 0)
+            invariantChecks = true;
+        else
+            argv[out++] = argv[i];
+    }
+    *argc = out;
+}
+
+bool
+invariantChecksEnabled()
+{
+    return invariantChecks;
+}
+
+void
+setInvariantChecks(bool enabled)
+{
+    invariantChecks = enabled;
+}
+
 WorldConfig
 MeasureOptions::worldConfig() const
 {
@@ -51,6 +84,8 @@ MeasureOptions::worldConfig() const
     config.workerThreads = hostWorkers;
     config.grainSize = hostGrainSize;
     config.deterministic = hostDeterministic;
+    config.checkInvariants =
+        hostCheckInvariants || invariantChecksEnabled();
     return config;
 }
 
@@ -316,6 +351,7 @@ measureHostPhases(BenchmarkId id, unsigned workers, double scale,
     WorldConfig config;
     config.workerThreads = workers;
     config.deterministic = true; // Same work at every worker count.
+    config.checkInvariants = invariantChecksEnabled();
     auto world = buildBenchmark(id, config, scale);
 
     for (int i = 0; i < warmup; ++i)

@@ -61,10 +61,25 @@ struct MeasureOptions
     /** Fixed tiling + ordered reduction on the host scheduler, so
      *  measured runs are bitwise reproducible per worker count. */
     bool hostDeterministic = true;
+    /** Run the world-invariant checker after every step of the
+     *  measured simulation (also forced on by --check-invariants). */
+    bool hostCheckInvariants = false;
 
     /** WorldConfig carrying the host scheduler knobs. */
     WorldConfig worldConfig() const;
 };
+
+/**
+ * Strip harness-wide flags from argv (in place, adjusting *argc)
+ * before a bench parses its own arguments. Currently:
+ *   --check-invariants   run every measured simulation under the
+ *                        world-invariant checker (fatal on violation)
+ */
+void parseCommonFlags(int *argc, char **argv);
+
+/** Whether --check-invariants was passed (or set programmatically). */
+bool invariantChecksEnabled();
+void setInvariantChecks(bool enabled);
 
 /** Run (or fetch from cache) a measured benchmark. */
 const MeasuredRun &measuredRun(BenchmarkId id,

@@ -10,6 +10,9 @@
  * Exports, by area:
  *  - Engine:       World, WorldConfig (+ validate()), StepStats,
  *                  RigidBody, Geom, Joint, Cloth, shapes, raycasts.
+ *  - Debugging:    checkWorldInvariants, InvariantViolation,
+ *                  snapshot capture/replay (captureState /
+ *                  restoreState, describeSnapshot, snapshot files).
  *  - Scheduling:   TaskScheduler, SchedulerConfig, LaneStats
  *                  (the work-stealing parallel_for runtime).
  *  - Workload:     BenchmarkId, buildBenchmark/runBenchmark,
@@ -29,6 +32,8 @@
 #include "core/area_model.hh"
 #include "core/fg_core_model.hh"
 #include "core/parallax_system.hh"
+#include "physics/debug/capture.hh"
+#include "physics/debug/invariants.hh"
 #include "physics/parallel/task_scheduler.hh"
 #include "physics/raycast.hh"
 #include "physics/world.hh"

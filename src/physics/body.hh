@@ -77,6 +77,15 @@ class RigidBody
     int sleepCounter() const { return sleepCounter_; }
     void incrementSleepCounter() { ++sleepCounter_; }
 
+    /** Restore exact sleep bookkeeping (snapshot replay): unlike
+     *  wake()/sleep(), touches no other state. */
+    void
+    setSleepState(bool asleep, int counter)
+    {
+        asleep_ = asleep;
+        sleepCounter_ = counter;
+    }
+
     const Transform &pose() const { return pose_; }
     const Vec3 &position() const { return pose_.position; }
     const Quat &orientation() const { return pose_.rotation; }

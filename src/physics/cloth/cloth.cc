@@ -71,6 +71,15 @@ Cloth::movePinned(std::uint32_t index, const Vec3 &position)
     particles_[index].previous = position;
 }
 
+bool
+Cloth::restoreParticles(const std::vector<Particle> &particles)
+{
+    if (particles.size() != particles_.size())
+        return false;
+    particles_ = particles;
+    return true;
+}
+
 Aabb
 Cloth::bounds(Real margin) const
 {

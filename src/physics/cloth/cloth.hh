@@ -83,6 +83,10 @@ class Cloth
     /** Pin a particle so it never moves (attachment points). */
     void pin(std::uint32_t index);
 
+    /** Replace all particle states (snapshot replay). Fails (returns
+     *  false) if the count does not match this cloth's mesh. */
+    bool restoreParticles(const std::vector<Particle> &particles);
+
     /** Displace a pinned particle (to follow an attached body). */
     void movePinned(std::uint32_t index, const Vec3 &position);
 

@@ -1,0 +1,800 @@
+#include "capture.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+#include "physics/shapes/primitives.hh"
+#include "physics/world.hh"
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+namespace
+{
+
+constexpr char snapshotMagic[8] = {'P', 'A', 'X', 'S',
+                                   'N', 'A', 'P', '1'};
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= data[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+/** Little-endian byte appender for POD snapshot fields. */
+class Writer
+{
+  public:
+    explicit Writer(std::vector<std::uint8_t> &out) : out_(out) {}
+
+    void
+    u8(std::uint8_t v)
+    {
+        out_.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    i32(std::int32_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    vec3(const Vec3 &v)
+    {
+        f64(v.x);
+        f64(v.y);
+        f64(v.z);
+    }
+
+    void
+    quat(const Quat &q)
+    {
+        f64(q.w);
+        f64(q.x);
+        f64(q.y);
+        f64(q.z);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        out_.insert(out_.end(), s.begin(), s.end());
+    }
+
+  private:
+    std::vector<std::uint8_t> &out_;
+};
+
+/** Bounds-checked reader: records what it was reading when the bytes
+ *  ran out, so truncation errors name the missing section. */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    bool ok() const { return error_.empty(); }
+    const std::string &error() const { return error_; }
+
+    std::uint8_t
+    u8(const char *what)
+    {
+        if (!need(1, what))
+            return 0;
+        return data_[pos_++];
+    }
+
+    std::uint32_t
+    u32(const char *what)
+    {
+        if (!need(4, what))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64(const char *what)
+    {
+        if (!need(8, what))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::int32_t
+    i32(const char *what)
+    {
+        return static_cast<std::int32_t>(u32(what));
+    }
+
+    double
+    f64(const char *what)
+    {
+        const std::uint64_t bits = u64(what);
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    Vec3
+    vec3(const char *what)
+    {
+        Vec3 v;
+        v.x = f64(what);
+        v.y = f64(what);
+        v.z = f64(what);
+        return v;
+    }
+
+    Quat
+    quat(const char *what)
+    {
+        Quat q;
+        q.w = f64(what);
+        q.x = f64(what);
+        q.y = f64(what);
+        q.z = f64(what);
+        return q;
+    }
+
+    std::string
+    str(const char *what)
+    {
+        const std::uint32_t n = u32(what);
+        if (!need(n, what))
+            return "";
+        std::string s(reinterpret_cast<const char *>(data_ + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    void
+    fail(std::string message)
+    {
+        if (error_.empty())
+            error_ = std::move(message);
+    }
+
+  private:
+    bool
+    need(std::size_t n, const char *what)
+    {
+        if (!ok())
+            return false;
+        if (pos_ + n > size_) {
+            error_ = std::string("snapshot truncated while reading ") +
+                     what;
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+void
+writeConfig(Writer &w, const WorldConfig &config)
+{
+    w.vec3(config.gravity);
+    w.f64(config.dt);
+    w.i32(config.solverIterations);
+    w.i32(config.clothIterations);
+    w.u32(config.workerThreads);
+    w.i32(config.islandWorkQueueThreshold);
+    w.u32(config.grainSize);
+    w.u8(config.deterministic ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(config.broadphase));
+    w.f64(config.defaultMaterial.friction);
+    w.f64(config.defaultMaterial.restitution);
+    w.f64(config.defaultMaterial.restitutionThreshold);
+    w.f64(config.erp);
+    w.f64(config.cfm);
+    w.u8(config.autoDisable ? 1 : 0);
+    w.f64(config.sleepLinearVelocity);
+    w.f64(config.sleepAngularVelocity);
+    w.i32(config.sleepSteps);
+}
+
+WorldConfig
+readConfig(Reader &r)
+{
+    WorldConfig config;
+    config.gravity = r.vec3("config.gravity");
+    config.dt = r.f64("config.dt");
+    config.solverIterations = r.i32("config.solverIterations");
+    config.clothIterations = r.i32("config.clothIterations");
+    config.workerThreads = r.u32("config.workerThreads");
+    config.islandWorkQueueThreshold =
+        r.i32("config.islandWorkQueueThreshold");
+    config.grainSize = r.u32("config.grainSize");
+    config.deterministic = r.u8("config.deterministic") != 0;
+    config.broadphase =
+        static_cast<BroadphaseKind>(r.u8("config.broadphase"));
+    config.defaultMaterial.friction = r.f64("config.friction");
+    config.defaultMaterial.restitution = r.f64("config.restitution");
+    config.defaultMaterial.restitutionThreshold =
+        r.f64("config.restitutionThreshold");
+    config.erp = r.f64("config.erp");
+    config.cfm = r.f64("config.cfm");
+    config.autoDisable = r.u8("config.autoDisable") != 0;
+    config.sleepLinearVelocity = r.f64("config.sleepLinearVelocity");
+    config.sleepAngularVelocity = r.f64("config.sleepAngularVelocity");
+    config.sleepSteps = r.i32("config.sleepSteps");
+    return config;
+}
+
+/** Validate magic/version/checksum; returns the payload span via
+ *  out-parameters and "" on success. */
+std::string
+openSnapshot(const std::vector<std::uint8_t> &bytes,
+             const std::uint8_t **payload, std::size_t *payload_size)
+{
+    constexpr std::size_t header_size =
+        sizeof(snapshotMagic) + 4 + 8 + 8;
+    if (bytes.size() < header_size)
+        return "snapshot too small to hold a header (" +
+               std::to_string(bytes.size()) + " bytes)";
+    if (std::memcmp(bytes.data(), snapshotMagic,
+                    sizeof(snapshotMagic)) != 0) {
+        return "not a ParallAX snapshot (bad magic)";
+    }
+    Reader header(bytes.data() + sizeof(snapshotMagic),
+                  bytes.size() - sizeof(snapshotMagic));
+    const std::uint32_t version = header.u32("header.version");
+    if (version != snapshotVersion) {
+        return "unsupported snapshot version " +
+               std::to_string(version) + " (expected " +
+               std::to_string(snapshotVersion) + ")";
+    }
+    const std::uint64_t checksum = header.u64("header.checksum");
+    const std::uint64_t size = header.u64("header.payloadSize");
+    if (header_size + size != bytes.size()) {
+        return "snapshot truncated: header promises " +
+               std::to_string(size) + " payload bytes, file has " +
+               std::to_string(bytes.size() - header_size);
+    }
+    *payload = bytes.data() + header_size;
+    *payload_size = static_cast<std::size_t>(size);
+    if (fnv1a(*payload, *payload_size) != checksum)
+        return "snapshot corrupted: payload checksum mismatch";
+    return "";
+}
+
+/** Payload prefix shared by describeSnapshot and restoreState. */
+struct Preamble
+{
+    SnapshotInfo info;
+    WorldConfig config;
+    std::uint64_t totalJointsBroken = 0;
+};
+
+Preamble
+readPreamble(Reader &r)
+{
+    Preamble p;
+    p.info.version = snapshotVersion;
+    p.info.sceneTag = r.str("sceneTag");
+    p.info.stepCount = r.u64("stepCount");
+    p.info.time = r.f64("time");
+    p.totalJointsBroken = r.u64("totalJointsBroken");
+    p.config = readConfig(r);
+    p.config.sceneTag = p.info.sceneTag;
+    p.info.bodies = r.u32("bodyCount");
+    p.info.geoms = r.u32("geomCount");
+    p.info.joints = r.u32("jointCount");
+    p.info.cloths = r.u32("clothCount");
+    p.info.blastSpawns = r.u32("blastSpawnCount");
+    return p;
+}
+
+/** First config field whose mismatch would make a replay diverge. */
+const char *
+divergentConfigField(const WorldConfig &a, const WorldConfig &b)
+{
+    if ((a.gravity - b.gravity).lengthSquared() != 0.0)
+        return "gravity";
+    if (a.dt != b.dt)
+        return "dt";
+    if (a.solverIterations != b.solverIterations)
+        return "solverIterations";
+    if (a.clothIterations != b.clothIterations)
+        return "clothIterations";
+    if (a.deterministic != b.deterministic)
+        return "deterministic";
+    if (a.deterministic && a.grainSize != b.grainSize)
+        return "grainSize";
+    if (a.broadphase != b.broadphase)
+        return "broadphase";
+    if (a.defaultMaterial.friction != b.defaultMaterial.friction ||
+        a.defaultMaterial.restitution !=
+            b.defaultMaterial.restitution ||
+        a.defaultMaterial.restitutionThreshold !=
+            b.defaultMaterial.restitutionThreshold) {
+        return "defaultMaterial";
+    }
+    if (a.erp != b.erp)
+        return "erp";
+    if (a.cfm != b.cfm)
+        return "cfm";
+    if (a.autoDisable != b.autoDisable)
+        return "autoDisable";
+    if (a.autoDisable &&
+        (a.sleepLinearVelocity != b.sleepLinearVelocity ||
+         a.sleepAngularVelocity != b.sleepAngularVelocity ||
+         a.sleepSteps != b.sleepSteps)) {
+        return "sleep thresholds";
+    }
+    return nullptr;
+}
+
+} // namespace
+
+std::string
+describeSnapshot(const std::vector<std::uint8_t> &bytes,
+                 SnapshotInfo &info, WorldConfig &config)
+{
+    const std::uint8_t *payload = nullptr;
+    std::size_t payload_size = 0;
+    std::string err = openSnapshot(bytes, &payload, &payload_size);
+    if (!err.empty())
+        return err;
+    Reader r(payload, payload_size);
+    const Preamble p = readPreamble(r);
+    if (!r.ok())
+        return r.error();
+    info = p.info;
+    config = p.config;
+    return "";
+}
+
+std::string
+writeSnapshotFile(const std::string &path,
+                  const std::vector<std::uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return "cannot open '" + path + "' for writing";
+    const std::size_t written =
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (written != bytes.size())
+        return "short write to '" + path + "'";
+    return "";
+}
+
+std::string
+readSnapshotFile(const std::string &path,
+                 std::vector<std::uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return "cannot open '" + path + "' for reading";
+    bytes.clear();
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    const bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad)
+        return "read error on '" + path + "'";
+    return "";
+}
+
+std::vector<std::uint8_t>
+World::captureState() const
+{
+    std::vector<std::uint8_t> payload;
+    Writer w(payload);
+
+    w.str(config_.sceneTag);
+    w.u64(stepCount_);
+    w.f64(time_);
+    w.u64(totalJointsBroken_);
+    writeConfig(w, config_);
+
+    w.u32(static_cast<std::uint32_t>(bodies_.size()));
+    w.u32(static_cast<std::uint32_t>(geoms_.size()));
+    w.u32(static_cast<std::uint32_t>(joints_.size()));
+    w.u32(static_cast<std::uint32_t>(cloths_.size()));
+
+    // Blast volumes are the one structural mutation a running scene
+    // performs; record them so a fresh scene build can recreate them
+    // in id order before restoring per-entity state.
+    std::uint32_t spawns = 0;
+    for (const auto &g : geoms_) {
+        if (g->isBlast())
+            ++spawns;
+    }
+    w.u32(spawns);
+    for (const auto &g : geoms_) {
+        if (!g->isBlast())
+            continue;
+        parallax_assert(g->shape().type() == ShapeType::Sphere &&
+                        g->body() != nullptr);
+        w.u32(g->id());
+        w.u32(g->body()->id());
+        w.f64(static_cast<const SphereShape &>(g->shape()).radius());
+        w.vec3(g->body()->position());
+    }
+
+    for (const auto &b : bodies_) {
+        w.vec3(b->position());
+        w.quat(b->orientation());
+        w.vec3(b->linearVelocity());
+        w.vec3(b->angularVelocity());
+        w.vec3(b->force());
+        w.vec3(b->torque());
+        w.u8(b->enabled() ? 1 : 0);
+        w.u8(b->asleep() ? 1 : 0);
+        w.i32(b->sleepCounter());
+    }
+
+    for (const auto &j : joints_) {
+        w.u8(j->broken() ? 1 : 0);
+        w.f64(j->lastAppliedForce());
+        w.f64(j->accumulatedForce());
+    }
+
+    for (const auto &c : cloths_) {
+        w.u32(static_cast<std::uint32_t>(c->particles().size()));
+        for (const Cloth::Particle &p : c->particles()) {
+            w.vec3(p.position);
+            w.vec3(p.previous);
+            w.f64(p.invMass);
+        }
+    }
+
+    // Warm-start cache, sorted by key: the map iterates in hash
+    // order, sorting makes captures of identical state byte-equal.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(warmCache_.size());
+    for (const auto &[key, cached] : warmCache_)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    w.u32(static_cast<std::uint32_t>(keys.size()));
+    for (const std::uint64_t key : keys) {
+        const std::vector<CachedContact> &cached =
+            warmCache_.at(key);
+        w.u64(key);
+        w.u32(static_cast<std::uint32_t>(cached.size()));
+        for (const CachedContact &c : cached) {
+            w.vec3(c.position);
+            w.vec3(c.normal);
+            w.f64(c.lambdas[0]);
+            w.f64(c.lambdas[1]);
+            w.f64(c.lambdas[2]);
+        }
+    }
+
+    const EffectsManager::State effects = effects_.captureState();
+    w.u32(static_cast<std::uint32_t>(effects.explosives.size()));
+    for (const auto &e : effects.explosives) {
+        w.u32(e.geom);
+        w.f64(e.config.radius);
+        w.f64(e.config.duration);
+        w.f64(e.config.impulse);
+    }
+    w.u32(static_cast<std::uint32_t>(effects.blasts.size()));
+    for (const EffectsManager::Blast &b : effects.blasts) {
+        w.vec3(b.center);
+        w.f64(b.radius);
+        w.f64(b.impulse);
+        w.f64(b.duration);
+        w.f64(b.remaining);
+        w.u32(b.geom);
+    }
+    w.u32(static_cast<std::uint32_t>(effects.fractureBroken.size()));
+    for (const std::uint8_t broken : effects.fractureBroken)
+        w.u8(broken);
+
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(sizeof(snapshotMagic) + 20 + payload.size());
+    bytes.insert(bytes.end(), snapshotMagic,
+                 snapshotMagic + sizeof(snapshotMagic));
+    Writer header(bytes);
+    header.u32(snapshotVersion);
+    header.u64(fnv1a(payload.data(), payload.size()));
+    header.u64(payload.size());
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+    return bytes;
+}
+
+std::string
+World::restoreState(const std::vector<std::uint8_t> &bytes)
+{
+    const std::uint8_t *payload = nullptr;
+    std::size_t payload_size = 0;
+    std::string err = openSnapshot(bytes, &payload, &payload_size);
+    if (!err.empty())
+        return err;
+
+    Reader r(payload, payload_size);
+    const Preamble p = readPreamble(r);
+    if (!r.ok())
+        return r.error();
+
+    if (const char *field =
+            divergentConfigField(p.config, config_)) {
+        warn("snapshot config differs from world config (%s): "
+             "replay may diverge", field);
+    }
+
+    struct Spawn
+    {
+        GeomId geom;
+        BodyId body;
+        Real radius;
+        Vec3 center;
+    };
+    std::vector<Spawn> spawn_records(p.info.blastSpawns);
+    for (Spawn &s : spawn_records) {
+        s.geom = r.u32("spawn.geom");
+        s.body = r.u32("spawn.body");
+        s.radius = r.f64("spawn.radius");
+        s.center = r.vec3("spawn.center");
+    }
+    if (!r.ok())
+        return r.error();
+
+    // Line the structure up before touching any state: either the
+    // world already contains the spawned blast volumes (restoring
+    // into the same world) or it is a fresh scene build and they
+    // must be recreated in id order.
+    if (geoms_.size() + spawn_records.size() == p.info.geoms) {
+        for (const Spawn &s : spawn_records) {
+            const SphereShape *sphere = addSphere(s.radius);
+            RigidBody *anchor =
+                createStaticBody(Transform(Quat(), s.center));
+            Geom *blast_geom = createGeom(sphere, anchor);
+            blast_geom->setBlast(true);
+            if (blast_geom->id() != s.geom ||
+                anchor->id() != s.body) {
+                return "blast spawn id mismatch: snapshot has geom " +
+                       std::to_string(s.geom) + "/body " +
+                       std::to_string(s.body) + ", world created " +
+                       std::to_string(blast_geom->id()) + "/" +
+                       std::to_string(anchor->id());
+            }
+        }
+    } else if (geoms_.size() == p.info.geoms) {
+        for (const Spawn &s : spawn_records) {
+            if (s.geom >= geoms_.size() ||
+                !geoms_[s.geom]->isBlast()) {
+                return "snapshot blast geom " +
+                       std::to_string(s.geom) +
+                       " is not a blast volume in this world";
+            }
+        }
+    } else {
+        return "snapshot does not match this world: snapshot has " +
+               std::to_string(p.info.geoms) + " geoms (" +
+               std::to_string(p.info.blastSpawns) +
+               " blast spawns), world has " +
+               std::to_string(geoms_.size());
+    }
+    if (bodies_.size() != p.info.bodies ||
+        joints_.size() != p.info.joints ||
+        cloths_.size() != p.info.cloths) {
+        return "snapshot does not match this world: snapshot has " +
+               std::to_string(p.info.bodies) + " bodies / " +
+               std::to_string(p.info.joints) + " joints / " +
+               std::to_string(p.info.cloths) +
+               " cloths, world has " +
+               std::to_string(bodies_.size()) + " / " +
+               std::to_string(joints_.size()) + " / " +
+               std::to_string(cloths_.size());
+    }
+
+    // Parse everything into locals first: a truncated tail must not
+    // leave the world half-restored.
+    struct BodyState
+    {
+        Transform pose;
+        Vec3 linVel, angVel, force, torque;
+        bool enabled, asleep;
+        int sleepCounter;
+    };
+    std::vector<BodyState> body_states(p.info.bodies);
+    for (BodyState &b : body_states) {
+        b.pose.position = r.vec3("body.position");
+        b.pose.rotation = r.quat("body.orientation");
+        b.linVel = r.vec3("body.linearVelocity");
+        b.angVel = r.vec3("body.angularVelocity");
+        b.force = r.vec3("body.force");
+        b.torque = r.vec3("body.torque");
+        b.enabled = r.u8("body.enabled") != 0;
+        b.asleep = r.u8("body.asleep") != 0;
+        b.sleepCounter = r.i32("body.sleepCounter");
+    }
+
+    struct JointState
+    {
+        bool broken;
+        Real lastForce, accumForce;
+    };
+    std::vector<JointState> joint_states(p.info.joints);
+    for (JointState &j : joint_states) {
+        j.broken = r.u8("joint.broken") != 0;
+        j.lastForce = r.f64("joint.lastForce");
+        j.accumForce = r.f64("joint.accumForce");
+    }
+
+    std::vector<std::vector<Cloth::Particle>> cloth_states(
+        p.info.cloths);
+    for (std::vector<Cloth::Particle> &particles : cloth_states) {
+        const std::uint32_t n = r.u32("cloth.particleCount");
+        particles.resize(r.ok() ? n : 0);
+        for (Cloth::Particle &particle : particles) {
+            particle.position = r.vec3("cloth.position");
+            particle.previous = r.vec3("cloth.previous");
+            particle.invMass = r.f64("cloth.invMass");
+        }
+    }
+
+    std::unordered_map<std::uint64_t, std::vector<CachedContact>>
+        warm;
+    const std::uint32_t warm_entries = r.u32("warmCache.entries");
+    for (std::uint32_t i = 0; r.ok() && i < warm_entries; ++i) {
+        const std::uint64_t key = r.u64("warmCache.key");
+        const std::uint32_t n = r.u32("warmCache.count");
+        std::vector<CachedContact> cached(r.ok() ? n : 0);
+        for (CachedContact &c : cached) {
+            c.position = r.vec3("warmCache.position");
+            c.normal = r.vec3("warmCache.normal");
+            c.lambdas[0] = r.f64("warmCache.lambda");
+            c.lambdas[1] = r.f64("warmCache.lambda");
+            c.lambdas[2] = r.f64("warmCache.lambda");
+        }
+        warm[key] = std::move(cached);
+    }
+
+    EffectsManager::State effects;
+    const std::uint32_t explosive_count = r.u32("effects.explosives");
+    effects.explosives.resize(r.ok() ? explosive_count : 0);
+    for (auto &e : effects.explosives) {
+        e.geom = r.u32("effects.explosive.geom");
+        e.config.radius = r.f64("effects.explosive.radius");
+        e.config.duration = r.f64("effects.explosive.duration");
+        e.config.impulse = r.f64("effects.explosive.impulse");
+    }
+    const std::uint32_t blast_count = r.u32("effects.blasts");
+    effects.blasts.resize(r.ok() ? blast_count : 0);
+    for (EffectsManager::Blast &b : effects.blasts) {
+        b.center = r.vec3("effects.blast.center");
+        b.radius = r.f64("effects.blast.radius");
+        b.impulse = r.f64("effects.blast.impulse");
+        b.duration = r.f64("effects.blast.duration");
+        b.remaining = r.f64("effects.blast.remaining");
+        b.geom = r.u32("effects.blast.geom");
+    }
+    const std::uint32_t fracture_count = r.u32("effects.fractures");
+    effects.fractureBroken.resize(r.ok() ? fracture_count : 0);
+    for (std::uint8_t &broken : effects.fractureBroken)
+        broken = r.u8("effects.fracture.broken");
+    if (!r.ok())
+        return r.error();
+
+    // Commit.
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+        RigidBody *body = bodies_[i].get();
+        const BodyState &s = body_states[i];
+        body->setPose(s.pose);
+        body->setLinearVelocity(s.linVel);
+        body->setAngularVelocity(s.angVel);
+        body->clearAccumulators();
+        body->applyForce(s.force);
+        body->applyTorque(s.torque);
+        body->setEnabled(s.enabled);
+        body->setSleepState(s.asleep, s.sleepCounter);
+    }
+    for (std::size_t i = 0; i < joints_.size(); ++i) {
+        joints_[i]->restoreBreakState(joint_states[i].broken,
+                                      joint_states[i].lastForce,
+                                      joint_states[i].accumForce);
+    }
+    for (std::size_t i = 0; i < cloths_.size(); ++i) {
+        if (!cloths_[i]->restoreParticles(cloth_states[i])) {
+            return "cloth " + std::to_string(i) + " has " +
+                   std::to_string(cloths_[i]->particles().size()) +
+                   " particles, snapshot has " +
+                   std::to_string(cloth_states[i].size()) +
+                   " (different mesh)";
+        }
+    }
+    warmCache_ = std::move(warm);
+    err = effects_.restoreState(effects);
+    if (!err.empty())
+        return err;
+
+    jointWasBroken_.assign(joints_.size(), false);
+    for (std::size_t i = 0; i < joints_.size(); ++i)
+        jointWasBroken_[i] = joints_[i]->broken();
+    time_ = p.info.time;
+    stepCount_ = p.info.stepCount;
+    totalJointsBroken_ = p.totalJointsBroken;
+
+    // Per-step scratch describes a step that never happened here.
+    lastPairs_.clear();
+    lastContacts_.clear();
+    contactJoints_.clear();
+    lastIslandList_.clear();
+    stepStats_.reset();
+    return "";
+}
+
+std::vector<InvariantViolation>
+World::validateInvariants() const
+{
+    return checkWorldInvariants(*this);
+}
+
+void
+World::failInvariants(const std::vector<InvariantViolation> &violations)
+{
+    parallax_assert(!violations.empty());
+    for (const InvariantViolation &v : violations)
+        warn("invariant [%s]: %s", v.code.c_str(), v.message.c_str());
+
+    std::string name = "invariant";
+    for (const char c : config_.sceneTag)
+        name += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+    name += "_step" + std::to_string(stepCount_) + ".paxsnap";
+    const std::string path = config_.snapshotDir + "/" + name;
+    const std::string err = writeSnapshotFile(path, preStepSnapshot_);
+    if (err.empty()) {
+        warn("pre-step snapshot written to %s "
+             "(replay: tools/replay_snapshot %s)",
+             path.c_str(), path.c_str());
+    } else {
+        warn("failed to write pre-step snapshot: %s", err.c_str());
+    }
+    fatal("world invariants violated at step %llu (%zu violation(s), "
+          "first: [%s] %s)",
+          static_cast<unsigned long long>(stepCount_),
+          violations.size(), violations[0].code.c_str(),
+          violations[0].message.c_str());
+}
+
+} // namespace parallax

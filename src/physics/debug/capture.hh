@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic capture/replay: versioned binary world snapshots.
+ *
+ * A snapshot records everything World::step() reads: body states,
+ * joint break states, cloth particles, the contact warm-start cache,
+ * the effects subsystem (pending explosives, active blasts, fracture
+ * flags), simulation time, and the world configuration. Restoring a
+ * snapshot into a world with the same scene structure reproduces the
+ * subsequent trajectory bitwise (in deterministic mode, for any
+ * worker count), which turns "scene misbehaves at step 2843" into
+ * "load snapshot, step once".
+ *
+ * Blast volumes are the one structural mutation a running scene
+ * performs (EffectsManager::triggerExplosion adds a shape, a static
+ * anchor body and a trigger geom). Snapshots record these spawns so
+ * restoring into a freshly built scene can recreate them and line
+ * the id spaces back up.
+ *
+ * Format: an 8-byte magic, a version word, an FNV-1a checksum and a
+ * payload length, followed by the payload. Truncated or corrupted
+ * files are rejected with a readable error, never a crash.
+ */
+
+#ifndef PARALLAX_PHYSICS_DEBUG_CAPTURE_HH
+#define PARALLAX_PHYSICS_DEBUG_CAPTURE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parallax
+{
+
+struct WorldConfig;
+
+/** Current snapshot format version (bumped on layout changes). */
+constexpr std::uint32_t snapshotVersion = 1;
+
+/** Header fields parsed without touching a World. */
+struct SnapshotInfo
+{
+    std::uint32_t version = 0;
+    /** Scene provenance (WorldConfig::sceneTag), e.g.
+     *  "bench:MIX:scale=1". Empty for hand-built scenes. */
+    std::string sceneTag;
+    std::uint64_t stepCount = 0;
+    double time = 0.0;
+    std::uint32_t bodies = 0;
+    std::uint32_t geoms = 0;
+    std::uint32_t joints = 0;
+    std::uint32_t cloths = 0;
+    /** Blast volumes spawned mid-run (structural mutations). */
+    std::uint32_t blastSpawns = 0;
+};
+
+/**
+ * Parse a snapshot's header, scene tag, config and entity counts.
+ * Verifies magic, version and checksum. Fills `info` and the
+ * snapshot's WorldConfig; returns "" on success or a readable error.
+ */
+std::string describeSnapshot(const std::vector<std::uint8_t> &bytes,
+                             SnapshotInfo &info, WorldConfig &config);
+
+/** Write a snapshot to a file; returns "" or a readable error. */
+std::string writeSnapshotFile(const std::string &path,
+                              const std::vector<std::uint8_t> &bytes);
+
+/** Read a snapshot from a file; returns "" or a readable error. */
+std::string readSnapshotFile(const std::string &path,
+                             std::vector<std::uint8_t> &bytes);
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_DEBUG_CAPTURE_HH

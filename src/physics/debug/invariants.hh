@@ -1,0 +1,73 @@
+/**
+ * @file
+ * World-invariant checker: structural validation of simulation state.
+ *
+ * Physics pipelines fail subtly — a NaN velocity or a stale sleeping
+ * island skews every per-phase figure the benchmarks report without
+ * crashing anything. The checker walks the world after a step and
+ * verifies the structural properties every phase relies on:
+ *
+ *  - all body positions / orientations / velocities / accumulators
+ *    are finite,
+ *  - narrowphase contacts reference valid, distinct geoms and no
+ *    pair is emitted in both (A,B) and (B,A) orientations,
+ *  - every narrowphase contact came from a broadphase pair
+ *    (pair set is a superset of the contact set),
+ *  - the island list is a true partition: every awake, enabled
+ *    dynamic body appears in exactly one island,
+ *  - sleeping bodies have zero velocity and no applied contact
+ *    impulse (sleeping islands are skipped by the solver),
+ *  - solved contact impulses respect the friction-cone bounds
+ *    (normal lambda >= 0, |friction| <= mu * normal),
+ *  - cloth particles are finite and no distance constraint is
+ *    stretched beyond tolerance (a blown-up relaxation solve).
+ *
+ * Enabled with WorldConfig::checkInvariants, World::step() runs the
+ * checker after every substep and, on any violation, dumps the
+ * pre-step snapshot (see capture.hh) so the failure replays in one
+ * step under a debugger.
+ */
+
+#ifndef PARALLAX_PHYSICS_DEBUG_INVARIANTS_HH
+#define PARALLAX_PHYSICS_DEBUG_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+namespace parallax
+{
+
+class World;
+
+/** One violated invariant: a stable code plus a readable message. */
+struct InvariantViolation
+{
+    /** Stable identifier, e.g. "body-finite", "contact-symmetric". */
+    std::string code;
+    /** Human-readable description naming the offending entity. */
+    std::string message;
+};
+
+/** Tolerances used by the checker. */
+struct InvariantOptions
+{
+    /** Friction-cone slack: |f| <= mu * n + slack * (1 + mu * n). */
+    double frictionSlack = 1e-6;
+    /** Cloth constraint length may deviate from rest by this factor
+     *  (Jakobsen relaxation keeps edges near rest; a large multiple
+     *  means the solve diverged). */
+    double clothStretchFactor = 2.0;
+};
+
+/**
+ * Validate the world against every invariant and return the list of
+ * violations (empty = healthy). Pure observer: never mutates state.
+ */
+std::vector<InvariantViolation>
+checkWorldInvariants(const World &world,
+                     const InvariantOptions &options =
+                         InvariantOptions());
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_DEBUG_INVARIANTS_HH

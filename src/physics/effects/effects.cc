@@ -1,5 +1,6 @@
 #include "effects.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "physics/world.hh"
@@ -25,6 +26,45 @@ EffectsManager::registerFractureGroup(BodyId parent,
     fractureByParent_[parent] = fractureGroups_.size();
     fractureGroups_.push_back(FractureGroup{parent, std::move(debris),
                                             false});
+}
+
+EffectsManager::State
+EffectsManager::captureState() const
+{
+    State state;
+    state.explosives.reserve(explosives_.size());
+    for (const auto &[geom, config] : explosives_)
+        state.explosives.push_back(State::PendingExplosive{geom, config});
+    // The map iterates in hash order; sort so captures of the same
+    // world state are byte-identical.
+    std::sort(state.explosives.begin(), state.explosives.end(),
+              [](const State::PendingExplosive &a,
+                 const State::PendingExplosive &b) {
+                  return a.geom < b.geom;
+              });
+    state.blasts = blasts_;
+    state.fractureBroken.reserve(fractureGroups_.size());
+    for (const FractureGroup &group : fractureGroups_)
+        state.fractureBroken.push_back(group.broken ? 1 : 0);
+    return state;
+}
+
+std::string
+EffectsManager::restoreState(const State &state)
+{
+    if (state.fractureBroken.size() != fractureGroups_.size()) {
+        return "snapshot has " +
+               std::to_string(state.fractureBroken.size()) +
+               " fracture groups but the world has " +
+               std::to_string(fractureGroups_.size());
+    }
+    explosives_.clear();
+    for (const State::PendingExplosive &e : state.explosives)
+        explosives_[e.geom] = e.config;
+    blasts_ = state.blasts;
+    for (std::size_t i = 0; i < fractureGroups_.size(); ++i)
+        fractureGroups_[i].broken = state.fractureBroken[i] != 0;
+    return "";
 }
 
 void

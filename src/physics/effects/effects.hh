@@ -14,6 +14,7 @@
 #define PARALLAX_PHYSICS_EFFECTS_EFFECTS_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -86,7 +87,6 @@ class EffectsManager
     const EffectsStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
 
-  private:
     struct Blast
     {
         Vec3 center;
@@ -96,6 +96,35 @@ class EffectsManager
         Real remaining;
         GeomId geom; // The blast-volume geom (for contact matching).
     };
+
+    /**
+     * All mutable effects state, extracted for snapshot capture
+     * (debug/capture.hh): which explosives are still pending, the
+     * active blast volumes, and which fracture groups already broke.
+     */
+    struct State
+    {
+        struct PendingExplosive
+        {
+            GeomId geom;
+            BlastConfig config;
+        };
+        std::vector<PendingExplosive> explosives;
+        std::vector<Blast> blasts;
+        std::vector<std::uint8_t> fractureBroken;
+    };
+
+    /** Extract mutable state (explosives sorted by geom id). */
+    State captureState() const;
+
+    /**
+     * Restore previously captured state. The fracture-group
+     * registrations must match the capture (same scene build);
+     * returns "" on success or a readable error.
+     */
+    std::string restoreState(const State &state);
+
+  private:
 
     struct FractureGroup
     {

@@ -135,6 +135,15 @@ class Joint
     /** Accumulated applied load across steps (N, decaying). */
     Real accumulatedForce() const { return accumForce_; }
 
+    /** Restore exact break bookkeeping (snapshot replay). */
+    void
+    restoreBreakState(bool broken, Real last_force, Real accum_force)
+    {
+        broken_ = broken;
+        lastForce_ = last_force;
+        accumForce_ = accum_force;
+    }
+
   private:
     JointId id_;
     RigidBody *bodyA_;

@@ -71,15 +71,22 @@ WorldConfig::validate() const
     check(std::isfinite(gravity.x) && std::isfinite(gravity.y) &&
               std::isfinite(gravity.z),
           "gravity must be finite");
-    check(sleepLinearVelocity >= 0,
-          "sleepLinearVelocity must be >= 0 (got " +
+    // isfinite matters here: +inf passes a bare `>= 0` test and a
+    // +inf threshold makes every island sleep on its first calm
+    // step, silently freezing the scene.
+    check(std::isfinite(sleepLinearVelocity) &&
+              sleepLinearVelocity >= 0,
+          "sleepLinearVelocity must be >= 0 and finite (got " +
               std::to_string(sleepLinearVelocity) + ")");
-    check(sleepAngularVelocity >= 0,
-          "sleepAngularVelocity must be >= 0 (got " +
+    check(std::isfinite(sleepAngularVelocity) &&
+              sleepAngularVelocity >= 0,
+          "sleepAngularVelocity must be >= 0 and finite (got " +
               std::to_string(sleepAngularVelocity) + ")");
     check(sleepSteps >= 1,
           "sleepSteps must be >= 1 (got " +
               std::to_string(sleepSteps) + ")");
+    check(!checkInvariants || !snapshotDir.empty(),
+          "snapshotDir must be non-empty when checkInvariants is set");
     return errors;
 }
 
@@ -373,15 +380,26 @@ World::fillStats(StatGroup &group) const
         static_cast<double>(s.parTasksExecuted));
     group.counter("par_tasks_stolen").set(
         static_cast<double>(s.parTasksStolen));
+    // Per-step lane deltas (StepStats::laneTasks), not the
+    // scheduler's cumulative counters: sampling the latter made the
+    // "last step" distribution grow with run length.
     Distribution &per_lane = group.distribution("par_lane_tasks");
     per_lane.reset();
-    for (const LaneStats &lane : scheduler_.laneStats())
+    for (const LaneStats &lane : s.laneTasks)
         per_lane.sample(static_cast<double>(lane.chunksExecuted));
 }
 
 void
 World::step()
 {
+    // With invariant checking on, keep a pre-step snapshot so a
+    // violation at the end of this step can be dumped and replayed
+    // in exactly one step.
+    if (config_.checkInvariants)
+        preStepSnapshot_ = captureState();
+    const std::vector<LaneStats> lanes_before =
+        scheduler_.laneStats();
+
     stepStats_.reset();
     broadphase_->resetStats();
     narrowphase_.resetStats();
@@ -423,6 +441,20 @@ World::step()
         scheduler_.tasksExecuted() - tasks_before;
     stepStats_.parTasksStolen =
         scheduler_.tasksStolen() - steals_before;
+    // Per-lane deltas for this step, taken after the last phase
+    // barrier (all workers are parked, so the reads race nothing).
+    const std::vector<LaneStats> lanes_after = scheduler_.laneStats();
+    stepStats_.laneTasks.resize(lanes_after.size());
+    for (std::size_t i = 0; i < lanes_after.size(); ++i) {
+        stepStats_.laneTasks[i].chunksExecuted =
+            lanes_after[i].chunksExecuted -
+            lanes_before[i].chunksExecuted;
+        stepStats_.laneTasks[i].rangesStolen =
+            lanes_after[i].rangesStolen - lanes_before[i].rangesStolen;
+        stepStats_.laneTasks[i].itemsProcessed =
+            lanes_after[i].itemsProcessed -
+            lanes_before[i].itemsProcessed;
+    }
 
     // Collect stats snapshots.
     stepStats_.broadphase = broadphase_->stats();
@@ -434,6 +466,14 @@ World::step()
     for (const auto &body : bodies_)
         body->clearAccumulators();
     time_ += config_.dt;
+
+    if (config_.checkInvariants) {
+        const std::vector<InvariantViolation> violations =
+            validateInvariants();
+        if (!violations.empty())
+            failInvariants(violations);
+    }
+    ++stepCount_;
 }
 
 void
@@ -592,13 +632,17 @@ World::phaseIslandCreation()
                     best = &old;
                 }
             }
-            if (best != nullptr) {
-                const bool aligned =
-                    best->normal.dot(contact.normal) > 0.95;
-                joint->setWarmStart(
-                    best->lambdas[0],
-                    aligned ? best->lambdas[1] : 0.0,
-                    aligned ? best->lambdas[2] : 0.0);
+            // Only a cache entry whose normal still points the same
+            // way may seed the solve. Inheriting the normal impulse
+            // across a normal flip (contact side change, e.g. a body
+            // tunneling past a thin wall) pre-applies an impulse in
+            // the wrong direction — injected energy the iterations
+            // then have to claw back.
+            if (best != nullptr &&
+                best->normal.dot(contact.normal) > 0.95) {
+                joint->setWarmStart(best->lambdas[0],
+                                    best->lambdas[1],
+                                    best->lambdas[2]);
             }
         }
         contactJoints_.push_back(std::move(joint));
@@ -704,13 +748,50 @@ World::phaseIslandProcessing()
     for (Island *island : inline_islands)
         solver_.solve(*island, params);
 
+    // 2(f): check all breakable joints. This must run between the
+    // solve (which records the impulses that break joints) and the
+    // sleep decision below: a joint that broke THIS step frees its
+    // endpoint bodies, and the solver held them with the joint still
+    // intact — their post-solve velocities look calm, but next step
+    // (without the joint) they move. Sleeping them now would leave
+    // e.g. a plank dangling in mid-air forever, with the
+    // islandsAsleep/bodiesAsleep counters overcounting it every
+    // step. Wake the endpoints and veto this step's sleep decision
+    // for their islands instead.
+    std::uint64_t total_broken = 0;
+    std::unordered_set<std::uint32_t> broke_this_step;
+    jointWasBroken_.resize(joints_.size(), false);
+    for (std::size_t i = 0; i < joints_.size(); ++i) {
+        Joint *joint = joints_[i].get();
+        if (joint->broken()) {
+            ++total_broken;
+            if (!jointWasBroken_[i]) {
+                jointWasBroken_[i] = true;
+                for (RigidBody *body :
+                     {joint->bodyA(), joint->bodyB()}) {
+                    if (body == nullptr || body->isStatic())
+                        continue;
+                    body->wake();
+                    if (body->islandId() != ~std::uint32_t(0))
+                        broke_this_step.insert(body->islandId());
+                }
+            }
+        }
+    }
+    stepStats_.jointsBroken = total_broken - totalJointsBroken_;
+    totalJointsBroken_ = total_broken;
+
     for (const auto &body : bodies_)
         body->integratePositions(config_.dt);
 
     // Auto-disable, part 2: with post-solve velocities (resting
     // contacts cancelled gravity), decide which islands go to sleep.
     if (config_.autoDisable) {
-        for (Island &island : lastIslandList_) {
+        for (std::uint32_t island_index = 0;
+             island_index < lastIslandList_.size(); ++island_index) {
+            Island &island = lastIslandList_[island_index];
+            if (broke_this_step.count(island_index))
+                continue; // A joint broke here: stay awake.
             bool all_asleep = !island.bodies.empty();
             for (const RigidBody *body : island.bodies)
                 all_asleep &= body->asleep();
@@ -758,16 +839,6 @@ World::phaseIslandProcessing()
             CachedContact{c.position, c.normal,
                           {l[0], l[1], l[2]}});
     }
-
-    // 2(f): check all breakable joints. Report the joints that broke
-    // during this step as the delta of the running total.
-    std::uint64_t total_broken = 0;
-    for (const auto &joint : joints_) {
-        if (joint->broken())
-            ++total_broken;
-    }
-    stepStats_.jointsBroken = total_broken - totalJointsBroken_;
-    totalJointsBroken_ = total_broken;
 }
 
 void

@@ -20,6 +20,7 @@
 
 #include "physics/broadphase/broadphase.hh"
 #include "physics/cloth/cloth.hh"
+#include "physics/debug/invariants.hh"
 #include "physics/effects/effects.hh"
 #include "physics/island/island.hh"
 #include "physics/joints/articulated_joints.hh"
@@ -85,6 +86,21 @@ struct WorldConfig
     int sleepSteps = 10;
 
     /**
+     * Debug: run the world-invariant checker (debug/invariants.hh)
+     * after every step. On a violation, the pre-step snapshot is
+     * written to `snapshotDir` so `tools/replay_snapshot` reproduces
+     * the failure in a single step, then the process exits with a
+     * fatal error naming the violated invariant.
+     */
+    bool checkInvariants = false;
+    /** Directory invariant-violation snapshots are written to. */
+    std::string snapshotDir = ".";
+    /** Scene provenance recorded in snapshots so replay tools can
+     *  rebuild the structure (set by buildBenchmark; empty for
+     *  hand-built scenes). */
+    std::string sceneTag;
+
+    /**
      * Check every field and return one human-readable message per
      * problem (empty = valid). World's constructor refuses invalid
      * configs instead of silently clamping them.
@@ -138,6 +154,11 @@ struct StepStats
     /** Scheduler chunks executed / ranges stolen during this step. */
     std::uint64_t parTasksExecuted = 0;
     std::uint64_t parTasksStolen = 0;
+
+    /** Per-lane scheduler counters for this step alone (deltas of
+     *  the cumulative lane counters, merged on the main thread after
+     *  the phase barriers so reading them never races a worker). */
+    std::vector<LaneStats> laneTasks;
 
     /** Host wall-clock seconds spent in each pipeline phase. */
     std::array<double, numPipelinePhases> phaseSeconds{};
@@ -255,6 +276,16 @@ class World
     const std::vector<IslandSummary> &lastIslands() const
     { return stepStats_.islands; }
 
+    /** Full island partition from the last step (for the invariant
+     *  checker; summaries above suffice for stats consumers). */
+    const std::vector<Island> &lastIslandPartition() const
+    { return lastIslandList_; }
+
+    /** Contact joints created during the last step. */
+    const std::vector<std::unique_ptr<ContactJoint>> &
+    lastContactJoints() const
+    { return contactJoints_; }
+
     Real time() const { return time_; }
     const WorldConfig &config() const { return config_; }
 
@@ -266,6 +297,29 @@ class World
      * gem5-style stats idiom: harnesses dump groups as text).
      */
     void fillStats(StatGroup &group) const;
+
+    // --- Debug: capture/replay + invariants (physics/debug/). ---
+
+    /**
+     * Serialize all mutable simulation state (bodies, joints, cloth,
+     * warm-start cache, effects, time) to a versioned, checksummed
+     * snapshot. Defined in debug/capture.cc.
+     */
+    std::vector<std::uint8_t> captureState() const;
+
+    /**
+     * Restore a snapshot taken from a structurally identical world
+     * (same scene build; blast volumes spawned mid-run are recreated
+     * on a fresh build). Returns "" on success or a readable error —
+     * truncated, corrupted and mismatched snapshots never crash.
+     */
+    std::string restoreState(const std::vector<std::uint8_t> &bytes);
+
+    /** Run the invariant checker (debug/invariants.hh) now. */
+    std::vector<InvariantViolation> validateInvariants() const;
+
+    /** Number of completed step() calls. */
+    std::uint64_t stepCount() const { return stepCount_; }
 
   private:
     struct ClothAttachment
@@ -313,6 +367,20 @@ class World
     StepStats stepStats_;
     std::uint64_t totalJointsBroken_ = 0;
     Real time_ = 0.0;
+    std::uint64_t stepCount_ = 0;
+
+    /** Broken flag per permanent joint as of the end of the previous
+     *  step, so a break is detected in the step it happens (freed
+     *  bodies must not be put to sleep that same substep). */
+    std::vector<bool> jointWasBroken_;
+
+    /** Pre-step snapshot dumped when an invariant fails, so the
+     *  failure replays in one step (only captured when
+     *  config_.checkInvariants is set). */
+    std::vector<std::uint8_t> preStepSnapshot_;
+
+    [[noreturn]] void
+    failInvariants(const std::vector<InvariantViolation> &violations);
 
     /** Persisted contact impulses for warm starting, keyed by the
      *  geom pair; matched by contact position between steps. */

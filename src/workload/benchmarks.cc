@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 
 #include "scene_builder.hh"
 #include "sim/logging.hh"
@@ -354,10 +356,30 @@ benchmarkInfo(BenchmarkId id)
     return infos[static_cast<int>(id)];
 }
 
+bool
+benchmarkFromShortName(const std::string &name, BenchmarkId *id)
+{
+    for (BenchmarkId candidate : allBenchmarks) {
+        if (name == benchmarkInfo(candidate).shortName) {
+            *id = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::unique_ptr<World>
 buildBenchmark(BenchmarkId id, const WorldConfig &config, double scale)
 {
-    auto world = std::make_unique<World>(config);
+    // Stamp the scene's provenance so snapshots taken from this
+    // world can be replayed against a fresh build of the same scene
+    // (tools/replay_snapshot parses the tag back).
+    WorldConfig tagged = config;
+    char tag[64];
+    std::snprintf(tag, sizeof(tag), "bench:%s:scale=%g",
+                  benchmarkInfo(id).shortName, scale);
+    tagged.sceneTag = tag;
+    auto world = std::make_unique<World>(tagged);
     SceneBuilder sb(*world, 12345 + static_cast<int>(id));
     switch (id) {
       case BenchmarkId::Periodic: buildPeriodic(sb, scale); break;

@@ -56,6 +56,10 @@ struct BenchmarkInfo
 /** Static metadata for a benchmark. */
 const BenchmarkInfo &benchmarkInfo(BenchmarkId id);
 
+/** Look up a benchmark by its short tag (e.g. "Mix"). Returns false
+ *  (leaving *id untouched) when the name matches no benchmark. */
+bool benchmarkFromShortName(const std::string &name, BenchmarkId *id);
+
 /** Scene statistics in the shape of Table 4. */
 struct SceneSpec
 {

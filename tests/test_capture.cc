@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for deterministic capture/replay (physics/debug/capture).
+ *
+ * The contract under test: restoring a snapshot reproduces the
+ * subsequent trajectory bitwise — into the same world or into a
+ * freshly built copy of the scene — and damaged snapshot files fail
+ * with a readable error, never a crash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "physics/debug/capture.hh"
+#include "workload/benchmarks.hh"
+
+namespace parallax
+{
+namespace
+{
+
+WorldConfig
+mixConfig(unsigned workers = 2)
+{
+    WorldConfig config;
+    config.workerThreads = workers;
+    config.deterministic = true;
+    config.grainSize = 8;
+    return config;
+}
+
+/** Bitwise-comparable snapshot of all dynamic state in a world. */
+std::vector<double>
+worldState(const World &world)
+{
+    std::vector<double> state;
+    for (const auto &body : world.bodies()) {
+        const Vec3 &p = body->position();
+        const Quat &q = body->orientation();
+        const Vec3 &lv = body->linearVelocity();
+        const Vec3 &av = body->angularVelocity();
+        const double values[] = {p.x,  p.y,  p.z,  q.w,  q.x,
+                                 q.y,  q.z,  lv.x, lv.y, lv.z,
+                                 av.x, av.y, av.z};
+        state.insert(state.end(), std::begin(values),
+                     std::end(values));
+    }
+    for (const auto &cloth : world.cloths()) {
+        for (const auto &particle : cloth->particles()) {
+            state.push_back(particle.position.x);
+            state.push_back(particle.position.y);
+            state.push_back(particle.position.z);
+        }
+    }
+    return state;
+}
+
+void
+expectBitwiseEqual(const std::vector<double> &a,
+                   const std::vector<double> &b, const char *what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          a.size() * sizeof(double)),
+              0)
+        << what;
+}
+
+TEST(Capture, DescribeReportsSceneAndCounts)
+{
+    auto world = buildBenchmark(BenchmarkId::Mix, mixConfig(), 0.12);
+    for (int i = 0; i < 10; ++i)
+        world->step();
+    const std::vector<std::uint8_t> bytes = world->captureState();
+
+    SnapshotInfo info;
+    WorldConfig config;
+    ASSERT_EQ(describeSnapshot(bytes, info, config), "");
+    EXPECT_EQ(info.version, snapshotVersion);
+    EXPECT_EQ(info.sceneTag, "bench:Mix:scale=0.12");
+    EXPECT_EQ(info.stepCount, 10u);
+    EXPECT_EQ(info.bodies, static_cast<std::uint32_t>(
+                               world->bodyCount()));
+    EXPECT_EQ(info.joints, static_cast<std::uint32_t>(
+                               world->jointCount()));
+    EXPECT_EQ(config.workerThreads, 2u);
+    EXPECT_TRUE(config.deterministic);
+}
+
+/** Capture mid-run, keep stepping, then rewind the same world and
+ *  step again: the 100 post-snapshot steps must replay bitwise. */
+TEST(Capture, SameWorldRoundTripIsBitwiseIdentical)
+{
+    auto world = buildBenchmark(BenchmarkId::Mix, mixConfig(), 0.12);
+    for (int i = 0; i < 40; ++i)
+        world->step();
+    const std::vector<std::uint8_t> snapshot = world->captureState();
+
+    for (int i = 0; i < 100; ++i)
+        world->step();
+    const std::vector<double> original = worldState(*world);
+    ASSERT_FALSE(original.empty());
+
+    ASSERT_EQ(world->restoreState(snapshot), "");
+    EXPECT_EQ(world->stepCount(), 40u);
+    for (int i = 0; i < 100; ++i)
+        world->step();
+    expectBitwiseEqual(original, worldState(*world),
+                       "same-world replay diverged");
+}
+
+/** Restore into a freshly built scene (the replay-tool path). The
+ *  Explosions scene is warmed until blast volumes have spawned, so
+ *  the restore also exercises structural reconciliation. */
+TEST(Capture, FreshWorldRoundTripRecreatesBlastSpawns)
+{
+    const WorldConfig config = mixConfig();
+    auto world =
+        buildBenchmark(BenchmarkId::Explosions, config, 0.12);
+
+    std::vector<std::uint8_t> snapshot;
+    SnapshotInfo info;
+    WorldConfig snap_config;
+    int warmed = 0;
+    for (; warmed < 200; ++warmed) {
+        world->step();
+        snapshot = world->captureState();
+        ASSERT_EQ(describeSnapshot(snapshot, info, snap_config), "");
+        if (info.blastSpawns > 0)
+            break;
+    }
+    ASSERT_GT(info.blastSpawns, 0u)
+        << "no explosion triggered in " << warmed << " steps";
+
+    for (int i = 0; i < 100; ++i)
+        world->step();
+    const std::vector<double> original = worldState(*world);
+
+    auto fresh =
+        buildBenchmark(BenchmarkId::Explosions, config, 0.12);
+    ASSERT_LT(fresh->bodyCount(), world->bodyCount())
+        << "expected the snapshot to carry extra spawned bodies";
+    ASSERT_EQ(fresh->restoreState(snapshot), "");
+    EXPECT_EQ(fresh->bodyCount(), world->bodyCount());
+    for (int i = 0; i < 100; ++i)
+        fresh->step();
+    expectBitwiseEqual(original, worldState(*fresh),
+                       "fresh-world replay diverged");
+}
+
+TEST(Capture, TruncatedSnapshotFailsReadably)
+{
+    auto world = buildBenchmark(BenchmarkId::Mix, mixConfig(), 0.12);
+    world->step();
+    std::vector<std::uint8_t> bytes = world->captureState();
+
+    // Header promises more payload than the file holds.
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + bytes.size() / 2);
+    SnapshotInfo info;
+    WorldConfig config;
+    const std::string err = describeSnapshot(cut, info, config);
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+    EXPECT_NE(world->restoreState(cut), "");
+
+    // Too short to even hold a header.
+    std::vector<std::uint8_t> stub(bytes.begin(), bytes.begin() + 4);
+    EXPECT_NE(describeSnapshot(stub, info, config), "");
+}
+
+TEST(Capture, CorruptedSnapshotFailsReadably)
+{
+    auto world = buildBenchmark(BenchmarkId::Mix, mixConfig(), 0.12);
+    world->step();
+    std::vector<std::uint8_t> bytes = world->captureState();
+
+    std::vector<std::uint8_t> flipped = bytes;
+    flipped[flipped.size() - 1] ^= 0xff; // Payload byte.
+    SnapshotInfo info;
+    WorldConfig config;
+    const std::string err = describeSnapshot(flipped, info, config);
+    EXPECT_NE(err.find("checksum"), std::string::npos) << err;
+    EXPECT_NE(world->restoreState(flipped), "");
+
+    std::vector<std::uint8_t> bad_magic = bytes;
+    bad_magic[0] ^= 0xff;
+    EXPECT_NE(describeSnapshot(bad_magic, info, config)
+                  .find("magic"),
+              std::string::npos);
+}
+
+TEST(Capture, WrongSceneStructureFailsReadably)
+{
+    auto mix = buildBenchmark(BenchmarkId::Mix, mixConfig(), 0.12);
+    mix->step();
+    const std::vector<std::uint8_t> snapshot = mix->captureState();
+
+    auto other =
+        buildBenchmark(BenchmarkId::Periodic, mixConfig(), 0.12);
+    const std::string err = other->restoreState(snapshot);
+    EXPECT_FALSE(err.empty());
+    // The error names the mismatch instead of crashing or silently
+    // corrupting the target world.
+    EXPECT_NE(err.find("snapshot"), std::string::npos) << err;
+}
+
+TEST(Capture, FileRoundTripAndMissingFile)
+{
+    auto world = buildBenchmark(BenchmarkId::Mix, mixConfig(), 0.12);
+    world->step();
+    const std::vector<std::uint8_t> bytes = world->captureState();
+
+    const std::string path =
+        testing::TempDir() + "capture_roundtrip.paxsnap";
+    ASSERT_EQ(writeSnapshotFile(path, bytes), "");
+    std::vector<std::uint8_t> loaded;
+    ASSERT_EQ(readSnapshotFile(path, loaded), "");
+    EXPECT_EQ(loaded, bytes);
+    std::remove(path.c_str());
+
+    std::vector<std::uint8_t> missing;
+    EXPECT_NE(readSnapshotFile(path + ".nope", missing), "");
+}
+
+} // namespace
+} // namespace parallax

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "physics/parallel/task_scheduler.hh"
@@ -253,6 +254,56 @@ TEST(WorldConfigValidate, ConstructorRejectsInvalidConfig)
     EXPECT_EXIT(World world(config),
                 ::testing::ExitedWithCode(1),
                 "solverIterations");
+}
+
+TEST(WorldConfigValidate, RejectsNonFiniteThresholds)
+{
+    // Regression: +inf sleep thresholds passed the bare `>= 0`
+    // range check, and with autoDisable on they put every island to
+    // sleep on its first calm step — a frozen scene with no error.
+    WorldConfig config;
+    config.dt = std::numeric_limits<Real>::infinity();
+    config.sleepLinearVelocity =
+        std::numeric_limits<Real>::infinity();
+    config.sleepAngularVelocity =
+        std::numeric_limits<Real>::quiet_NaN();
+    config.sleepSteps = 0;
+    const std::vector<std::string> errors = config.validate();
+    EXPECT_EQ(errors.size(), 4u);
+    for (const char *field :
+         {"dt", "sleepLinearVelocity", "sleepAngularVelocity",
+          "sleepSteps"}) {
+        bool mentioned = false;
+        for (const std::string &e : errors)
+            mentioned |= e.find(field) != std::string::npos;
+        EXPECT_TRUE(mentioned) << field << " not mentioned";
+    }
+}
+
+TEST(Stats, PerLaneCountsCoverOneStepOnly)
+{
+    // Regression: the per-lane task distribution used to sample the
+    // scheduler's *cumulative* lane counters, so the reported
+    // "last step" distribution grew with run length (and reading
+    // the live counters raced the workers). StepStats::laneTasks
+    // holds per-step deltas merged after the phase barriers: they
+    // must sum to exactly the step's task count, every step.
+    WorldConfig config;
+    config.workerThreads = 2;
+    config.deterministic = true;
+    auto world = buildBenchmark(BenchmarkId::Mix, config, 0.12);
+    for (int i = 0; i < 10; ++i) {
+        world->step();
+        const StepStats &stats = world->lastStepStats();
+        std::uint64_t chunks = 0, steals = 0;
+        for (const LaneStats &lane : stats.laneTasks) {
+            chunks += lane.chunksExecuted;
+            steals += lane.rangesStolen;
+        }
+        EXPECT_EQ(chunks, stats.parTasksExecuted)
+            << "step " << i << ": lane totals are not this step's";
+        EXPECT_EQ(steals, stats.parTasksStolen) << "step " << i;
+    }
 }
 
 } // namespace

@@ -135,6 +135,63 @@ TEST(Sleeping, WakeClearsCounter)
     EXPECT_FALSE(top->asleep());
 }
 
+TEST(Sleeping, JointBreakWakesTheFreedBody)
+{
+    // Regression: a breakable joint holding a calm body used to be
+    // able to break on the same step the body's island ripened for
+    // sleep. The island-processing phase recorded the break after
+    // the solver had already written calm velocities, so the sleep
+    // decision went through and the freed body dangled in mid-air,
+    // asleep, forever. A break must veto that step's sleep decision
+    // and wake the joint's endpoints.
+    // The window is narrow by nature: the sleep thresholds sit just
+    // above one step of free-fall delta-v (g*dt), so the freed
+    // body's first falling step still reads as "calm". With
+    // sleepSteps=2, the held step pre-warms the counter and the
+    // first falling step ripens it — unless the break reset it.
+    WorldConfig config = sleepyConfig();
+    config.sleepSteps = 2;
+    World world(config);
+
+    RigidBody *anchor =
+        world.createStaticBody(Transform(Quat(), {0, 10, 0}));
+    const BoxShape *box = world.addBox({0.5, 0.5, 0.5});
+    RigidBody *hanging = world.createDynamicBody(
+        Transform(Quat(), {0, 8.5, 0}), *box, 10.0);
+    world.createGeom(box, hanging);
+    FixedJoint *joint = world.createFixedJoint(anchor, hanging);
+    // Holding the 10 kg box costs ~98 N; the joint snaps on the
+    // first solved step, while the held body is calm.
+    joint->setBreakForce(50.0);
+
+    for (int i = 0; i < 120; ++i)
+        world.step();
+
+    EXPECT_TRUE(joint->broken());
+    EXPECT_FALSE(hanging->asleep());
+    // The freed box fell instead of dangling at the anchor.
+    EXPECT_LT(hanging->position().y, 6.0);
+}
+
+TEST(Sleeping, ImpulseWakesTheWholeIsland)
+{
+    // Waking one body of a sleeping island must wake every body in
+    // it, or the solver processes a half-asleep contact graph.
+    World world(sleepyConfig());
+    RigidBody *top = buildStack(world, 3);
+    for (int i = 0; i < 200; ++i)
+        world.step();
+    ASSERT_TRUE(top->asleep());
+
+    // Kick the *bottom* box; the top one must wake with it.
+    RigidBody *bottom = world.bodies()[1].get();
+    ASSERT_NE(bottom, top);
+    bottom->applyImpulse({300, 0, 0}, bottom->position());
+    world.step();
+    EXPECT_FALSE(bottom->asleep());
+    EXPECT_FALSE(top->asleep());
+}
+
 TEST(Sleeping, ReducesMeasuredWorkload)
 {
     // The ablation claim: sleeping removes resting-contact solver
