@@ -1,6 +1,7 @@
 #include "harness.hh"
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <tuple>
 
@@ -49,16 +50,22 @@ namespace
 {
 
 bool invariantChecks = false;
+double frameBudget = 0.0;
 
 } // namespace
 
 void
 parseCommonFlags(int *argc, char **argv)
 {
+    constexpr const char budgetFlag[] = "--frame-budget=";
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
         if (std::strcmp(argv[i], "--check-invariants") == 0)
             invariantChecks = true;
+        else if (std::strncmp(argv[i], budgetFlag,
+                              sizeof(budgetFlag) - 1) == 0)
+            frameBudget =
+                std::atof(argv[i] + sizeof(budgetFlag) - 1);
         else
             argv[out++] = argv[i];
     }
@@ -77,6 +84,18 @@ setInvariantChecks(bool enabled)
     invariantChecks = enabled;
 }
 
+double
+hostFrameBudget()
+{
+    return frameBudget;
+}
+
+void
+setHostFrameBudget(double seconds)
+{
+    frameBudget = seconds;
+}
+
 WorldConfig
 MeasureOptions::worldConfig() const
 {
@@ -86,6 +105,10 @@ MeasureOptions::worldConfig() const
     config.deterministic = hostDeterministic;
     config.checkInvariants =
         hostCheckInvariants || invariantChecksEnabled();
+    // --frame-budget: measure under real-time degradation. The
+    // governor keys off frames of `stepsPerFrame` substeps.
+    config.frameBudget = hostFrameBudget();
+    config.governor.frameSubsteps = stepsPerFrame;
     return config;
 }
 

@@ -74,12 +74,21 @@ struct MeasureOptions
  * before a bench parses its own arguments. Currently:
  *   --check-invariants   run every measured simulation under the
  *                        world-invariant checker (fatal on violation)
+ *   --frame-budget=SEC   run every measured simulation under the
+ *                        real-time step governor with a SEC-second
+ *                        display-frame budget (0 disables; see
+ *                        WorldConfig::frameBudget)
  */
 void parseCommonFlags(int *argc, char **argv);
 
 /** Whether --check-invariants was passed (or set programmatically). */
 bool invariantChecksEnabled();
 void setInvariantChecks(bool enabled);
+
+/** Frame budget from --frame-budget (or set programmatically);
+ *  0 = governor disabled. */
+double hostFrameBudget();
+void setHostFrameBudget(double seconds);
 
 /** Run (or fetch from cache) a measured benchmark. */
 const MeasuredRun &measuredRun(BenchmarkId id,

@@ -13,6 +13,11 @@
  *  - Debugging:    checkWorldInvariants, InvariantViolation,
  *                  snapshot capture/replay (captureState /
  *                  restoreState, describeSnapshot, snapshot files).
+ *  - Robustness:   StepGovernor + GovernorTuning/GovernorStats (the
+ *                  real-time degradation ladder behind
+ *                  WorldConfig::frameBudget), InvariantMode
+ *                  (Off/Warn/Quarantine/HardFail), FaultPlan /
+ *                  FaultEvent scripted fault injection.
  *  - Scheduling:   TaskScheduler, SchedulerConfig, LaneStats
  *                  (the work-stealing parallel_for runtime).
  *  - Workload:     BenchmarkId, buildBenchmark/runBenchmark,
@@ -34,6 +39,8 @@
 #include "core/parallax_system.hh"
 #include "physics/debug/capture.hh"
 #include "physics/debug/invariants.hh"
+#include "physics/governor/fault_injection.hh"
+#include "physics/governor/governor.hh"
 #include "physics/parallel/task_scheduler.hh"
 #include "physics/raycast.hh"
 #include "physics/world.hh"

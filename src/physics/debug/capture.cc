@@ -186,6 +186,29 @@ class Reader
         return s;
     }
 
+    std::size_t remaining() const { return size_ - pos_; }
+
+    /**
+     * Validate a declared element count against the bytes actually
+     * left in the payload: each element encodes to at least
+     * `elem_bytes`, so a hostile length field (say 2^31) fails here
+     * with a readable error instead of sizing a giant allocation.
+     */
+    std::size_t
+    count(std::uint32_t n, std::size_t elem_bytes, const char *what)
+    {
+        if (!ok())
+            return 0;
+        if (static_cast<std::uint64_t>(n) * elem_bytes > remaining()) {
+            error_ = "snapshot declares " + std::to_string(n) + " " +
+                     what + " but only " +
+                     std::to_string(remaining()) +
+                     " payload bytes remain";
+            return 0;
+        }
+        return n;
+    }
+
     void
     fail(std::string message)
     {
@@ -568,7 +591,9 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
         Real radius;
         Vec3 center;
     };
-    std::vector<Spawn> spawn_records(p.info.blastSpawns);
+    // Each spawn record is 2 u32 + f64 + vec3 = 40 bytes.
+    std::vector<Spawn> spawn_records(
+        r.count(p.info.blastSpawns, 40, "blast spawns"));
     for (Spawn &s : spawn_records) {
         s.geom = r.u32("spawn.geom");
         s.body = r.u32("spawn.body");
@@ -665,7 +690,7 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
         p.info.cloths);
     for (std::vector<Cloth::Particle> &particles : cloth_states) {
         const std::uint32_t n = r.u32("cloth.particleCount");
-        particles.resize(r.ok() ? n : 0);
+        particles.resize(r.count(n, 56, "cloth particles"));
         for (Cloth::Particle &particle : particles) {
             particle.position = r.vec3("cloth.position");
             particle.previous = r.vec3("cloth.previous");
@@ -675,11 +700,14 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
 
     std::unordered_map<std::uint64_t, std::vector<CachedContact>>
         warm;
-    const std::uint32_t warm_entries = r.u32("warmCache.entries");
+    const std::uint32_t warm_entries =
+        static_cast<std::uint32_t>(r.count(
+            r.u32("warmCache.entries"), 12, "warm-cache entries"));
     for (std::uint32_t i = 0; r.ok() && i < warm_entries; ++i) {
         const std::uint64_t key = r.u64("warmCache.key");
         const std::uint32_t n = r.u32("warmCache.count");
-        std::vector<CachedContact> cached(r.ok() ? n : 0);
+        std::vector<CachedContact> cached(
+            r.count(n, 72, "warm-cache contacts"));
         for (CachedContact &c : cached) {
             c.position = r.vec3("warmCache.position");
             c.normal = r.vec3("warmCache.normal");
@@ -692,7 +720,8 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
 
     EffectsManager::State effects;
     const std::uint32_t explosive_count = r.u32("effects.explosives");
-    effects.explosives.resize(r.ok() ? explosive_count : 0);
+    effects.explosives.resize(
+        r.count(explosive_count, 28, "explosives"));
     for (auto &e : effects.explosives) {
         e.geom = r.u32("effects.explosive.geom");
         e.config.radius = r.f64("effects.explosive.radius");
@@ -700,7 +729,7 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
         e.config.impulse = r.f64("effects.explosive.impulse");
     }
     const std::uint32_t blast_count = r.u32("effects.blasts");
-    effects.blasts.resize(r.ok() ? blast_count : 0);
+    effects.blasts.resize(r.count(blast_count, 60, "blasts"));
     for (EffectsManager::Blast &b : effects.blasts) {
         b.center = r.vec3("effects.blast.center");
         b.radius = r.f64("effects.blast.radius");
@@ -710,7 +739,8 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
         b.geom = r.u32("effects.blast.geom");
     }
     const std::uint32_t fracture_count = r.u32("effects.fractures");
-    effects.fractureBroken.resize(r.ok() ? fracture_count : 0);
+    effects.fractureBroken.resize(
+        r.count(fracture_count, 1, "fracture flags"));
     for (std::uint8_t &broken : effects.fractureBroken)
         broken = r.u8("effects.fracture.broken");
     if (!r.ok())
@@ -761,6 +791,20 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
     contactJoints_.clear();
     lastIslandList_.clear();
     stepStats_.reset();
+
+    // Governor ladder and quarantine bookkeeping are runtime
+    // containment state, not simulation state: a restored world
+    // starts at full quality with nothing frozen (body enabled flags
+    // from the snapshot already reflect any freezes).
+    governor_ = StepGovernor(config_.frameBudget, config_.governor,
+                             config_.solverIterations,
+                             config_.clothIterations);
+    plan_ = governor_.planForLevel(0);
+    lastStepSeconds_ = 0.0;
+    quarantinedBodies_.clear();
+    probationUntil_.clear();
+    retryCount_.clear();
+    clothQuarantined_.clear();
     return "";
 }
 
@@ -771,13 +815,9 @@ World::validateInvariants() const
 }
 
 void
-World::failInvariants(const std::vector<InvariantViolation> &violations)
+World::dumpViolationSnapshot(const char *prefix)
 {
-    parallax_assert(!violations.empty());
-    for (const InvariantViolation &v : violations)
-        warn("invariant [%s]: %s", v.code.c_str(), v.message.c_str());
-
-    std::string name = "invariant";
+    std::string name = prefix;
     for (const char c : config_.sceneTag)
         name += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
     name += "_step" + std::to_string(stepCount_) + ".paxsnap";
@@ -790,6 +830,16 @@ World::failInvariants(const std::vector<InvariantViolation> &violations)
     } else {
         warn("failed to write pre-step snapshot: %s", err.c_str());
     }
+}
+
+void
+World::failInvariants(const std::vector<InvariantViolation> &violations)
+{
+    parallax_assert(!violations.empty());
+    for (const InvariantViolation &v : violations)
+        warn("invariant [%s]: %s", v.code.c_str(), v.message.c_str());
+
+    dumpViolationSnapshot("invariant");
     fatal("world invariants violated at step %llu (%zu violation(s), "
           "first: [%s] %s)",
           static_cast<unsigned long long>(stepCount_),

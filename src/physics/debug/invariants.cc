@@ -35,6 +35,21 @@ orderedPairKey(std::uint32_t a, std::uint32_t b)
     return (static_cast<std::uint64_t>(a) << 32) | b;
 }
 
+/** The dynamic body a contact violation should be attributed to
+ *  (quarantine wants an island, and only dynamic bodies have one). */
+std::int64_t
+dynamicBodyOf(const World &world, GeomId a, GeomId b)
+{
+    for (const GeomId id : {a, b}) {
+        const Geom *geom = world.geom(id);
+        const RigidBody *body = geom != nullptr ? geom->body()
+                                                : nullptr;
+        if (body != nullptr && !body->isStatic())
+            return body->id();
+    }
+    return -1;
+}
+
 /** Collects violations, capping the list so a systemic failure (every
  *  body NaN) reports a readable handful, not a million lines. */
 class Report
@@ -43,10 +58,13 @@ class Report
     explicit Report(std::vector<InvariantViolation> &out) : out_(out) {}
 
     void
-    add(const char *code, std::string message)
+    add(const char *code, std::string message,
+        std::int64_t body = -1, std::int64_t cloth = -1)
     {
-        if (out_.size() < maxViolations)
-            out_.push_back(InvariantViolation{code, std::move(message)});
+        if (out_.size() < maxViolations) {
+            out_.push_back(InvariantViolation{
+                code, std::move(message), body, cloth});
+        }
         ++total_;
     }
 
@@ -67,18 +85,19 @@ checkBodiesFinite(const World &world, Report &report)
         if (!finite(body->position()) || !finite(body->orientation())) {
             report.add("body-finite",
                        "body " + std::to_string(id) +
-                           " has a non-finite pose");
+                           " has a non-finite pose", id);
         }
         if (!finite(body->linearVelocity()) ||
             !finite(body->angularVelocity())) {
             report.add("body-finite",
                        "body " + std::to_string(id) +
-                           " has a non-finite velocity");
+                           " has a non-finite velocity", id);
         }
         if (!finite(body->force()) || !finite(body->torque())) {
             report.add("body-finite",
                        "body " + std::to_string(id) +
-                           " has a non-finite force/torque accumulator");
+                           " has a non-finite force/torque accumulator",
+                       id);
         }
     }
 }
@@ -118,7 +137,8 @@ checkContacts(const World &world, Report &report)
                        "contact between geoms " +
                            std::to_string(c.geomA) + " and " +
                            std::to_string(c.geomB) +
-                           " has non-finite data");
+                           " has non-finite data",
+                       dynamicBodyOf(world, c.geomA, c.geomB));
         }
         const std::uint64_t lo_hi = orderedPairKey(
             std::min(c.geomA, c.geomB), std::max(c.geomA, c.geomB));
@@ -185,7 +205,8 @@ checkSleeping(const World &world, Report &report)
             body->angularVelocity().lengthSquared() != 0.0) {
             report.add("sleep-motion",
                        "sleeping body " + std::to_string(body->id()) +
-                           " has non-zero velocity");
+                           " has non-zero velocity",
+                       body->id());
         }
     }
     for (const auto &joint : world.lastContactJoints()) {
@@ -200,7 +221,11 @@ checkSleeping(const World &world, Report &report)
         if (l[0] != 0.0 || l[1] != 0.0 || l[2] != 0.0) {
             report.add("sleep-impulse",
                        "contact joint " + std::to_string(joint->id()) +
-                           " applied an impulse to a sleeping body");
+                           " applied an impulse to a sleeping body",
+                       joint->bodyA() != nullptr
+                           ? static_cast<std::int64_t>(
+                                 joint->bodyA()->id())
+                           : -1);
         }
     }
 }
@@ -213,12 +238,19 @@ checkFrictionCone(const World &world, Report &report,
     // its friction coefficient bounds every solved friction impulse.
     const Real mu = world.config().defaultMaterial.friction;
     for (const auto &joint : world.lastContactJoints()) {
+        // ContactJoint guarantees a dynamic bodyA; quarantine will
+        // freeze its island.
+        const std::int64_t owner =
+            joint->bodyA() != nullptr
+                ? static_cast<std::int64_t>(joint->bodyA()->id())
+                : -1;
         const Real *l = joint->solvedLambdas();
         if (!std::isfinite(l[0]) || !std::isfinite(l[1]) ||
             !std::isfinite(l[2])) {
             report.add("impulse-finite",
                        "contact joint " + std::to_string(joint->id()) +
-                           " solved a non-finite impulse");
+                           " solved a non-finite impulse",
+                       owner);
             continue;
         }
         const Real slack =
@@ -227,7 +259,8 @@ checkFrictionCone(const World &world, Report &report,
             report.add("friction-cone",
                        "contact joint " + std::to_string(joint->id()) +
                            " has negative normal impulse " +
-                           std::to_string(l[0]));
+                           std::to_string(l[0]),
+                       owner);
         }
         const Real limit = mu * std::max<Real>(l[0], 0.0) + slack;
         if (std::fabs(l[1]) > limit || std::fabs(l[2]) > limit) {
@@ -236,7 +269,8 @@ checkFrictionCone(const World &world, Report &report,
                            " friction impulse exceeds mu * normal (" +
                            std::to_string(l[1]) + ", " +
                            std::to_string(l[2]) + " vs limit " +
-                           std::to_string(limit) + ")");
+                           std::to_string(limit) + ")",
+                       owner);
         }
     }
 }
@@ -252,7 +286,8 @@ checkCloth(const World &world, Report &report,
                 report.add("cloth-finite",
                            "cloth " + std::to_string(cloth->id()) +
                                " particle " + std::to_string(i) +
-                               " is non-finite");
+                               " is non-finite",
+                           -1, cloth->id());
             }
         }
         for (const Cloth::DistanceConstraint &c :
@@ -269,7 +304,8 @@ checkCloth(const World &world, Report &report,
                                std::to_string(c.b) + ") length " +
                                std::to_string(len) +
                                " vs rest " +
-                               std::to_string(c.restLength));
+                               std::to_string(c.restLength),
+                           -1, cloth->id());
             }
         }
     }

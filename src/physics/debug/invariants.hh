@@ -31,6 +31,7 @@
 #ifndef PARALLAX_PHYSICS_DEBUG_INVARIANTS_HH
 #define PARALLAX_PHYSICS_DEBUG_INVARIANTS_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,16 @@ struct InvariantViolation
     std::string code;
     /** Human-readable description naming the offending entity. */
     std::string message;
+    /**
+     * Fault attribution for InvariantMode::Quarantine: the offending
+     * body (quarantine its island) or cloth, when the violation can
+     * be pinned to one. -1 means structural / not attributable —
+     * those violations hard-fail even under Quarantine.
+     */
+    std::int64_t body = -1;
+    std::int64_t cloth = -1;
+
+    bool attributable() const { return body >= 0 || cloth >= 0; }
 };
 
 /** Tolerances used by the checker. */

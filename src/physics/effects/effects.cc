@@ -81,8 +81,13 @@ EffectsManager::onContacts(World &world,
         // replace it with a blast sphere.
         for (const Geom *g : {ga, gb}) {
             const Geom *other = g == ga ? gb : ga;
-            if (g->explosive() && g->enabled() && !other->isBlast())
+            if (g->explosive() && g->enabled() && !other->isBlast()) {
+                if (throttled_) {
+                    ++stats_.triggersThrottled;
+                    continue;
+                }
                 triggerExplosion(world, g->id());
+            }
         }
 
         // Pre-fractured object touched a blast volume: break it.
@@ -94,7 +99,13 @@ EffectsManager::onContacts(World &world,
             if (it == fractureByParent_.end())
                 continue;
             FractureGroup &group = fractureGroups_[it->second];
-            if (!group.broken) {
+            if (group.broken)
+                continue;
+            if (throttled_) {
+                ++stats_.triggersThrottled;
+                continue;
+            }
+            {
                 // Find the blast that owns the trigger geom for its
                 // impulse magnitude.
                 Real impulse = 100.0;

@@ -43,6 +43,9 @@ struct EffectsStats
     std::uint64_t bodiesPushed = 0;
     std::uint64_t objectsFractured = 0;
     std::uint64_t debrisEnabled = 0;
+    /** Triggers suppressed while the governor throttled spawning
+     *  (they stay pending and fire once the throttle lifts). */
+    std::uint64_t triggersThrottled = 0;
 
     void
     reset()
@@ -83,6 +86,15 @@ class EffectsManager
 
     /** Number of currently active blast volumes. */
     std::size_t activeBlasts() const { return blasts_.size(); }
+
+    /**
+     * Governor ladder level 7: suppress NEW blast/fracture spawning
+     * (the expensive structural mutations). Active blasts keep
+     * ticking; suppressed triggers stay pending and fire on the
+     * first unthrottled contact.
+     */
+    void setThrottled(bool throttled) { throttled_ = throttled; }
+    bool throttled() const { return throttled_; }
 
     const EffectsStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
@@ -142,6 +154,7 @@ class EffectsManager
     std::vector<FractureGroup> fractureGroups_;
     std::unordered_map<BodyId, std::size_t> fractureByParent_;
     EffectsStats stats_;
+    bool throttled_ = false;
 };
 
 } // namespace parallax

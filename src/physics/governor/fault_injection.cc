@@ -1,0 +1,19 @@
+#include "fault_injection.hh"
+
+namespace parallax
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::NanVelocity: return "nan-velocity";
+      case FaultKind::HugeImpulse: return "huge-impulse";
+      case FaultKind::CorruptContactNormal:
+        return "corrupt-contact-normal";
+      case FaultKind::StallLane: return "stall-lane";
+    }
+    return "unknown";
+}
+
+} // namespace parallax

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic scripted fault injection.
+ *
+ * GRAPE-6-style designs pair raw throughput with on-line error
+ * detection *and containment*; proving the containment story needs a
+ * way to make representative faults happen on demand. A FaultPlan is
+ * a list of scripted events World::step() fires when stepCount()
+ * reaches each event's step:
+ *
+ *  - NanVelocity:          poison a body's linear velocity with NaN
+ *                          (models a corrupted solver write),
+ *  - HugeImpulse:          apply an oversized impulse to a body
+ *                          (models an energy-injection bug),
+ *  - CorruptContactNormal: overwrite one narrowphase contact normal
+ *                          with NaN (models bad collision output),
+ *  - StallLane:            stall one scheduler lane for `magnitude`
+ *                          seconds (models a slow or preempted core;
+ *                          perturbs wall-clock timing only, never
+ *                          simulation state).
+ *
+ * Targets select entities modulo the live count, so the same plan is
+ * valid for any scene. Injection is deterministic: the same plan and
+ * scene produce the same faults at the same steps.
+ */
+
+#ifndef PARALLAX_PHYSICS_GOVERNOR_FAULT_INJECTION_HH
+#define PARALLAX_PHYSICS_GOVERNOR_FAULT_INJECTION_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace parallax
+{
+
+/** What a scripted fault event does when it fires. */
+enum class FaultKind : std::uint8_t
+{
+    NanVelocity,
+    HugeImpulse,
+    CorruptContactNormal,
+    StallLane,
+};
+
+/** Human-readable fault-kind name. */
+const char *faultKindName(FaultKind kind);
+
+/** One scripted fault. */
+struct FaultEvent
+{
+    /** World::stepCount() at which the fault fires. */
+    std::uint64_t step = 0;
+    FaultKind kind = FaultKind::NanVelocity;
+    /** Body index (NanVelocity/HugeImpulse), contact index
+     *  (CorruptContactNormal) or lane (StallLane), taken modulo the
+     *  live entity count at injection time. */
+    std::uint32_t target = 0;
+    /** Impulse magnitude in N*s (HugeImpulse) or stall duration in
+     *  seconds (StallLane); unused otherwise. */
+    double magnitude = 0.0;
+};
+
+/** A deterministic schedule of fault events (WorldConfig::faultPlan). */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /** Number of events scheduled at exactly `step`. */
+    std::size_t
+    countAt(std::uint64_t step) const
+    {
+        std::size_t n = 0;
+        for (const FaultEvent &e : events)
+            n += e.step == step ? 1 : 0;
+        return n;
+    }
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_PHYSICS_GOVERNOR_FAULT_INJECTION_HH

@@ -1,0 +1,117 @@
+#include "governor.hh"
+
+#include <algorithm>
+
+namespace parallax
+{
+
+const char *
+invariantModeName(InvariantMode mode)
+{
+    switch (mode) {
+      case InvariantMode::Off: return "off";
+      case InvariantMode::Warn: return "warn";
+      case InvariantMode::Quarantine: return "quarantine";
+      case InvariantMode::HardFail: return "hardfail";
+    }
+    return "unknown";
+}
+
+StepGovernor::StepGovernor(double frameBudget,
+                           const GovernorTuning &tuning,
+                           int solverIterations, int clothIterations)
+    : budget_(frameBudget > 0.0
+                  ? frameBudget / std::max(1, tuning.frameSubsteps)
+                  : 0.0),
+      tuning_(tuning), fullSolver_(solverIterations),
+      fullCloth_(clothIterations),
+      // A floor above the configured iteration count would "degrade"
+      // upward; the effective floor can never exceed full quality.
+      solverFloor_(std::min(tuning.solverIterationFloor,
+                            solverIterations)),
+      clothFloor_(std::min(tuning.clothIterationFloor,
+                           clothIterations))
+{
+    stats_.active = enabled();
+    stats_.budgetSeconds = budget_;
+    stats_.solverIterations = fullSolver_;
+    stats_.clothIterations = fullCloth_;
+}
+
+StepGovernor::Plan
+StepGovernor::planForLevel(int level) const
+{
+    Plan plan;
+    plan.level = std::clamp(level, 0, maxLadderLevel);
+    // Levels 1-3 walk the solver from full quality to its floor in
+    // three even rungs; levels 4-5 do the same for cloth in two.
+    const int solverSpan = fullSolver_ - solverFloor_;
+    const int solverRung = std::min(plan.level, 3);
+    plan.solverIterations =
+        fullSolver_ - (solverSpan * solverRung) / 3;
+    const int clothSpan = fullCloth_ - clothFloor_;
+    const int clothRung = std::clamp(plan.level - 3, 0, 2);
+    plan.clothIterations = fullCloth_ - (clothSpan * clothRung) / 2;
+    plan.deferNarrowphase = plan.level >= 6;
+    plan.throttleEffects = plan.level >= 7;
+    return plan;
+}
+
+StepGovernor::Plan
+StepGovernor::planStep(double lastMeasuredSeconds)
+{
+    if (!enabled()) {
+        Plan plan = planForLevel(0);
+        stats_.solverIterations = plan.solverIterations;
+        stats_.clothIterations = plan.clothIterations;
+        return plan;
+    }
+
+    stats_.projectedSeconds = lastMeasuredSeconds;
+    stats_.overBudget = lastMeasuredSeconds > budget_;
+    if (stats_.overBudget) {
+        calmStreak_ = 0;
+        if (level_ < maxLadderLevel) {
+            ++level_;
+            ++stats_.degradations;
+        }
+    } else if (lastMeasuredSeconds <
+               budget_ * (1.0 - tuning_.hysteresis)) {
+        // Hysteresis: require a sustained run of clearly-under-budget
+        // substeps before restoring one rung of quality, so the
+        // ladder does not oscillate around the deadline.
+        ++calmStreak_;
+        if (calmStreak_ >= tuning_.recoverySteps && level_ > 0) {
+            --level_;
+            ++stats_.recoveries;
+            calmStreak_ = 0;
+        }
+    } else {
+        // Between the two thresholds: hold the current rung.
+        calmStreak_ = 0;
+    }
+
+    const Plan plan = planForLevel(level_);
+    stats_.ladderLevel = plan.level;
+    stats_.solverIterations = plan.solverIterations;
+    stats_.clothIterations = plan.clothIterations;
+    stats_.narrowphaseDeferral = plan.deferNarrowphase;
+    stats_.effectsThrottled = plan.throttleEffects;
+    return plan;
+}
+
+void
+StepGovernor::finishStep(double measuredSeconds,
+                         std::uint64_t pairsDeferred)
+{
+    stats_.pairsDeferred = pairsDeferred;
+    if (!enabled())
+        return;
+    if (measuredSeconds > budget_) {
+        ++stats_.deadlineMisses;
+        if (level_ >= maxLadderLevel)
+            ++stats_.deadlineMissesAtFloor;
+    }
+}
+
+} // namespace parallax

@@ -1,6 +1,7 @@
 #include "task_scheduler.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "sim/logging.hh"
 
@@ -83,6 +84,20 @@ TaskScheduler::TaskScheduler(SchedulerConfig config)
 {
     if (config_.grainSize == 0)
         config_.grainSize = 1;
+    if (workerCount_ > maxWorkers) {
+        warn("workerThreads %u exceeds the scheduler cap of %u; "
+             "clamping",
+             workerCount_, maxWorkers);
+        workerCount_ = maxWorkers;
+        config_.workerThreads = maxWorkers;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0 && laneCount() > hw) {
+        warn("%u execution lanes oversubscribe %u hardware threads; "
+             "results are unaffected but expect context-switch "
+             "overhead",
+             laneCount(), hw);
+    }
     lanes_.reserve(laneCount());
     for (unsigned i = 0; i < laneCount(); ++i)
         lanes_.push_back(std::make_unique<Lane>());
@@ -134,6 +149,7 @@ TaskScheduler::parallelFor(std::size_t count, std::size_t grain,
         // Inline execution, chunk by chunk in index order (same
         // boundaries as the parallel path, so ordered reductions
         // match bit for bit).
+        consumeStall(self);
         for (std::size_t c = 0; c < tile.chunks; ++c) {
             const std::size_t begin = c * tile.grain;
             const std::size_t end =
@@ -187,8 +203,28 @@ TaskScheduler::workerMain(unsigned lane)
 }
 
 void
+TaskScheduler::consumeStall(Lane &lane)
+{
+    const std::uint64_t ns =
+        lane.stallNanos.exchange(0, std::memory_order_relaxed);
+    if (ns > 0)
+        std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+void
+TaskScheduler::stallLane(unsigned lane, double seconds)
+{
+    if (!(seconds > 0.0))
+        return;
+    lanes_[lane % laneCount()]->stallNanos.fetch_add(
+        static_cast<std::uint64_t>(seconds * 1e9),
+        std::memory_order_relaxed);
+}
+
+void
 TaskScheduler::participate(unsigned lane)
 {
+    consumeStall(*lanes_[lane]);
     const unsigned lanes = laneCount();
     for (;;) {
         std::uint64_t task;

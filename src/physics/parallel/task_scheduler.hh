@@ -130,6 +130,16 @@ class TaskScheduler
         std::size_t chunkOf(std::size_t i) const { return i / grain; }
     };
 
+    /**
+     * Hard cap on worker threads. Requests beyond it are clamped
+     * with a warning: more lanes than this only multiply stacks and
+     * context switches, never throughput. Oversubscribing the actual
+     * hardware_concurrency() below the cap is allowed (and warned
+     * about) — determinism guarantees do not depend on lane:core
+     * ratios, which the oversubscription regression test pins down.
+     */
+    static constexpr unsigned maxWorkers = 128;
+
     explicit TaskScheduler(SchedulerConfig config = SchedulerConfig());
     ~TaskScheduler();
 
@@ -173,6 +183,15 @@ class TaskScheduler
     /** Per-lane counter snapshot (lane 0 = calling thread). */
     std::vector<LaneStats> laneStats() const;
 
+    /**
+     * Fault injection (FaultKind::StallLane): make `lane` sleep for
+     * `seconds` of wall-clock time at its next loop participation,
+     * modeling a slow or preempted core. Perturbs timing only —
+     * simulation state is unaffected, which is exactly what the
+     * deterministic-mode guarantee promises under scheduling jitter.
+     */
+    void stallLane(unsigned lane, double seconds);
+
   private:
     /** One execution lane: a deque plus its private counters. */
     struct alignas(64) Lane
@@ -181,12 +200,18 @@ class TaskScheduler
         std::atomic<std::uint64_t> executed{0};
         std::atomic<std::uint64_t> stolen{0};
         std::atomic<std::uint64_t> items{0};
+        /** Pending injected stall (stallLane), consumed on the
+         *  lane's next participation. */
+        std::atomic<std::uint64_t> stallNanos{0};
     };
 
     static std::uint64_t pack(std::uint64_t c0, std::uint64_t c1)
     { return (c0 << 32) | c1; }
 
     void workerMain(unsigned lane);
+
+    /** Sleep off any stall injected for this lane. */
+    void consumeStall(Lane &lane);
 
     /** Pop/steal/split until the current loop has no chunks left. */
     void participate(unsigned lane);

@@ -73,6 +73,10 @@ class PgsSolver
 
     int iterations() const { return iterations_; }
 
+    /** Adjust relaxation sweeps (the step governor walks this toward
+     *  its floor under deadline pressure). */
+    void setIterations(int iterations) { iterations_ = iterations; }
+
     const SolverStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "sim/logging.hh"
 
@@ -85,8 +86,53 @@ WorldConfig::validate() const
     check(sleepSteps >= 1,
           "sleepSteps must be >= 1 (got " +
               std::to_string(sleepSteps) + ")");
-    check(!checkInvariants || !snapshotDir.empty(),
-          "snapshotDir must be non-empty when checkInvariants is set");
+    check(std::isfinite(frameBudget) && frameBudget >= 0,
+          "frameBudget must be >= 0 and finite (got " +
+              std::to_string(frameBudget) + ")");
+    check(governor.frameSubsteps >= 1,
+          "governor.frameSubsteps must be >= 1 (got " +
+              std::to_string(governor.frameSubsteps) + ")");
+    check(governor.solverIterationFloor >= 1,
+          "governor.solverIterationFloor must be >= 1 (got " +
+              std::to_string(governor.solverIterationFloor) + ")");
+    check(governor.clothIterationFloor >= 1,
+          "governor.clothIterationFloor must be >= 1 (got " +
+              std::to_string(governor.clothIterationFloor) + ")");
+    check(std::isfinite(governor.hysteresis) &&
+              governor.hysteresis >= 0 && governor.hysteresis < 1,
+          "governor.hysteresis must be in [0, 1) (got " +
+              std::to_string(governor.hysteresis) + ")");
+    check(governor.recoverySteps >= 1,
+          "governor.recoverySteps must be >= 1 (got " +
+              std::to_string(governor.recoverySteps) + ")");
+    check(std::isfinite(governor.deferVelocity) &&
+              governor.deferVelocity >= 0,
+          "governor.deferVelocity must be >= 0 and finite (got " +
+              std::to_string(governor.deferVelocity) + ")");
+    check(quarantineThawSteps >= 0,
+          "quarantineThawSteps must be >= 0 (got " +
+              std::to_string(quarantineThawSteps) + ")");
+    check(quarantineMaxRetries >= 0,
+          "quarantineMaxRetries must be >= 0 (got " +
+              std::to_string(quarantineMaxRetries) + ")");
+    check(std::isfinite(quarantineRetryDtScale) &&
+              quarantineRetryDtScale > 0 &&
+              quarantineRetryDtScale <= 1,
+          "quarantineRetryDtScale must be in (0, 1] (got " +
+              std::to_string(quarantineRetryDtScale) + ")");
+    check(quarantineProbationSteps >= 1,
+          "quarantineProbationSteps must be >= 1 (got " +
+              std::to_string(quarantineProbationSteps) + ")");
+    for (const FaultEvent &e : faultPlan.events) {
+        check(std::isfinite(e.magnitude),
+              std::string("faultPlan magnitude must be finite (") +
+                  faultKindName(e.kind) + " at step " +
+                  std::to_string(e.step) + ")");
+    }
+    check((!checkInvariants && invariantMode == InvariantMode::Off) ||
+              !snapshotDir.empty(),
+          "snapshotDir must be non-empty when invariant checking "
+          "is enabled");
     return errors;
 }
 
@@ -117,7 +163,10 @@ World::World(WorldConfig config)
       solver_(config_.solverIterations),
       scheduler_(SchedulerConfig{config_.workerThreads,
                                  config_.grainSize,
-                                 config_.deterministic})
+                                 config_.deterministic}),
+      governor_(config_.frameBudget, config_.governor,
+                config_.solverIterations, config_.clothIterations),
+      plan_(governor_.planForLevel(0))
 {
     switch (config_.broadphase) {
       case BroadphaseKind::SweepAndPrune:
@@ -387,16 +436,58 @@ World::fillStats(StatGroup &group) const
     per_lane.reset();
     for (const LaneStats &lane : s.laneTasks)
         per_lane.sample(static_cast<double>(lane.chunksExecuted));
+
+    // Real-time governor and fault containment.
+    group.counter("governor_ladder_level").set(
+        static_cast<double>(s.governor.ladderLevel));
+    group.counter("governor_solver_iterations").set(
+        static_cast<double>(s.governor.solverIterations));
+    group.counter("governor_cloth_iterations").set(
+        static_cast<double>(s.governor.clothIterations));
+    group.counter("governor_degradations").set(
+        static_cast<double>(s.governor.degradations));
+    group.counter("governor_recoveries").set(
+        static_cast<double>(s.governor.recoveries));
+    group.counter("governor_deadline_misses").set(
+        static_cast<double>(s.governor.deadlineMisses));
+    group.counter("governor_pairs_deferred").set(
+        static_cast<double>(s.governor.pairsDeferred));
+    group.counter("faults_injected").set(
+        static_cast<double>(s.faultsInjected));
+    group.counter("invariant_violations").set(
+        static_cast<double>(invariantViolations_));
+    group.counter("quarantine_events").set(
+        static_cast<double>(quarantineEvents_));
+    group.counter("bodies_quarantined").set(
+        static_cast<double>(quarantinedBodies_.size()));
 }
 
 void
 World::step()
 {
+    const InvariantMode mode = effectiveInvariantMode();
+
+    // Frozen islands whose thaw time arrived re-enter the world (on
+    // probation) before anything else looks at them this step.
+    processQuarantineThaws();
+
     // With invariant checking on, keep a pre-step snapshot so a
     // violation at the end of this step can be dumped and replayed
     // in exactly one step.
-    if (config_.checkInvariants)
+    if (mode != InvariantMode::Off)
         preStepSnapshot_ = captureState();
+    // Under Quarantine, also keep a cheap last-good backup: the state
+    // a faulting island is restored to when it is frozen (the frozen
+    // pose must be sane, not the corrupted one that tripped the
+    // checker).
+    if (mode == InvariantMode::Quarantine)
+        captureLastGood();
+
+    // Plan this step's quality from the previous step's measured (or
+    // mocked) total. One ladder rung at most, either direction.
+    plan_ = governor_.planStep(lastStepSeconds_);
+    effects_.setThrottled(plan_.throttleEffects);
+
     const std::vector<LaneStats> lanes_before =
         scheduler_.laneStats();
 
@@ -407,6 +498,11 @@ World::step()
     solver_.resetStats();
     // Effects stats are cumulative across the run (blasts and
     // fractures are one-shot events, not per-step rates).
+    pairsDeferredThisStep_ = 0;
+
+    // Scripted body/scheduler faults fire after the backup above, so
+    // quarantine restores pre-fault state.
+    injectScriptedFaults();
 
     // 2(a): apply external forces (gravity).
     for (const auto &body : bodies_) {
@@ -426,6 +522,9 @@ World::step()
 
     timed(PipelinePhase::Broadphase, [this] { phaseBroadphase(); });
     timed(PipelinePhase::Narrowphase, [this] { phaseNarrowphase(); });
+
+    // Scripted contact corruption lands on the narrowphase output.
+    injectContactFaults();
 
     // 2(c).ii-iv: explosion triggers, fracture triggers, blast ticks.
     effects_.onContacts(*this, lastContacts_);
@@ -463,17 +562,299 @@ World::step()
     stepStats_.solver = solver_.stats();
     stepStats_.effects = effects_.stats();
 
+    // Mocked clock (governor determinism tests): the injected
+    // schedule replaces the measured phase timers wholesale, so
+    // every downstream consumer — the governor above all — sees a
+    // reproducible timeline.
+    if (config_.mockPhaseTime) {
+        for (int p = 0; p < numPipelinePhases; ++p) {
+            stepStats_.phaseSeconds[p] = config_.mockPhaseTime(
+                stepCount_, static_cast<PipelinePhase>(p));
+        }
+    }
+    lastStepSeconds_ = stepStats_.totalSeconds();
+    governor_.finishStep(lastStepSeconds_, pairsDeferredThisStep_);
+    stepStats_.governor = governor_.stats();
+
     for (const auto &body : bodies_)
         body->clearAccumulators();
     time_ += config_.dt;
 
-    if (config_.checkInvariants) {
+    if (mode != InvariantMode::Off) {
         const std::vector<InvariantViolation> violations =
             validateInvariants();
         if (!violations.empty())
-            failInvariants(violations);
+            handleViolations(violations, mode);
     }
     ++stepCount_;
+}
+
+InvariantMode
+World::effectiveInvariantMode() const
+{
+    if (config_.invariantMode != InvariantMode::Off)
+        return config_.invariantMode;
+    return config_.checkInvariants ? InvariantMode::HardFail
+                                   : InvariantMode::Off;
+}
+
+void
+World::handleViolations(
+    const std::vector<InvariantViolation> &violations,
+    InvariantMode mode)
+{
+    invariantViolations_ += violations.size();
+    if (mode == InvariantMode::HardFail)
+        failInvariants(violations);
+
+    for (const InvariantViolation &v : violations) {
+        warn("invariant [%s] (%s): %s", v.code.c_str(),
+             invariantModeName(mode), v.message.c_str());
+    }
+
+    if (mode == InvariantMode::Warn) {
+        // One snapshot per run is enough to replay the first failure;
+        // a persistent violation must not fill the disk.
+        if (!warnSnapshotWritten_) {
+            warnSnapshotWritten_ = true;
+            dumpViolationSnapshot("invariant");
+        }
+        return;
+    }
+
+    // Quarantine. Structural violations (a broken island partition,
+    // contacts without pairs) cannot be pinned to one island —
+    // containment has no target, so they stay fatal.
+    for (const InvariantViolation &v : violations) {
+        if (!v.attributable() && v.code != "truncated") {
+            warn("invariant [%s] is not attributable to an island; "
+                 "quarantine cannot contain it",
+                 v.code.c_str());
+            failInvariants(violations);
+        }
+    }
+    for (const InvariantViolation &v : violations) {
+        if (v.body >= 0)
+            quarantineBody(static_cast<BodyId>(v.body), v.code);
+        else if (v.cloth >= 0)
+            quarantineCloth(static_cast<ClothId>(v.cloth), v.code);
+    }
+}
+
+void
+World::quarantineBody(BodyId id, const std::string &code)
+{
+    if (quarantinedBodies_.count(id) != 0)
+        return; // Island already frozen by an earlier violation.
+
+    // retryCount_ counts thaws already spent on this body. Once they
+    // reach quarantineMaxRetries (or thawing is disabled), the next
+    // freeze is permanent.
+    const auto spent = retryCount_.find(id);
+    const int retries =
+        spent != retryCount_.end() ? spent->second : 0;
+    const bool permanent = config_.quarantineThawSteps <= 0 ||
+                           retries >= config_.quarantineMaxRetries;
+
+    // Freeze the whole island: the violation already propagated
+    // through its joints this step, so island-mates are suspect too.
+    std::vector<RigidBody *> members;
+    const std::uint32_t island = bodies_[id]->islandId();
+    if (island != ~std::uint32_t(0) &&
+        island < lastIslandList_.size()) {
+        members = lastIslandList_[island].bodies;
+    } else {
+        members.push_back(bodies_[id].get());
+    }
+
+    for (RigidBody *member : members) {
+        if (member->isStatic())
+            continue;
+        // Bodies spawned mid-step (blast anchors are static, so this
+        // is belt-and-braces) have no backup; freeze them as-is.
+        if (member->id() < lastGood_.size()) {
+            member->setPose(lastGood_[member->id()].pose);
+        }
+        member->setLinearVelocity({});
+        member->setAngularVelocity({});
+        member->clearAccumulators();
+        member->setEnabled(false);
+        member->setSleepState(false, 0);
+        quarantinedBodies_[member->id()] =
+            QuarantineState{stepCount_, permanent};
+        probationUntil_.erase(member->id());
+    }
+
+    ++quarantineEvents_;
+    ++stepStats_.quarantineEvents;
+    quarantineRecords_.push_back(QuarantineRecord{
+        stepCount_, static_cast<std::int64_t>(id), -1, code,
+        permanent});
+    warn("quarantined island of body %u (%zu bodies) after [%s] "
+         "at step %llu%s",
+         id, members.size(), code.c_str(),
+         static_cast<unsigned long long>(stepCount_),
+         permanent ? " (permanent)" : "");
+    // A handful of replayable snapshots per run, not one per event.
+    if (quarantineEvents_ <= 4)
+        dumpViolationSnapshot("quarantine");
+}
+
+void
+World::quarantineCloth(ClothId id, const std::string &code)
+{
+    if (clothQuarantined_.size() < cloths_.size())
+        clothQuarantined_.resize(cloths_.size(), false);
+    if (clothQuarantined_[id])
+        return;
+    // Cloths have no island/retry machinery: restore last-good
+    // particles and freeze for the rest of the run.
+    cloths_[id]->restoreParticles(lastGoodCloth_[id]);
+    clothQuarantined_[id] = true;
+    ++quarantineEvents_;
+    ++stepStats_.quarantineEvents;
+    quarantineRecords_.push_back(QuarantineRecord{
+        stepCount_, -1, static_cast<std::int64_t>(id), code, true});
+    warn("quarantined cloth %u after [%s] at step %llu", id,
+         code.c_str(), static_cast<unsigned long long>(stepCount_));
+    if (quarantineEvents_ <= 4)
+        dumpViolationSnapshot("quarantine");
+}
+
+void
+World::captureLastGood()
+{
+    lastGood_.resize(bodies_.size());
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+        const RigidBody &b = *bodies_[i];
+        lastGood_[i] = BodyBackup{b.pose(), b.linearVelocity(),
+                                  b.angularVelocity(), b.enabled(),
+                                  b.asleep(), b.sleepCounter()};
+    }
+    lastGoodCloth_.resize(cloths_.size());
+    for (std::size_t i = 0; i < cloths_.size(); ++i) {
+        if (clothQuarantined_.size() > i && clothQuarantined_[i])
+            continue; // Keep the state it was frozen with.
+        lastGoodCloth_[i] = cloths_[i]->particles();
+    }
+}
+
+void
+World::processQuarantineThaws()
+{
+    if (quarantinedBodies_.empty() ||
+        config_.quarantineThawSteps <= 0) {
+        return;
+    }
+    std::vector<BodyId> ready;
+    for (const auto &[id, state] : quarantinedBodies_) {
+        if (!state.permanent &&
+            stepCount_ >=
+                state.frozenAtStep +
+                    static_cast<std::uint64_t>(
+                        config_.quarantineThawSteps)) {
+            ready.push_back(id);
+        }
+    }
+    // Map order is arbitrary; sorted thaw keeps runs reproducible.
+    std::sort(ready.begin(), ready.end());
+    for (const BodyId id : ready) {
+        quarantinedBodies_.erase(id);
+        ++retryCount_[id];
+        probationUntil_[id] =
+            stepCount_ +
+            static_cast<std::uint64_t>(
+                config_.quarantineProbationSteps);
+        bodies_[id]->setEnabled(true); // Re-enabling also wakes.
+    }
+    // Probation served without a re-violation: fully rehabilitated.
+    std::vector<BodyId> served;
+    for (const auto &[id, until] : probationUntil_) {
+        if (stepCount_ >= until)
+            served.push_back(id);
+    }
+    for (const BodyId id : served)
+        probationUntil_.erase(id);
+}
+
+RigidBody *
+World::pickFaultBody(std::uint32_t target)
+{
+    // Deterministic: the target indexes the dynamic, enabled bodies
+    // in id order, so the same plan hits the same body every run.
+    std::uint32_t eligible = 0;
+    for (const auto &body : bodies_) {
+        if (!body->isStatic() && body->enabled())
+            ++eligible;
+    }
+    if (eligible == 0)
+        return nullptr;
+    std::uint32_t index = target % eligible;
+    for (const auto &body : bodies_) {
+        if (body->isStatic() || !body->enabled())
+            continue;
+        if (index == 0)
+            return body.get();
+        --index;
+    }
+    return nullptr;
+}
+
+void
+World::injectScriptedFaults()
+{
+    if (config_.faultPlan.empty())
+        return;
+    for (const FaultEvent &e : config_.faultPlan.events) {
+        if (e.step != stepCount_)
+            continue;
+        switch (e.kind) {
+          case FaultKind::NanVelocity: {
+            RigidBody *victim = pickFaultBody(e.target);
+            if (victim == nullptr)
+                break;
+            victim->wake();
+            victim->setLinearVelocity(Vec3{
+                std::numeric_limits<Real>::quiet_NaN(), 0.0, 0.0});
+            ++stepStats_.faultsInjected;
+            break;
+          }
+          case FaultKind::HugeImpulse: {
+            RigidBody *victim = pickFaultBody(e.target);
+            if (victim == nullptr)
+                break;
+            victim->wake();
+            victim->applyImpulse(Vec3{0.0, e.magnitude, 0.0},
+                                 victim->position());
+            ++stepStats_.faultsInjected;
+            break;
+          }
+          case FaultKind::StallLane:
+            scheduler_.stallLane(e.target, e.magnitude);
+            ++stepStats_.faultsInjected;
+            break;
+          case FaultKind::CorruptContactNormal:
+            // Needs narrowphase output; injectContactFaults().
+            break;
+        }
+    }
+}
+
+void
+World::injectContactFaults()
+{
+    if (config_.faultPlan.empty() || lastContacts_.empty())
+        return;
+    for (const FaultEvent &e : config_.faultPlan.events) {
+        if (e.step != stepCount_ ||
+            e.kind != FaultKind::CorruptContactNormal) {
+            continue;
+        }
+        Contact &c = lastContacts_[e.target % lastContacts_.size()];
+        const Real nan = std::numeric_limits<Real>::quiet_NaN();
+        c.normal = Vec3{nan, nan, nan};
+        ++stepStats_.faultsInjected;
+    }
 }
 
 void
@@ -501,6 +882,30 @@ World::phaseBroadphase()
                                 geoms_[pair.b]->body());
     });
     stepStats_.pairsFound = lastPairs_.size();
+
+    // Ladder level 6: defer narrowphase for slow-moving pairs every
+    // other substep. Staleness is bounded to one substep, fast pairs
+    // and blast triggers are never deferred, and the decision is a
+    // pure function of simulation state (stepCount parity and body
+    // velocities), so degraded runs stay reproducible.
+    if (plan_.deferNarrowphase && (stepCount_ % 2) == 1) {
+        const double v = config_.governor.deferVelocity;
+        const Real v2 = static_cast<Real>(v * v);
+        auto slow = [v2](const RigidBody *body) {
+            return body == nullptr || body->isStatic() ||
+                   (body->linearVelocity().lengthSquared() <= v2 &&
+                    body->angularVelocity().lengthSquared() <= v2);
+        };
+        const std::size_t before = lastPairs_.size();
+        std::erase_if(lastPairs_, [this, &slow](const GeomPair &pair) {
+            const Geom *ga = geoms_[pair.a].get();
+            const Geom *gb = geoms_[pair.b].get();
+            if (ga->isBlast() || gb->isBlast())
+                return false;
+            return slow(ga->body()) && slow(gb->body());
+        });
+        pairsDeferredThisStep_ = before - lastPairs_.size();
+    }
 }
 
 void
@@ -681,8 +1086,43 @@ World::phaseIslandProcessing()
     params.erp = config_.erp;
     params.cfm = config_.cfm;
 
-    for (const auto &body : bodies_)
-        body->integrateVelocities(config_.dt);
+    // Governor: this step's (possibly degraded) solver iterations.
+    solver_.setIterations(plan_.solverIterations);
+
+    // Thawed islands on probation retry at reduced dt: island
+    // membership (via islandId stamped this step) decides which
+    // bodies solve and integrate on the scaled clock.
+    std::unordered_set<std::uint32_t> probation_islands;
+    for (const auto &[id, until] : probationUntil_) {
+        const std::uint32_t island = bodies_[id]->islandId();
+        if (island != ~std::uint32_t(0))
+            probation_islands.insert(island);
+    }
+    const Real probation_dt =
+        config_.dt *
+        static_cast<Real>(config_.quarantineRetryDtScale);
+    auto bodyDt = [&](const RigidBody &body) {
+        return probation_islands.count(body.islandId()) != 0
+                   ? probation_dt
+                   : config_.dt;
+    };
+    auto paramsFor = [&](const Island &island) {
+        SolverParams p = params;
+        if (!probation_islands.empty() && !island.bodies.empty() &&
+            probation_islands.count(
+                island.bodies.front()->islandId()) != 0) {
+            p.dt = probation_dt;
+        }
+        return p;
+    };
+
+    if (probation_islands.empty()) {
+        for (const auto &body : bodies_)
+            body->integrateVelocities(config_.dt);
+    } else {
+        for (const auto &body : bodies_)
+            body->integrateVelocities(bodyDt(*body));
+    }
 
     // Auto-disable, part 1: islands sleep and wake as a unit. An
     // island that mixes sleeping and awake bodies has been disturbed
@@ -733,20 +1173,21 @@ World::phaseIslandProcessing()
         // counters race-free.
         std::vector<PgsSolver> solvers(
             scheduler_.laneCount(),
-            PgsSolver(config_.solverIterations));
+            PgsSolver(plan_.solverIterations));
         scheduler_.parallelFor(
             queued.size(), 1,
-            [&queued, &solvers, &params](std::size_t begin,
-                                         std::size_t end,
-                                         unsigned lane) {
+            [&queued, &solvers, &paramsFor](std::size_t begin,
+                                            std::size_t end,
+                                            unsigned lane) {
                 for (std::size_t i = begin; i < end; ++i)
-                    solvers[lane].solve(*queued[i], params);
+                    solvers[lane].solve(*queued[i],
+                                        paramsFor(*queued[i]));
             });
         for (const PgsSolver &s : solvers)
             solver_.mergeStats(s.stats());
     }
     for (Island *island : inline_islands)
-        solver_.solve(*island, params);
+        solver_.solve(*island, paramsFor(*island));
 
     // 2(f): check all breakable joints. This must run between the
     // solve (which records the impulses that break joints) and the
@@ -781,8 +1222,13 @@ World::phaseIslandProcessing()
     stepStats_.jointsBroken = total_broken - totalJointsBroken_;
     totalJointsBroken_ = total_broken;
 
-    for (const auto &body : bodies_)
-        body->integratePositions(config_.dt);
+    if (probation_islands.empty()) {
+        for (const auto &body : bodies_)
+            body->integratePositions(config_.dt);
+    } else {
+        for (const auto &body : bodies_)
+            body->integratePositions(bodyDt(*body));
+    }
 
     // Auto-disable, part 2: with post-solve velocities (resting
     // contacts cancelled gravity), decide which islands go to sleep.
@@ -849,8 +1295,16 @@ World::phaseCloth()
     // (fine grain).
     ClothStats &stats = stepStats_.cloth;
 
+    // Quarantined cloths are frozen: no pin tracking, no colliders,
+    // no stepping.
+    auto frozen = [this](std::size_t ci) {
+        return ci < clothQuarantined_.size() && clothQuarantined_[ci];
+    };
+
     // Follow attachments: pinned particles track their bodies.
     for (const ClothAttachment &att : clothAttachments_) {
+        if (frozen(att.cloth->id()))
+            continue;
         att.cloth->movePinned(
             att.particle, att.body->pose().apply(att.localPoint));
     }
@@ -863,6 +1317,10 @@ World::phaseCloth()
     // (the paper's "cloth contact list").
     std::vector<std::vector<const Geom *>> colliders(cloths_.size());
     for (size_t ci = 0; ci < cloths_.size(); ++ci) {
+        stepStats_.clothVertexCounts.push_back(
+            cloths_[ci]->vertexCount());
+        if (frozen(ci))
+            continue;
         const Aabb cloth_bounds = cloths_[ci]->bounds();
         for (const auto &g : geoms_) {
             if (!g->enabled() || g->isBlast())
@@ -873,8 +1331,6 @@ World::phaseCloth()
                 ++stepStats_.clothColliderInsertions;
             }
         }
-        stepStats_.clothVertexCounts.push_back(
-            cloths_[ci]->vertexCount());
     }
 
     if (scheduler_.workerCount() > 0 && cloths_.size() > 1) {
@@ -885,11 +1341,14 @@ World::phaseCloth()
         std::vector<ClothStats> locals(cloths_.size());
         scheduler_.parallelFor(
             cloths_.size(), 1,
-            [this, &colliders, &locals](std::size_t begin,
-                                        std::size_t end, unsigned) {
+            [this, &colliders, &locals, &frozen](std::size_t begin,
+                                                 std::size_t end,
+                                                 unsigned) {
                 for (std::size_t ci = begin; ci < end; ++ci) {
+                    if (frozen(ci))
+                        continue;
                     cloths_[ci]->step(config_.dt, config_.gravity,
-                                      config_.clothIterations,
+                                      plan_.clothIterations,
                                       colliders[ci], locals[ci]);
                 }
             });
@@ -902,8 +1361,10 @@ World::phaseCloth()
         }
     } else {
         for (size_t ci = 0; ci < cloths_.size(); ++ci) {
+            if (frozen(ci))
+                continue;
             cloths_[ci]->step(config_.dt, config_.gravity,
-                              config_.clothIterations, colliders[ci],
+                              plan_.clothIterations, colliders[ci],
                               stats);
         }
     }

@@ -12,6 +12,7 @@
 #define PARALLAX_PHYSICS_WORLD_HH
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -22,6 +23,8 @@
 #include "physics/cloth/cloth.hh"
 #include "physics/debug/invariants.hh"
 #include "physics/effects/effects.hh"
+#include "physics/governor/fault_injection.hh"
+#include "physics/governor/governor.hh"
 #include "physics/island/island.hh"
 #include "physics/joints/articulated_joints.hh"
 #include "physics/joints/contact_joint.hh"
@@ -42,6 +45,21 @@ enum class BroadphaseKind
     SweepAndPrune,
     SpatialHash,
 };
+
+/** Pipeline phases of one step, in execution order (Figure 1). */
+enum class PipelinePhase
+{
+    Broadphase,
+    Narrowphase,
+    IslandCreation,
+    IslandProcessing,
+    Cloth,
+};
+
+constexpr int numPipelinePhases = 5;
+
+/** Human-readable pipeline phase name. */
+const char *pipelinePhaseName(PipelinePhase phase);
 
 /** Tunable world parameters (paper values as defaults). */
 struct WorldConfig
@@ -86,11 +104,57 @@ struct WorldConfig
     int sleepSteps = 10;
 
     /**
+     * Real-time governor (governor/governor.hh): wall-clock seconds
+     * of physics budget per display frame. When > 0, every substep
+     * gets frameBudget / governor.frameSubsteps seconds and the
+     * world walks a deterministic degradation ladder on projected
+     * overruns, restoring quality with hysteresis when headroom
+     * returns. 0 (the default) disables the governor entirely — the
+     * step path is byte-for-byte the ungoverned one.
+     */
+    double frameBudget = 0.0;
+    /** Governor floors, hysteresis and deferral knobs. */
+    GovernorTuning governor;
+
+    /**
+     * Test hook: when set, the measured wall-clock phase seconds in
+     * StepStats are replaced by this function's value for each
+     * (step, phase), making governor decisions a pure function of
+     * the injected schedule — two runs take identical ladder walks.
+     */
+    std::function<double(std::uint64_t step, PipelinePhase phase)>
+        mockPhaseTime;
+
+    /**
+     * Invariant-check policy (governor/governor.hh). Off defers to
+     * the legacy `checkInvariants` flag below, which maps to
+     * HardFail — existing configs keep their PR 2 behavior exactly.
+     */
+    InvariantMode invariantMode = InvariantMode::Off;
+
+    /**
+     * Quarantine lifecycle (invariantMode == Quarantine): steps a
+     * frozen island waits before thaw-and-retry (0 = quarantine is
+     * permanent), retries per body before it sticks, the dt scale a
+     * thawed island runs at while on probation, and the probation
+     * length in steps.
+     */
+    int quarantineThawSteps = 0;
+    int quarantineMaxRetries = 1;
+    double quarantineRetryDtScale = 0.25;
+    int quarantineProbationSteps = 30;
+
+    /** Scripted fault injection (governor/fault_injection.hh);
+     *  empty (the default) injects nothing. */
+    FaultPlan faultPlan;
+
+    /**
      * Debug: run the world-invariant checker (debug/invariants.hh)
      * after every step. On a violation, the pre-step snapshot is
      * written to `snapshotDir` so `tools/replay_snapshot` reproduces
      * the failure in a single step, then the process exits with a
-     * fatal error naming the violated invariant.
+     * fatal error naming the violated invariant. Legacy switch:
+     * equivalent to invariantMode = HardFail.
      */
     bool checkInvariants = false;
     /** Directory invariant-violation snapshots are written to. */
@@ -107,21 +171,6 @@ struct WorldConfig
      */
     std::vector<std::string> validate() const;
 };
-
-/** Pipeline phases of one step, in execution order (Figure 1). */
-enum class PipelinePhase
-{
-    Broadphase,
-    Narrowphase,
-    IslandCreation,
-    IslandProcessing,
-    Cloth,
-};
-
-constexpr int numPipelinePhases = 5;
-
-/** Human-readable pipeline phase name. */
-const char *pipelinePhaseName(PipelinePhase phase);
 
 /** Compact description of one island from the last step. */
 struct IslandSummary
@@ -160,8 +209,17 @@ struct StepStats
      *  the phase barriers so reading them never races a worker). */
     std::vector<LaneStats> laneTasks;
 
-    /** Host wall-clock seconds spent in each pipeline phase. */
+    /** Host wall-clock seconds spent in each pipeline phase (or the
+     *  injected schedule when WorldConfig::mockPhaseTime is set). */
     std::array<double, numPipelinePhases> phaseSeconds{};
+
+    /** Governor decisions for this step (active == false whenever
+     *  WorldConfig::frameBudget is unset). */
+    GovernorStats governor;
+    /** Scripted faults fired this step (WorldConfig::faultPlan). */
+    std::uint64_t faultsInjected = 0;
+    /** Islands/cloths newly quarantined by this step's violations. */
+    std::uint64_t quarantineEvents = 0;
 
     std::vector<IslandSummary> islands;
     std::vector<int> clothVertexCounts;
@@ -318,6 +376,49 @@ class World
     /** Run the invariant checker (debug/invariants.hh) now. */
     std::vector<InvariantViolation> validateInvariants() const;
 
+    /**
+     * The invariant policy actually in force: invariantMode when set,
+     * else HardFail if the legacy checkInvariants flag is on, else
+     * Off.
+     */
+    InvariantMode effectiveInvariantMode() const;
+
+    /**
+     * Live governor decisions and counters. Unlike
+     * StepStats::governor (a copy taken at the end of each step),
+     * this reflects the plan already applied to the step currently
+     * in flight, which is what a mockPhaseTime cost model needs to
+     * close the control loop.
+     */
+    const GovernorStats &governorStats() const
+    { return governor_.stats(); }
+
+    /** Total invariant violations observed so far (accumulates under
+     *  Warn and Quarantine; HardFail never returns to accumulate). */
+    std::uint64_t invariantViolationCount() const
+    { return invariantViolations_; }
+
+    /** Cumulative quarantine freeze events (islands + cloths). */
+    std::uint64_t quarantineEventCount() const
+    { return quarantineEvents_; }
+
+    /** Bodies currently frozen by quarantine. */
+    std::size_t activeQuarantines() const
+    { return quarantinedBodies_.size(); }
+
+    /** One quarantine freeze, for tools and post-mortems. */
+    struct QuarantineRecord
+    {
+        std::uint64_t step = 0;
+        std::int64_t body = -1;
+        std::int64_t cloth = -1;
+        std::string code;
+        bool permanent = false;
+    };
+
+    const std::vector<QuarantineRecord> &quarantineRecords() const
+    { return quarantineRecords_; }
+
     /** Number of completed step() calls. */
     std::uint64_t stepCount() const { return stepCount_; }
 
@@ -375,12 +476,71 @@ class World
     std::vector<bool> jointWasBroken_;
 
     /** Pre-step snapshot dumped when an invariant fails, so the
-     *  failure replays in one step (only captured when
-     *  config_.checkInvariants is set). */
+     *  failure replays in one step (only captured when the effective
+     *  invariant mode is not Off). */
     std::vector<std::uint8_t> preStepSnapshot_;
 
     [[noreturn]] void
     failInvariants(const std::vector<InvariantViolation> &violations);
+
+    /** Write preStepSnapshot_ to snapshotDir as
+     *  <prefix><sceneTag>_step<N>.paxsnap (defined in capture.cc). */
+    void dumpViolationSnapshot(const char *prefix);
+
+    // --- Governor / quarantine / fault injection (step() plumbing,
+    // --- defined in world.cc). ---
+    void handleViolations(
+        const std::vector<InvariantViolation> &violations,
+        InvariantMode mode);
+    void quarantineBody(BodyId id, const std::string &code);
+    void quarantineCloth(ClothId id, const std::string &code);
+    void captureLastGood();
+    void processQuarantineThaws();
+    void injectScriptedFaults();
+    void injectContactFaults();
+    RigidBody *pickFaultBody(std::uint32_t target);
+
+    /** Degradation ladder state (inert when frameBudget == 0). */
+    StepGovernor governor_;
+    /** Quality settings the governor picked for the current step. */
+    StepGovernor::Plan plan_;
+    /** Measured (or mocked) total of the previous step: the
+     *  projection the governor plans the next step from. */
+    double lastStepSeconds_ = 0.0;
+    /** Broadphase pairs the governor deferred this step (level 6). */
+    std::uint64_t pairsDeferredThisStep_ = 0;
+
+    std::uint64_t invariantViolations_ = 0;
+    std::uint64_t quarantineEvents_ = 0;
+    /** Warn mode dumps one snapshot per run, not one per step. */
+    bool warnSnapshotWritten_ = false;
+
+    /** Last known-good per-body state, captured at the top of every
+     *  step under Quarantine: what a frozen island is restored to. */
+    struct BodyBackup
+    {
+        Transform pose;
+        Vec3 linVel;
+        Vec3 angVel;
+        bool enabled = true;
+        bool asleep = false;
+        int sleepCounter = 0;
+    };
+    std::vector<BodyBackup> lastGood_;
+    std::vector<std::vector<Cloth::Particle>> lastGoodCloth_;
+
+    struct QuarantineState
+    {
+        std::uint64_t frozenAtStep = 0;
+        bool permanent = false;
+    };
+    std::unordered_map<BodyId, QuarantineState> quarantinedBodies_;
+    /** Step until which a thawed body runs at reduced dt. */
+    std::unordered_map<BodyId, std::uint64_t> probationUntil_;
+    /** Thaws already spent per body (vs quarantineMaxRetries). */
+    std::unordered_map<BodyId, int> retryCount_;
+    std::vector<bool> clothQuarantined_;
+    std::vector<QuarantineRecord> quarantineRecords_;
 
     /** Persisted contact impulses for warm starting, keyed by the
      *  geom pair; matched by contact position between steps. */

@@ -206,6 +206,140 @@ TEST(Capture, WrongSceneStructureFailsReadably)
     EXPECT_NE(err.find("snapshot"), std::string::npos) << err;
 }
 
+// --- Hostile / corrupted snapshot corpus. -------------------------
+// The parser must reject damaged headers and hostile length fields
+// with a readable error — never crash, never size an allocation from
+// an unvalidated count.
+
+/** Snapshot layout constants (see capture.cc): 8-byte magic, then
+ *  version u32 @8, checksum u64 @12, payloadSize u64 @20, payload
+ *  @28. The checksum is FNV-1a over the payload only. */
+constexpr std::size_t kVersionOffset = 8;
+constexpr std::size_t kChecksumOffset = 12;
+constexpr std::size_t kPayloadOffset = 28;
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= data[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::uint32_t
+readU32(const std::vector<std::uint8_t> &bytes, std::size_t offset)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(bytes[offset + i]) << (8 * i);
+    return v;
+}
+
+void
+writeU32(std::vector<std::uint8_t> &bytes, std::size_t offset,
+         std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        bytes[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/** Re-seal a deliberately corrupted payload so only the targeted
+ *  field is wrong — the checksum itself must stay valid. */
+void
+resealChecksum(std::vector<std::uint8_t> &bytes)
+{
+    const std::uint64_t hash = fnv1a(bytes.data() + kPayloadOffset,
+                                     bytes.size() - kPayloadOffset);
+    for (int i = 0; i < 8; ++i)
+        bytes[kChecksumOffset + i] =
+            static_cast<std::uint8_t>(hash >> (8 * i));
+}
+
+TEST(CaptureCorpus, EveryTruncatedHeaderPrefixFailsReadably)
+{
+    auto world = buildBenchmark(BenchmarkId::Mix, mixConfig(), 0.12);
+    world->step();
+    const std::vector<std::uint8_t> bytes = world->captureState();
+    ASSERT_GT(bytes.size(), kPayloadOffset);
+
+    SnapshotInfo info;
+    WorldConfig config;
+    for (std::size_t len = 0; len < kPayloadOffset; ++len) {
+        std::vector<std::uint8_t> cut(bytes.begin(),
+                                      bytes.begin() + len);
+        EXPECT_FALSE(describeSnapshot(cut, info, config).empty())
+            << "header prefix of " << len << " bytes was accepted";
+        EXPECT_FALSE(world->restoreState(cut).empty());
+    }
+}
+
+TEST(CaptureCorpus, HostileSceneTagLengthFailsReadably)
+{
+    auto world = buildBenchmark(BenchmarkId::Mix, mixConfig(), 0.12);
+    world->step();
+    std::vector<std::uint8_t> bytes = world->captureState();
+
+    // The payload opens with the sceneTag length; declare 2 GiB of
+    // tag in a few-hundred-KiB file and re-seal the checksum so the
+    // length field is the only corruption.
+    writeU32(bytes, kPayloadOffset, 0x7fffffffu);
+    resealChecksum(bytes);
+
+    SnapshotInfo info;
+    WorldConfig config;
+    const std::string err = describeSnapshot(bytes, info, config);
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+    EXPECT_FALSE(world->restoreState(bytes).empty());
+}
+
+TEST(CaptureCorpus, HostileArrayCountFailsWithoutAllocating)
+{
+    auto world = buildBenchmark(BenchmarkId::Mix, mixConfig(), 0.12);
+    world->step();
+    std::vector<std::uint8_t> bytes = world->captureState();
+
+    // Locate the blast-spawn count: sceneTag str (4 + L), stepCount
+    // + time + totalJointsBroken (24), serialized config (115), four
+    // entity counts (16). The Mix scene has no blasts at step 1, so
+    // the field must read zero — a loud canary against layout drift.
+    const std::uint32_t tag_len = readU32(bytes, kPayloadOffset);
+    const std::size_t spawns_offset =
+        kPayloadOffset + 4 + tag_len + 24 + 115 + 16;
+    ASSERT_LT(spawns_offset + 4, bytes.size());
+    ASSERT_EQ(readU32(bytes, spawns_offset), 0u)
+        << "snapshot layout drifted; update the offsets above";
+
+    // A length field of 2^31 with a checksum-valid file: the parser
+    // must reject the declared count against the remaining payload
+    // instead of sizing a 2-billion-element allocation.
+    writeU32(bytes, spawns_offset, 0x80000000u);
+    resealChecksum(bytes);
+
+    const std::string err = world->restoreState(bytes);
+    EXPECT_NE(err.find("declares"), std::string::npos) << err;
+    EXPECT_NE(err.find("2147483648"), std::string::npos) << err;
+}
+
+TEST(CaptureCorpus, ChecksumValidVersionBumpFailsReadably)
+{
+    auto world = buildBenchmark(BenchmarkId::Mix, mixConfig(), 0.12);
+    world->step();
+    std::vector<std::uint8_t> bytes = world->captureState();
+
+    // The checksum covers the payload, so a bumped header version
+    // leaves a checksum-valid file; it must still be rejected, by
+    // name, before any payload is interpreted.
+    writeU32(bytes, kVersionOffset, snapshotVersion + 1);
+    SnapshotInfo info;
+    WorldConfig config;
+    const std::string err = describeSnapshot(bytes, info, config);
+    EXPECT_NE(err.find("version"), std::string::npos) << err;
+    EXPECT_FALSE(world->restoreState(bytes).empty());
+}
+
 TEST(Capture, FileRoundTripAndMissingFile)
 {
     auto world = buildBenchmark(BenchmarkId::Mix, mixConfig(), 0.12);

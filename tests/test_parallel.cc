@@ -306,5 +306,70 @@ TEST(Stats, PerLaneCountsCoverOneStepOnly)
     }
 }
 
+TEST(TaskScheduler, AbsurdWorkerCountIsClampedToMaxWorkers)
+{
+    SchedulerConfig config;
+    config.workerThreads = 500;
+    TaskScheduler scheduler(config);
+    EXPECT_EQ(scheduler.workerCount(), TaskScheduler::maxWorkers);
+    EXPECT_EQ(scheduler.laneCount(), TaskScheduler::maxWorkers + 1);
+
+    // The clamped pool still runs every iteration exactly once.
+    std::vector<std::uint8_t> hit(5000, 0);
+    scheduler.parallelFor(
+        hit.size(),
+        [&hit](std::size_t begin, std::size_t end, unsigned) {
+            for (std::size_t i = begin; i < end; ++i)
+                ++hit[i];
+        });
+    for (std::size_t i = 0; i < hit.size(); ++i)
+        ASSERT_EQ(hit[i], 1) << "iteration " << i;
+}
+
+TEST(Determinism, OversubscribedWorkersStayBitwiseDeterministic)
+{
+    // 64 workers oversubscribes every CI machine this runs on (a
+    // warning is expected on stderr); the run must still complete
+    // and match the serial trajectory bitwise.
+    const std::vector<double> base = runMixScene(0);
+    ASSERT_FALSE(base.empty());
+    const std::vector<double> oversubscribed = runMixScene(64);
+    ASSERT_EQ(oversubscribed.size(), base.size());
+    EXPECT_EQ(std::memcmp(oversubscribed.data(), base.data(),
+                          base.size() * sizeof(double)),
+              0)
+        << "state diverged under 64-worker oversubscription";
+}
+
+TEST(Determinism, InjectedLaneStallsDoNotPerturbSimulation)
+{
+    // A StallLane fault models a slow or preempted core: it may only
+    // perturb wall-clock timing, never simulation state.
+    auto run = [](bool stalled) {
+        WorldConfig config;
+        config.workerThreads = 2;
+        config.deterministic = true;
+        config.grainSize = 8;
+        if (stalled) {
+            FaultEvent e;
+            e.step = 5;
+            e.kind = FaultKind::StallLane;
+            e.target = 1;
+            e.magnitude = 0.01;
+            config.faultPlan.events = {e};
+        }
+        auto world = buildBenchmark(BenchmarkId::Mix, config, 0.12);
+        for (int i = 0; i < 20; ++i)
+            world->step();
+        return worldState(*world);
+    };
+    const std::vector<double> clean = run(false);
+    const std::vector<double> stalled = run(true);
+    ASSERT_EQ(stalled.size(), clean.size());
+    EXPECT_EQ(std::memcmp(stalled.data(), clean.data(),
+                          clean.size() * sizeof(double)),
+              0);
+}
+
 } // namespace
 } // namespace parallax

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Fault storm: the containment acceptance driver. Every benchmark
+ * scene runs at {0,2,8} workers under InvariantMode::Quarantine with
+ * a scripted fault schedule (NaN velocities, oversized impulses,
+ * corrupted contact normals, stalled scheduler lanes) and a real-time
+ * governor fed by a mocked clock whose cost model tracks the
+ * governor's own effective iteration counts — a closed loop, so
+ * walking down the degradation ladder genuinely reduces the modeled
+ * step time and the storm can assert the ladder stabilises above its
+ * floor.
+ *
+ * A run passes when:
+ *  - the process survives every fault (Quarantine contains them),
+ *  - the world's invariants are clean after the storm,
+ *  - every injected state fault ended quarantined or cleanly
+ *    recovered (final invariants clean covers recovery; at least the
+ *    NaN faults must have triggered containment),
+ *  - the governor never degraded below its documented floors and
+ *    never missed a deadline while already at the ladder floor,
+ *  - quarantine decisions are identical across worker counts
+ *    (containment is deterministic).
+ *
+ * The last stdout line is a machine-readable JSON summary; exit is
+ * nonzero on any failure. Per-run progress goes to stderr.
+ *
+ * Run: ./build/tools/fault_storm [steps] [scale] [--json]
+ *      (--json only silences the human banner; the JSON summary line
+ *       is always emitted)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "parallax.hh"
+#include "workload/benchmarks.hh"
+
+using namespace parallax;
+
+namespace
+{
+
+/** The scripted storm: one of each fault kind plus a second NaN late
+ *  in the run so thaw/probation paths see traffic too. */
+FaultPlan
+stormPlan()
+{
+    FaultPlan plan;
+    plan.events = {
+        {25, FaultKind::NanVelocity, 3, 0.0},
+        {40, FaultKind::HugeImpulse, 7, 1.0e4},
+        {55, FaultKind::CorruptContactNormal, 1, 0.0},
+        {70, FaultKind::StallLane, 1, 0.002},
+        {90, FaultKind::NanVelocity, 11, 0.0},
+    };
+    return plan;
+}
+
+/** One run's containment outcome, compared across worker counts. */
+struct RunTrace
+{
+    std::vector<std::string> records; // "step:body:cloth:code:perm"
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t quarantineEvents = 0;
+    std::uint64_t violations = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quiet = false;
+    int steps = 200;
+    double scale = 0.12;
+    int npos = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            quiet = true;
+        } else if (npos == 0) {
+            steps = std::atoi(argv[i]);
+            ++npos;
+        } else if (npos == 1) {
+            scale = std::atof(argv[i]);
+            ++npos;
+        }
+    }
+    const unsigned worker_counts[] = {0, 2, 8};
+
+    if (!quiet) {
+        std::fprintf(stderr,
+                     "fault storm: %d scenes x {0,2,8} workers x %d "
+                     "substeps at scale %g, quarantine mode, "
+                     "mocked-clock governor\n",
+                     numBenchmarks, steps, scale);
+    }
+
+    int runs = 0;
+    std::uint64_t total_faults = 0;
+    std::uint64_t total_quarantines = 0;
+    std::uint64_t total_violations = 0;
+    std::uint64_t floor_breaches = 0;
+    std::uint64_t misses_at_floor = 0;
+    std::uint64_t dirty_worlds = 0;
+    std::uint64_t uncontained_runs = 0;
+    std::uint64_t mismatches = 0;
+
+    for (BenchmarkId id : allBenchmarks) {
+        std::vector<RunTrace> traces;
+        for (unsigned workers : worker_counts) {
+            WorldConfig config;
+            config.workerThreads = workers;
+            config.deterministic = true;
+            config.invariantMode = InvariantMode::Quarantine;
+            config.quarantineThawSteps = 20;
+            config.quarantineMaxRetries = 1;
+            config.quarantineProbationSteps = 15;
+            config.faultPlan = stormPlan();
+            // 33 ms display frame / 3 substeps = 11 ms per substep.
+            config.frameBudget = 0.033;
+
+            // Closed-loop mocked clock: a load spike between steps
+            // 20 and 120 prices each solver iteration at 0.6 ms and
+            // each cloth iteration at 0.2 ms, so full quality
+            // (20/20 iterations) projects ~16 ms — over budget —
+            // while the ladder's reduced iteration counts drop the
+            // modeled time back under 11 ms well before the floor.
+            auto world_slot = std::make_shared<World *>(nullptr);
+            const int full_solver = config.solverIterations;
+            const int full_cloth = config.clothIterations;
+            config.mockPhaseTime =
+                [world_slot, full_solver, full_cloth](
+                    std::uint64_t step, PipelinePhase phase) {
+                    int solver = full_solver;
+                    int cloth = full_cloth;
+                    if (World *w = *world_slot) {
+                        const GovernorStats &g = w->governorStats();
+                        if (g.solverIterations > 0)
+                            solver = g.solverIterations;
+                        if (g.clothIterations > 0)
+                            cloth = g.clothIterations;
+                    }
+                    const double load =
+                        step >= 20 && step < 120 ? 1.0 : 0.05;
+                    switch (phase) {
+                      case PipelinePhase::Broadphase:
+                        return 0.0002 * load;
+                      case PipelinePhase::Narrowphase:
+                        return 0.0002 * load;
+                      case PipelinePhase::IslandCreation:
+                        return 0.0001 * load;
+                      case PipelinePhase::IslandProcessing:
+                        return 0.0006 * solver * load;
+                      case PipelinePhase::Cloth:
+                        return 0.0002 * cloth * load;
+                    }
+                    return 0.0;
+                };
+
+            std::unique_ptr<World> world =
+                buildBenchmark(id, config, scale);
+            *world_slot = world.get();
+
+            const int solver_floor = std::min(
+                config.governor.solverIterationFloor, full_solver);
+            const int cloth_floor = std::min(
+                config.governor.clothIterationFloor, full_cloth);
+            RunTrace trace;
+            for (int i = 0; i < steps; ++i) {
+                world->step();
+                const GovernorStats &g =
+                    world->lastStepStats().governor;
+                if (g.active && (g.solverIterations < solver_floor ||
+                                 g.clothIterations < cloth_floor))
+                    ++floor_breaches;
+                trace.faultsInjected +=
+                    world->lastStepStats().faultsInjected;
+            }
+            const GovernorStats &g = world->lastStepStats().governor;
+            misses_at_floor += g.deadlineMissesAtFloor;
+            trace.quarantineEvents = world->quarantineEventCount();
+            trace.violations = world->invariantViolationCount();
+            for (const World::QuarantineRecord &r :
+                 world->quarantineRecords()) {
+                trace.records.push_back(
+                    std::to_string(r.step) + ":" +
+                    std::to_string(r.body) + ":" +
+                    std::to_string(r.cloth) + ":" + r.code + ":" +
+                    (r.permanent ? "p" : "t"));
+            }
+
+            // Containment: the world must be healthy after the storm
+            // (quarantined islands are frozen at last-good state and
+            // must pass the checker like everything else), and the
+            // scripted NaN corruptions must have been caught.
+            const std::vector<InvariantViolation> after =
+                checkWorldInvariants(*world);
+            if (!after.empty())
+                ++dirty_worlds;
+            const bool contained = trace.quarantineEvents >= 1;
+            if (!contained)
+                ++uncontained_runs;
+
+            total_faults += trace.faultsInjected;
+            total_quarantines += trace.quarantineEvents;
+            total_violations += trace.violations;
+            ++runs;
+            if (!quiet) {
+                std::fprintf(
+                    stderr,
+                    "  %-11s w=%u  %s  (%llu faults, %llu "
+                    "quarantines, %llu violations, ladder peak "
+                    "level %d, %llu misses-at-floor)\n",
+                    benchmarkInfo(id).shortName, workers,
+                    after.empty() && contained ? "ok" : "FAILED",
+                    static_cast<unsigned long long>(
+                        trace.faultsInjected),
+                    static_cast<unsigned long long>(
+                        trace.quarantineEvents),
+                    static_cast<unsigned long long>(
+                        trace.violations),
+                    g.ladderLevel,
+                    static_cast<unsigned long long>(
+                        g.deadlineMissesAtFloor));
+                std::fflush(stderr);
+            }
+            traces.push_back(std::move(trace));
+        }
+
+        // Containment must be deterministic: identical quarantine
+        // decisions at every worker count.
+        for (std::size_t i = 1; i < traces.size(); ++i) {
+            if (traces[i].records != traces[0].records ||
+                traces[i].violations != traces[0].violations) {
+                ++mismatches;
+                if (!quiet) {
+                    std::fprintf(stderr,
+                                 "  %-11s w=%u quarantine trace "
+                                 "diverges from w=%u\n",
+                                 benchmarkInfo(id).shortName,
+                                 worker_counts[i], worker_counts[0]);
+                }
+            }
+        }
+    }
+
+    const bool pass = floor_breaches == 0 && misses_at_floor == 0 &&
+                      dirty_worlds == 0 && uncontained_runs == 0 &&
+                      mismatches == 0 && total_faults > 0;
+    std::printf(
+        "{\"tool\":\"fault_storm\",\"scenes\":%d,"
+        "\"workers\":[0,2,8],\"runs\":%d,\"steps\":%d,\"scale\":%g,"
+        "\"faults_injected\":%llu,\"quarantine_events\":%llu,"
+        "\"violations\":%llu,\"floor_breaches\":%llu,"
+        "\"deadline_misses_at_floor\":%llu,\"dirty_worlds\":%llu,"
+        "\"uncontained_runs\":%llu,\"trace_mismatches\":%llu,"
+        "\"status\":\"%s\"}\n",
+        numBenchmarks, runs, steps, scale,
+        static_cast<unsigned long long>(total_faults),
+        static_cast<unsigned long long>(total_quarantines),
+        static_cast<unsigned long long>(total_violations),
+        static_cast<unsigned long long>(floor_breaches),
+        static_cast<unsigned long long>(misses_at_floor),
+        static_cast<unsigned long long>(dirty_worlds),
+        static_cast<unsigned long long>(uncontained_runs),
+        static_cast<unsigned long long>(mismatches),
+        pass ? "pass" : "fail");
+    return pass ? 0 : 1;
+}
