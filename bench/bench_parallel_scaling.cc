@@ -10,10 +10,17 @@
  * paper's hardware), this measures the reproduction's own host
  * performance — the "as fast as the hardware allows" axis.
  *
+ * Also measures the wall-clock overhead of the trace layer (the
+ * same scene stepped with WorldConfig::tracing off vs on) so the
+ * "tracing is cheap / disabled tracing is free" claim in
+ * docs/OBSERVABILITY.md stays a measured number, not folklore.
+ *
  * Run: ./build/bench/bench_parallel_scaling [Per|...|Mix] [scale]
- *          [--check-invariants]
+ *          [--check-invariants] [--trace=FILE] [--metrics-json]
+ *          [--bench-out=FILE]
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +42,25 @@ parseBenchmark(const char *name)
     }
     std::fprintf(stderr, "unknown benchmark '%s', using Mix\n", name);
     return BenchmarkId::Mix;
+}
+
+/** Seconds to step `id` for `steps` steps with tracing off/on. */
+double
+timedRun(BenchmarkId id, double scale, bool tracing, int warmup,
+         int steps)
+{
+    WorldConfig config;
+    config.deterministic = true;
+    config.tracing = tracing;
+    auto world = buildBenchmark(id, config, scale);
+    for (int i = 0; i < warmup; ++i)
+        world->step();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < steps; ++i)
+        world->step();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
 }
 
 } // namespace
@@ -113,10 +139,38 @@ main(int argc, char **argv)
         json.arrayValue(static_cast<double>(run.tasksStolen));
     json.endArray();
 
-    const char *out = "BENCH_parallel_scaling.json";
-    if (json.write(out))
-        std::printf("wrote %s\n", out);
+    // Trace-layer overhead: same serial scene, tracing off vs on.
+    // Best-of-3 per mode damps scheduler noise on loaded hosts.
+    const int ov_warmup = 12, ov_steps = 30;
+    double off_s = 0.0, on_s = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const double off = timedRun(id, scale, false, ov_warmup,
+                                    ov_steps);
+        const double on = timedRun(id, scale, true, ov_warmup,
+                                   ov_steps);
+        if (rep == 0 || off < off_s)
+            off_s = off;
+        if (rep == 0 || on < on_s)
+            on_s = on;
+    }
+    const double overhead_pct =
+        off_s > 0 ? (on_s - off_s) / off_s * 100.0 : 0.0;
+    std::printf("trace overhead (%d steps, w=0, best of 3): "
+                "off %.4fs, on %.4fs (%+.2f%%)\n\n",
+                ov_steps, off_s, on_s, overhead_pct);
+    json.beginObject("trace_overhead");
+    json.field("steps", static_cast<double>(ov_steps))
+        .field("off_seconds", off_s)
+        .field("on_seconds", on_s)
+        .field("overhead_pct", overhead_pct);
+    json.endObject();
+
+    const std::string out = !benchOutPath().empty()
+                                ? benchOutPath()
+                                : "BENCH_parallel_scaling.json";
+    if (json.write(out.c_str()))
+        std::printf("wrote %s\n", out.c_str());
     else
-        std::fprintf(stderr, "failed to write %s\n", out);
+        std::fprintf(stderr, "failed to write %s\n", out.c_str());
     return 0;
 }

@@ -51,6 +51,9 @@ namespace
 
 bool invariantChecks = false;
 double frameBudget = 0.0;
+std::string tracePath;
+bool metricsJson = false;
+std::string benchOut;
 
 } // namespace
 
@@ -58,14 +61,24 @@ void
 parseCommonFlags(int *argc, char **argv)
 {
     constexpr const char budgetFlag[] = "--frame-budget=";
+    constexpr const char traceFlag[] = "--trace=";
+    constexpr const char benchOutFlag[] = "--bench-out=";
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
         if (std::strcmp(argv[i], "--check-invariants") == 0)
             invariantChecks = true;
+        else if (std::strcmp(argv[i], "--metrics-json") == 0)
+            metricsJson = true;
         else if (std::strncmp(argv[i], budgetFlag,
                               sizeof(budgetFlag) - 1) == 0)
             frameBudget =
                 std::atof(argv[i] + sizeof(budgetFlag) - 1);
+        else if (std::strncmp(argv[i], traceFlag,
+                              sizeof(traceFlag) - 1) == 0)
+            tracePath = argv[i] + sizeof(traceFlag) - 1;
+        else if (std::strncmp(argv[i], benchOutFlag,
+                              sizeof(benchOutFlag) - 1) == 0)
+            benchOut = argv[i] + sizeof(benchOutFlag) - 1;
         else
             argv[out++] = argv[i];
     }
@@ -96,6 +109,55 @@ setHostFrameBudget(double seconds)
     frameBudget = seconds;
 }
 
+const std::string &
+hostTracePath()
+{
+    return tracePath;
+}
+
+void
+setHostTracePath(const std::string &path)
+{
+    tracePath = path;
+}
+
+bool
+metricsJsonEnabled()
+{
+    return metricsJson;
+}
+
+void
+setMetricsJson(bool enabled)
+{
+    metricsJson = enabled;
+}
+
+const std::string &
+benchOutPath()
+{
+    return benchOut;
+}
+
+void
+emitObservability(const World &world, const std::string &runTag)
+{
+    if (!tracePath.empty() && world.trace().enabled()) {
+        const std::string path =
+            decorateTracePath(tracePath, runTag);
+        const std::string err = world.writeTrace(path);
+        if (err.empty()) {
+            std::fprintf(stderr, "trace written to %s\n",
+                         path.c_str());
+        } else {
+            std::fprintf(stderr, "trace write failed: %s\n",
+                         err.c_str());
+        }
+    }
+    if (metricsJson)
+        std::printf("%s\n", world.metricsLine().c_str());
+}
+
 WorldConfig
 MeasureOptions::worldConfig() const
 {
@@ -109,6 +171,8 @@ MeasureOptions::worldConfig() const
     // governor keys off frames of `stepsPerFrame` substeps.
     config.frameBudget = hostFrameBudget();
     config.governor.frameSubsteps = stepsPerFrame;
+    // --trace: record per-phase spans for Chrome-trace export.
+    config.tracing = !hostTracePath().empty();
     return config;
 }
 
@@ -154,6 +218,10 @@ measuredRun(BenchmarkId id, const MeasureOptions &options)
         static_cast<std::uint64_t>(pair_total / total_steps);
     run->spec.islands =
         static_cast<std::uint64_t>(island_total / total_steps);
+
+    emitObservability(*world,
+                      std::string(tag(id)) + "_w" +
+                          std::to_string(options.hostWorkers));
 
     auto [pos, inserted] = cache.emplace(key, std::move(run));
     return *pos->second;
@@ -375,6 +443,7 @@ measureHostPhases(BenchmarkId id, unsigned workers, double scale,
     config.workerThreads = workers;
     config.deterministic = true; // Same work at every worker count.
     config.checkInvariants = invariantChecksEnabled();
+    config.tracing = !hostTracePath().empty();
     auto world = buildBenchmark(id, config, scale);
 
     for (int i = 0; i < warmup; ++i)
@@ -392,6 +461,10 @@ measureHostPhases(BenchmarkId id, unsigned workers, double scale,
     result.tasksStolen = world->scheduler().tasksStolen() - steals0;
     for (double s : result.seconds)
         result.total += s;
+
+    emitObservability(*world,
+                      std::string(tag(id)) + "_w" +
+                          std::to_string(workers));
     return result;
 }
 

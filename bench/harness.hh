@@ -78,6 +78,14 @@ struct MeasureOptions
  *                        real-time step governor with a SEC-second
  *                        display-frame budget (0 disables; see
  *                        WorldConfig::frameBudget)
+ *   --trace=FILE         record per-phase spans in every measured
+ *                        simulation and write Chrome trace JSON to
+ *                        FILE, decorated per scene/worker count
+ *                        (open in chrome://tracing or Perfetto)
+ *   --metrics-json       print one World::metricsLine() per measured
+ *                        simulation to stdout (key "pax_metrics")
+ *   --bench-out=FILE     override the BENCH_*.json output path of
+ *                        benches that stage trend-tracking results
  */
 void parseCommonFlags(int *argc, char **argv);
 
@@ -89,6 +97,26 @@ void setInvariantChecks(bool enabled);
  *  0 = governor disabled. */
 double hostFrameBudget();
 void setHostFrameBudget(double seconds);
+
+/** Trace path from --trace (or set programmatically); empty =
+ *  tracing disabled. */
+const std::string &hostTracePath();
+void setHostTracePath(const std::string &path);
+
+/** Whether --metrics-json was passed (or set programmatically). */
+bool metricsJsonEnabled();
+void setMetricsJson(bool enabled);
+
+/** BENCH output override from --bench-out; empty = bench default. */
+const std::string &benchOutPath();
+
+/**
+ * Emit the observability surface for a finished measured world: if
+ * --trace is active, write its Chrome trace to the --trace path
+ * decorated with `runTag` (e.g. trace.json -> trace_Mix_w2.json); if
+ * --metrics-json is active, print its metrics line to stdout.
+ */
+void emitObservability(const World &world, const std::string &runTag);
 
 /** Run (or fetch from cache) a measured benchmark. */
 const MeasuredRun &measuredRun(BenchmarkId id,

@@ -18,6 +18,11 @@
  *                  WorldConfig::frameBudget), InvariantMode
  *                  (Off/Warn/Quarantine/HardFail), FaultPlan /
  *                  FaultEvent scripted fault injection.
+ *  - Observability: TraceCollector + PAX_TRACE_SCOPE (per-phase /
+ *                  per-island spans, Chrome trace JSON via
+ *                  World::writeTrace), MetricsRegistry (monotonic
+ *                  counters + gauges, World::metricsLine). See
+ *                  docs/OBSERVABILITY.md.
  *  - Scheduling:   TaskScheduler, SchedulerConfig, LaneStats
  *                  (the work-stealing parallel_for runtime).
  *  - Workload:     BenchmarkId, buildBenchmark/runBenchmark,
@@ -43,6 +48,8 @@
 #include "physics/governor/governor.hh"
 #include "physics/parallel/task_scheduler.hh"
 #include "physics/raycast.hh"
+#include "physics/trace/metrics.hh"
+#include "physics/trace/trace.hh"
 #include "physics/world.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"

@@ -176,6 +176,7 @@ World::World(WorldConfig config)
         broadphase_ = std::make_unique<SpatialHash>();
         break;
     }
+    trace_.configure(scheduler_.laneCount(), config_.tracing);
 }
 
 World::~World() = default;
@@ -513,11 +514,22 @@ World::step()
     const std::uint64_t tasks_before = scheduler_.tasksExecuted();
     const std::uint64_t steals_before = scheduler_.tasksStolen();
     using Clock = std::chrono::steady_clock;
+    // One span per pipeline phase, bracketing exactly the interval
+    // the phaseSeconds timer measures; the enclosing "step" span is
+    // recorded at the end of step() below.
+    const double step_begin_us =
+        trace_.enabled() ? trace_.nowUs() : 0.0;
     auto timed = [this](PipelinePhase phase, auto &&fn) {
+        const bool tracing = trace_.enabled();
+        const double span_begin = tracing ? trace_.nowUs() : 0.0;
         const Clock::time_point t0 = Clock::now();
         fn();
         stepStats_.phaseSeconds[static_cast<int>(phase)] =
             std::chrono::duration<double>(Clock::now() - t0).count();
+        if (tracing) {
+            trace_.recordSpan(0, pipelinePhaseName(phase), stepCount_,
+                              span_begin, trace_.nowUs());
+        }
     };
 
     timed(PipelinePhase::Broadphase, [this] { phaseBroadphase(); });
@@ -586,7 +598,142 @@ World::step()
         if (!violations.empty())
             handleViolations(violations, mode);
     }
+
+    updateMetrics();
+    if (trace_.enabled()) {
+        recordStepTraceCounters();
+        trace_.recordSpan(0, "step", stepCount_, step_begin_us,
+                          trace_.nowUs());
+    }
     ++stepCount_;
+}
+
+void
+World::recordStepTraceCounters()
+{
+    const StepStats &s = stepStats_;
+    trace_.recordCounter("pairs", stepCount_,
+                         static_cast<double>(s.pairsFound));
+    trace_.recordCounter("contacts", stepCount_,
+                         static_cast<double>(s.contactsCreated));
+    trace_.recordCounter("islands", stepCount_,
+                         static_cast<double>(s.islands.size()));
+    trace_.recordCounter("bodies_asleep", stepCount_,
+                         static_cast<double>(s.bodiesAsleep));
+    trace_.recordCounter("governor_rung", stepCount_,
+                         static_cast<double>(s.governor.ladderLevel));
+    trace_.recordCounter("tasks_stolen", stepCount_,
+                         static_cast<double>(s.parTasksStolen));
+    trace_.recordCounter("quarantined_bodies", stepCount_,
+                         static_cast<double>(
+                             quarantinedBodies_.size()));
+    // Per-lane scheduler load: one counter track per lane, sourced
+    // from the per-step deltas merged at the last phase barrier.
+    for (std::size_t i = 0; i < s.laneTasks.size(); ++i) {
+        trace_.recordCounter("lane_chunks", stepCount_,
+                             static_cast<double>(
+                                 s.laneTasks[i].chunksExecuted),
+                             static_cast<std::int64_t>(i));
+        trace_.recordCounter("lane_steals", stepCount_,
+                             static_cast<double>(
+                                 s.laneTasks[i].rangesStolen),
+                             static_cast<std::int64_t>(i));
+    }
+}
+
+void
+World::updateMetrics()
+{
+    const StepStats &s = stepStats_;
+    // Monotonic counters: run totals.
+    metrics_.add("steps", 1.0);
+    metrics_.add("pairs_found",
+                 static_cast<double>(s.pairsFound));
+    metrics_.add("contacts_created",
+                 static_cast<double>(s.contactsCreated));
+    metrics_.add("contact_joints",
+                 static_cast<double>(s.contactJointsCreated));
+    metrics_.add("joints_broken",
+                 static_cast<double>(s.jointsBroken));
+    metrics_.add("tasks_executed",
+                 static_cast<double>(s.parTasksExecuted));
+    metrics_.add("tasks_stolen",
+                 static_cast<double>(s.parTasksStolen));
+    metrics_.add("governor_degradations",
+                 static_cast<double>(s.governor.degradations) -
+                     metrics_.value("governor_degradations"));
+    metrics_.add("governor_recoveries",
+                 static_cast<double>(s.governor.recoveries) -
+                     metrics_.value("governor_recoveries"));
+    metrics_.add("deadline_misses",
+                 static_cast<double>(s.governor.deadlineMisses) -
+                     metrics_.value("deadline_misses"));
+    metrics_.add("pairs_deferred",
+                 static_cast<double>(s.governor.pairsDeferred) -
+                     metrics_.value("pairs_deferred"));
+    metrics_.add("faults_injected",
+                 static_cast<double>(s.faultsInjected));
+    metrics_.add("invariant_violations",
+                 static_cast<double>(invariantViolations_) -
+                     metrics_.value("invariant_violations"));
+    metrics_.add("quarantine_events",
+                 static_cast<double>(quarantineEvents_) -
+                     metrics_.value("quarantine_events"));
+    metrics_.add("trace_events_dropped",
+                 static_cast<double>(trace_.droppedEvents()) -
+                     metrics_.value("trace_events_dropped"));
+    // Gauges: the latest observation.
+    metrics_.set("governor_rung",
+                 static_cast<double>(s.governor.ladderLevel));
+    metrics_.set("islands",
+                 static_cast<double>(s.islands.size()));
+    metrics_.set("islands_asleep",
+                 static_cast<double>(s.islandsAsleep));
+    metrics_.set("bodies_asleep",
+                 static_cast<double>(s.bodiesAsleep));
+    metrics_.set("bodies_quarantined",
+                 static_cast<double>(quarantinedBodies_.size()));
+    metrics_.set("workers",
+                 static_cast<double>(scheduler_.workerCount()));
+}
+
+std::string
+World::metricsLine() const
+{
+    // Fixed key order, deterministic values only (no wall-clock, no
+    // lane counters): in deterministic mode this line is identical
+    // for any worker count. Consumers key on "pax_metrics".
+    const StepStats &s = stepStats_;
+    auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+    std::string out = "{\"pax_metrics\":1";
+    out += ",\"step\":" + u64(stepCount_ > 0 ? stepCount_ - 1 : 0);
+    out += ",\"steps_total\":" + u64(stepCount_);
+    out += ",\"pairs\":" + u64(s.pairsFound);
+    out += ",\"contacts\":" + u64(s.contactsCreated);
+    out += ",\"contact_joints\":" + u64(s.contactJointsCreated);
+    out += ",\"islands\":" + u64(s.islands.size());
+    out += ",\"islands_asleep\":" + u64(s.islandsAsleep);
+    out += ",\"bodies_asleep\":" + u64(s.bodiesAsleep);
+    out += ",\"joints_broken\":" + u64(s.jointsBroken);
+    out += ",\"cloth_vertices\":" +
+           u64(s.cloth.verticesIntegrated);
+    out += ",\"governor_rung\":" +
+           std::to_string(s.governor.ladderLevel);
+    out += ",\"pairs_deferred\":" + u64(s.governor.pairsDeferred);
+    out += ",\"faults_injected\":" + u64(s.faultsInjected);
+    out += ",\"quarantine_events\":" + u64(s.quarantineEvents);
+    out += ",\"violations_total\":" + u64(invariantViolations_);
+    out += ",\"quarantines_total\":" + u64(quarantineEvents_);
+    out += "}";
+    return out;
+}
+
+std::string
+World::writeTrace(const std::string &path) const
+{
+    if (!trace_.enabled())
+        return "tracing is disabled (set WorldConfig::tracing)";
+    return trace_.writeChromeJson(path);
 }
 
 InvariantMode
@@ -687,6 +834,10 @@ World::quarantineBody(BodyId id, const std::string &code)
 
     ++quarantineEvents_;
     ++stepStats_.quarantineEvents;
+    if (trace_.enabled()) {
+        trace_.recordInstant("quarantine_body", stepCount_,
+                             static_cast<std::int64_t>(id));
+    }
     quarantineRecords_.push_back(QuarantineRecord{
         stepCount_, static_cast<std::int64_t>(id), -1, code,
         permanent});
@@ -713,6 +864,10 @@ World::quarantineCloth(ClothId id, const std::string &code)
     clothQuarantined_[id] = true;
     ++quarantineEvents_;
     ++stepStats_.quarantineEvents;
+    if (trace_.enabled()) {
+        trace_.recordInstant("quarantine_cloth", stepCount_,
+                             static_cast<std::int64_t>(id));
+    }
     quarantineRecords_.push_back(QuarantineRecord{
         stepCount_, -1, static_cast<std::int64_t>(id), code, true});
     warn("quarantined cloth %u after [%s] at step %llu", id,
@@ -808,6 +963,11 @@ World::injectScriptedFaults()
     for (const FaultEvent &e : config_.faultPlan.events) {
         if (e.step != stepCount_)
             continue;
+        if (trace_.enabled() &&
+            e.kind != FaultKind::CorruptContactNormal) {
+            trace_.recordInstant("fault_injected", stepCount_,
+                                 static_cast<std::int64_t>(e.target));
+        }
         switch (e.kind) {
           case FaultKind::NanVelocity: {
             RigidBody *victim = pickFaultBody(e.target);
@@ -854,6 +1014,10 @@ World::injectContactFaults()
         const Real nan = std::numeric_limits<Real>::quiet_NaN();
         c.normal = Vec3{nan, nan, nan};
         ++stepStats_.faultsInjected;
+        if (trace_.enabled()) {
+            trace_.recordInstant("fault_injected", stepCount_,
+                                 static_cast<std::int64_t>(e.target));
+        }
     }
 }
 
@@ -937,6 +1101,9 @@ World::phaseNarrowphase()
                                         std::size_t end,
                                         unsigned lane,
                                         std::vector<Contact> &out) {
+        PAX_TRACE_SCOPE_ID(trace_, lane, "narrowphase_chunk",
+                           stepCount_,
+                           static_cast<std::int64_t>(begin));
         for (std::size_t i = begin; i < end; ++i) {
             const GeomPair &pair = lastPairs_[i];
             locals[lane].collide(*geoms_[pair.a], *geoms_[pair.b],
@@ -1174,20 +1341,30 @@ World::phaseIslandProcessing()
         std::vector<PgsSolver> solvers(
             scheduler_.laneCount(),
             PgsSolver(plan_.solverIterations));
+        const Island *island_base = lastIslandList_.data();
         scheduler_.parallelFor(
             queued.size(), 1,
-            [&queued, &solvers, &paramsFor](std::size_t begin,
-                                            std::size_t end,
-                                            unsigned lane) {
-                for (std::size_t i = begin; i < end; ++i)
+            [this, island_base, &queued, &solvers, &paramsFor](
+                std::size_t begin, std::size_t end, unsigned lane) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    PAX_TRACE_SCOPE_ID(
+                        trace_, lane, "island_solve", stepCount_,
+                        static_cast<std::int64_t>(queued[i] -
+                                                  island_base));
                     solvers[lane].solve(*queued[i],
                                         paramsFor(*queued[i]));
+                }
             });
         for (const PgsSolver &s : solvers)
             solver_.mergeStats(s.stats());
     }
-    for (Island *island : inline_islands)
+    for (Island *island : inline_islands) {
+        PAX_TRACE_SCOPE_ID(
+            trace_, 0, "island_solve", stepCount_,
+            static_cast<std::int64_t>(island -
+                                      lastIslandList_.data()));
         solver_.solve(*island, paramsFor(*island));
+    }
 
     // 2(f): check all breakable joints. This must run between the
     // solve (which records the impulses that break joints) and the
@@ -1343,10 +1520,13 @@ World::phaseCloth()
             cloths_.size(), 1,
             [this, &colliders, &locals, &frozen](std::size_t begin,
                                                  std::size_t end,
-                                                 unsigned) {
+                                                 unsigned lane) {
                 for (std::size_t ci = begin; ci < end; ++ci) {
                     if (frozen(ci))
                         continue;
+                    PAX_TRACE_SCOPE_ID(
+                        trace_, lane, "cloth_step", stepCount_,
+                        static_cast<std::int64_t>(ci));
                     cloths_[ci]->step(config_.dt, config_.gravity,
                                       plan_.clothIterations,
                                       colliders[ci], locals[ci]);
@@ -1363,6 +1543,8 @@ World::phaseCloth()
         for (size_t ci = 0; ci < cloths_.size(); ++ci) {
             if (frozen(ci))
                 continue;
+            PAX_TRACE_SCOPE_ID(trace_, 0, "cloth_step", stepCount_,
+                               static_cast<std::int64_t>(ci));
             cloths_[ci]->step(config_.dt, config_.gravity,
                               plan_.clothIterations, colliders[ci],
                               stats);

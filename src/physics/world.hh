@@ -34,6 +34,8 @@
 #include "physics/shapes/primitives.hh"
 #include "physics/shapes/static_shapes.hh"
 #include "physics/solver/pgs_solver.hh"
+#include "physics/trace/metrics.hh"
+#include "physics/trace/trace.hh"
 #include "sim/stats.hh"
 
 namespace parallax
@@ -147,6 +149,16 @@ struct WorldConfig
     /** Scripted fault injection (governor/fault_injection.hh);
      *  empty (the default) injects nothing. */
     FaultPlan faultPlan;
+
+    /**
+     * Per-phase tracing (physics/trace/): record scoped spans for
+     * every pipeline phase, island solve, cloth step and narrowphase
+     * chunk, plus counter tracks and containment markers, exportable
+     * as Chrome trace JSON via World::writeTrace(). Off (the
+     * default) costs a single predictable branch per would-be event
+     * and leaves the trajectory bitwise identical.
+     */
+    bool tracing = false;
 
     /**
      * Debug: run the world-invariant checker (debug/invariants.hh)
@@ -356,6 +368,32 @@ class World
      */
     void fillStats(StatGroup &group) const;
 
+    // --- Observability (physics/trace/; see docs/OBSERVABILITY.md).
+
+    /** The trace collector (inert unless WorldConfig::tracing). */
+    const TraceCollector &trace() const { return trace_; }
+
+    /**
+     * Write everything traced so far as Chrome trace-event JSON
+     * (loadable in chrome://tracing or Perfetto). Returns "" on
+     * success, a readable error otherwise (including when tracing
+     * was never enabled).
+     */
+    std::string writeTrace(const std::string &path) const;
+
+    /** Run-cumulative counters and gauges, updated every step
+     *  regardless of the tracing flag. */
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    /**
+     * The stable per-step metrics line: one single-line JSON object
+     * describing the step that just completed. Key order is fixed,
+     * and every field is a pure function of simulation state — no
+     * wall-clock times, no lane counters — so in deterministic mode
+     * the line is identical for any worker count.
+     */
+    std::string metricsLine() const;
+
     // --- Debug: capture/replay + invariants (physics/debug/). ---
 
     /**
@@ -441,6 +479,12 @@ class World
     void phaseIslandProcessing();
     void phaseCloth();
 
+    /** Counter tracks + per-lane scheduler deltas for this step
+     *  (only called when tracing is enabled). */
+    void recordStepTraceCounters();
+    /** Accumulate this step into the metrics registry (always). */
+    void updateMetrics();
+
     WorldConfig config_;
     std::vector<std::unique_ptr<Shape>> shapes_;
     std::vector<std::unique_ptr<RigidBody>> bodies_;
@@ -459,6 +503,8 @@ class World
     PgsSolver solver_;
     EffectsManager effects_;
     TaskScheduler scheduler_;
+    TraceCollector trace_;
+    MetricsRegistry metrics_;
 
     // Per-step scratch state.
     std::vector<GeomPair> lastPairs_;

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation surface.
+
+Walks README.md, DESIGN.md, ROADMAP.md and everything under docs/,
+extracts inline links and image references, and verifies that every
+relative link resolves to a file or directory in the working tree
+(including #anchor targets against the destination file's headings).
+External http(s)/mailto links are only checked for non-empty targets,
+never fetched — the checker must work offline and in CI.
+
+Exit code is the number of broken links (0 = pass), so CMake can
+register it directly as the `check-docs` test.
+
+Run: python3 tools/check_docs.py [repo-root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, drop
+    everything that is not alphanumeric, dash or underscore."""
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def doc_files(root: Path) -> list[Path]:
+    files = []
+    for name in ("README.md", "DESIGN.md", "ROADMAP.md"):
+        path = root / name
+        if path.exists():
+            files.append(path)
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    # Links inside fenced code blocks are examples, not references.
+    text = CODE_FENCE_RE.sub("", text)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            dest_text = path.read_text(encoding="utf-8")
+            anchors = {anchor_of(h) for h in HEADING_RE.findall(dest_text)}
+            if target[1:] not in anchors:
+                errors.append(f"{path.relative_to(root)}: "
+                              f"missing anchor '{target}'")
+            continue
+        rel, _, fragment = target.partition("#")
+        dest = (path.parent / rel).resolve()
+        if not dest.exists():
+            errors.append(f"{path.relative_to(root)}: "
+                          f"broken link '{target}'")
+            continue
+        if fragment and dest.suffix == ".md":
+            anchors = {anchor_of(h) for h in
+                       HEADING_RE.findall(dest.read_text(encoding="utf-8"))}
+            if fragment not in anchors:
+                errors.append(f"{path.relative_to(root)}: "
+                              f"missing anchor '#{fragment}' in '{rel}'")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    files = doc_files(root)
+    if not files:
+        print(f"check_docs: no markdown files under {root}")
+        return 1
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, root))
+    for err in errors:
+        print(f"check_docs: {err}")
+    print(f"check_docs: {len(files)} files, {len(errors)} broken links")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,15 @@
  * The last stdout line is a machine-readable JSON summary; exit is
  * nonzero on any failure. Per-run progress goes to stderr.
  *
+ * Observability (docs/OBSERVABILITY.md): --trace=FILE records
+ * per-phase spans (plus quarantine/fault instant markers) in every
+ * run and writes one Chrome trace JSON per (scene, workers),
+ * decorated into FILE's name; --metrics-json prints one
+ * World::metricsLine() per run to stderr, keeping the "last stdout
+ * line is the summary" contract intact.
+ *
  * Run: ./build/tools/fault_storm [steps] [scale] [--json]
+ *          [--trace=FILE] [--metrics-json]
  *      (--json only silences the human banner; the JSON summary line
  *       is always emitted)
  */
@@ -75,12 +83,20 @@ int
 main(int argc, char **argv)
 {
     bool quiet = false;
+    bool metrics_json = false;
+    std::string trace_path;
     int steps = 200;
     double scale = 0.12;
     int npos = 0;
+    constexpr const char traceFlag[] = "--trace=";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             quiet = true;
+        } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+            metrics_json = true;
+        } else if (std::strncmp(argv[i], traceFlag,
+                                sizeof(traceFlag) - 1) == 0) {
+            trace_path = argv[i] + sizeof(traceFlag) - 1;
         } else if (npos == 0) {
             steps = std::atoi(argv[i]);
             ++npos;
@@ -115,6 +131,7 @@ main(int argc, char **argv)
             WorldConfig config;
             config.workerThreads = workers;
             config.deterministic = true;
+            config.tracing = !trace_path.empty();
             config.invariantMode = InvariantMode::Quarantine;
             config.quarantineThawSteps = 20;
             config.quarantineMaxRetries = 1;
@@ -191,6 +208,22 @@ main(int argc, char **argv)
                     std::to_string(r.body) + ":" +
                     std::to_string(r.cloth) + ":" + r.code + ":" +
                     (r.permanent ? "p" : "t"));
+            }
+
+            if (!trace_path.empty()) {
+                const std::string path = decorateTracePath(
+                    trace_path,
+                    std::string(benchmarkInfo(id).shortName) + "_w" +
+                        std::to_string(workers));
+                const std::string err = world->writeTrace(path);
+                if (!err.empty()) {
+                    std::fprintf(stderr, "trace write failed: %s\n",
+                                 err.c_str());
+                }
+            }
+            if (metrics_json) {
+                std::fprintf(stderr, "%s\n",
+                             world->metricsLine().c_str());
             }
 
             // Containment: the world must be healthy after the storm

@@ -15,12 +15,20 @@
  * code is still nonzero when any violation was observed, so CI can
  * gate on it either way.
  *
+ * Observability (docs/OBSERVABILITY.md): --trace=FILE records
+ * per-phase spans in every run and writes one Chrome trace JSON per
+ * (scene, workers), decorated into FILE's name; --metrics-json
+ * prints one World::metricsLine() per run to stderr (stderr so the
+ * "last stdout line is the summary" contract holds).
+ *
  * Run: ./build/tools/invariant_sweep [steps] [scale] [--json]
+ *          [--trace=FILE] [--metrics-json]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "parallax.hh"
 #include "workload/benchmarks.hh"
@@ -31,12 +39,20 @@ int
 main(int argc, char **argv)
 {
     bool json = false;
+    bool metrics_json = false;
+    std::string trace_path;
     int positional[2] = {300, 0};
     double scale = 0.12;
     int npos = 0;
+    constexpr const char traceFlag[] = "--trace=";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             json = true;
+        } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+            metrics_json = true;
+        } else if (std::strncmp(argv[i], traceFlag,
+                                sizeof(traceFlag) - 1) == 0) {
+            trace_path = argv[i] + sizeof(traceFlag) - 1;
         } else if (npos == 0) {
             positional[npos++] = std::atoi(argv[i]);
         } else if (npos == 1) {
@@ -61,6 +77,7 @@ main(int argc, char **argv)
             WorldConfig config;
             config.workerThreads = workers;
             config.deterministic = true;
+            config.tracing = !trace_path.empty();
             if (json)
                 config.invariantMode = InvariantMode::Warn;
             else
@@ -69,6 +86,21 @@ main(int argc, char **argv)
                 buildBenchmark(id, config, scale);
             for (int i = 0; i < steps; ++i)
                 world->step();
+            if (!trace_path.empty()) {
+                const std::string path = decorateTracePath(
+                    trace_path,
+                    std::string(benchmarkInfo(id).shortName) + "_w" +
+                        std::to_string(workers));
+                const std::string err = world->writeTrace(path);
+                if (!err.empty()) {
+                    std::fprintf(stderr, "trace write failed: %s\n",
+                                 err.c_str());
+                }
+            }
+            if (metrics_json) {
+                std::fprintf(stderr, "%s\n",
+                             world->metricsLine().c_str());
+            }
             const StepStats &stats = world->lastStepStats();
             const std::uint64_t violations =
                 world->invariantViolationCount();
