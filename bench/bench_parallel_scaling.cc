@@ -109,6 +109,33 @@ main(int argc, char **argv)
     }
     std::printf("\n\n");
 
+    // Allocation trajectory over the measured window: growths should
+    // all read 0 on a warm scene (the perf-labeled regression test
+    // asserts exactly that); high-water is the arena footprint.
+    std::printf("allocation counters over the measured steps:\n");
+    std::printf("%-18s", "arena_high_water");
+    for (const HostPhaseSeconds &run : runs)
+        std::printf("   %9llu KiB ",
+                    static_cast<unsigned long long>(
+                        run.arenaHighWaterBytes / 1024));
+    std::printf("\n%-18s", "arena_growths");
+    for (const HostPhaseSeconds &run : runs)
+        std::printf("   %13llu ", static_cast<unsigned long long>(
+                                      run.arenaGrowths));
+    std::printf("\n%-18s", "workspace_growths");
+    for (const HostPhaseSeconds &run : runs)
+        std::printf("   %13llu ", static_cast<unsigned long long>(
+                                      run.workspaceGrowths));
+    std::printf("\n%-18s", "workspace_reuses");
+    for (const HostPhaseSeconds &run : runs)
+        std::printf("   %13llu ", static_cast<unsigned long long>(
+                                      run.workspaceReuses));
+    std::printf("\n%-18s", "bp_storage_growths");
+    for (const HostPhaseSeconds &run : runs)
+        std::printf("   %13llu ", static_cast<unsigned long long>(
+                                      run.broadphaseStorageGrowths));
+    std::printf("\n\n");
+
     JsonWriter json;
     json.field("benchmark", benchmarkInfo(id).shortName)
         .field("scale", scale);
@@ -138,6 +165,29 @@ main(int argc, char **argv)
     for (const HostPhaseSeconds &run : runs)
         json.arrayValue(static_cast<double>(run.tasksStolen));
     json.endArray();
+    json.beginObject("allocation");
+    json.beginArray("arena_high_water_bytes");
+    for (const HostPhaseSeconds &run : runs)
+        json.arrayValue(static_cast<double>(run.arenaHighWaterBytes));
+    json.endArray();
+    json.beginArray("arena_growths");
+    for (const HostPhaseSeconds &run : runs)
+        json.arrayValue(static_cast<double>(run.arenaGrowths));
+    json.endArray();
+    json.beginArray("workspace_growths");
+    for (const HostPhaseSeconds &run : runs)
+        json.arrayValue(static_cast<double>(run.workspaceGrowths));
+    json.endArray();
+    json.beginArray("workspace_reuses");
+    for (const HostPhaseSeconds &run : runs)
+        json.arrayValue(static_cast<double>(run.workspaceReuses));
+    json.endArray();
+    json.beginArray("broadphase_storage_growths");
+    for (const HostPhaseSeconds &run : runs)
+        json.arrayValue(
+            static_cast<double>(run.broadphaseStorageGrowths));
+    json.endArray();
+    json.endObject();
 
     // Trace-layer overhead: same serial scene, tracing off vs on.
     // Best-of-3 per mode damps scheduler noise on loaded hosts.

@@ -186,6 +186,14 @@ struct HostPhaseSeconds
     std::array<double, numPipelinePhases> seconds{};
     double total = 0;
     std::uint64_t tasksStolen = 0;
+    // Allocation trajectory over the measured window: a warm steady
+    // state shows zero growths (arena blocks, solver workspaces,
+    // broadphase storage) and a flat high-water mark.
+    std::uint64_t arenaHighWaterBytes = 0;
+    std::uint64_t arenaGrowths = 0;
+    std::uint64_t workspaceGrowths = 0;
+    std::uint64_t workspaceReuses = 0;
+    std::uint64_t broadphaseStorageGrowths = 0;
 };
 
 /**

@@ -138,6 +138,16 @@ class RigidBody
     std::uint32_t islandId() const { return islandId_; }
     void setIslandId(std::uint32_t id) { islandId_ = id; }
 
+    /**
+     * Position within Island::bodies, stamped by the island builder
+     * each step: the solver's dense replacement for a body->index
+     * hash map. Stale for bodies that are currently static, disabled,
+     * or outside every island — callers must check those conditions
+     * before trusting it.
+     */
+    int solverIndex() const { return solverIndex_; }
+    void setSolverIndex(int index) { solverIndex_ = index; }
+
   private:
     BodyId id_;
     Transform pose_;
@@ -153,6 +163,7 @@ class RigidBody
     bool asleep_ = false;
     int sleepCounter_ = 0;
     std::uint32_t islandId_ = ~std::uint32_t(0);
+    int solverIndex_ = -1;
 };
 
 } // namespace parallax

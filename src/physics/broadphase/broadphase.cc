@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace parallax
 {
@@ -24,6 +22,15 @@ canonical(GeomId a, GeomId b)
     if (a > b)
         std::swap(a, b);
     return {a, b};
+}
+
+/** Strict total order of the sweep axis: AABB lo.x, ties by id. */
+bool
+axisLess(const Geom *a, const Geom *b)
+{
+    if (a->bounds().lo.x != b->bounds().lo.x)
+        return a->bounds().lo.x < b->bounds().lo.x;
+    return a->id() < b->id();
 }
 
 } // namespace
@@ -48,85 +55,186 @@ Broadphase::pairEligible(const Geom &a, const Geom &b)
     return true;
 }
 
-std::vector<GeomPair>
-SweepAndPrune::findPairs(const std::vector<Geom *> &geoms)
+void
+SweepAndPrune::findPairsInto(const std::vector<Geom *> &geoms,
+                             std::vector<GeomPair> &out)
 {
     stats_.geomsConsidered += geoms.size();
+    out.clear();
+    const std::size_t cap_before = axis_.capacity() +
+                                   planes_.capacity() +
+                                   active_.capacity() +
+                                   stamp_.capacity();
 
-    std::vector<Geom *> bounded;
-    std::vector<Geom *> planes;
-    bounded.reserve(geoms.size());
+    // Classify this step's geoms, stamping bounded membership so a
+    // set change (spawn, enable/disable, shape swap to plane) is
+    // detected against the persistent axis.
+    ++gen_;
+    planes_.clear();
+    std::size_t bounded_count = 0;
     for (Geom *g : geoms) {
         if (!g->enabled())
             continue;
-        if (unbounded(*g))
-            planes.push_back(g);
-        else
-            bounded.push_back(g);
+        if (unbounded(*g)) {
+            planes_.push_back(g);
+            continue;
+        }
+        if (g->id() >= stamp_.size())
+            stamp_.resize(g->id() + 1, 0);
+        stamp_[g->id()] = gen_;
+        ++bounded_count;
     }
 
-    // Sort by AABB minimum X; this is the structure update the paper
-    // identifies as the serializing part of broadphase.
-    std::sort(bounded.begin(), bounded.end(),
-              [](const Geom *a, const Geom *b) {
-                  if (a->bounds().lo.x != b->bounds().lo.x)
-                      return a->bounds().lo.x < b->bounds().lo.x;
-                  return a->id() < b->id();
-              });
-    stats_.structureUpdates += bounded.size();
+    bool membership_changed = axis_.size() != bounded_count;
+    for (std::size_t i = 0; !membership_changed && i < axis_.size();
+         ++i) {
+        membership_changed = stamp_[axis_[i]->id()] != gen_;
+    }
 
-    std::vector<GeomPair> pairs;
+    if (membership_changed) {
+        // Rebuild the axis from scratch and fully sort it: the
+        // structure update the paper identifies as the serializing
+        // part of broadphase.
+        axis_.clear();
+        for (Geom *g : geoms) {
+            if (g->enabled() && !unbounded(*g))
+                axis_.push_back(g);
+        }
+        std::sort(axis_.begin(), axis_.end(), axisLess);
+        stats_.structureUpdates += axis_.size();
+    } else {
+        // Temporal coherence: bodies barely move between substeps,
+        // so last step's order is nearly sorted and one
+        // insertion-sort pass repairs it in near-linear time. The
+        // comparator is a strict total order (ties broken by id), so
+        // the repaired order is bitwise identical to a full sort.
+        for (std::size_t i = 1; i < axis_.size(); ++i) {
+            Geom *g = axis_[i];
+            std::size_t j = i;
+            while (j > 0 && axisLess(g, axis_[j - 1])) {
+                axis_[j] = axis_[j - 1];
+                --j;
+                ++stats_.structureUpdates;
+            }
+            axis_[j] = g;
+        }
+    }
 
     // Linear sweep with an active window.
-    std::vector<Geom *> active;
-    for (Geom *g : bounded) {
+    active_.clear();
+    for (Geom *g : axis_) {
         const Aabb &gb = g->bounds();
         // Retire actives that end before this box begins.
-        std::erase_if(active, [&](const Geom *other) {
+        std::erase_if(active_, [&](const Geom *other) {
             return other->bounds().hi.x < gb.lo.x;
         });
-        for (Geom *other : active) {
+        for (Geom *other : active_) {
             ++stats_.overlapTests;
             const Aabb &ob = other->bounds();
             const bool yz = gb.lo.y <= ob.hi.y && gb.hi.y >= ob.lo.y &&
                             gb.lo.z <= ob.hi.z && gb.hi.z >= ob.lo.z;
             if (yz && pairEligible(*g, *other))
-                pairs.push_back(canonical(g->id(), other->id()));
+                out.push_back(canonical(g->id(), other->id()));
         }
-        active.push_back(g);
+        active_.push_back(g);
     }
 
     // Planes pair with every eligible bounded geom.
-    for (Geom *p : planes) {
-        for (Geom *g : bounded) {
+    for (Geom *p : planes_) {
+        for (Geom *g : axis_) {
             ++stats_.overlapTests;
             if (pairEligible(*p, *g))
-                pairs.push_back(canonical(p->id(), g->id()));
+                out.push_back(canonical(p->id(), g->id()));
         }
     }
 
-    std::sort(pairs.begin(), pairs.end(),
+    std::sort(out.begin(), out.end(),
               [](const GeomPair &x, const GeomPair &y) {
                   return x.a != y.a ? x.a < y.a : x.b < y.b;
               });
-    stats_.pairsFound += pairs.size();
-    return pairs;
+    stats_.pairsFound += out.size();
+    if (axis_.capacity() + planes_.capacity() + active_.capacity() +
+            stamp_.capacity() >
+        cap_before)
+        ++stats_.storageGrowths;
 }
 
 SpatialHash::SpatialHash(Real cell_size) : cellSize_(cell_size)
 {
 }
 
-std::vector<GeomPair>
-SpatialHash::findPairs(const std::vector<Geom *> &geoms)
+template <typename EntryVec, typename CandidateVec>
+void
+SpatialHash::collectPairs(EntryVec &entries, CandidateVec &candidates,
+                          std::vector<GeomPair> &out)
+{
+    // Group co-resident geoms by sorting the flat occupancy list;
+    // idx tiebreak keeps groups in insertion (input) order.
+    CellEntry *const ebegin = entries.data();
+    CellEntry *const eend = ebegin + entries.size();
+    std::sort(ebegin, eend, [](const CellEntry &x, const CellEntry &y) {
+        return x.key != y.key ? x.key < y.key : x.idx < y.idx;
+    });
+
+    for (CellEntry *group = ebegin; group != eend;) {
+        CellEntry *group_end = group + 1;
+        while (group_end != eend && group_end->key == group->key)
+            ++group_end;
+        for (CellEntry *i = group; i != group_end; ++i) {
+            for (CellEntry *j = i + 1; j != group_end; ++j) {
+                Geom *a = bounded_[i->idx];
+                Geom *b = bounded_[j->idx];
+                ++stats_.overlapTests;
+                if (!a->bounds().overlaps(b->bounds()))
+                    continue;
+                if (!pairEligible(*a, *b))
+                    continue;
+                const GeomPair p = canonical(a->id(), b->id());
+                candidates.push_back(
+                    (static_cast<std::uint64_t>(p.a) << 32) | p.b);
+            }
+        }
+        group = group_end;
+    }
+
+    // Dedup pairs reached through several shared cells: sort packed
+    // (a, b) keys and drop repeats. The sorted order equals the
+    // final (a, b) pair order, so emission is already canonical.
+    std::uint64_t *const cbegin = candidates.data();
+    std::uint64_t *const cend = cbegin + candidates.size();
+    std::sort(cbegin, cend);
+    std::uint64_t *const cuniq = std::unique(cbegin, cend);
+    for (const std::uint64_t *pk = cbegin; pk != cuniq; ++pk) {
+        out.push_back(GeomPair{
+            static_cast<GeomId>(*pk >> 32),
+            static_cast<GeomId>(*pk & 0xffffffffu)});
+    }
+}
+
+void
+SpatialHash::findPairsInto(const std::vector<Geom *> &geoms,
+                           std::vector<GeomPair> &out)
 {
     stats_.geomsConsidered += geoms.size();
+    out.clear();
 
-    std::unordered_map<std::uint64_t, std::vector<Geom *>> cells;
-    std::vector<Geom *> planes;
+    bounded_.clear();
+    planes_.clear();
+    for (Geom *g : geoms) {
+        if (!g->enabled())
+            continue;
+        if (unbounded(*g))
+            planes_.push_back(g);
+        else
+            bounded_.push_back(g);
+    }
 
+    // Mix the three (full-width) cell coordinates into one 64-bit
+    // key by multiplying each with a distinct odd constant and
+    // XOR-folding. Collisions are possible but only cost an extra
+    // overlap test; negative coordinates wrap modulo 2^64 and keep
+    // distinct keys (pinned by a regression test).
     auto cellKey = [](std::int64_t ix, std::int64_t iy, std::int64_t iz) {
-        // Morton-free mixing of three 21-bit cell coordinates.
         const std::uint64_t h =
             static_cast<std::uint64_t>(ix) * 0x8da6b343ull ^
             static_cast<std::uint64_t>(iy) * 0xd8163841ull ^
@@ -134,71 +242,67 @@ SpatialHash::findPairs(const std::vector<Geom *> &geoms)
         return h;
     };
 
-    for (Geom *g : geoms) {
-        if (!g->enabled())
-            continue;
-        if (unbounded(*g)) {
-            planes.push_back(g);
-            continue;
+    const auto fill = [&](auto &entries) {
+        for (std::uint32_t gi = 0;
+             gi < static_cast<std::uint32_t>(bounded_.size()); ++gi) {
+            const Aabb &b = bounded_[gi]->bounds();
+            const auto lo_x = static_cast<std::int64_t>(
+                std::floor(b.lo.x / cellSize_));
+            const auto hi_x = static_cast<std::int64_t>(
+                std::floor(b.hi.x / cellSize_));
+            const auto lo_y = static_cast<std::int64_t>(
+                std::floor(b.lo.y / cellSize_));
+            const auto hi_y = static_cast<std::int64_t>(
+                std::floor(b.hi.y / cellSize_));
+            const auto lo_z = static_cast<std::int64_t>(
+                std::floor(b.lo.z / cellSize_));
+            const auto hi_z = static_cast<std::int64_t>(
+                std::floor(b.hi.z / cellSize_));
+            for (auto ix = lo_x; ix <= hi_x; ++ix)
+                for (auto iy = lo_y; iy <= hi_y; ++iy)
+                    for (auto iz = lo_z; iz <= hi_z; ++iz) {
+                        entries.push_back(
+                            CellEntry{cellKey(ix, iy, iz), gi});
+                        ++stats_.structureUpdates;
+                    }
         }
-        const Aabb &b = g->bounds();
-        const auto lo_x = static_cast<std::int64_t>(
-            std::floor(b.lo.x / cellSize_));
-        const auto hi_x = static_cast<std::int64_t>(
-            std::floor(b.hi.x / cellSize_));
-        const auto lo_y = static_cast<std::int64_t>(
-            std::floor(b.lo.y / cellSize_));
-        const auto hi_y = static_cast<std::int64_t>(
-            std::floor(b.hi.y / cellSize_));
-        const auto lo_z = static_cast<std::int64_t>(
-            std::floor(b.lo.z / cellSize_));
-        const auto hi_z = static_cast<std::int64_t>(
-            std::floor(b.hi.z / cellSize_));
-        for (auto ix = lo_x; ix <= hi_x; ++ix)
-            for (auto iy = lo_y; iy <= hi_y; ++iy)
-                for (auto iz = lo_z; iz <= hi_z; ++iz) {
-                    cells[cellKey(ix, iy, iz)].push_back(g);
-                    ++stats_.structureUpdates;
-                }
+    };
+
+    if (arena_ != nullptr) {
+        // Cell storage lives in the borrowed frame arena: it dies at
+        // the step barrier, costing the persistent heap nothing.
+        ArenaVector<CellEntry> entries(arena_);
+        ArenaVector<std::uint64_t> candidates(arena_);
+        fill(entries);
+        collectPairs(entries, candidates, out);
+    } else {
+        const std::size_t cap_before = entriesFallback_.capacity() +
+                                       candidatesFallback_.capacity();
+        entriesFallback_.clear();
+        candidatesFallback_.clear();
+        fill(entriesFallback_);
+        collectPairs(entriesFallback_, candidatesFallback_, out);
+        if (entriesFallback_.capacity() +
+                candidatesFallback_.capacity() >
+            cap_before)
+            ++stats_.storageGrowths;
     }
 
-    std::unordered_set<std::uint64_t> seen;
-    std::vector<GeomPair> pairs;
-    for (auto &[key, residents] : cells) {
-        for (size_t i = 0; i < residents.size(); ++i) {
-            for (size_t j = i + 1; j < residents.size(); ++j) {
-                Geom *a = residents[i];
-                Geom *b = residents[j];
-                ++stats_.overlapTests;
-                if (!a->bounds().overlaps(b->bounds()))
-                    continue;
-                if (!pairEligible(*a, *b))
-                    continue;
-                const GeomPair p = canonical(a->id(), b->id());
-                const std::uint64_t pk =
-                    (static_cast<std::uint64_t>(p.a) << 32) | p.b;
-                if (seen.insert(pk).second)
-                    pairs.push_back(p);
-            }
-        }
-    }
-
-    for (Geom *p : planes) {
-        for (Geom *g : geoms) {
-            if (!g->enabled() || unbounded(*g))
-                continue;
+    // Planes pair with every eligible bounded geom (the list already
+    // filtered above — disabled and unbounded geoms never re-tested).
+    for (Geom *p : planes_) {
+        for (Geom *g : bounded_) {
             ++stats_.overlapTests;
             if (pairEligible(*p, *g))
-                pairs.push_back(canonical(p->id(), g->id()));
+                out.push_back(canonical(p->id(), g->id()));
         }
     }
 
-    std::sort(pairs.begin(), pairs.end(),
+    std::sort(out.begin(), out.end(),
               [](const GeomPair &x, const GeomPair &y) {
                   return x.a != y.a ? x.a < y.a : x.b < y.b;
               });
-    stats_.pairsFound += pairs.size();
-    return pairs;
+    stats_.pairsFound += out.size();
 }
 
 } // namespace parallax

@@ -7,6 +7,12 @@
  * their AABBs. The paper notes this phase is hard to parallelize
  * because it updates a spatial structure (sweep-and-prune axes or
  * hash tables); both structures are provided here.
+ *
+ * Both implementations keep their spatial structure (and every
+ * scratch buffer) alive across calls: after warm-up a steady-state
+ * findPairsInto() performs no heap allocations, and SweepAndPrune
+ * additionally exploits temporal coherence by repairing last step's
+ * sorted axis instead of re-sorting from scratch.
  */
 
 #ifndef PARALLAX_PHYSICS_BROADPHASE_BROADPHASE_HH
@@ -16,6 +22,7 @@
 #include <vector>
 
 #include "physics/geom.hh"
+#include "physics/parallel/arena.hh"
 
 namespace parallax
 {
@@ -36,6 +43,12 @@ struct BroadphaseStats
     std::uint64_t overlapTests = 0;
     std::uint64_t pairsFound = 0;
     std::uint64_t structureUpdates = 0;
+    /**
+     * Times persistent scratch storage had to grow (heap
+     * allocation). Zero in a warmed-up steady state — asserted by
+     * the `perf`-labeled allocation-regression test.
+     */
+    std::uint64_t storageGrowths = 0;
 
     void
     reset()
@@ -51,13 +64,31 @@ class Broadphase
     virtual ~Broadphase() = default;
 
     /**
-     * Find all candidate pairs among the given geoms. Geoms whose
-     * bodies are disabled are skipped; pairs where neither side can
-     * move (both static) are filtered; pairs sharing a body are
-     * filtered. Pair ordering is canonical (a < b) and deterministic.
+     * Find all candidate pairs among the given geoms, into `out`
+     * (cleared first; capacity kept). Geoms whose bodies are
+     * disabled are skipped; pairs where neither side can move (both
+     * static) are filtered; pairs sharing a body are filtered. Pair
+     * ordering is canonical (a < b) and deterministic.
      */
-    virtual std::vector<GeomPair>
-    findPairs(const std::vector<Geom *> &geoms) = 0;
+    virtual void findPairsInto(const std::vector<Geom *> &geoms,
+                               std::vector<GeomPair> &out) = 0;
+
+    /** Convenience wrapper returning a fresh pair list. */
+    std::vector<GeomPair>
+    findPairs(const std::vector<Geom *> &geoms)
+    {
+        std::vector<GeomPair> pairs;
+        findPairsInto(geoms, pairs);
+        return pairs;
+    }
+
+    /**
+     * Borrow a frame arena for step-transient scratch (cell entry
+     * lists and candidate buffers). Optional: without one the
+     * implementations fall back to persistent member buffers. The
+     * arena's owner must reset it between steps, never mid-call.
+     */
+    void setFrameArena(FrameArena *arena) { arena_ = arena; }
 
     const BroadphaseStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
@@ -67,6 +98,7 @@ class Broadphase
     static bool pairEligible(const Geom &a, const Geom &b);
 
     BroadphaseStats stats_;
+    FrameArena *arena_ = nullptr;
 };
 
 /**
@@ -76,32 +108,70 @@ class Broadphase
  * keeps an active window and tests Y/Z overlap only for X-overlapping
  * boxes. Unbounded geoms (planes) are handled out of band and paired
  * with every eligible bounded geom.
+ *
+ * The sorted axis persists across steps. When the geom set is
+ * unchanged, the axis is repaired with one insertion-sort pass —
+ * near-linear under temporal coherence, and producing exactly the
+ * order a full sort would (the comparator is a strict total order),
+ * so results stay bitwise identical. Any membership change triggers
+ * a full rebuild.
  */
 class SweepAndPrune : public Broadphase
 {
   public:
-    std::vector<GeomPair>
-    findPairs(const std::vector<Geom *> &geoms) override;
+    void findPairsInto(const std::vector<Geom *> &geoms,
+                       std::vector<GeomPair> &out) override;
+
+  private:
+    /** Persistent sorted axis (by AABB lo.x, then id). */
+    std::vector<Geom *> axis_;
+    /** Per-call plane list and sweep window (capacity persists). */
+    std::vector<Geom *> planes_;
+    std::vector<Geom *> active_;
+    /** Membership stamps indexed by geom id: stamp_[id] == gen_
+     *  means the geom is in this step's bounded set. */
+    std::vector<std::uint32_t> stamp_;
+    std::uint32_t gen_ = 0;
 };
 
 /**
  * Uniform spatial-hash broadphase.
  *
  * Geoms are binned into grid cells of a fixed size; pairs are
- * generated from co-resident cells and deduplicated.
+ * generated from co-resident cells and deduplicated. Cell storage is
+ * a flat (cellKey, geom) array sorted by key — no per-cell node
+ * allocations — living in the borrowed frame arena when one is set,
+ * else in persistent member buffers.
  */
 class SpatialHash : public Broadphase
 {
   public:
     explicit SpatialHash(Real cell_size = 4.0);
 
-    std::vector<GeomPair>
-    findPairs(const std::vector<Geom *> &geoms) override;
+    void findPairsInto(const std::vector<Geom *> &geoms,
+                       std::vector<GeomPair> &out) override;
 
     Real cellSize() const { return cellSize_; }
 
   private:
+    /** One geom occupancy of one cell. */
+    struct CellEntry
+    {
+        std::uint64_t key;
+        std::uint32_t idx; // Index into bounded_.
+    };
+
+    template <typename EntryVec, typename CandidateVec>
+    void collectPairs(EntryVec &entries, CandidateVec &candidates,
+                      std::vector<GeomPair> &out);
+
     Real cellSize_;
+    /** Enabled bounded geoms, in input order (plane-pass reuse). */
+    std::vector<Geom *> bounded_;
+    std::vector<Geom *> planes_;
+    /** Fallback scratch when no frame arena is borrowed. */
+    std::vector<CellEntry> entriesFallback_;
+    std::vector<std::uint64_t> candidatesFallback_;
 };
 
 } // namespace parallax

@@ -509,26 +509,36 @@ World::captureState() const
         }
     }
 
-    // Warm-start cache, sorted by key: the map iterates in hash
-    // order, sorting makes captures of identical state byte-equal.
-    std::vector<std::uint64_t> keys;
-    keys.reserve(warmCache_.size());
-    for (const auto &[key, cached] : warmCache_)
-        keys.push_back(key);
-    std::sort(keys.begin(), keys.end());
-    w.u32(static_cast<std::uint32_t>(keys.size()));
-    for (const std::uint64_t key : keys) {
-        const std::vector<CachedContact> &cached =
-            warmCache_.at(key);
-        w.u64(key);
-        w.u32(static_cast<std::uint32_t>(cached.size()));
-        for (const CachedContact &c : cached) {
+    // Warm-start cache: the flat vector is already sorted by
+    // (key, seq), so walking it group-by-group writes the same
+    // key-sorted, insertion-ordered bytes the old per-key map
+    // capture produced.
+    std::uint32_t warm_groups = 0;
+    for (std::size_t i = 0; i < warmCache_.size();) {
+        std::size_t j = i + 1;
+        while (j < warmCache_.size() &&
+               warmCache_[j].key == warmCache_[i].key)
+            ++j;
+        ++warm_groups;
+        i = j;
+    }
+    w.u32(warm_groups);
+    for (std::size_t i = 0; i < warmCache_.size();) {
+        std::size_t j = i + 1;
+        while (j < warmCache_.size() &&
+               warmCache_[j].key == warmCache_[i].key)
+            ++j;
+        w.u64(warmCache_[i].key);
+        w.u32(static_cast<std::uint32_t>(j - i));
+        for (std::size_t k = i; k < j; ++k) {
+            const CachedContact &c = warmCache_[k].c;
             w.vec3(c.position);
             w.vec3(c.normal);
             w.f64(c.lambdas[0]);
             w.f64(c.lambdas[1]);
             w.f64(c.lambdas[2]);
         }
+        i = j;
     }
 
     const EffectsManager::State effects = effects_.captureState();
@@ -698,24 +708,28 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
         }
     }
 
-    std::unordered_map<std::uint64_t, std::vector<CachedContact>>
-        warm;
+    // Groups arrive key-sorted with entries in insertion order, so a
+    // running seq reproduces the live cache's (key, seq) sort order
+    // without re-sorting.
+    std::vector<WarmEntry> warm;
+    std::uint32_t warm_seq = 0;
     const std::uint32_t warm_entries =
         static_cast<std::uint32_t>(r.count(
             r.u32("warmCache.entries"), 12, "warm-cache entries"));
     for (std::uint32_t i = 0; r.ok() && i < warm_entries; ++i) {
         const std::uint64_t key = r.u64("warmCache.key");
-        const std::uint32_t n = r.u32("warmCache.count");
-        std::vector<CachedContact> cached(
-            r.count(n, 72, "warm-cache contacts"));
-        for (CachedContact &c : cached) {
+        const std::uint32_t n = static_cast<std::uint32_t>(
+            r.count(r.u32("warmCache.count"), 72,
+                    "warm-cache contacts"));
+        for (std::uint32_t k = 0; k < n; ++k) {
+            CachedContact c;
             c.position = r.vec3("warmCache.position");
             c.normal = r.vec3("warmCache.normal");
             c.lambdas[0] = r.f64("warmCache.lambda");
             c.lambdas[1] = r.f64("warmCache.lambda");
             c.lambdas[2] = r.f64("warmCache.lambda");
+            warm.push_back(WarmEntry{key, warm_seq++, c});
         }
-        warm[key] = std::move(cached);
     }
 
     EffectsManager::State effects;

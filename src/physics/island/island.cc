@@ -1,7 +1,6 @@
 #include "island.hh"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "sim/logging.hh"
 
@@ -19,15 +18,24 @@ IslandBuilder::find(std::uint32_t i)
     return i;
 }
 
-std::vector<Island>
+void
 IslandBuilder::build(const std::vector<RigidBody *> &bodies,
-                     const std::vector<Joint *> &joints)
+                     const std::vector<Joint *> &joints,
+                     std::vector<Island> &out)
 {
     const auto n = static_cast<std::uint32_t>(bodies.size());
     parent_.resize(n);
     for (std::uint32_t i = 0; i < n; ++i)
         parent_[i] = i;
     stats_.bodiesVisited += n;
+
+    // Recycle the caller's Island objects: park them in the pool so
+    // their bodies/joints vectors keep capacity, then hand them back
+    // one at a time as components materialize.
+    while (!out.empty()) {
+        pool_.push_back(std::move(out.back()));
+        out.pop_back();
+    }
 
     auto dynamicIndex = [&](RigidBody *b) -> std::int64_t {
         if (b == nullptr || b->isStatic() || !b->enabled())
@@ -51,24 +59,38 @@ IslandBuilder::build(const std::vector<RigidBody *> &bodies,
         }
     }
 
-    // Collect components in deterministic body-id order.
-    std::unordered_map<std::uint32_t, std::uint32_t> root_to_island;
-    std::vector<Island> islands;
+    // Collect components in deterministic body-id order. The
+    // root -> island map is a dense array indexed by the root body
+    // id (roots are body indices), with ~0 marking "no island yet".
+    constexpr std::uint32_t no_island = ~std::uint32_t(0);
+    rootToIsland_.assign(n, no_island);
     for (std::uint32_t i = 0; i < n; ++i) {
         RigidBody *b = bodies[i];
         if (b == nullptr || b->isStatic() || !b->enabled()) {
             if (b != nullptr)
-                b->setIslandId(~std::uint32_t(0));
+                b->setIslandId(no_island);
             continue;
         }
         parallax_assert(b->id() == i);
         const std::uint32_t root = find(i);
-        auto [it, inserted] = root_to_island.try_emplace(
-            root, static_cast<std::uint32_t>(islands.size()));
-        if (inserted)
-            islands.emplace_back();
-        islands[it->second].bodies.push_back(b);
-        b->setIslandId(it->second);
+        std::uint32_t island = rootToIsland_[root];
+        if (island == no_island) {
+            island = static_cast<std::uint32_t>(out.size());
+            rootToIsland_[root] = island;
+            if (!pool_.empty()) {
+                out.push_back(std::move(pool_.back()));
+                pool_.pop_back();
+                out.back().bodies.clear();
+                out.back().joints.clear();
+            } else {
+                out.emplace_back();
+            }
+        }
+        // The position within the island's body list doubles as the
+        // solver's dense body index (replacing its body->index map).
+        b->setSolverIndex(static_cast<int>(out[island].bodies.size()));
+        out[island].bodies.push_back(b);
+        b->setIslandId(island);
     }
 
     // Attach joints to the island of their first dynamic body.
@@ -82,17 +104,16 @@ IslandBuilder::build(const std::vector<RigidBody *> &bodies,
             continue; // Both endpoints static or disabled.
         const std::uint32_t island =
             bodies[static_cast<std::uint32_t>(owner)]->islandId();
-        islands[island].joints.push_back(j);
+        out[island].joints.push_back(j);
     }
 
-    stats_.islandsCreated += islands.size();
-    for (const Island &island : islands) {
+    stats_.islandsCreated += out.size();
+    for (const Island &island : out) {
         stats_.largestIslandRows = std::max<std::uint64_t>(
             stats_.largestIslandRows, island.rowCount());
         stats_.largestIslandBodies = std::max<std::uint64_t>(
             stats_.largestIslandBodies, island.bodies.size());
     }
-    return islands;
 }
 
 } // namespace parallax

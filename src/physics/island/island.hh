@@ -69,14 +69,29 @@ class IslandBuilder
 {
   public:
     /**
-     * Build islands and stamp each body's islandId.
+     * Build islands into `out`, stamping each body's islandId and
+     * its dense solverIndex (position within its island's body
+     * list). Existing Island objects in `out` are reused — their
+     * member vectors keep capacity across steps, so a warmed-up
+     * builder allocates nothing.
      *
      * @param bodies All bodies in the world (indexed by BodyId).
      * @param joints Joints to consider (typically permanent joints
      *               plus this step's contact joints).
      */
-    std::vector<Island> build(const std::vector<RigidBody *> &bodies,
-                              const std::vector<Joint *> &joints);
+    void build(const std::vector<RigidBody *> &bodies,
+               const std::vector<Joint *> &joints,
+               std::vector<Island> &out);
+
+    /** Convenience wrapper returning a fresh island list. */
+    std::vector<Island>
+    build(const std::vector<RigidBody *> &bodies,
+          const std::vector<Joint *> &joints)
+    {
+        std::vector<Island> islands;
+        build(bodies, joints, islands);
+        return islands;
+    }
 
     const IslandStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
@@ -85,6 +100,11 @@ class IslandBuilder
     std::uint32_t find(std::uint32_t i);
 
     std::vector<std::uint32_t> parent_;
+    /** Union-find root -> island index, cleared (by fill) per build;
+     *  sized to the body count like parent_. */
+    std::vector<std::uint32_t> rootToIsland_;
+    /** Retired Island objects kept for their vector capacity. */
+    std::vector<Island> pool_;
     IslandStats stats_;
 };
 

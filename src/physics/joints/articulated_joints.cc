@@ -30,7 +30,7 @@ perpBasis(const Vec3 &axis, Vec3 &u, Vec3 &v)
  * J*v = +erp * err / dt so A chases B (and vice versa).
  */
 void
-pointRow(std::vector<ConstraintRow> &out, JointId joint,
+pointRow(RowBuffer &out, JointId joint,
          const SolverParams &params, RigidBody *a, RigidBody *b,
          const Vec3 &anchor_a, const Vec3 &anchor_b, const Vec3 &dir)
 {
@@ -61,7 +61,7 @@ pointRow(std::vector<ConstraintRow> &out, JointId joint,
  * J*v = +erp * err / dt so A catches up / B falls back.
  */
 void
-angularRow(std::vector<ConstraintRow> &out, JointId joint,
+angularRow(RowBuffer &out, JointId joint,
            const SolverParams &params, RigidBody *b, const Vec3 &axis,
            Real err)
 {
@@ -116,7 +116,7 @@ BallJoint::anchorOnB() const
 
 void
 BallJoint::buildRows(const SolverParams &params,
-                     std::vector<ConstraintRow> &out)
+                     RowBuffer &out)
 {
     const Vec3 pa = anchorOnA();
     const Vec3 pb = anchorOnB();
@@ -145,7 +145,7 @@ HingeJoint::axisWorld() const
 
 void
 HingeJoint::buildRows(const SolverParams &params,
-                      std::vector<ConstraintRow> &out)
+                      RowBuffer &out)
 {
     BallJoint::buildRows(params, out);
 
@@ -185,7 +185,7 @@ SliderJoint::axisWorld() const
 
 void
 SliderJoint::buildRows(const SolverParams &params,
-                       std::vector<ConstraintRow> &out)
+                       RowBuffer &out)
 {
     RigidBody *a = bodyA();
     RigidBody *b = bodyB();
@@ -221,7 +221,7 @@ FixedJoint::FixedJoint(JointId id, RigidBody *body_a,
 
 void
 FixedJoint::buildRows(const SolverParams &params,
-                      std::vector<ConstraintRow> &out)
+                      RowBuffer &out)
 {
     RigidBody *a = bodyA();
     RigidBody *b = bodyB();

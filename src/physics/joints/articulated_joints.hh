@@ -28,7 +28,7 @@ class BallJoint : public Joint
     JointType type() const override { return JointType::Ball; }
     int numRows() const override { return 3; }
     void buildRows(const SolverParams &params,
-                   std::vector<ConstraintRow> &out) override;
+                   RowBuffer &out) override;
 
     /** Current world position of the anchor as seen by body A. */
     Vec3 anchorOnA() const;
@@ -54,7 +54,7 @@ class HingeJoint : public BallJoint
     JointType type() const override { return JointType::Hinge; }
     int numRows() const override { return 5; }
     void buildRows(const SolverParams &params,
-                   std::vector<ConstraintRow> &out) override;
+                   RowBuffer &out) override;
 
     /** Hinge axis in world space (from body A's frame). */
     Vec3 axisWorld() const;
@@ -77,7 +77,7 @@ class SliderJoint : public Joint
     JointType type() const override { return JointType::Slider; }
     int numRows() const override { return 5; }
     void buildRows(const SolverParams &params,
-                   std::vector<ConstraintRow> &out) override;
+                   RowBuffer &out) override;
 
     /** Slide axis in world space (from body A's frame). */
     Vec3 axisWorld() const;
@@ -97,7 +97,7 @@ class FixedJoint : public Joint
     JointType type() const override { return JointType::Fixed; }
     int numRows() const override { return 6; }
     void buildRows(const SolverParams &params,
-                   std::vector<ConstraintRow> &out) override;
+                   RowBuffer &out) override;
 
   private:
     Vec3 offsetLocalA_;

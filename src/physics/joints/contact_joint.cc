@@ -31,7 +31,7 @@ ContactJoint::ContactJoint(JointId id, RigidBody *body_a,
 
 void
 ContactJoint::buildRows(const SolverParams &params,
-                        std::vector<ConstraintRow> &out)
+                        RowBuffer &out)
 {
     RigidBody *a = bodyA();
     RigidBody *b = bodyB();
@@ -91,10 +91,10 @@ ContactJoint::buildRows(const SolverParams &params,
 }
 
 void
-ContactJoint::onSolved(const ConstraintRow *rows, int count)
+ContactJoint::onSolved(const Real *lambdas, int count)
 {
     for (int i = 0; i < count && i < 3; ++i)
-        solved_[i] = rows[i].lambda;
+        solved_[i] = lambdas[i];
 }
 
 void

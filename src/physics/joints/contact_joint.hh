@@ -34,8 +34,8 @@ class ContactJoint : public Joint
     JointType type() const override { return JointType::Contact; }
     int numRows() const override { return 3; }
     void buildRows(const SolverParams &params,
-                   std::vector<ConstraintRow> &out) override;
-    void onSolved(const ConstraintRow *rows, int count) override;
+                   RowBuffer &out) override;
+    void onSolved(const Real *lambdas, int count) override;
 
     const Contact &contact() const { return contact_; }
 

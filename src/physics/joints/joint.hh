@@ -78,6 +78,105 @@ struct SolverParams
     Real maxCorrectingVel = 10.0;
 };
 
+/**
+ * Structure-of-arrays storage for an island's constraint rows.
+ *
+ * The relaxation sweep reads each field of every row once per
+ * iteration; splitting the fields into parallel arrays lets those
+ * reads stream linearly (and the lambda/bounds updates vectorize)
+ * instead of striding over 14-field structs. Joints still emit rows
+ * one at a time via push_back(), which scatters the AoS
+ * ConstraintRow into the arrays; operator[] gathers one back for
+ * callers (tests, debugging) that want the struct view.
+ *
+ * clear() keeps capacity, so a persistent RowBuffer stops allocating
+ * once it has seen the largest island.
+ */
+class RowBuffer
+{
+  public:
+    void
+    push_back(const ConstraintRow &row)
+    {
+        jLinA.push_back(row.jLinA);
+        jAngA.push_back(row.jAngA);
+        jLinB.push_back(row.jLinB);
+        jAngB.push_back(row.jAngB);
+        rhs.push_back(row.rhs);
+        cfm.push_back(row.cfm);
+        lo.push_back(row.lo);
+        hi.push_back(row.hi);
+        lambda.push_back(row.lambda);
+        mu.push_back(row.mu);
+        normalRow.push_back(row.normalRow);
+        joint.push_back(row.joint);
+    }
+
+    /** Gather row `i` back into the AoS view. */
+    ConstraintRow
+    operator[](std::size_t i) const
+    {
+        ConstraintRow row;
+        row.jLinA = jLinA[i];
+        row.jAngA = jAngA[i];
+        row.jLinB = jLinB[i];
+        row.jAngB = jAngB[i];
+        row.rhs = rhs[i];
+        row.cfm = cfm[i];
+        row.lo = lo[i];
+        row.hi = hi[i];
+        row.lambda = lambda[i];
+        row.mu = mu[i];
+        row.normalRow = normalRow[i];
+        row.joint = joint[i];
+        return row;
+    }
+
+    std::size_t size() const { return rhs.size(); }
+    bool empty() const { return rhs.empty(); }
+
+    void
+    clear()
+    {
+        jLinA.clear();
+        jAngA.clear();
+        jLinB.clear();
+        jAngB.clear();
+        rhs.clear();
+        cfm.clear();
+        lo.clear();
+        hi.clear();
+        lambda.clear();
+        mu.clear();
+        normalRow.clear();
+        joint.clear();
+    }
+
+    void
+    reserve(std::size_t n)
+    {
+        jLinA.reserve(n);
+        jAngA.reserve(n);
+        jLinB.reserve(n);
+        jAngB.reserve(n);
+        rhs.reserve(n);
+        cfm.reserve(n);
+        lo.reserve(n);
+        hi.reserve(n);
+        lambda.reserve(n);
+        mu.reserve(n);
+        normalRow.reserve(n);
+        joint.reserve(n);
+    }
+
+    // Field arrays, all size() long. Public: the solver's inner loop
+    // indexes them directly, which is the point of the layout.
+    std::vector<Vec3> jLinA, jAngA, jLinB, jAngB;
+    std::vector<Real> rhs, cfm, lo, hi, lambda, mu;
+    std::vector<int> normalRow;
+    std::vector<JointId> joint;
+};
+
 /** Abstract joint. bodyB may be null, meaning the static world. */
 class Joint
 {
@@ -96,7 +195,7 @@ class Joint
 
     /** Append this joint's rows to the island's row list. */
     virtual void buildRows(const SolverParams &params,
-                           std::vector<ConstraintRow> &out) = 0;
+                           RowBuffer &out) = 0;
 
     /**
      * Receive the solved impulses for this joint's rows (in the
@@ -104,9 +203,9 @@ class Joint
      * impulses for warm starting; default is a no-op.
      */
     virtual void
-    onSolved(const ConstraintRow *rows, int count)
+    onSolved(const Real *lambdas, int count)
     {
-        (void)rows;
+        (void)lambdas;
         (void)count;
     }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <optional>
 
+#include "physics/parallel/arena.hh"
 #include "physics/shapes/primitives.hh"
 #include "physics/shapes/static_shapes.hh"
 #include "sim/logging.hh"
@@ -192,9 +193,9 @@ sampleSpheres(const Geom &g)
 
 } // namespace
 
+template <typename ContactSink>
 int
-Narrowphase::collide(const Geom &a, const Geom &b,
-                     std::vector<Contact> &out)
+Narrowphase::collide(const Geom &a, const Geom &b, ContactSink &out)
 {
     ++stats_.pairsTested;
     const auto ta = static_cast<int>(a.shape().type());
@@ -210,9 +211,10 @@ Narrowphase::collide(const Geom &a, const Geom &b,
     return made;
 }
 
+template <typename ContactSink>
 void
 Narrowphase::collideOrdered(const Geom &a, const Geom &b,
-                            std::vector<Contact> &out, bool flipped)
+                            ContactSink &out, bool flipped)
 {
     const ShapeType sa = a.shape().type();
     const ShapeType sb = b.shape().type();
@@ -348,9 +350,10 @@ Narrowphase::collideOrdered(const Geom &a, const Geom &b,
     // and are filtered out by the broadphase.
 }
 
+template <typename ContactSink>
 void
 Narrowphase::collideBoxBox(const Geom &a, const Geom &b,
-                           std::vector<Contact> &out, bool flipped)
+                           ContactSink &out, bool flipped)
 {
     const auto &ba = static_cast<const BoxShape &>(a.shape());
     const auto &bb = static_cast<const BoxShape &>(b.shape());
@@ -547,9 +550,10 @@ Narrowphase::collideBoxBox(const Geom &a, const Geom &b,
     }
 }
 
+template <typename ContactSink>
 void
 Narrowphase::collideBoxPlane(const Geom &a, const Geom &b,
-                             std::vector<Contact> &out, bool flipped)
+                             ContactSink &out, bool flipped)
 {
     const auto &box = static_cast<const BoxShape &>(a.shape());
     const auto &plane = static_cast<const PlaneShape &>(b.shape());
@@ -593,10 +597,10 @@ Narrowphase::collideBoxPlane(const Geom &a, const Geom &b,
     }
 }
 
+template <typename ContactSink>
 void
 Narrowphase::collideCapsuleCapsule(const Geom &a, const Geom &b,
-                                   std::vector<Contact> &out,
-                                   bool flipped)
+                                   ContactSink &out, bool flipped)
 {
     const auto &ca = static_cast<const CapsuleShape &>(a.shape());
     const auto &cb = static_cast<const CapsuleShape &>(b.shape());
@@ -652,10 +656,10 @@ Narrowphase::collideCapsuleCapsule(const Geom &a, const Geom &b,
     }
 }
 
+template <typename ContactSink>
 void
 Narrowphase::collideSampledVsStatic(const Geom &a, const Geom &b,
-                                    std::vector<Contact> &out,
-                                    bool flipped)
+                                    ContactSink &out, bool flipped)
 {
     const Transform pb = b.worldPose();
     int made = 0;
@@ -701,5 +705,12 @@ Narrowphase::collideSampledVsStatic(const Geom &a, const Geom &b,
         }
     }
 }
+
+// The two sinks the engine uses: plain vectors on the serial path
+// and per-lane arena vectors on the parallel path.
+template int Narrowphase::collide<std::vector<Contact>>(
+    const Geom &, const Geom &, std::vector<Contact> &);
+template int Narrowphase::collide<ArenaVector<Contact>>(
+    const Geom &, const Geom &, ArenaVector<Contact> &);
 
 } // namespace parallax

@@ -28,11 +28,16 @@ class Narrowphase
 {
   public:
     /**
-     * Generate contacts for one pair.
+     * Generate contacts for one pair. `ContactSink` is any container
+     * of Contact with push_back/size/operator[] — std::vector for
+     * the serial path, ArenaVector for parallel workers writing into
+     * their lane's frame arena. Definitions live in collide.cc with
+     * explicit instantiations for exactly those two sinks.
      *
      * @return Number of contacts appended.
      */
-    int collide(const Geom &a, const Geom &b, std::vector<Contact> &out);
+    template <typename ContactSink>
+    int collide(const Geom &a, const Geom &b, ContactSink &out);
 
     const NarrowphaseStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
@@ -45,17 +50,22 @@ class Narrowphase
      * Dispatch with canonical type ordering; `flipped` records that
      * the caller's (a, b) were swapped so ids/normals are restored.
      */
+    template <typename ContactSink>
     void collideOrdered(const Geom &a, const Geom &b,
-                        std::vector<Contact> &out, bool flipped);
+                        ContactSink &out, bool flipped);
 
+    template <typename ContactSink>
     void collideBoxBox(const Geom &a, const Geom &b,
-                       std::vector<Contact> &out, bool flipped);
+                       ContactSink &out, bool flipped);
+    template <typename ContactSink>
     void collideBoxPlane(const Geom &a, const Geom &b,
-                         std::vector<Contact> &out, bool flipped);
+                         ContactSink &out, bool flipped);
+    template <typename ContactSink>
     void collideCapsuleCapsule(const Geom &a, const Geom &b,
-                               std::vector<Contact> &out, bool flipped);
+                               ContactSink &out, bool flipped);
+    template <typename ContactSink>
     void collideSampledVsStatic(const Geom &a, const Geom &b,
-                                std::vector<Contact> &out, bool flipped);
+                                ContactSink &out, bool flipped);
 
     NarrowphaseStats stats_;
 };

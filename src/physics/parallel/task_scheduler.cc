@@ -99,8 +99,11 @@ TaskScheduler::TaskScheduler(SchedulerConfig config)
              laneCount(), hw);
     }
     lanes_.reserve(laneCount());
-    for (unsigned i = 0; i < laneCount(); ++i)
+    arenas_.reserve(laneCount());
+    for (unsigned i = 0; i < laneCount(); ++i) {
         lanes_.push_back(std::make_unique<Lane>());
+        arenas_.push_back(std::make_unique<FrameArena>());
+    }
     threads_.reserve(workerCount_);
     for (unsigned i = 0; i < workerCount_; ++i)
         threads_.emplace_back([this, i] { workerMain(i + 1); });
@@ -297,16 +300,57 @@ TaskScheduler::tasksStolen() const
 std::vector<LaneStats>
 TaskScheduler::laneStats() const
 {
-    std::vector<LaneStats> stats(lanes_.size());
+    std::vector<LaneStats> stats;
+    laneStats(stats);
+    return stats;
+}
+
+void
+TaskScheduler::laneStats(std::vector<LaneStats> &out) const
+{
+    out.resize(lanes_.size());
     for (std::size_t i = 0; i < lanes_.size(); ++i) {
-        stats[i].chunksExecuted =
+        out[i].chunksExecuted =
             lanes_[i]->executed.load(std::memory_order_relaxed);
-        stats[i].rangesStolen =
+        out[i].rangesStolen =
             lanes_[i]->stolen.load(std::memory_order_relaxed);
-        stats[i].itemsProcessed =
+        out[i].itemsProcessed =
             lanes_[i]->items.load(std::memory_order_relaxed);
     }
-    return stats;
+}
+
+void
+TaskScheduler::resetArenas()
+{
+    for (auto &arena : arenas_)
+        arena->reset();
+}
+
+std::size_t
+TaskScheduler::arenaFrameBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &arena : arenas_)
+        total += arena->frameBytes();
+    return total;
+}
+
+std::size_t
+TaskScheduler::arenaHighWaterBytes() const
+{
+    std::size_t high = 0;
+    for (const auto &arena : arenas_)
+        high = std::max(high, arena->highWaterBytes());
+    return high;
+}
+
+std::uint64_t
+TaskScheduler::arenaGrowths() const
+{
+    std::uint64_t total = 0;
+    for (const auto &arena : arenas_)
+        total += arena->growthCount();
+    return total;
 }
 
 } // namespace parallax

@@ -33,6 +33,8 @@
 #include <thread>
 #include <vector>
 
+#include "physics/parallel/arena.hh"
+
 namespace parallax
 {
 
@@ -183,6 +185,34 @@ class TaskScheduler
     /** Per-lane counter snapshot (lane 0 = calling thread). */
     std::vector<LaneStats> laneStats() const;
 
+    /** Allocation-free variant: fill `out` (resized to laneCount). */
+    void laneStats(std::vector<LaneStats> &out) const;
+
+    /**
+     * The frame arena owned by `lane`. A chunk body must only
+     * allocate from the arena of the lane it is executing on —
+     * arenas are single-owner and unsynchronized.
+     */
+    FrameArena &arena(unsigned lane) { return *arenas_[lane]; }
+    const FrameArena &arena(unsigned lane) const
+    { return *arenas_[lane]; }
+
+    /**
+     * Rewind every lane's arena. The world calls this at the top of
+     * each step (the substep barrier): all arena pointers from the
+     * previous step are dead afterwards.
+     */
+    void resetArenas();
+
+    /** Sum of frameBytes() across lanes (since the last reset). */
+    std::size_t arenaFrameBytes() const;
+
+    /** Largest per-lane high-water mark across all lanes. */
+    std::size_t arenaHighWaterBytes() const;
+
+    /** Total arena block heap allocations across lanes (monotonic). */
+    std::uint64_t arenaGrowths() const;
+
     /**
      * Fault injection (FaultKind::StallLane): make `lane` sleep for
      * `seconds` of wall-clock time at its next loop participation,
@@ -222,6 +252,7 @@ class TaskScheduler
     SchedulerConfig config_;
     unsigned workerCount_;
     std::vector<std::unique_ptr<Lane>> lanes_;
+    std::vector<std::unique_ptr<FrameArena>> arenas_;
     std::vector<std::thread> threads_;
 
     // Current-loop state. body_/grain_/count_ are written by lane 0

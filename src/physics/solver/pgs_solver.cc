@@ -2,30 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "sim/logging.hh"
 
 namespace parallax
 {
-
-namespace
-{
-
-/** Per-row precomputed solver state. */
-struct RowState
-{
-    // M^-1 J^T terms.
-    Vec3 mLinA;
-    Vec3 mAngA;
-    Vec3 mLinB;
-    Vec3 mAngB;
-    Real invDiag = 0.0;
-    int bodyA = -1; // Index into island body arrays; -1 == static.
-    int bodyB = -1;
-};
-
-} // namespace
 
 PgsSolver::PgsSolver(int iterations, Real sor)
     : iterations_(iterations), sor_(sor)
@@ -36,170 +17,199 @@ PgsSolver::PgsSolver(int iterations, Real sor)
         fatal("SOR factor must be in (0, 2] (got %g)", sor);
 }
 
+std::size_t
+PgsSolver::Workspace::capacitySum() const
+{
+    return linVel.capacity() + invInertia.capacity() +
+           rows.rhs.capacity() + invDiag.capacity() +
+           slices.capacity();
+}
+
 void
 PgsSolver::solve(Island &island, const SolverParams &params)
 {
     ++stats_.islandsSolved;
+    const std::size_t capacity_before = ws_.capacitySum();
 
-    // Index the island's dynamic bodies.
-    std::unordered_map<const RigidBody *, int> body_index;
-    body_index.reserve(island.bodies.size());
-    for (size_t i = 0; i < island.bodies.size(); ++i)
-        body_index[island.bodies[i]] = static_cast<int>(i);
-
-    // Working copies of velocities.
-    std::vector<Vec3> lin_vel(island.bodies.size());
-    std::vector<Vec3> ang_vel(island.bodies.size());
-    std::vector<Real> inv_mass(island.bodies.size());
-    std::vector<Mat3> inv_inertia(island.bodies.size());
-    for (size_t i = 0; i < island.bodies.size(); ++i) {
+    // Gather the island's body working set. Bodies are addressed by
+    // the dense solverIndex() stamped during island build — no hash
+    // map. A static, disabled, or null body reads as -1 (its stamp,
+    // if any, is stale and must not be trusted).
+    const std::size_t n_bodies = island.bodies.size();
+    ws_.linVel.resize(n_bodies);
+    ws_.angVel.resize(n_bodies);
+    ws_.invMass.resize(n_bodies);
+    ws_.invInertia.resize(n_bodies);
+    for (std::size_t i = 0; i < n_bodies; ++i) {
         const RigidBody *b = island.bodies[i];
-        lin_vel[i] = b->linearVelocity();
-        ang_vel[i] = b->angularVelocity();
-        inv_mass[i] = b->invMass();
-        inv_inertia[i] = b->invInertiaWorld();
+        ws_.linVel[i] = b->linearVelocity();
+        ws_.angVel[i] = b->angularVelocity();
+        ws_.invMass[i] = b->invMass();
+        ws_.invInertia[i] = b->invInertiaWorld();
     }
+    Vec3 *lin_vel = ws_.linVel.data();
+    Vec3 *ang_vel = ws_.angVel.data();
 
-    // Build rows, remembering each joint's slice for write-back.
-    std::vector<ConstraintRow> rows;
-    struct JointSlice
-    {
-        Joint *joint;
-        std::size_t begin;
-        std::size_t count;
-    };
-    std::vector<JointSlice> slices;
+    // Build rows into the SoA buffer, remembering each joint's slice
+    // for write-back.
+    RowBuffer &rows = ws_.rows;
+    rows.clear();
+    ws_.slices.clear();
     for (Joint *j : island.joints) {
         if (j->broken())
             continue;
         const std::size_t begin = rows.size();
         j->buildRows(params, rows);
-        slices.push_back(JointSlice{j, begin, rows.size() - begin});
+        ws_.slices.push_back(
+            Workspace::JointSlice{j, begin, rows.size() - begin});
     }
-    stats_.rowsBuilt += rows.size();
-    if (rows.empty()) {
-        stats_.bodiesIntegrated += island.bodies.size();
+    const std::size_t n_rows = rows.size();
+    stats_.rowsBuilt += n_rows;
+    if (n_rows == 0) {
+        stats_.bodiesIntegrated += n_bodies;
+        if (ws_.capacitySum() > capacity_before)
+            ++stats_.workspaceGrowths;
+        else
+            ++stats_.workspaceReuses;
         return;
     }
 
-    // Precompute M^-1 J^T and row diagonals.
-    std::vector<RowState> states(rows.size());
-    std::unordered_map<JointId, std::pair<RigidBody *, RigidBody *>>
-        joint_bodies;
-    for (Joint *j : island.joints)
-        joint_bodies[j->id()] = {j->bodyA(), j->bodyB()};
+    // Precompute M^-1 J^T and row diagonals. Body indices come from
+    // the joint recorded in each slice, so rows need no joint->body
+    // hash lookup either.
+    ws_.mLinA.resize(n_rows);
+    ws_.mAngA.resize(n_rows);
+    ws_.mLinB.resize(n_rows);
+    ws_.mAngB.resize(n_rows);
+    ws_.invDiag.resize(n_rows);
+    ws_.bodyA.resize(n_rows);
+    ws_.bodyB.resize(n_rows);
 
-    auto indexOf = [&](RigidBody *b) -> int {
-        if (b == nullptr || b->isStatic())
+    auto indexOf = [](RigidBody *b) -> int {
+        if (b == nullptr || b->isStatic() || !b->enabled())
             return -1;
-        auto it = body_index.find(b);
-        return it == body_index.end() ? -1 : it->second;
+        return b->solverIndex();
     };
 
-    for (size_t r = 0; r < rows.size(); ++r) {
-        const ConstraintRow &row = rows[r];
-        RowState &st = states[r];
-        const auto [ba, bb] = joint_bodies.at(row.joint);
-        st.bodyA = indexOf(ba);
-        st.bodyB = indexOf(bb);
+    for (const Workspace::JointSlice &slice : ws_.slices) {
+        const int ia = indexOf(slice.joint->bodyA());
+        const int ib = indexOf(slice.joint->bodyB());
+        for (std::size_t r = slice.begin;
+             r < slice.begin + slice.count; ++r) {
+            ws_.bodyA[r] = ia;
+            ws_.bodyB[r] = ib;
 
-        Real diag = row.cfm;
-        if (st.bodyA >= 0) {
-            st.mLinA = row.jLinA * inv_mass[st.bodyA];
-            st.mAngA = inv_inertia[st.bodyA] * row.jAngA;
-            diag += row.jLinA.dot(st.mLinA) + row.jAngA.dot(st.mAngA);
+            Real diag = rows.cfm[r];
+            if (ia >= 0) {
+                ws_.mLinA[r] = rows.jLinA[r] * ws_.invMass[ia];
+                ws_.mAngA[r] = ws_.invInertia[ia] * rows.jAngA[r];
+                diag += rows.jLinA[r].dot(ws_.mLinA[r]) +
+                        rows.jAngA[r].dot(ws_.mAngA[r]);
+            }
+            if (ib >= 0) {
+                ws_.mLinB[r] = rows.jLinB[r] * ws_.invMass[ib];
+                ws_.mAngB[r] = ws_.invInertia[ib] * rows.jAngB[r];
+                diag += rows.jLinB[r].dot(ws_.mLinB[r]) +
+                        rows.jAngB[r].dot(ws_.mAngB[r]);
+            }
+            ws_.invDiag[r] = diag > 1e-18 ? 1.0 / diag : 0.0;
         }
-        if (st.bodyB >= 0) {
-            st.mLinB = row.jLinB * inv_mass[st.bodyB];
-            st.mAngB = inv_inertia[st.bodyB] * row.jAngB;
-            diag += row.jLinB.dot(st.mLinB) + row.jAngB.dot(st.mAngB);
-        }
-        st.invDiag = diag > 1e-18 ? 1.0 / diag : 0.0;
     }
 
     // Warm start: rows carrying a previous-step impulse apply it
     // before iterating, so resting contacts start converged.
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-        const Real l0 = rows[r].lambda;
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        const Real l0 = rows.lambda[r];
         if (l0 == 0.0)
             continue;
-        const RowState &st = states[r];
-        if (st.bodyA >= 0) {
-            lin_vel[st.bodyA] += st.mLinA * l0;
-            ang_vel[st.bodyA] += st.mAngA * l0;
+        const int ia = ws_.bodyA[r];
+        const int ib = ws_.bodyB[r];
+        if (ia >= 0) {
+            lin_vel[ia] += ws_.mLinA[r] * l0;
+            ang_vel[ia] += ws_.mAngA[r] * l0;
         }
-        if (st.bodyB >= 0) {
-            lin_vel[st.bodyB] += st.mLinB * l0;
-            ang_vel[st.bodyB] += st.mAngB * l0;
+        if (ib >= 0) {
+            lin_vel[ib] += ws_.mLinB[r] * l0;
+            ang_vel[ib] += ws_.mAngB[r] * l0;
         }
     }
 
     // Relaxation sweeps. Each (row, iteration) is one independent
-    // fine-grain task in the ParallAX mapping.
+    // fine-grain task in the ParallAX mapping. Every per-row field
+    // is a separate linear array, so each sweep streams the row data
+    // front to back.
     for (int it = 0; it < iterations_; ++it) {
-        for (size_t r = 0; r < rows.size(); ++r) {
-            ConstraintRow &row = rows[r];
-            RowState &st = states[r];
-            ++stats_.rowIterations;
-
+        for (std::size_t r = 0; r < n_rows; ++r) {
             // Friction rows: refresh bounds from the normal impulse.
-            if (row.normalRow >= 0) {
+            const int normal_row = rows.normalRow[r];
+            if (normal_row >= 0) {
                 const Real limit =
-                    row.mu * rows[row.normalRow].lambda;
-                row.lo = -limit;
-                row.hi = limit;
+                    rows.mu[r] * rows.lambda[normal_row];
+                rows.lo[r] = -limit;
+                rows.hi[r] = limit;
             }
 
+            const int ia = ws_.bodyA[r];
+            const int ib = ws_.bodyB[r];
             Real jv = 0.0;
-            if (st.bodyA >= 0) {
-                jv += row.jLinA.dot(lin_vel[st.bodyA]) +
-                      row.jAngA.dot(ang_vel[st.bodyA]);
+            if (ia >= 0) {
+                jv += rows.jLinA[r].dot(lin_vel[ia]) +
+                      rows.jAngA[r].dot(ang_vel[ia]);
             }
-            if (st.bodyB >= 0) {
-                jv += row.jLinB.dot(lin_vel[st.bodyB]) +
-                      row.jAngB.dot(ang_vel[st.bodyB]);
+            if (ib >= 0) {
+                jv += rows.jLinB[r].dot(lin_vel[ib]) +
+                      rows.jAngB[r].dot(ang_vel[ib]);
             }
 
             const Real delta =
-                sor_ * (row.rhs - jv - row.cfm * row.lambda) *
-                st.invDiag;
-            const Real new_lambda =
-                std::clamp(row.lambda + delta, row.lo, row.hi);
-            const Real dl = new_lambda - row.lambda;
-            row.lambda = new_lambda;
+                sor_ *
+                (rows.rhs[r] - jv - rows.cfm[r] * rows.lambda[r]) *
+                ws_.invDiag[r];
+            const Real new_lambda = std::clamp(
+                rows.lambda[r] + delta, rows.lo[r], rows.hi[r]);
+            const Real dl = new_lambda - rows.lambda[r];
+            rows.lambda[r] = new_lambda;
             if (dl == 0.0)
                 continue;
 
-            if (st.bodyA >= 0) {
-                lin_vel[st.bodyA] += st.mLinA * dl;
-                ang_vel[st.bodyA] += st.mAngA * dl;
+            if (ia >= 0) {
+                lin_vel[ia] += ws_.mLinA[r] * dl;
+                ang_vel[ia] += ws_.mAngA[r] * dl;
             }
-            if (st.bodyB >= 0) {
-                lin_vel[st.bodyB] += st.mLinB * dl;
-                ang_vel[st.bodyB] += st.mAngB * dl;
+            if (ib >= 0) {
+                lin_vel[ib] += ws_.mLinB[r] * dl;
+                ang_vel[ib] += ws_.mAngB[r] * dl;
             }
         }
+        // One count per (row, sweep), accumulated outside the inner
+        // loop so the counter costs nothing per row.
+        stats_.rowIterations += n_rows;
     }
 
     // Write back velocities.
-    for (size_t i = 0; i < island.bodies.size(); ++i) {
-        island.bodies[i]->setLinearVelocity(lin_vel[i]);
-        island.bodies[i]->setAngularVelocity(ang_vel[i]);
+    for (std::size_t i = 0; i < n_bodies; ++i) {
+        island.bodies[i]->setLinearVelocity(ws_.linVel[i]);
+        island.bodies[i]->setAngularVelocity(ws_.angVel[i]);
     }
-    stats_.bodiesIntegrated += island.bodies.size();
+    stats_.bodiesIntegrated += n_bodies;
 
     // Feed solved impulses back to the joints: breakage checks and
     // contact warm-start persistence.
-    for (const JointSlice &slice : slices) {
+    for (const Workspace::JointSlice &slice : ws_.slices) {
         Real applied = 0;
         for (std::size_t r = slice.begin;
              r < slice.begin + slice.count; ++r) {
-            applied += std::fabs(rows[r].lambda);
+            applied += std::fabs(rows.lambda[r]);
         }
         slice.joint->recordAppliedImpulse(applied, params.dt);
-        slice.joint->onSolved(rows.data() + slice.begin,
+        slice.joint->onSolved(rows.lambda.data() + slice.begin,
                               static_cast<int>(slice.count));
     }
+
+    if (ws_.capacitySum() > capacity_before)
+        ++stats_.workspaceGrowths;
+    else
+        ++stats_.workspaceReuses;
 }
 
 } // namespace parallax

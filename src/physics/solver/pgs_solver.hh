@@ -32,6 +32,10 @@ struct SolverStats
     std::uint64_t rowsBuilt = 0;
     std::uint64_t rowIterations = 0;
     std::uint64_t bodiesIntegrated = 0;
+    /** Solves that had to grow a persistent workspace buffer. */
+    std::uint64_t workspaceGrowths = 0;
+    /** Solves fully served by already-reserved workspace capacity. */
+    std::uint64_t workspaceReuses = 0;
 
     void
     reset()
@@ -47,6 +51,8 @@ struct SolverStats
         rowsBuilt += o.rowsBuilt;
         rowIterations += o.rowIterations;
         bodiesIntegrated += o.bodiesIntegrated;
+        workspaceGrowths += o.workspaceGrowths;
+        workspaceReuses += o.workspaceReuses;
     }
 };
 
@@ -84,9 +90,44 @@ class PgsSolver
     void mergeStats(const SolverStats &o) { stats_.merge(o); }
 
   private:
+    /**
+     * Persistent per-solver scratch, reused across islands and
+     * substeps. Every vector is clear()ed (capacity kept) at the top
+     * of solve(), so after the solver has seen its largest island the
+     * hot path performs zero heap allocations. Row data lives in SoA
+     * arrays (RowBuffer + the mLin/mAng/invDiag/body arrays below)
+     * so the relaxation sweep streams each field linearly.
+     */
+    struct Workspace
+    {
+        // Island body working set, indexed by RigidBody::solverIndex.
+        std::vector<Vec3> linVel, angVel;
+        std::vector<Real> invMass;
+        std::vector<Mat3> invInertia;
+
+        // Constraint rows (SoA) and per-row precomputed state.
+        RowBuffer rows;
+        std::vector<Vec3> mLinA, mAngA, mLinB, mAngB;
+        std::vector<Real> invDiag;
+        std::vector<int> bodyA, bodyB;
+
+        /** Row range each joint emitted, for impulse write-back. */
+        struct JointSlice
+        {
+            Joint *joint;
+            std::size_t begin;
+            std::size_t count;
+        };
+        std::vector<JointSlice> slices;
+
+        /** Capacity fingerprint for the reuse/growth counters. */
+        std::size_t capacitySum() const;
+    };
+
     int iterations_;
     Real sor_;
     SolverStats stats_;
+    Workspace ws_;
 };
 
 } // namespace parallax

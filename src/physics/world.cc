@@ -36,7 +36,35 @@ StepStats::totalSeconds() const
 void
 StepStats::reset()
 {
-    *this = StepStats();
+    // Field-wise, not `*this = StepStats()`: the vectors must keep
+    // their capacity so a steady-state step allocates nothing here.
+    broadphase.reset();
+    narrowphase.reset();
+    island.reset();
+    solver.reset();
+    cloth.reset();
+    effects.reset();
+    pairsFound = 0;
+    contactsCreated = 0;
+    contactJointsCreated = 0;
+    jointsBroken = 0;
+    islandsToWorkQueue = 0;
+    islandsOnMainThread = 0;
+    clothColliderInsertions = 0;
+    islandsAsleep = 0;
+    bodiesAsleep = 0;
+    parTasksExecuted = 0;
+    parTasksStolen = 0;
+    arenaBytesUsed = 0;
+    arenaHighWaterBytes = 0;
+    arenaGrowths = 0;
+    laneTasks.clear();
+    phaseSeconds.fill(0.0);
+    governor = GovernorStats();
+    faultsInjected = 0;
+    quarantineEvents = 0;
+    islands.clear();
+    clothVertexCounts.clear();
 }
 
 std::vector<std::string>
@@ -176,6 +204,15 @@ World::World(WorldConfig config)
         broadphase_ = std::make_unique<SpatialHash>();
         break;
     }
+    // The broadphase runs on the calling thread: lend it lane 0's
+    // frame arena for its step-transient cell storage.
+    broadphase_->setFrameArena(&scheduler_.arena(0));
+    // One persistent solver and narrowphase per lane; their
+    // workspaces warm up once and are reused every step after.
+    laneSolvers_.reserve(scheduler_.laneCount());
+    for (unsigned i = 0; i < scheduler_.laneCount(); ++i)
+        laneSolvers_.emplace_back(config_.solverIterations);
+    npLocals_.resize(scheduler_.laneCount());
     trace_.configure(scheduler_.laneCount(), config_.tracing);
 }
 
@@ -489,14 +526,16 @@ World::step()
     plan_ = governor_.planStep(lastStepSeconds_);
     effects_.setThrottled(plan_.throttleEffects);
 
-    const std::vector<LaneStats> lanes_before =
-        scheduler_.laneStats();
+    scheduler_.laneStats(lanesBefore_);
 
     stepStats_.reset();
     broadphase_->resetStats();
     narrowphase_.resetStats();
     islandBuilder_.resetStats();
     solver_.resetStats();
+    // Substep barrier: rewind every lane's frame arena. All arena
+    // memory handed out during the previous step dies here.
+    scheduler_.resetArenas();
     // Effects stats are cumulative across the run (blasts and
     // fractures are one-shot events, not per-step rates).
     pairsDeferredThisStep_ = 0;
@@ -554,18 +593,26 @@ World::step()
         scheduler_.tasksStolen() - steals_before;
     // Per-lane deltas for this step, taken after the last phase
     // barrier (all workers are parked, so the reads race nothing).
-    const std::vector<LaneStats> lanes_after = scheduler_.laneStats();
-    stepStats_.laneTasks.resize(lanes_after.size());
-    for (std::size_t i = 0; i < lanes_after.size(); ++i) {
+    scheduler_.laneStats(lanesAfter_);
+    stepStats_.laneTasks.resize(lanesAfter_.size());
+    for (std::size_t i = 0; i < lanesAfter_.size(); ++i) {
         stepStats_.laneTasks[i].chunksExecuted =
-            lanes_after[i].chunksExecuted -
-            lanes_before[i].chunksExecuted;
+            lanesAfter_[i].chunksExecuted -
+            lanesBefore_[i].chunksExecuted;
         stepStats_.laneTasks[i].rangesStolen =
-            lanes_after[i].rangesStolen - lanes_before[i].rangesStolen;
+            lanesAfter_[i].rangesStolen - lanesBefore_[i].rangesStolen;
         stepStats_.laneTasks[i].itemsProcessed =
-            lanes_after[i].itemsProcessed -
-            lanes_before[i].itemsProcessed;
+            lanesAfter_[i].itemsProcessed -
+            lanesBefore_[i].itemsProcessed;
     }
+
+    // Frame-arena accounting for this step (the arenas were rewound
+    // at the top of step(), so frameBytes is this step's total).
+    stepStats_.arenaBytesUsed = scheduler_.arenaFrameBytes();
+    stepStats_.arenaHighWaterBytes = scheduler_.arenaHighWaterBytes();
+    const std::uint64_t arena_growths = scheduler_.arenaGrowths();
+    stepStats_.arenaGrowths = arena_growths - lastArenaGrowths_;
+    lastArenaGrowths_ = arena_growths;
 
     // Collect stats snapshots.
     stepStats_.broadphase = broadphase_->stats();
@@ -627,6 +674,11 @@ World::recordStepTraceCounters()
     trace_.recordCounter("quarantined_bodies", stepCount_,
                          static_cast<double>(
                              quarantinedBodies_.size()));
+    trace_.recordCounter("arena_bytes", stepCount_,
+                         static_cast<double>(s.arenaBytesUsed));
+    trace_.recordCounter("solver_reuse", stepCount_,
+                         static_cast<double>(
+                             s.solver.workspaceReuses));
     // Per-lane scheduler load: one counter track per lane, sourced
     // from the per-step deltas merged at the last phase barrier.
     for (std::size_t i = 0; i < s.laneTasks.size(); ++i) {
@@ -682,7 +734,15 @@ World::updateMetrics()
     metrics_.add("trace_events_dropped",
                  static_cast<double>(trace_.droppedEvents()) -
                      metrics_.value("trace_events_dropped"));
+    // Allocation-free hot path: arena block allocations this step
+    // (zero once warm) and solver workspace reuse events.
+    metrics_.add("arena.growths",
+                 static_cast<double>(s.arenaGrowths));
+    metrics_.add("solver.reuse",
+                 static_cast<double>(s.solver.workspaceReuses));
     // Gauges: the latest observation.
+    metrics_.set("arena.high_water_bytes",
+                 static_cast<double>(s.arenaHighWaterBytes));
     metrics_.set("governor_rung",
                  static_cast<double>(s.governor.ladderLevel));
     metrics_.set("islands",
@@ -1031,14 +1091,16 @@ World::stepFrame(int substeps)
 void
 World::phaseBroadphase()
 {
-    // 2(b): find all pairs of objects potentially in contact.
-    std::vector<Geom *> geom_ptrs;
-    geom_ptrs.reserve(geoms_.size());
+    // 2(b): find all pairs of objects potentially in contact. The
+    // pointer list and pair output are persistent: once warm the
+    // whole phase runs without touching the heap.
+    geomPtrs_.clear();
+    geomPtrs_.reserve(geoms_.size());
     for (const auto &g : geoms_) {
         g->updateBounds();
-        geom_ptrs.push_back(g.get());
+        geomPtrs_.push_back(g.get());
     }
-    lastPairs_ = broadphase_->findPairs(geom_ptrs);
+    broadphase_->findPairsInto(geomPtrs_, lastPairs_);
     // Drop pairs whose bodies share a permanent joint (ODE's
     // dAreConnected rule): articulated segments do not self-collide.
     std::erase_if(lastPairs_, [this](const GeomPair &pair) {
@@ -1094,20 +1156,22 @@ World::phaseNarrowphase()
 
     // Worker narrowphase instances keep stats races away; their
     // counters (plain integers, order-independent) merge after the
-    // loop.
+    // loop. The instances are persistent (only their counters reset)
+    // and contact buffers bump-allocate from the executing lane's
+    // frame arena, so a warm narrowphase never touches the heap.
     const TaskScheduler::Tiling tile = scheduler_.tiling(pairs);
-    std::vector<Narrowphase> locals(scheduler_.laneCount());
-    auto collideRange = [this, &locals](std::size_t begin,
-                                        std::size_t end,
-                                        unsigned lane,
-                                        std::vector<Contact> &out) {
+    for (Narrowphase &local : npLocals_)
+        local.resetStats();
+    auto collideRange = [this](std::size_t begin, std::size_t end,
+                               unsigned lane,
+                               ArenaVector<Contact> &out) {
         PAX_TRACE_SCOPE_ID(trace_, lane, "narrowphase_chunk",
                            stepCount_,
                            static_cast<std::int64_t>(begin));
         for (std::size_t i = begin; i < end; ++i) {
             const GeomPair &pair = lastPairs_[i];
-            locals[lane].collide(*geoms_[pair.a], *geoms_[pair.b],
-                                 out);
+            npLocals_[lane].collide(*geoms_[pair.a], *geoms_[pair.b],
+                                    out);
         }
     };
 
@@ -1115,35 +1179,47 @@ World::phaseNarrowphase()
         // Ordered reduction: one buffer per fixed tile, concatenated
         // in chunk-index order, so the contact order (and therefore
         // every downstream solver row) is independent of which lane
-        // ran which chunk.
-        std::vector<std::vector<Contact>> buffers(tile.chunks);
+        // ran which chunk. Each chunk body runs exactly once, so
+        // binding the chunk's buffer to the executing lane's arena
+        // there is race-free (slots are cache-line padded).
+        detChunkBufs_.clear();
+        detChunkBufs_.resize(tile.chunks);
         scheduler_.parallelFor(
             pairs,
             [&](std::size_t begin, std::size_t end, unsigned lane) {
-                collideRange(begin, end, lane,
-                             buffers[tile.chunkOf(begin)]);
+                ArenaVector<Contact> &buf =
+                    detChunkBufs_[tile.chunkOf(begin)].contacts;
+                buf = ArenaVector<Contact>(&scheduler_.arena(lane));
+                collideRange(begin, end, lane, buf);
             });
-        for (const std::vector<Contact> &buf : buffers) {
-            lastContacts_.insert(lastContacts_.end(), buf.begin(),
-                                 buf.end());
+        for (const ChunkContacts &chunk : detChunkBufs_) {
+            lastContacts_.insert(lastContacts_.end(),
+                                 chunk.contacts.begin(),
+                                 chunk.contacts.end());
         }
     } else {
         // Per-lane buffers merged in lane order: fewer allocations,
         // but the chunk-to-lane assignment (and thus contact order)
         // depends on stealing.
-        std::vector<std::vector<Contact>> buffers(
-            scheduler_.laneCount());
+        laneContactBufs_.clear();
+        laneContactBufs_.resize(scheduler_.laneCount());
+        for (unsigned l = 0; l < scheduler_.laneCount(); ++l) {
+            laneContactBufs_[l].contacts =
+                ArenaVector<Contact>(&scheduler_.arena(l));
+        }
         scheduler_.parallelFor(
             pairs,
             [&](std::size_t begin, std::size_t end, unsigned lane) {
-                collideRange(begin, end, lane, buffers[lane]);
+                collideRange(begin, end, lane,
+                             laneContactBufs_[lane].contacts);
             });
-        for (const std::vector<Contact> &buf : buffers) {
-            lastContacts_.insert(lastContacts_.end(), buf.begin(),
-                                 buf.end());
+        for (const ChunkContacts &chunk : laneContactBufs_) {
+            lastContacts_.insert(lastContacts_.end(),
+                                 chunk.contacts.begin(),
+                                 chunk.contacts.end());
         }
     }
-    for (const Narrowphase &local : locals)
+    for (const Narrowphase &local : npLocals_)
         narrowphase_.mergeStats(local.stats());
     stepStats_.contactsCreated = lastContacts_.size();
 }
@@ -1191,17 +1267,22 @@ World::phaseIslandCreation()
                  std::min(contact.geomA, contact.geomB))
              << 32) |
             std::max(contact.geomA, contact.geomB);
-        auto cached = warmCache_.find(key);
-        if (cached != warmCache_.end()) {
+        auto group = std::lower_bound(
+            warmCache_.begin(), warmCache_.end(), key,
+            [](const WarmEntry &e, std::uint64_t k) {
+                return e.key < k;
+            });
+        {
             const CachedContact *best = nullptr;
             Real best_d2 = 0.05 * 0.05;
-            for (const CachedContact &old : cached->second) {
+            for (auto it = group;
+                 it != warmCache_.end() && it->key == key; ++it) {
                 const Real d2 =
-                    (old.position - contact.position)
+                    (it->c.position - contact.position)
                         .lengthSquared();
                 if (d2 < best_d2) {
                     best_d2 = d2;
-                    best = &old;
+                    best = &it->c;
                 }
             }
             // Only a cache entry whose normal still points the same
@@ -1221,16 +1302,17 @@ World::phaseIslandCreation()
     }
     stepStats_.contactJointsCreated = contactJoints_.size();
 
-    std::vector<Joint *> all_joints;
-    all_joints.reserve(joints_.size() + contactJoints_.size());
+    allJointsScratch_.clear();
+    allJointsScratch_.reserve(joints_.size() + contactJoints_.size());
     for (const auto &j : joints_) {
         if (!j->broken())
-            all_joints.push_back(j.get());
+            allJointsScratch_.push_back(j.get());
     }
     for (const auto &j : contactJoints_)
-        all_joints.push_back(j.get());
+        allJointsScratch_.push_back(j.get());
 
-    lastIslandList_ = islandBuilder_.build(bodyPtrs_, all_joints);
+    islandBuilder_.build(bodyPtrs_, allJointsScratch_,
+                         lastIslandList_);
 
     stepStats_.islands.clear();
     for (const Island &island : lastIslandList_) {
@@ -1310,8 +1392,10 @@ World::phaseIslandProcessing()
         }
     }
 
-    std::vector<Island *> queued;
-    std::vector<Island *> inline_islands;
+    std::vector<Island *> &queued = queuedIslands_;
+    std::vector<Island *> &inline_islands = inlineIslands_;
+    queued.clear();
+    inline_islands.clear();
     for (Island &island : lastIslandList_) {
         // Fully sleeping islands are not solved or integrated.
         bool all_asleep = !island.bodies.empty();
@@ -1336,26 +1420,28 @@ World::phaseIslandProcessing()
         // One chunk per island (islands are coarse and unbalanced;
         // stealing load-balances them). Islands touch disjoint body
         // sets, so results are bitwise identical whichever lane
-        // solves them; per-lane solver instances keep the stats
-        // counters race-free.
-        std::vector<PgsSolver> solvers(
-            scheduler_.laneCount(),
-            PgsSolver(plan_.solverIterations));
+        // solves them; the persistent per-lane solver instances keep
+        // the stats counters race-free and reuse their workspaces
+        // across steps.
+        for (PgsSolver &s : laneSolvers_) {
+            s.setIterations(plan_.solverIterations);
+            s.resetStats();
+        }
         const Island *island_base = lastIslandList_.data();
         scheduler_.parallelFor(
             queued.size(), 1,
-            [this, island_base, &queued, &solvers, &paramsFor](
+            [this, island_base, &queued, &paramsFor](
                 std::size_t begin, std::size_t end, unsigned lane) {
                 for (std::size_t i = begin; i < end; ++i) {
                     PAX_TRACE_SCOPE_ID(
                         trace_, lane, "island_solve", stepCount_,
                         static_cast<std::int64_t>(queued[i] -
                                                   island_base));
-                    solvers[lane].solve(*queued[i],
-                                        paramsFor(*queued[i]));
+                    laneSolvers_[lane].solve(*queued[i],
+                                             paramsFor(*queued[i]));
                 }
             });
-        for (const PgsSolver &s : solvers)
+        for (const PgsSolver &s : laneSolvers_)
             solver_.mergeStats(s.stats());
     }
     for (Island *island : inline_islands) {
@@ -1449,8 +1535,12 @@ World::phaseIslandProcessing()
     }
 
     // Persist this step's solved contact impulses for warm starting
-    // the next step's matching contacts.
+    // the next step's matching contacts. The flat cache is rebuilt
+    // in place: seq records insertion order so the stable (key, seq)
+    // sort groups entries per pair in the same order the old per-key
+    // vectors accumulated them.
     warmCache_.clear();
+    std::uint32_t warm_seq = 0;
     for (const auto &joint : contactJoints_) {
         const Contact &c = joint->contact();
         const std::uint64_t key =
@@ -1458,10 +1548,16 @@ World::phaseIslandProcessing()
              << 32) |
             std::max(c.geomA, c.geomB);
         const Real *l = joint->solvedLambdas();
-        warmCache_[key].push_back(
+        warmCache_.push_back(WarmEntry{
+            key, warm_seq++,
             CachedContact{c.position, c.normal,
-                          {l[0], l[1], l[2]}});
+                          {l[0], l[1], l[2]}}});
     }
+    std::sort(warmCache_.begin(), warmCache_.end(),
+              [](const WarmEntry &x, const WarmEntry &y) {
+                  return x.key != y.key ? x.key < y.key
+                                        : x.seq < y.seq;
+              });
 }
 
 void
@@ -1491,8 +1587,14 @@ World::phaseCloth()
         return;
 
     // Build per-cloth collider lists from bounding-volume overlap
-    // (the paper's "cloth contact list").
-    std::vector<std::vector<const Geom *>> colliders(cloths_.size());
+    // (the paper's "cloth contact list"). The nested lists are
+    // persistent scratch: clear() keeps their capacity so the warm
+    // steady state allocates nothing here.
+    std::vector<std::vector<const Geom *>> &colliders =
+        clothColliders_;
+    colliders.resize(cloths_.size());
+    for (auto &list : colliders)
+        list.clear();
     for (size_t ci = 0; ci < cloths_.size(); ++ci) {
         stepStats_.clothVertexCounts.push_back(
             cloths_[ci]->vertexCount());
@@ -1515,7 +1617,8 @@ World::phaseCloth()
         // sequential, so cloths are the stealable unit. Per-cloth
         // stats buffers reduce in cloth order (deterministic either
         // way: each cloth is touched by exactly one lane).
-        std::vector<ClothStats> locals(cloths_.size());
+        std::vector<ClothStats> &locals = clothLocalStats_;
+        locals.assign(cloths_.size(), ClothStats{});
         scheduler_.parallelFor(
             cloths_.size(), 1,
             [this, &colliders, &locals, &frozen](std::size_t begin,

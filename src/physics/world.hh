@@ -216,6 +216,13 @@ struct StepStats
     std::uint64_t parTasksExecuted = 0;
     std::uint64_t parTasksStolen = 0;
 
+    /** Frame-arena bytes handed out during this step (all lanes). */
+    std::uint64_t arenaBytesUsed = 0;
+    /** Largest per-lane arena high-water mark (run-monotonic). */
+    std::uint64_t arenaHighWaterBytes = 0;
+    /** Arena blocks heap-allocated during this step (0 once warm). */
+    std::uint64_t arenaGrowths = 0;
+
     /** Per-lane scheduler counters for this step alone (deltas of
      *  the cumulative lane counters, merged on the main thread after
      *  the phase barriers so reading them never races a worker). */
@@ -506,12 +513,48 @@ class World
     TraceCollector trace_;
     MetricsRegistry metrics_;
 
-    // Per-step scratch state.
+    // Per-step scratch state. Everything here persists across steps
+    // so its capacity is paid once: after warm-up, the steady-state
+    // step loop performs no heap allocations in these containers.
     std::vector<GeomPair> lastPairs_;
     std::vector<Contact> lastContacts_;
     std::vector<std::unique_ptr<ContactJoint>> contactJoints_;
     std::vector<Island> lastIslandList_;
     StepStats stepStats_;
+    /** Geom pointer array handed to the broadphase each step. */
+    std::vector<Geom *> geomPtrs_;
+    /** Permanent + contact joints fed to the island builder. */
+    std::vector<Joint *> allJointsScratch_;
+    /** Island dispatch lists (work queue vs main thread). */
+    std::vector<Island *> queuedIslands_;
+    std::vector<Island *> inlineIslands_;
+    /** One solver per lane for parallel island processing; each owns
+     *  a persistent workspace that stops allocating once warm. */
+    std::vector<PgsSolver> laneSolvers_;
+    /** Per-lane narrowphase instances (race-free stats counters). */
+    std::vector<Narrowphase> npLocals_;
+    /**
+     * Deterministic-mode per-chunk contact buffers. The slot array
+     * persists; each slot's ArenaVector is re-bound to the executing
+     * lane's frame arena every step. Slots are cache-line aligned so
+     * adjacent chunks on different lanes never share a line.
+     */
+    struct alignas(64) ChunkContacts
+    {
+        ArenaVector<Contact> contacts;
+    };
+    std::vector<ChunkContacts> detChunkBufs_;
+    /** Non-deterministic-mode per-lane contact buffers. */
+    std::vector<ChunkContacts> laneContactBufs_;
+    /** Cloth collider lists and per-cloth stats buffers. */
+    std::vector<std::vector<const Geom *>> clothColliders_;
+    std::vector<ClothStats> clothLocalStats_;
+    /** Scheduler lane-counter snapshots bracketing each step. */
+    std::vector<LaneStats> lanesBefore_;
+    std::vector<LaneStats> lanesAfter_;
+    /** Cumulative arena growth count at the end of the previous
+     *  step, for the per-step arena.growths metric delta. */
+    std::uint64_t lastArenaGrowths_ = 0;
     std::uint64_t totalJointsBroken_ = 0;
     Real time_ = 0.0;
     std::uint64_t stepCount_ = 0;
@@ -596,8 +639,23 @@ class World
         Vec3 normal;
         Real lambdas[3];
     };
-    std::unordered_map<std::uint64_t, std::vector<CachedContact>>
-        warmCache_;
+
+    /**
+     * Flat warm cache: one entry per cached contact, sorted by
+     * (key, seq) where seq is the insertion index. Lookup is a
+     * lower_bound on key followed by a linear scan of the group in
+     * insertion order — the same entry order the previous per-key
+     * vector design produced, so best-match ties break identically.
+     * Rebuilt by clear + push_back + sort each step: no node
+     * allocations, capacity persists.
+     */
+    struct WarmEntry
+    {
+        std::uint64_t key;
+        std::uint32_t seq;
+        CachedContact c;
+    };
+    std::vector<WarmEntry> warmCache_;
 };
 
 } // namespace parallax

@@ -14,6 +14,7 @@
 #include "physics/shapes/primitives.hh"
 #include "physics/shapes/static_shapes.hh"
 #include "sim/rng.hh"
+#include "workload/benchmarks.hh"
 
 namespace parallax
 {
@@ -260,6 +261,116 @@ TEST_F(SpatialHashTest, NoDuplicatePairsFromSharedCells)
     SpatialHash bp(1.0);
     EXPECT_EQ(bp.findPairs(geomPtrs()).size(), 1u);
 }
+
+TEST_F(SpatialHashTest, NegativeCellCoordinatesDoNotAlias)
+{
+    // Regression: the cell key mixes full-width (wrapped-to-2^64)
+    // coordinates, so a cell at negative indices must never share a
+    // key with its mirror on the positive side. If a narrower
+    // truncation sneaked in, the mirrored geoms below would land in
+    // one group and show up as overlap tests.
+    addSphereGeom({-7.3, -5.1, -9.9}, 0.4);
+    addSphereGeom({7.3, 5.1, 9.9}, 0.4);
+    SpatialHash bp(2.0);
+    EXPECT_TRUE(bp.findPairs(geomPtrs()).empty());
+    EXPECT_EQ(bp.stats().overlapTests, 0u);
+
+    // And genuinely overlapping geoms deep in the negative octant
+    // are still found exactly once.
+    addSphereGeom({-105.2, -55.2, -205.2}, 0.5);
+    addSphereGeom({-105.0, -55.0, -205.0}, 0.5);
+    SpatialHash bp2(2.0);
+    const auto pairs = bp2.findPairs(geomPtrs());
+    ASSERT_EQ(pairs.size(), 1u);
+    EXPECT_EQ(pairs[0].a, 2u);
+    EXPECT_EQ(pairs[0].b, 3u);
+}
+
+TEST_F(SweepAndPruneTest, IncrementalAxisMatchesRebuild)
+{
+    // Temporal coherence: after small motion the persistent axis is
+    // repaired in place, and the pair set must equal what a fresh
+    // broadphase (full rebuild) computes.
+    Rng rng(42);
+    for (int i = 0; i < 40; ++i) {
+        addSphereGeom({rng.uniform(-10, 10), rng.uniform(-10, 10),
+                       rng.uniform(-10, 10)},
+                      rng.uniform(0.3, 1.2));
+    }
+    SweepAndPrune incremental;
+    incremental.findPairs(geomPtrs());
+
+    for (int step = 0; step < 5; ++step) {
+        for (auto &b : bodies_) {
+            const Vec3 p = b->pose().position;
+            b->setPose(Transform(
+                Quat(), {p.x + rng.uniform(-0.2, 0.2),
+                         p.y + rng.uniform(-0.2, 0.2),
+                         p.z + rng.uniform(-0.2, 0.2)}));
+        }
+        const auto geoms = geomPtrs();
+        const auto warm = incremental.findPairs(geoms);
+        SweepAndPrune fresh;
+        const auto cold = fresh.findPairs(geoms);
+        ASSERT_EQ(warm.size(), cold.size());
+        for (std::size_t i = 0; i < warm.size(); ++i) {
+            EXPECT_EQ(warm[i].a, cold[i].a);
+            EXPECT_EQ(warm[i].b, cold[i].b);
+        }
+    }
+}
+
+TEST_F(SweepAndPruneTest, MembershipChangeTriggersRebuild)
+{
+    addSphereGeom({0, 0, 0}, 1.0);
+    addSphereGeom({5, 0, 0}, 1.0);
+    SweepAndPrune bp;
+    EXPECT_TRUE(bp.findPairs(geomPtrs()).empty());
+    // A geom spawned between steps must be picked up by the
+    // persistent axis.
+    addSphereGeom({0.5, 0, 0}, 1.0);
+    EXPECT_EQ(bp.findPairs(geomPtrs()).size(), 1u);
+    // And a disabled geom must drop out.
+    bodies_[2]->setEnabled(false);
+    EXPECT_TRUE(bp.findPairs(geomPtrs()).empty());
+}
+
+// Satellite: both broadphases must agree pair-for-pair on every
+// benchmark scene, including after motion has developed.
+class BroadphaseSceneParity
+    : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BroadphaseSceneParity, SapAndHashAgree)
+{
+    const BenchmarkId id = allBenchmarks[GetParam()];
+    WorldConfig config;
+    config.workerThreads = 0;
+    auto world = buildBenchmark(id, config, 0.12);
+    for (int i = 0; i < 10; ++i)
+        world->step();
+
+    std::vector<Geom *> geoms;
+    for (const auto &g : world->geoms()) {
+        g->updateBounds();
+        geoms.push_back(g.get());
+    }
+
+    SweepAndPrune sap;
+    SpatialHash hash(2.0);
+    const auto sap_pairs = sap.findPairs(geoms);
+    const auto hash_pairs = hash.findPairs(geoms);
+    ASSERT_EQ(sap_pairs.size(), hash_pairs.size())
+        << benchmarkInfo(id).shortName;
+    for (std::size_t i = 0; i < sap_pairs.size(); ++i) {
+        EXPECT_EQ(sap_pairs[i].a, hash_pairs[i].a);
+        EXPECT_EQ(sap_pairs[i].b, hash_pairs[i].b);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenes, BroadphaseSceneParity,
+                         ::testing::Range(0, numBenchmarks));
 
 } // namespace
 } // namespace parallax

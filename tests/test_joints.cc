@@ -41,7 +41,7 @@ TEST_F(JointTest, ContactJointProducesThreeRows)
     c.normal = {0, 1, 0};
     c.depth = 0.1;
     ContactJoint joint(0, a, b, c, ContactMaterial{});
-    std::vector<ConstraintRow> rows;
+    RowBuffer rows;
     joint.buildRows(params_, rows);
     ASSERT_EQ(rows.size(), 3u);
 
@@ -72,7 +72,7 @@ TEST_F(JointTest, ContactRestitutionAddsBounceBias)
     ContactMaterial mat;
     mat.restitution = 0.5;
     ContactJoint joint(0, a, nullptr, c, mat);
-    std::vector<ConstraintRow> rows;
+    RowBuffer rows;
     joint.buildRows(params_, rows);
     // Bias should demand a rebound velocity ~ e * |vn| = 2.5.
     EXPECT_NEAR(rows[0].rhs, 2.5, 0.3);
@@ -83,12 +83,12 @@ TEST_F(JointTest, BallJointRowsOpposeSeparation)
     RigidBody *a = makeBody({-1, 0, 0});
     RigidBody *b = makeBody({1, 0, 0});
     BallJoint joint(0, a, b, {0, 0, 0});
-    std::vector<ConstraintRow> rows;
+    RowBuffer rows;
     joint.buildRows(params_, rows);
     ASSERT_EQ(rows.size(), 3u);
     // At creation the anchors coincide: zero bias.
-    for (const auto &row : rows)
-        EXPECT_NEAR(row.rhs, 0.0, 1e-12);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        EXPECT_NEAR(rows.rhs[i], 0.0, 1e-12);
 
     // Separate the bodies: bias now pulls them together.
     b->setPose(Transform(Quat(), {1.5, 0, 0}));
@@ -114,7 +114,7 @@ TEST_F(JointTest, HingeJointHasFiveRows)
     RigidBody *b = makeBody({2, 0, 0});
     HingeJoint joint(0, a, b, {1, 0, 0}, {0, 0, 1});
     EXPECT_EQ(joint.numRows(), 5);
-    std::vector<ConstraintRow> rows;
+    RowBuffer rows;
     joint.buildRows(params_, rows);
     EXPECT_EQ(rows.size(), 5u);
     EXPECT_NEAR(joint.axisWorld().z, 1.0, 1e-12);
@@ -126,7 +126,7 @@ TEST_F(JointTest, SliderJointHasFiveRows)
     RigidBody *b = makeBody({0, 1, 0});
     SliderJoint joint(0, a, b, {0, 1, 0});
     EXPECT_EQ(joint.numRows(), 5);
-    std::vector<ConstraintRow> rows;
+    RowBuffer rows;
     joint.buildRows(params_, rows);
     EXPECT_EQ(rows.size(), 5u);
     // The two positional rows must be perpendicular to the axis.
@@ -140,7 +140,7 @@ TEST_F(JointTest, FixedJointHasSixRows)
     RigidBody *b = makeBody({1, 0, 0});
     FixedJoint joint(0, a, b);
     EXPECT_EQ(joint.numRows(), 6);
-    std::vector<ConstraintRow> rows;
+    RowBuffer rows;
     joint.buildRows(params_, rows);
     EXPECT_EQ(rows.size(), 6u);
 }
@@ -149,13 +149,13 @@ TEST_F(JointTest, JointToWorldSupported)
 {
     RigidBody *a = makeBody({0, 0, 0});
     BallJoint joint(0, a, nullptr, {0, 1, 0});
-    std::vector<ConstraintRow> rows;
+    RowBuffer rows;
     joint.buildRows(params_, rows);
     ASSERT_EQ(rows.size(), 3u);
     // No body B: its Jacobian stays zero.
-    for (const auto &row : rows) {
-        EXPECT_DOUBLE_EQ(row.jLinB.lengthSquared(), 0.0);
-        EXPECT_DOUBLE_EQ(row.jAngB.lengthSquared(), 0.0);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_DOUBLE_EQ(rows.jLinB[i].lengthSquared(), 0.0);
+        EXPECT_DOUBLE_EQ(rows.jAngB[i].lengthSquared(), 0.0);
     }
 }
 

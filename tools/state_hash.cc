@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Trajectory fingerprint tool: steps every benchmark scene at several
+ * worker counts and prints one FNV-1a hash of the final dynamic
+ * state (body poses, velocities and sleep state, joint break
+ * bookkeeping, cloth particles) per run.
+ *
+ * Unlike captureState() — whose bytes embed the WorldConfig,
+ * including the worker count — this hash covers only quantities the
+ * deterministic-mode guarantee promises are bitwise identical for
+ * any number of workers, so equal hashes across the w= column are
+ * exactly that promise, and equal hashes across code versions mean a
+ * refactor did not move a single bit. Record the output before a
+ * change, `diff` it after: the first differing line names the run
+ * that diverged.
+ *
+ * Run: ./build/tools/state_hash [steps] [scale]
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "parallax.hh"
+#include "workload/benchmarks.hh"
+
+using namespace parallax;
+
+namespace
+{
+
+struct Fnv1a
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ull;
+        }
+    }
+
+    void real(Real v) { bytes(&v, sizeof(v)); }
+
+    void
+    vec3(const Vec3 &v)
+    {
+        real(v.x);
+        real(v.y);
+        real(v.z);
+    }
+};
+
+std::uint64_t
+hashWorld(const World &world)
+{
+    Fnv1a f;
+    for (const auto &b : world.bodies()) {
+        f.vec3(b->position());
+        f.bytes(&b->orientation(), sizeof(Quat));
+        f.vec3(b->linearVelocity());
+        f.vec3(b->angularVelocity());
+        const std::uint8_t flags =
+            static_cast<std::uint8_t>((b->enabled() ? 1 : 0) |
+                                      (b->asleep() ? 2 : 0));
+        f.bytes(&flags, 1);
+        const std::int32_t sleep = b->sleepCounter();
+        f.bytes(&sleep, sizeof(sleep));
+    }
+    for (const auto &j : world.joints()) {
+        const std::uint8_t broken = j->broken() ? 1 : 0;
+        f.bytes(&broken, 1);
+        f.real(j->lastAppliedForce());
+        f.real(j->accumulatedForce());
+    }
+    for (const auto &c : world.cloths()) {
+        for (const Cloth::Particle &p : c->particles()) {
+            f.vec3(p.position);
+            f.vec3(p.previous);
+        }
+    }
+    f.real(world.time());
+    return f.h;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int steps = argc > 1 ? std::atoi(argv[1]) : 300;
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.12;
+    const unsigned worker_counts[] = {0, 1, 2, 8};
+
+    std::uint64_t combined = 0xcbf29ce484222325ull;
+    for (BenchmarkId id : allBenchmarks) {
+        for (unsigned workers : worker_counts) {
+            WorldConfig config;
+            config.workerThreads = workers;
+            config.deterministic = true;
+            std::unique_ptr<World> world =
+                buildBenchmark(id, config, scale);
+            for (int i = 0; i < steps; ++i)
+                world->step();
+            const std::uint64_t h = hashWorld(*world);
+            Fnv1a fold;
+            fold.h = combined;
+            fold.bytes(&h, sizeof(h));
+            combined = fold.h;
+            std::printf("%-11s w=%u %016llx\n",
+                        benchmarkInfo(id).shortName, workers,
+                        static_cast<unsigned long long>(h));
+        }
+    }
+    std::printf("combined %016llx\n",
+                static_cast<unsigned long long>(combined));
+    return 0;
+}
