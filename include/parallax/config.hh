@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Public configuration surface: WorldConfig (with validate()),
+ * GovernorTuning, InvariantMode, FaultPlan and SchedulerConfig.
+ *
+ * Part of the versioned include/parallax/ header set (version.hh).
+ * The types are defined by the engine internals; this header is the
+ * supported way to name them. Server-side configuration
+ * (ServerConfig, SessionConfig) lives in parallax/server.hh next to
+ * the Server it parameterizes.
+ */
+
+#ifndef PARALLAX_PUBLIC_CONFIG_HH
+#define PARALLAX_PUBLIC_CONFIG_HH
+
+#include "parallax/version.hh"
+
+#include "physics/governor/fault_injection.hh"
+#include "physics/governor/governor.hh"
+#include "physics/parallel/task_scheduler.hh"
+#include "physics/world.hh"
+
+#endif // PARALLAX_PUBLIC_CONFIG_HH

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Public server surface: parallax::Server — N independent Worlds
+ * multiplexed over one work-stealing TaskScheduler — plus its
+ * ServerConfig / SessionConfig knobs and the WorldId session handle.
+ *
+ * Part of the versioned include/parallax/ header set (version.hh).
+ * Consumers link pax_server in addition to the engine libraries.
+ */
+
+#ifndef PARALLAX_PUBLIC_SERVER_HH
+#define PARALLAX_PUBLIC_SERVER_HH
+
+#include "parallax/status.hh"
+#include "parallax/version.hh"
+#include "parallax/world.hh"
+
+#include "server/server.hh"
+
+#endif // PARALLAX_PUBLIC_SERVER_HH

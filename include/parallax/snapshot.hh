@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Public snapshot surface: versioned, checksummed .paxsnap capture
+ * and replay (World::captureState / World::restoreState), snapshot
+ * file I/O, delta-compressed snapshot streaming for client
+ * join/rewind, and the worldStateHash trajectory fingerprint.
+ *
+ * Part of the versioned include/parallax/ header set (version.hh).
+ * Every fallible call here returns parallax::Status
+ * (parallax/status.hh). The wire layout is documented in
+ * docs/SNAPSHOT_FORMAT.md.
+ */
+
+#ifndef PARALLAX_PUBLIC_SNAPSHOT_HH
+#define PARALLAX_PUBLIC_SNAPSHOT_HH
+
+#include "parallax/status.hh"
+#include "parallax/version.hh"
+
+#include "physics/debug/capture.hh"
+
+#endif // PARALLAX_PUBLIC_SNAPSHOT_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * parallax::Status — structured error reporting for the public API.
+ *
+ * The pre-v1 facade reported failures as bool-plus-stderr or as bare
+ * error strings whose emptiness meant success. Status replaces both:
+ * every fallible public call (snapshot load/save, server session
+ * calls) returns a Status carrying a machine-checkable code and a
+ * human-readable message. Success is the default-constructed Status;
+ * `if (!st.ok()) ...` is the whole error-handling idiom, and
+ * `st.toString()` renders "[DATA_LOSS] snapshot corrupted: ..." for
+ * logs and tools.
+ *
+ * Codes follow the familiar RPC vocabulary so callers can branch on
+ * the class of failure (retry on UNAVAILABLE, reject the input on
+ * INVALID_ARGUMENT, rebuild the scene on FAILED_PRECONDITION)
+ * without parsing messages.
+ */
+
+#ifndef PARALLAX_PUBLIC_STATUS_HH
+#define PARALLAX_PUBLIC_STATUS_HH
+
+#include <string>
+#include <utility>
+
+namespace parallax
+{
+
+/** Class of failure; Ok is the success sentinel. */
+enum class StatusCode
+{
+    Ok = 0,
+    /** Malformed input: bad magic, unparseable bytes, bad config. */
+    InvalidArgument,
+    /** The named entity (file, world, tick) does not exist. */
+    NotFound,
+    /** Input parsed but is corrupted: checksum/length mismatch. */
+    DataLoss,
+    /** The call is valid but the receiver is in the wrong state
+     *  (snapshot does not match this world's structure, session is
+     *  suspended, interpolation disabled). */
+    FailedPrecondition,
+    /** Admission control: a capacity limit was reached. */
+    ResourceExhausted,
+    /** Transient overload: the server is shedding load; retry. */
+    Unavailable,
+    /** Host I/O failed (open/read/write). */
+    IoError,
+    /** A bug on our side of the API boundary. */
+    Internal,
+};
+
+/** Stable upper-snake name of a code (e.g. "DATA_LOSS"). */
+const char *statusCodeName(StatusCode code);
+
+/** A (code, message) result; default construction is success. */
+class Status
+{
+  public:
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "OK", or "[CODE_NAME] message" for errors. */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "OK";
+        return std::string("[") + statusCodeName(code_) + "] " +
+               message_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+// --- Constructors, one per code (okStatus() for symmetry). ---
+
+inline Status okStatus() { return Status(); }
+
+inline Status
+invalidArgument(std::string message)
+{
+    return Status(StatusCode::InvalidArgument, std::move(message));
+}
+
+inline Status
+notFound(std::string message)
+{
+    return Status(StatusCode::NotFound, std::move(message));
+}
+
+inline Status
+dataLoss(std::string message)
+{
+    return Status(StatusCode::DataLoss, std::move(message));
+}
+
+inline Status
+failedPrecondition(std::string message)
+{
+    return Status(StatusCode::FailedPrecondition,
+                  std::move(message));
+}
+
+inline Status
+resourceExhausted(std::string message)
+{
+    return Status(StatusCode::ResourceExhausted, std::move(message));
+}
+
+inline Status
+unavailable(std::string message)
+{
+    return Status(StatusCode::Unavailable, std::move(message));
+}
+
+inline Status
+ioError(std::string message)
+{
+    return Status(StatusCode::IoError, std::move(message));
+}
+
+inline Status
+internalError(std::string message)
+{
+    return Status(StatusCode::Internal, std::move(message));
+}
+
+inline const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "OK";
+      case StatusCode::InvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::NotFound: return "NOT_FOUND";
+      case StatusCode::DataLoss: return "DATA_LOSS";
+      case StatusCode::FailedPrecondition:
+        return "FAILED_PRECONDITION";
+      case StatusCode::ResourceExhausted:
+        return "RESOURCE_EXHAUSTED";
+      case StatusCode::Unavailable: return "UNAVAILABLE";
+      case StatusCode::IoError: return "IO_ERROR";
+      case StatusCode::Internal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+} // namespace parallax
+
+#endif // PARALLAX_PUBLIC_STATUS_HH

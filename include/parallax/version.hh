@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Public API version of the include/parallax/ header set.
+ *
+ * The major number bumps on source-incompatible changes to the
+ * public surface (the v1 redesign replaced the string-error facade
+ * with parallax::Status and added the Server session API); the minor
+ * number bumps when the surface grows compatibly. Internal headers
+ * under src/ carry no compatibility promise at all — consumers that
+ * reach past include/parallax/ are on their own, and the
+ * check_public_api ctest guard keeps the in-tree benches, examples
+ * and tools honest about it.
+ */
+
+#ifndef PARALLAX_PUBLIC_VERSION_HH
+#define PARALLAX_PUBLIC_VERSION_HH
+
+#define PARALLAX_API_VERSION_MAJOR 1
+#define PARALLAX_API_VERSION_MINOR 0
+
+/** Single comparable value: major * 1000 + minor. */
+#define PARALLAX_API_VERSION                                         \
+    (PARALLAX_API_VERSION_MAJOR * 1000 + PARALLAX_API_VERSION_MINOR)
+
+namespace parallax
+{
+
+/** Runtime echo of the compile-time version macros. */
+constexpr int apiVersionMajor = PARALLAX_API_VERSION_MAJOR;
+constexpr int apiVersionMinor = PARALLAX_API_VERSION_MINOR;
+
+} // namespace parallax
+
+#endif // PARALLAX_PUBLIC_VERSION_HH

@@ -288,40 +288,43 @@ readConfig(Reader &r)
 }
 
 /** Validate magic/version/checksum; returns the payload span via
- *  out-parameters and "" on success. */
-std::string
+ *  out-parameters and OK on success. */
+Status
 openSnapshot(const std::vector<std::uint8_t> &bytes,
              const std::uint8_t **payload, std::size_t *payload_size)
 {
     constexpr std::size_t header_size =
         sizeof(snapshotMagic) + 4 + 8 + 8;
     if (bytes.size() < header_size)
-        return "snapshot too small to hold a header (" +
-               std::to_string(bytes.size()) + " bytes)";
+        return dataLoss("snapshot too small to hold a header (" +
+                        std::to_string(bytes.size()) + " bytes)");
     if (std::memcmp(bytes.data(), snapshotMagic,
                     sizeof(snapshotMagic)) != 0) {
-        return "not a ParallAX snapshot (bad magic)";
+        return invalidArgument("not a ParallAX snapshot (bad magic)");
     }
     Reader header(bytes.data() + sizeof(snapshotMagic),
                   bytes.size() - sizeof(snapshotMagic));
     const std::uint32_t version = header.u32("header.version");
     if (version != snapshotVersion) {
-        return "unsupported snapshot version " +
-               std::to_string(version) + " (expected " +
-               std::to_string(snapshotVersion) + ")";
+        return invalidArgument("unsupported snapshot version " +
+                               std::to_string(version) +
+                               " (expected " +
+                               std::to_string(snapshotVersion) + ")");
     }
     const std::uint64_t checksum = header.u64("header.checksum");
     const std::uint64_t size = header.u64("header.payloadSize");
     if (header_size + size != bytes.size()) {
-        return "snapshot truncated: header promises " +
-               std::to_string(size) + " payload bytes, file has " +
-               std::to_string(bytes.size() - header_size);
+        return dataLoss("snapshot truncated: header promises " +
+                        std::to_string(size) +
+                        " payload bytes, file has " +
+                        std::to_string(bytes.size() - header_size));
     }
     *payload = bytes.data() + header_size;
     *payload_size = static_cast<std::size_t>(size);
     if (fnv1a(*payload, *payload_size) != checksum)
-        return "snapshot corrupted: payload checksum mismatch";
-    return "";
+        return dataLoss(
+            "snapshot corrupted: payload checksum mismatch");
+    return okStatus();
 }
 
 /** Payload prefix shared by describeSnapshot and restoreState. */
@@ -393,46 +396,46 @@ divergentConfigField(const WorldConfig &a, const WorldConfig &b)
 
 } // namespace
 
-std::string
+Status
 describeSnapshot(const std::vector<std::uint8_t> &bytes,
                  SnapshotInfo &info, WorldConfig &config)
 {
     const std::uint8_t *payload = nullptr;
     std::size_t payload_size = 0;
-    std::string err = openSnapshot(bytes, &payload, &payload_size);
-    if (!err.empty())
-        return err;
+    const Status st = openSnapshot(bytes, &payload, &payload_size);
+    if (!st.ok())
+        return st;
     Reader r(payload, payload_size);
     const Preamble p = readPreamble(r);
     if (!r.ok())
-        return r.error();
+        return dataLoss(r.error());
     info = p.info;
     config = p.config;
-    return "";
+    return okStatus();
 }
 
-std::string
+Status
 writeSnapshotFile(const std::string &path,
                   const std::vector<std::uint8_t> &bytes)
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (f == nullptr)
-        return "cannot open '" + path + "' for writing";
+        return ioError("cannot open '" + path + "' for writing");
     const std::size_t written =
         std::fwrite(bytes.data(), 1, bytes.size(), f);
     std::fclose(f);
     if (written != bytes.size())
-        return "short write to '" + path + "'";
-    return "";
+        return ioError("short write to '" + path + "'");
+    return okStatus();
 }
 
-std::string
+Status
 readSnapshotFile(const std::string &path,
                  std::vector<std::uint8_t> &bytes)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (f == nullptr)
-        return "cannot open '" + path + "' for reading";
+        return notFound("cannot open '" + path + "' for reading");
     bytes.clear();
     std::uint8_t buf[4096];
     std::size_t n;
@@ -441,8 +444,8 @@ readSnapshotFile(const std::string &path,
     const bool bad = std::ferror(f) != 0;
     std::fclose(f);
     if (bad)
-        return "read error on '" + path + "'";
-    return "";
+        return ioError("read error on '" + path + "'");
+    return okStatus();
 }
 
 std::vector<std::uint8_t>
@@ -574,19 +577,19 @@ World::captureState() const
     return bytes;
 }
 
-std::string
+Status
 World::restoreState(const std::vector<std::uint8_t> &bytes)
 {
     const std::uint8_t *payload = nullptr;
     std::size_t payload_size = 0;
-    std::string err = openSnapshot(bytes, &payload, &payload_size);
-    if (!err.empty())
-        return err;
+    const Status st = openSnapshot(bytes, &payload, &payload_size);
+    if (!st.ok())
+        return st;
 
     Reader r(payload, payload_size);
     const Preamble p = readPreamble(r);
     if (!r.ok())
-        return r.error();
+        return dataLoss(r.error());
 
     if (const char *field =
             divergentConfigField(p.config, config_)) {
@@ -611,7 +614,7 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
         s.center = r.vec3("spawn.center");
     }
     if (!r.ok())
-        return r.error();
+        return dataLoss(r.error());
 
     // Line the structure up before touching any state: either the
     // world already contains the spawned blast volumes (restoring
@@ -626,40 +629,42 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
             blast_geom->setBlast(true);
             if (blast_geom->id() != s.geom ||
                 anchor->id() != s.body) {
-                return "blast spawn id mismatch: snapshot has geom " +
-                       std::to_string(s.geom) + "/body " +
-                       std::to_string(s.body) + ", world created " +
-                       std::to_string(blast_geom->id()) + "/" +
-                       std::to_string(anchor->id());
+                return failedPrecondition(
+                    "blast spawn id mismatch: snapshot has geom " +
+                    std::to_string(s.geom) + "/body " +
+                    std::to_string(s.body) + ", world created " +
+                    std::to_string(blast_geom->id()) + "/" +
+                    std::to_string(anchor->id()));
             }
         }
     } else if (geoms_.size() == p.info.geoms) {
         for (const Spawn &s : spawn_records) {
             if (s.geom >= geoms_.size() ||
                 !geoms_[s.geom]->isBlast()) {
-                return "snapshot blast geom " +
-                       std::to_string(s.geom) +
-                       " is not a blast volume in this world";
+                return failedPrecondition(
+                    "snapshot blast geom " + std::to_string(s.geom) +
+                    " is not a blast volume in this world");
             }
         }
     } else {
-        return "snapshot does not match this world: snapshot has " +
-               std::to_string(p.info.geoms) + " geoms (" +
-               std::to_string(p.info.blastSpawns) +
-               " blast spawns), world has " +
-               std::to_string(geoms_.size());
+        return failedPrecondition(
+            "snapshot does not match this world: snapshot has " +
+            std::to_string(p.info.geoms) + " geoms (" +
+            std::to_string(p.info.blastSpawns) +
+            " blast spawns), world has " +
+            std::to_string(geoms_.size()));
     }
     if (bodies_.size() != p.info.bodies ||
         joints_.size() != p.info.joints ||
         cloths_.size() != p.info.cloths) {
-        return "snapshot does not match this world: snapshot has " +
-               std::to_string(p.info.bodies) + " bodies / " +
-               std::to_string(p.info.joints) + " joints / " +
-               std::to_string(p.info.cloths) +
-               " cloths, world has " +
-               std::to_string(bodies_.size()) + " / " +
-               std::to_string(joints_.size()) + " / " +
-               std::to_string(cloths_.size());
+        return failedPrecondition(
+            "snapshot does not match this world: snapshot has " +
+            std::to_string(p.info.bodies) + " bodies / " +
+            std::to_string(p.info.joints) + " joints / " +
+            std::to_string(p.info.cloths) + " cloths, world has " +
+            std::to_string(bodies_.size()) + " / " +
+            std::to_string(joints_.size()) + " / " +
+            std::to_string(cloths_.size()));
     }
 
     // Parse everything into locals first: a truncated tail must not
@@ -758,7 +763,7 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
     for (std::uint8_t &broken : effects.fractureBroken)
         broken = r.u8("effects.fracture.broken");
     if (!r.ok())
-        return r.error();
+        return dataLoss(r.error());
 
     // Commit.
     for (std::size_t i = 0; i < bodies_.size(); ++i) {
@@ -780,17 +785,18 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
     }
     for (std::size_t i = 0; i < cloths_.size(); ++i) {
         if (!cloths_[i]->restoreParticles(cloth_states[i])) {
-            return "cloth " + std::to_string(i) + " has " +
-                   std::to_string(cloths_[i]->particles().size()) +
-                   " particles, snapshot has " +
-                   std::to_string(cloth_states[i].size()) +
-                   " (different mesh)";
+            return failedPrecondition(
+                "cloth " + std::to_string(i) + " has " +
+                std::to_string(cloths_[i]->particles().size()) +
+                " particles, snapshot has " +
+                std::to_string(cloth_states[i].size()) +
+                " (different mesh)");
         }
     }
     warmCache_ = std::move(warm);
-    err = effects_.restoreState(effects);
-    if (!err.empty())
-        return err;
+    const std::string effects_err = effects_.restoreState(effects);
+    if (!effects_err.empty())
+        return failedPrecondition(effects_err);
 
     jointWasBroken_.assign(joints_.size(), false);
     for (std::size_t i = 0; i < joints_.size(); ++i)
@@ -819,7 +825,7 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
     probationUntil_.clear();
     retryCount_.clear();
     clothQuarantined_.clear();
-    return "";
+    return okStatus();
 }
 
 std::vector<InvariantViolation>
@@ -836,13 +842,14 @@ World::dumpViolationSnapshot(const char *prefix)
         name += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
     name += "_step" + std::to_string(stepCount_) + ".paxsnap";
     const std::string path = config_.snapshotDir + "/" + name;
-    const std::string err = writeSnapshotFile(path, preStepSnapshot_);
-    if (err.empty()) {
+    const Status st = writeSnapshotFile(path, preStepSnapshot_);
+    if (st.ok()) {
         warn("pre-step snapshot written to %s "
              "(replay: tools/replay_snapshot %s)",
              path.c_str(), path.c_str());
     } else {
-        warn("failed to write pre-step snapshot: %s", err.c_str());
+        warn("failed to write pre-step snapshot: %s",
+             st.toString().c_str());
     }
 }
 
@@ -859,6 +866,246 @@ World::failInvariants(const std::vector<InvariantViolation> &violations)
           static_cast<unsigned long long>(stepCount_),
           violations.size(), violations[0].code.c_str(),
           violations[0].message.c_str());
+}
+
+
+// --- Delta-compressed snapshot streaming. ---
+
+namespace
+{
+
+constexpr char snapshotDeltaMagic[8] = {'P', 'A', 'X', 'D',
+                                        'E', 'L', 'T', '1'};
+
+/** Fixed-size delta header: magic + version + base/target checksums
+ *  + target size + range count. */
+constexpr std::size_t deltaHeaderSize =
+    sizeof(snapshotDeltaMagic) + 4 + 8 + 8 + 8 + 4;
+
+/** Two differing byte runs closer than this are emitted as one
+ *  range: each range costs 12 header bytes, so bridging a short
+ *  matching gap is cheaper than splitting. */
+constexpr std::size_t deltaCoalesceGap = 8;
+
+std::uint64_t
+readLittleU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint32_t
+readLittleU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+bool
+isSnapshotDelta(const std::vector<std::uint8_t> &bytes)
+{
+    return bytes.size() >= sizeof(snapshotDeltaMagic) &&
+           std::memcmp(bytes.data(), snapshotDeltaMagic,
+                       sizeof(snapshotDeltaMagic)) == 0;
+}
+
+std::vector<std::uint8_t>
+encodeSnapshotDelta(const std::vector<std::uint8_t> &base,
+                    const std::vector<std::uint8_t> &target)
+{
+    // Collect differing byte ranges over the shared prefix, merging
+    // runs separated by short matches; bytes past the base's end are
+    // one final range.
+    struct Range
+    {
+        std::size_t offset;
+        std::size_t length;
+    };
+    std::vector<Range> ranges;
+    const std::size_t shared = std::min(base.size(), target.size());
+    std::size_t i = 0;
+    while (i < shared) {
+        if (base[i] == target[i]) {
+            ++i;
+            continue;
+        }
+        std::size_t end = i + 1;
+        std::size_t match = 0;
+        while (end < shared) {
+            if (base[end] != target[end]) {
+                end += 1;
+                match = 0;
+            } else if (match + 1 <= deltaCoalesceGap) {
+                end += 1;
+                match += 1;
+            } else {
+                break;
+            }
+        }
+        end -= match; // trailing matched bytes are not part of it
+        ranges.push_back({i, end - i});
+        i = end;
+    }
+    if (target.size() > base.size())
+        ranges.push_back({base.size(), target.size() - base.size()});
+
+    std::vector<std::uint8_t> out;
+    std::size_t payload = 0;
+    for (const Range &r : ranges)
+        payload += 12 + r.length;
+    out.reserve(deltaHeaderSize + payload);
+    out.insert(out.end(), snapshotDeltaMagic,
+               snapshotDeltaMagic + sizeof(snapshotDeltaMagic));
+    Writer w(out);
+    w.u32(snapshotDeltaVersion);
+    w.u64(fnv1a(base.data(), base.size()));
+    w.u64(fnv1a(target.data(), target.size()));
+    w.u64(target.size());
+    w.u32(static_cast<std::uint32_t>(ranges.size()));
+    for (const Range &r : ranges) {
+        w.u64(r.offset);
+        w.u32(static_cast<std::uint32_t>(r.length));
+        out.insert(out.end(), target.begin() + r.offset,
+                   target.begin() + r.offset + r.length);
+    }
+    return out;
+}
+
+Status
+applySnapshotDelta(const std::vector<std::uint8_t> &base,
+                   const std::vector<std::uint8_t> &delta,
+                   std::vector<std::uint8_t> &out)
+{
+    if (delta.size() < deltaHeaderSize)
+        return invalidArgument(
+            "snapshot delta too small to hold a header (" +
+            std::to_string(delta.size()) + " bytes)");
+    if (!isSnapshotDelta(delta))
+        return invalidArgument(
+            "not a ParallAX snapshot delta (bad magic)");
+    const std::uint8_t *p = delta.data() + sizeof(snapshotDeltaMagic);
+    const std::uint32_t version = readLittleU32(p);
+    p += 4;
+    if (version != snapshotDeltaVersion) {
+        return invalidArgument(
+            "unsupported snapshot delta version " +
+            std::to_string(version) + " (expected " +
+            std::to_string(snapshotDeltaVersion) + ")");
+    }
+    const std::uint64_t base_checksum = readLittleU64(p);
+    p += 8;
+    const std::uint64_t target_checksum = readLittleU64(p);
+    p += 8;
+    const std::uint64_t target_size = readLittleU64(p);
+    p += 8;
+    const std::uint32_t range_count = readLittleU32(p);
+    p += 4;
+
+    if (fnv1a(base.data(), base.size()) != base_checksum) {
+        return dataLoss("snapshot delta does not apply to this "
+                        "base: base checksum mismatch");
+    }
+
+    out.assign(base.begin(), base.end());
+    out.resize(static_cast<std::size_t>(target_size));
+
+    const std::uint8_t *delta_end = delta.data() + delta.size();
+    for (std::uint32_t r = 0; r < range_count; ++r) {
+        if (delta_end - p < 12) {
+            return invalidArgument(
+                "snapshot delta truncated in range header " +
+                std::to_string(r));
+        }
+        const std::uint64_t offset = readLittleU64(p);
+        p += 8;
+        const std::uint32_t length = readLittleU32(p);
+        p += 4;
+        if (offset + length > target_size) {
+            return invalidArgument(
+                "snapshot delta range " + std::to_string(r) +
+                " writes past the target size");
+        }
+        if (static_cast<std::uint64_t>(delta_end - p) < length) {
+            return invalidArgument(
+                "snapshot delta truncated in range payload " +
+                std::to_string(r));
+        }
+        std::memcpy(out.data() + offset, p, length);
+        p += length;
+    }
+    if (p != delta_end)
+        return invalidArgument(
+            "snapshot delta has trailing bytes after the last range");
+
+    if (fnv1a(out.data(), out.size()) != target_checksum) {
+        return dataLoss("snapshot delta reconstruction failed its "
+                        "target checksum");
+    }
+    return okStatus();
+}
+
+std::uint64_t
+worldStateHash(const World &world)
+{
+    // Must cover exactly what tools/state_hash has always hashed so
+    // recorded fingerprints stay comparable across versions.
+    struct Fnv
+    {
+        std::uint64_t h = 0xcbf29ce484222325ull;
+
+        void
+        bytes(const void *data, std::size_t n)
+        {
+            const auto *p = static_cast<const std::uint8_t *>(data);
+            for (std::size_t i = 0; i < n; ++i) {
+                h ^= p[i];
+                h *= 0x100000001b3ull;
+            }
+        }
+
+        void real(Real v) { bytes(&v, sizeof(v)); }
+
+        void
+        vec3(const Vec3 &v)
+        {
+            real(v.x);
+            real(v.y);
+            real(v.z);
+        }
+    } f;
+
+    for (const auto &b : world.bodies()) {
+        f.vec3(b->position());
+        f.bytes(&b->orientation(), sizeof(Quat));
+        f.vec3(b->linearVelocity());
+        f.vec3(b->angularVelocity());
+        const std::uint8_t flags =
+            static_cast<std::uint8_t>((b->enabled() ? 1 : 0) |
+                                      (b->asleep() ? 2 : 0));
+        f.bytes(&flags, 1);
+        const std::int32_t sleep = b->sleepCounter();
+        f.bytes(&sleep, sizeof(sleep));
+    }
+    for (const auto &j : world.joints()) {
+        const std::uint8_t broken = j->broken() ? 1 : 0;
+        f.bytes(&broken, 1);
+        f.real(j->lastAppliedForce());
+        f.real(j->accumulatedForce());
+    }
+    for (const auto &c : world.cloths()) {
+        for (const Cloth::Particle &p : c->particles()) {
+            f.vec3(p.position);
+            f.vec3(p.previous);
+        }
+    }
+    f.real(world.time());
+    return f.h;
 }
 
 } // namespace parallax

@@ -84,6 +84,8 @@ TaskScheduler::TaskScheduler(SchedulerConfig config)
 {
     if (config_.grainSize == 0)
         config_.grainSize = 1;
+    if (config_.arenaBlockBytes == 0)
+        config_.arenaBlockBytes = 64 * 1024;
     if (workerCount_ > maxWorkers) {
         warn("workerThreads %u exceeds the scheduler cap of %u; "
              "clamping",
@@ -102,7 +104,8 @@ TaskScheduler::TaskScheduler(SchedulerConfig config)
     arenas_.reserve(laneCount());
     for (unsigned i = 0; i < laneCount(); ++i) {
         lanes_.push_back(std::make_unique<Lane>());
-        arenas_.push_back(std::make_unique<FrameArena>());
+        arenas_.push_back(
+            std::make_unique<FrameArena>(config_.arenaBlockBytes));
     }
     threads_.reserve(workerCount_);
     for (unsigned i = 0; i < workerCount_; ++i)

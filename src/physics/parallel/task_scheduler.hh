@@ -57,6 +57,11 @@ struct SchedulerConfig
      * for any number of workers.
      */
     bool deterministic = false;
+
+    /** Per-lane frame-arena block size in bytes (arena.hh). Small
+     *  worlds in a multi-world server shrink this so footprint
+     *  scales with scene size instead of lane count. */
+    std::size_t arenaBlockBytes = 64 * 1024;
 };
 
 /** Per-lane execution counters (lane 0 is the calling thread). */

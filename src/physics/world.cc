@@ -93,6 +93,9 @@ WorldConfig::validate() const
     check(grainSize >= 1,
           "grainSize must be >= 1 (got " +
               std::to_string(grainSize) + ")");
+    check(arenaBlockBytes >= 1024,
+          "arenaBlockBytes must be >= 1024 (got " +
+              std::to_string(arenaBlockBytes) + ")");
     check(std::isfinite(erp) && erp >= 0 && erp <= 1,
           "erp must be in [0, 1] (got " + std::to_string(erp) + ")");
     check(std::isfinite(cfm) && cfm >= 0,
@@ -191,7 +194,8 @@ World::World(WorldConfig config)
       solver_(config_.solverIterations),
       scheduler_(SchedulerConfig{config_.workerThreads,
                                  config_.grainSize,
-                                 config_.deterministic}),
+                                 config_.deterministic,
+                                 config_.arenaBlockBytes}),
       governor_(config_.frameBudget, config_.governor,
                 config_.solverIterations, config_.clothIterations),
       plan_(governor_.planForLevel(0))
@@ -765,26 +769,116 @@ World::metricsLine() const
     // for any worker count. Consumers key on "pax_metrics".
     const StepStats &s = stepStats_;
     auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+    // With a metrics scope set (the server's "world.<id>"), every
+    // key except the "pax_metrics" format marker gains the prefix;
+    // without one the bytes are identical to prior releases.
+    const std::string pfx =
+        metricsScope_.empty() ? std::string() : metricsScope_ + ".";
+    auto key = [&pfx](const char *k) {
+        return ",\"" + pfx + k + "\":";
+    };
     std::string out = "{\"pax_metrics\":1";
-    out += ",\"step\":" + u64(stepCount_ > 0 ? stepCount_ - 1 : 0);
-    out += ",\"steps_total\":" + u64(stepCount_);
-    out += ",\"pairs\":" + u64(s.pairsFound);
-    out += ",\"contacts\":" + u64(s.contactsCreated);
-    out += ",\"contact_joints\":" + u64(s.contactJointsCreated);
-    out += ",\"islands\":" + u64(s.islands.size());
-    out += ",\"islands_asleep\":" + u64(s.islandsAsleep);
-    out += ",\"bodies_asleep\":" + u64(s.bodiesAsleep);
-    out += ",\"joints_broken\":" + u64(s.jointsBroken);
-    out += ",\"cloth_vertices\":" +
-           u64(s.cloth.verticesIntegrated);
-    out += ",\"governor_rung\":" +
+    out += key("step") + u64(stepCount_ > 0 ? stepCount_ - 1 : 0);
+    out += key("steps_total") + u64(stepCount_);
+    out += key("pairs") + u64(s.pairsFound);
+    out += key("contacts") + u64(s.contactsCreated);
+    out += key("contact_joints") + u64(s.contactJointsCreated);
+    out += key("islands") + u64(s.islands.size());
+    out += key("islands_asleep") + u64(s.islandsAsleep);
+    out += key("bodies_asleep") + u64(s.bodiesAsleep);
+    out += key("joints_broken") + u64(s.jointsBroken);
+    out += key("cloth_vertices") + u64(s.cloth.verticesIntegrated);
+    out += key("governor_rung") +
            std::to_string(s.governor.ladderLevel);
-    out += ",\"pairs_deferred\":" + u64(s.governor.pairsDeferred);
-    out += ",\"faults_injected\":" + u64(s.faultsInjected);
-    out += ",\"quarantine_events\":" + u64(s.quarantineEvents);
-    out += ",\"violations_total\":" + u64(invariantViolations_);
-    out += ",\"quarantines_total\":" + u64(quarantineEvents_);
+    out += key("pairs_deferred") + u64(s.governor.pairsDeferred);
+    out += key("faults_injected") + u64(s.faultsInjected);
+    out += key("quarantine_events") + u64(s.quarantineEvents);
+    out += key("violations_total") + u64(invariantViolations_);
+    out += key("quarantines_total") + u64(quarantineEvents_);
     out += "}";
+    return out;
+}
+
+RenderState
+World::renderState() const
+{
+    RenderState state;
+    state.time = time_;
+    state.bodies.reserve(bodies_.size());
+    for (const auto &b : bodies_) {
+        RenderPose pose;
+        pose.position = b->position();
+        pose.orientation = b->pose().rotation;
+        state.bodies.push_back(pose);
+    }
+    state.cloths.reserve(cloths_.size());
+    for (const auto &c : cloths_) {
+        std::vector<Vec3> pts;
+        pts.reserve(c->particles().size());
+        for (const Cloth::Particle &p : c->particles())
+            pts.push_back(p.position);
+        state.cloths.push_back(std::move(pts));
+    }
+    return state;
+}
+
+RenderState
+World::interpolate(const RenderState &a, const RenderState &b,
+                   double phase)
+{
+    // The endpoints return their input bitwise: a display sampling
+    // exactly on a tick boundary must see the simulated state, not a
+    // lerp that rounded through it.
+    if (!(phase > 0.0))
+        return a;
+    if (phase >= 1.0)
+        return b;
+
+    const Real t = static_cast<Real>(phase);
+    RenderState out;
+    out.time = a.time + (b.time - a.time) * phase;
+
+    const std::size_t nb = std::min(a.bodies.size(), b.bodies.size());
+    out.bodies.reserve(nb);
+    for (std::size_t i = 0; i < nb; ++i) {
+        const RenderPose &pa = a.bodies[i];
+        const RenderPose &pb = b.bodies[i];
+        RenderPose p;
+        p.position = pa.position + (pb.position - pa.position) * t;
+        // Shortest-path normalized quaternion lerp: q and -q encode
+        // the same rotation, so flip the target when the dot product
+        // is negative or the blend takes the long way around.
+        Quat qb = pb.orientation;
+        const Real dot =
+            pa.orientation.w * qb.w + pa.orientation.x * qb.x +
+            pa.orientation.y * qb.y + pa.orientation.z * qb.z;
+        if (dot < 0) {
+            qb.w = -qb.w;
+            qb.x = -qb.x;
+            qb.y = -qb.y;
+            qb.z = -qb.z;
+        }
+        const Real s = 1 - t;
+        const Quat blended{s * pa.orientation.w + t * qb.w,
+                           s * pa.orientation.x + t * qb.x,
+                           s * pa.orientation.y + t * qb.y,
+                           s * pa.orientation.z + t * qb.z};
+        p.orientation = blended.normalized();
+        out.bodies.push_back(p);
+    }
+
+    const std::size_t nc = std::min(a.cloths.size(), b.cloths.size());
+    out.cloths.reserve(nc);
+    for (std::size_t i = 0; i < nc; ++i) {
+        const std::vector<Vec3> &ca = a.cloths[i];
+        const std::vector<Vec3> &cb = b.cloths[i];
+        const std::size_t np = std::min(ca.size(), cb.size());
+        std::vector<Vec3> pts;
+        pts.reserve(np);
+        for (std::size_t j = 0; j < np; ++j)
+            pts.push_back(ca[j] + (cb[j] - ca[j]) * t);
+        out.cloths.push_back(std::move(pts));
+    }
     return out;
 }
 

@@ -36,6 +36,7 @@
 #include "physics/solver/pgs_solver.hh"
 #include "physics/trace/metrics.hh"
 #include "physics/trace/trace.hh"
+#include "parallax/status.hh"
 #include "sim/stats.hh"
 
 namespace parallax
@@ -84,6 +85,12 @@ struct WorldConfig
     /** parallel_for tiling grain: iterations (pair tests, islands,
      *  cloths) per scheduler chunk. */
     unsigned grainSize = 16;
+    /** Frame-arena block size in bytes (parallel/arena.hh). The
+     *  64 KB default suits one big world; a server hosting thousands
+     *  of small worlds shrinks it so per-world footprint stays
+     *  proportional to scene size. Allocation-only: not serialized
+     *  in snapshots, never affects the trajectory. */
+    std::size_t arenaBlockBytes = 64 * 1024;
     /** Fixed tiling + ordered reduction: simulation state is
      *  bitwise identical for any worker count (costs some merge
      *  overhead in the narrowphase). */
@@ -182,6 +189,28 @@ struct WorldConfig
      * configs instead of silently clamping them.
      */
     std::vector<std::string> validate() const;
+};
+
+/** Interpolated pose of one body, for render sampling. */
+struct RenderPose
+{
+    Vec3 position;
+    Quat orientation;
+};
+
+/**
+ * A render-facing sample of the world: body poses and cloth particle
+ * positions at one instant. Captured with World::renderState() after
+ * each fixed tick; two consecutive samples are blended with
+ * World::interpolate() so displays running at an arbitrary refresh
+ * rate never see the tick quantum (the fixed-tick / interpolate
+ * pattern the server's Session API is built on).
+ */
+struct RenderState
+{
+    double time = 0.0;
+    std::vector<RenderPose> bodies;
+    std::vector<std::vector<Vec3>> cloths;
 };
 
 /** Compact description of one island from the last step. */
@@ -323,6 +352,22 @@ class World
     /** Advance one display frame (paper: 3 steps per frame). */
     void stepFrame(int substeps = 3);
 
+    // --- Render sampling (fixed tick + interpolation). ---
+
+    /** Sample current body poses and cloth particles for rendering. */
+    RenderState renderState() const;
+
+    /**
+     * Blend two render samples: position lerp plus shortest-path
+     * normalized quaternion lerp, with `phase` clamped to [0, 1].
+     * phase == 0 returns `a` bitwise and phase == 1 returns `b`
+     * bitwise, so a display synchronized to the tick boundary sees
+     * exactly the simulated state. `a` and `b` must come from the
+     * same world (same body/cloth structure).
+     */
+    static RenderState interpolate(const RenderState &a,
+                                   const RenderState &b, double phase);
+
     // --- Introspection. ---
     RigidBody *body(BodyId id);
     const RigidBody *body(BodyId id) const;
@@ -401,6 +446,17 @@ class World
      */
     std::string metricsLine() const;
 
+    /**
+     * Prefix every metricsLine() key with "<scope>." — the server
+     * sets "world.<id>" on each session so multi-world metric
+     * streams stay distinguishable. Empty (the default) emits the
+     * exact single-world key set, byte-identical to prior releases.
+     */
+    void setMetricsScope(std::string scope)
+    { metricsScope_ = std::move(scope); }
+
+    const std::string &metricsScope() const { return metricsScope_; }
+
     // --- Debug: capture/replay + invariants (physics/debug/). ---
 
     /**
@@ -413,10 +469,11 @@ class World
     /**
      * Restore a snapshot taken from a structurally identical world
      * (same scene build; blast volumes spawned mid-run are recreated
-     * on a fresh build). Returns "" on success or a readable error —
-     * truncated, corrupted and mismatched snapshots never crash.
+     * on a fresh build). Truncated or corrupted snapshots fail with
+     * DATA_LOSS and mismatched scenes with FAILED_PRECONDITION —
+     * never a crash.
      */
-    std::string restoreState(const std::vector<std::uint8_t> &bytes);
+    Status restoreState(const std::vector<std::uint8_t> &bytes);
 
     /** Run the invariant checker (debug/invariants.hh) now. */
     std::vector<InvariantViolation> validateInvariants() const;
@@ -558,6 +615,8 @@ class World
     std::uint64_t totalJointsBroken_ = 0;
     Real time_ = 0.0;
     std::uint64_t stepCount_ = 0;
+    /** metricsLine() key prefix (see setMetricsScope). */
+    std::string metricsScope_;
 
     /** Broken flag per permanent joint as of the end of the previous
      *  step, so a break is detected in the step it happens (freed

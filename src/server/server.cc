@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Multi-world server implementation. See server.hh for the model.
+ *
+ * The scheduling trick is a single parallelFor over the sessions
+ * with pending ticks, grain 1: each chunk is one whole session, so
+ * an idle lane steals an entire world's tick burst at once. A
+ * session is only ever touched by the one lane executing its chunk,
+ * which makes the per-session bookkeeping (tick counters, cost
+ * samples) race-free without any locks.
+ */
+
+#include "server/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "physics/debug/capture.hh"
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+namespace
+{
+
+std::string
+joinErrors(const std::vector<std::string> &errors)
+{
+    std::string joined;
+    for (const std::string &e : errors) {
+        if (!joined.empty())
+            joined += "; ";
+        joined += e;
+    }
+    return joined;
+}
+
+/** Whole ticks banked in `accumulator`, robust to the float error
+ *  of repeated `elapsed` additions (2.9999999996 ticks is 3). */
+int
+wholeTicks(double accumulator, double tick_dt)
+{
+    return static_cast<int>(
+        std::floor(accumulator / tick_dt + 1e-9));
+}
+
+} // namespace
+
+std::vector<std::string>
+ServerConfig::validate() const
+{
+    std::vector<std::string> errors;
+    auto check = [&errors](bool ok, std::string msg) {
+        if (!ok)
+            errors.push_back(std::move(msg));
+    };
+    check(std::isfinite(tickDt) && tickDt > 0,
+          "tickDt must be positive and finite (got " +
+              std::to_string(tickDt) + ")");
+    check(workerThreads <= 1024,
+          "workerThreads must be <= 1024 (got " +
+              std::to_string(workerThreads) + ")");
+    check(std::isfinite(tickBudget) && tickBudget >= 0,
+          "tickBudget must be >= 0 and finite (got " +
+              std::to_string(tickBudget) + ")");
+    return errors;
+}
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      // Grain 1: one session per chunk, maximal stealing surface.
+      scheduler_(SchedulerConfig{config_.workerThreads, 1, true})
+{
+    const std::vector<std::string> errors = config_.validate();
+    if (!errors.empty())
+        fatal("invalid ServerConfig: %s", joinErrors(errors).c_str());
+}
+
+Server::~Server() = default;
+
+Server::Session *
+Server::findSession(WorldId id)
+{
+    for (Session &s : sessions_)
+        if (s.id == id)
+            return &s;
+    return nullptr;
+}
+
+const Server::Session *
+Server::findSession(WorldId id) const
+{
+    for (const Session &s : sessions_)
+        if (s.id == id)
+            return &s;
+    return nullptr;
+}
+
+Status
+Server::admit(std::unique_ptr<World> world,
+              const SessionConfig &session, WorldId &id)
+{
+    if (config_.maxWorlds > 0 &&
+        sessions_.size() >= config_.maxWorlds) {
+        ++stats_.admissionRejects;
+        metrics_.add("server.admission_rejects", 1.0);
+        return resourceExhausted(
+            "admission refused: server hosts " +
+            std::to_string(sessions_.size()) + " worlds, cap is " +
+            std::to_string(config_.maxWorlds));
+    }
+    Session s;
+    s.id = nextId_++;
+    s.world = std::move(world);
+    s.config = session;
+    s.world->setMetricsScope("world." + std::to_string(s.id));
+    id = s.id;
+    sessions_.push_back(std::move(s));
+    return okStatus();
+}
+
+Status
+Server::createWorld(const WorldConfig &config, WorldId &id,
+                    const SessionConfig &session)
+{
+    WorldConfig cfg = config;
+    cfg.dt = config_.tickDt;
+    cfg.workerThreads = 0;
+    const std::vector<std::string> errors = cfg.validate();
+    if (!errors.empty())
+        return invalidArgument("invalid WorldConfig: " +
+                               joinErrors(errors));
+    return admit(std::make_unique<World>(std::move(cfg)), session,
+                 id);
+}
+
+Status
+Server::adoptWorld(std::unique_ptr<World> world, WorldId &id,
+                   const SessionConfig &session)
+{
+    if (!world)
+        return invalidArgument("adoptWorld: null world");
+    if (world->config().workerThreads != 0) {
+        return invalidArgument(
+            "adoptWorld: world has workerThreads == " +
+            std::to_string(world->config().workerThreads) +
+            "; hosted worlds must be single-threaded (the server's "
+            "scheduler supplies the parallelism)");
+    }
+    if (world->config().dt != config_.tickDt) {
+        return invalidArgument(
+            "adoptWorld: world dt " +
+            std::to_string(world->config().dt) +
+            " != server tickDt " + std::to_string(config_.tickDt));
+    }
+    return admit(std::move(world), session, id);
+}
+
+Status
+Server::destroyWorld(WorldId id)
+{
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+        if (it->id == id) {
+            sessions_.erase(it);
+            return okStatus();
+        }
+    }
+    return notFound("no session with WorldId " + std::to_string(id));
+}
+
+std::unique_ptr<World>
+Server::releaseWorld(WorldId id)
+{
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+        if (it->id == id) {
+            std::unique_ptr<World> world = std::move(it->world);
+            sessions_.erase(it);
+            world->setMetricsScope("");
+            return world;
+        }
+    }
+    return nullptr;
+}
+
+World *
+Server::world(WorldId id)
+{
+    Session *s = findSession(id);
+    return s ? s->world.get() : nullptr;
+}
+
+const World *
+Server::world(WorldId id) const
+{
+    const Session *s = findSession(id);
+    return s ? s->world.get() : nullptr;
+}
+
+std::vector<WorldId>
+Server::worldIds() const
+{
+    std::vector<WorldId> ids;
+    ids.reserve(sessions_.size());
+    for (const Session &s : sessions_)
+        ids.push_back(s.id);
+    return ids;
+}
+
+double
+Server::phase(WorldId id) const
+{
+    const Session *s = findSession(id);
+    if (!s)
+        return 0.0;
+    const double p = s->accumulator / config_.tickDt;
+    return std::min(std::max(p, 0.0), 1.0);
+}
+
+void
+Server::shedPendingTicks()
+{
+    // Projected bill: pending ticks priced at each session's latest
+    // cost sample (or the injected schedule). Sessions that have
+    // never ticked price at zero, so a cold server always admits its
+    // first update — shedding needs evidence.
+    auto estimate = [this](const Session &s) {
+        if (config_.mockTickSeconds)
+            return config_.mockTickSeconds(s.ticksRun, s.id);
+        return s.lastTickSeconds;
+    };
+    double projected = 0.0;
+    for (const Session &s : sessions_)
+        projected += s.pendingTicks * estimate(s);
+    if (projected <= config_.tickBudget)
+        return;
+
+    // Drop whole sessions' pending ticks, newest (highest id) first:
+    // a deterministic order that favors long-lived sessions, and one
+    // tests can predict exactly. Non-sheddable sessions always run.
+    std::vector<Session *> order;
+    order.reserve(sessions_.size());
+    for (Session &s : sessions_)
+        if (s.config.sheddable && s.pendingTicks > 0)
+            order.push_back(&s);
+    std::sort(order.begin(), order.end(),
+              [](const Session *a, const Session *b) {
+                  return a->id > b->id;
+              });
+    for (Session *s : order) {
+        if (projected <= config_.tickBudget)
+            break;
+        projected -= s->pendingTicks * estimate(*s);
+        stats_.ticksShed += s->pendingTicks;
+        metrics_.add("server.ticks_shed",
+                     static_cast<double>(s->pendingTicks));
+        s->pendingTicks = 0;
+    }
+}
+
+void
+Server::runPendingTicks()
+{
+    std::vector<Session *> active;
+    active.reserve(sessions_.size());
+    for (Session &s : sessions_)
+        if (s.pendingTicks > 0)
+            active.push_back(&s);
+    if (active.empty()) {
+        stats_.lastUpdateSeconds = 0.0;
+        return;
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    scheduler_.parallelFor(
+        active.size(), 1,
+        [this, &active](std::size_t begin, std::size_t end,
+                        unsigned /*lane*/) {
+            for (std::size_t i = begin; i < end; ++i) {
+                Session &s = *active[i];
+                for (int t = 0; t < s.pendingTicks; ++t) {
+                    if (config_.mockTickSeconds) {
+                        s.lastTickSeconds =
+                            config_.mockTickSeconds(s.ticksRun,
+                                                    s.id);
+                        s.world->step();
+                    } else {
+                        const auto t0 =
+                            std::chrono::steady_clock::now();
+                        s.world->step();
+                        const auto t1 =
+                            std::chrono::steady_clock::now();
+                        s.lastTickSeconds =
+                            std::chrono::duration<double>(t1 - t0)
+                                .count();
+                    }
+                    ++s.ticksRun;
+                }
+            }
+        });
+    const auto wall_end = std::chrono::steady_clock::now();
+    stats_.lastUpdateSeconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+
+    // Merge per-session counters on the calling thread, after the
+    // parallelFor barrier: no lane contention on the global stats.
+    std::uint64_t ran = 0;
+    for (Session *s : active) {
+        ran += static_cast<std::uint64_t>(s->pendingTicks);
+        s->pendingTicks = 0;
+    }
+    stats_.ticksRun += ran;
+    metrics_.add("server.ticks", static_cast<double>(ran));
+}
+
+Status
+Server::advance(double elapsed)
+{
+    if (!std::isfinite(elapsed) || elapsed < 0)
+        return invalidArgument("advance: elapsed must be >= 0 and "
+                               "finite (got " +
+                               std::to_string(elapsed) + ")");
+    for (Session &s : sessions_) {
+        s.accumulator += elapsed;
+        s.pendingTicks = wholeTicks(s.accumulator, config_.tickDt);
+        // Banked time is consumed whether the ticks run or get
+        // shed: a shed session drops simulation time instead of
+        // accumulating an unpayable debt.
+        s.accumulator -= s.pendingTicks * config_.tickDt;
+    }
+    if (config_.tickBudget > 0)
+        shedPendingTicks();
+    runPendingTicks();
+    ++stats_.updates;
+    updateMetrics();
+    return okStatus();
+}
+
+Status
+Server::tickAll(int ticks)
+{
+    if (ticks < 0)
+        return invalidArgument("tickAll: ticks must be >= 0 (got " +
+                               std::to_string(ticks) + ")");
+    for (Session &s : sessions_)
+        s.pendingTicks = ticks;
+    runPendingTicks();
+    ++stats_.updates;
+    updateMetrics();
+    return okStatus();
+}
+
+Status
+Server::snapshotWorld(WorldId id,
+                      std::vector<std::uint8_t> &out) const
+{
+    const Session *s = findSession(id);
+    if (!s)
+        return notFound("no session with WorldId " +
+                        std::to_string(id));
+    out = s->world->captureState();
+    return okStatus();
+}
+
+Status
+Server::streamSnapshot(WorldId id,
+                       const std::vector<std::uint8_t> *base,
+                       std::vector<std::uint8_t> &out) const
+{
+    const Session *s = findSession(id);
+    if (!s)
+        return notFound("no session with WorldId " +
+                        std::to_string(id));
+    std::vector<std::uint8_t> full = s->world->captureState();
+    if (!base) {
+        out = std::move(full);
+        return okStatus();
+    }
+    out = encodeSnapshotDelta(*base, full);
+    return okStatus();
+}
+
+Status
+Server::restoreWorld(WorldId id,
+                     const std::vector<std::uint8_t> &blob,
+                     const std::vector<std::uint8_t> *base)
+{
+    Session *s = findSession(id);
+    if (!s)
+        return notFound("no session with WorldId " +
+                        std::to_string(id));
+    if (isSnapshotDelta(blob)) {
+        if (!base) {
+            return failedPrecondition(
+                "restoreWorld: blob is a snapshot delta but no base "
+                "snapshot was supplied");
+        }
+        std::vector<std::uint8_t> full;
+        const Status st = applySnapshotDelta(*base, blob, full);
+        if (!st.ok())
+            return st;
+        return s->world->restoreState(full);
+    }
+    return s->world->restoreState(blob);
+}
+
+void
+Server::updateMetrics()
+{
+    metrics_.set("server.worlds",
+                 static_cast<double>(sessions_.size()));
+    metrics_.set("server.workers",
+                 static_cast<double>(scheduler_.workerCount()));
+}
+
+std::string
+Server::metricsLine() const
+{
+    // Deterministic values only (counts, never wall-clock), fixed
+    // key order; consumers key on "pax_server".
+    auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+    std::string out = "{\"pax_server\":1";
+    out += ",\"worlds\":" + u64(sessions_.size());
+    out += ",\"updates\":" + u64(stats_.updates);
+    out += ",\"ticks_total\":" + u64(stats_.ticksRun);
+    out += ",\"ticks_shed_total\":" + u64(stats_.ticksShed);
+    out += ",\"admission_rejects\":" + u64(stats_.admissionRejects);
+    out += "}";
+    return out;
+}
+
+} // namespace parallax

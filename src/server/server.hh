@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Multi-world simulation server: N independent Worlds multiplexed
+ * over one shared work-stealing TaskScheduler.
+ *
+ * Each hosted world runs single-threaded internally (workerThreads
+ * must be 0); parallelism comes from the server's scheduler running
+ * whole-world ticks as top-level chunks, so lanes steal entire
+ * worlds instead of intra-world phases. Because a world's trajectory
+ * depends only on its own step sequence — never on which lane ran
+ * it — every hosted world's state is bitwise identical to stepping
+ * the same scene solo, for any server worker count.
+ *
+ * Time advances on the classic fixed-tick accumulator: advance(dt)
+ * banks real time per session, runs the whole ticks that fit, and
+ * leaves the fractional remainder as the interpolation phase that
+ * World::interpolate() consumes for rendering.
+ *
+ * Overload handling is two-tier and deterministic:
+ *  - admission: ServerConfig::maxWorlds caps the population;
+ *    createWorld/adoptWorld fail with RESOURCE_EXHAUSTED beyond it.
+ *  - shedding: with ServerConfig::tickBudget set, advance() projects
+ *    the coming tick bill from per-world cost estimates and drops
+ *    pending ticks from sheddable sessions (highest WorldId first)
+ *    until the projection fits. ServerConfig::mockTickSeconds
+ *    replaces measured costs so tests replay identical decisions.
+ */
+
+#ifndef PARALLAX_SERVER_SERVER_HH
+#define PARALLAX_SERVER_SERVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "parallax/status.hh"
+#include "physics/parallel/task_scheduler.hh"
+#include "physics/trace/metrics.hh"
+#include "physics/world.hh"
+
+namespace parallax
+{
+
+/**
+ * Opaque session handle. Ids are assigned monotonically and never
+ * reused, so a stale handle from a destroyed session fails with
+ * NOT_FOUND instead of silently aliasing a new world.
+ */
+using WorldId = std::uint64_t;
+
+/** Never a valid session. */
+constexpr WorldId invalidWorldId = 0;
+
+/** Server-wide tunables. */
+struct ServerConfig
+{
+    /** Worker threads of the shared scheduler (0 = tick worlds
+     *  inline on the calling thread). */
+    unsigned workerThreads = 0;
+
+    /** Fixed tick quantum in seconds. Every hosted world must be
+     *  configured with dt == tickDt: sessions joining mid-run stay
+     *  tick-aligned with everyone else. */
+    double tickDt = 0.01;
+
+    /** Admission cap: sessions beyond this fail with
+     *  RESOURCE_EXHAUSTED (0 = unlimited). */
+    std::size_t maxWorlds = 0;
+
+    /**
+     * Load shedding: wall-clock seconds of simulation budget per
+     * advance() call. 0 (the default) disables shedding — every
+     * pending tick always runs. When > 0, advance() projects the
+     * cost of the pending ticks from per-session estimates and
+     * drops sheddable sessions' ticks, highest WorldId first, until
+     * the projection fits the budget.
+     */
+    double tickBudget = 0.0;
+
+    /**
+     * Test hook: when set, per-tick wall-clock measurements are
+     * replaced by this function's value for each (tick, world), so
+     * shedding decisions become a pure function of the injected
+     * schedule — two runs shed identically.
+     */
+    std::function<double(std::uint64_t tick, WorldId world)>
+        mockTickSeconds;
+
+    /** One human-readable message per problem (empty = valid). */
+    std::vector<std::string> validate() const;
+};
+
+/** Per-session knobs, fixed at create/adopt time. */
+struct SessionConfig
+{
+    /** May the shedder drop this session's ticks under overload?
+     *  Non-sheddable sessions always run every pending tick. */
+    bool sheddable = true;
+};
+
+/** Run-cumulative server counters. */
+struct ServerStats
+{
+    /** World-ticks executed across all sessions. */
+    std::uint64_t ticksRun = 0;
+    /** World-ticks dropped by the shedder. */
+    std::uint64_t ticksShed = 0;
+    /** Sessions refused by the admission cap. */
+    std::uint64_t admissionRejects = 0;
+    /** advance() + tickAll() calls. */
+    std::uint64_t updates = 0;
+    /** Measured (or mocked) seconds of the most recent update. */
+    double lastUpdateSeconds = 0.0;
+};
+
+/**
+ * The multi-world server. Not thread-safe: one thread owns the
+ * session API; parallelism happens inside advance()/tickAll().
+ */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config = ServerConfig());
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    // --- Session lifecycle. ---
+
+    /**
+     * Build an empty world from `config` and host it. The config's
+     * dt is forced to tickDt and its worker count to 0 (the server's
+     * scheduler supplies the parallelism); everything else — solver
+     * iterations, governor frameBudget and ladder tuning, invariant
+     * policy — is the session's own. Fails with RESOURCE_EXHAUSTED
+     * past the admission cap and INVALID_ARGUMENT on a config the
+     * World constructor would reject. On success `id` names the new
+     * session and the world's metrics scope is set to "world.<id>".
+     */
+    Status createWorld(const WorldConfig &config, WorldId &id,
+                       const SessionConfig &session = SessionConfig());
+
+    /**
+     * Host an already-built world (scene included). The world must
+     * have workerThreads == 0 and dt == tickDt — anything else fails
+     * with INVALID_ARGUMENT (FAILED_PRECONDITION would suggest
+     * retrying later; these are caller bugs).
+     */
+    Status adoptWorld(std::unique_ptr<World> world, WorldId &id,
+                      const SessionConfig &session = SessionConfig());
+
+    /** Remove a session and free its world. NOT_FOUND on a stale or
+     *  never-issued id. */
+    Status destroyWorld(WorldId id);
+
+    /** Detach and return a session's world (e.g. to migrate it);
+     *  the session is removed. Null when `id` is unknown. */
+    std::unique_ptr<World> releaseWorld(WorldId id);
+
+    std::size_t worldCount() const { return sessions_.size(); }
+
+    /** The hosted world, or null for an unknown id. The pointer is
+     *  valid until destroyWorld/releaseWorld on that id. */
+    World *world(WorldId id);
+    const World *world(WorldId id) const;
+
+    /** Session ids in deterministic (creation) order. */
+    std::vector<WorldId> worldIds() const;
+
+    // --- Time. ---
+
+    /**
+     * Bank `elapsed` seconds on every session's accumulator and run
+     * the whole ticks that fit, in parallel across sessions on the
+     * shared scheduler. The fractional remainder becomes phase().
+     * Applies the shedding policy when tickBudget is set.
+     */
+    Status advance(double elapsed);
+
+    /** Run exactly `ticks` ticks on every session, bypassing the
+     *  accumulators and the shedder (benchmark/test path). */
+    Status tickAll(int ticks = 1);
+
+    /**
+     * Interpolation phase of a session: the banked fraction of a
+     * tick in [0, 1). Feed it to World::interpolate() between the
+     * render samples bracketing the current tick. Unknown ids
+     * return 0.
+     */
+    double phase(WorldId id) const;
+
+    // --- Snapshot streaming (client join / rewind). ---
+
+    /** Capture a session's full snapshot blob. NOT_FOUND on a stale
+     *  id. */
+    Status snapshotWorld(WorldId id,
+                         std::vector<std::uint8_t> &out) const;
+
+    /**
+     * Capture a session's state as a delta against `base` (a full
+     * snapshot blob previously streamed to the same client), or as
+     * a full snapshot when `base` is null — the common join/rewind
+     * stream: one full blob, then per-tick deltas.
+     */
+    Status streamSnapshot(WorldId id,
+                          const std::vector<std::uint8_t> *base,
+                          std::vector<std::uint8_t> &out) const;
+
+    /**
+     * Restore a session from `blob` — a full snapshot, or a delta
+     * (isSnapshotDelta) applied against `base`. A delta without its
+     * base fails with FAILED_PRECONDITION.
+     */
+    Status restoreWorld(WorldId id,
+                        const std::vector<std::uint8_t> &blob,
+                        const std::vector<std::uint8_t> *base =
+                            nullptr);
+
+    // --- Observability. ---
+
+    const ServerStats &stats() const { return stats_; }
+
+    /** The shared scheduler (for lane/steal counters). */
+    const TaskScheduler &scheduler() const { return scheduler_; }
+
+    /** Server-level counters and gauges (admission, shedding, tick
+     *  throughput), updated every advance()/tickAll(). */
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    /**
+     * One single-line JSON object of server-level metrics, fixed key
+     * order ("pax_server" marker). Per-world lines come from
+     * world(id)->metricsLine(), already scoped as "world.<id>.*".
+     */
+    std::string metricsLine() const;
+
+    const ServerConfig &config() const { return config_; }
+
+  private:
+    struct Session
+    {
+        WorldId id = invalidWorldId;
+        std::unique_ptr<World> world;
+        SessionConfig config;
+        /** Banked real time not yet consumed by whole ticks. */
+        double accumulator = 0.0;
+        /** Whole ticks advance() decided to run this update. */
+        int pendingTicks = 0;
+        /** Latest measured (or mocked) seconds of one tick: the
+         *  shedder's cost estimate for the next projection. */
+        double lastTickSeconds = 0.0;
+        /** Ticks this session has executed (feeds mockTickSeconds). */
+        std::uint64_t ticksRun = 0;
+    };
+
+    Session *findSession(WorldId id);
+    const Session *findSession(WorldId id) const;
+
+    /** Admission check + registration shared by create/adopt. */
+    Status admit(std::unique_ptr<World> world,
+                 const SessionConfig &session, WorldId &id);
+
+    /** Drop pending ticks until the projected bill fits the budget
+     *  (called by advance when tickBudget > 0). */
+    void shedPendingTicks();
+
+    /** Run every session's pendingTicks on the shared scheduler. */
+    void runPendingTicks();
+
+    void updateMetrics();
+
+    ServerConfig config_;
+    TaskScheduler scheduler_;
+    MetricsRegistry metrics_;
+    std::vector<Session> sessions_;
+    WorldId nextId_ = 1;
+    ServerStats stats_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_SERVER_SERVER_HH

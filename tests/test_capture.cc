@@ -77,7 +77,7 @@ TEST(Capture, DescribeReportsSceneAndCounts)
 
     SnapshotInfo info;
     WorldConfig config;
-    ASSERT_EQ(describeSnapshot(bytes, info, config), "");
+    ASSERT_TRUE(describeSnapshot(bytes, info, config).ok());
     EXPECT_EQ(info.version, snapshotVersion);
     EXPECT_EQ(info.sceneTag, "bench:Mix:scale=0.12");
     EXPECT_EQ(info.stepCount, 10u);
@@ -103,7 +103,7 @@ TEST(Capture, SameWorldRoundTripIsBitwiseIdentical)
     const std::vector<double> original = worldState(*world);
     ASSERT_FALSE(original.empty());
 
-    ASSERT_EQ(world->restoreState(snapshot), "");
+    ASSERT_TRUE(world->restoreState(snapshot).ok());
     EXPECT_EQ(world->stepCount(), 40u);
     for (int i = 0; i < 100; ++i)
         world->step();
@@ -127,7 +127,8 @@ TEST(Capture, FreshWorldRoundTripRecreatesBlastSpawns)
     for (; warmed < 200; ++warmed) {
         world->step();
         snapshot = world->captureState();
-        ASSERT_EQ(describeSnapshot(snapshot, info, snap_config), "");
+        ASSERT_TRUE(
+            describeSnapshot(snapshot, info, snap_config).ok());
         if (info.blastSpawns > 0)
             break;
     }
@@ -142,7 +143,7 @@ TEST(Capture, FreshWorldRoundTripRecreatesBlastSpawns)
         buildBenchmark(BenchmarkId::Explosions, config, 0.12);
     ASSERT_LT(fresh->bodyCount(), world->bodyCount())
         << "expected the snapshot to carry extra spawned bodies";
-    ASSERT_EQ(fresh->restoreState(snapshot), "");
+    ASSERT_TRUE(fresh->restoreState(snapshot).ok());
     EXPECT_EQ(fresh->bodyCount(), world->bodyCount());
     for (int i = 0; i < 100; ++i)
         fresh->step();
@@ -161,13 +162,16 @@ TEST(Capture, TruncatedSnapshotFailsReadably)
                                   bytes.begin() + bytes.size() / 2);
     SnapshotInfo info;
     WorldConfig config;
-    const std::string err = describeSnapshot(cut, info, config);
-    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
-    EXPECT_NE(world->restoreState(cut), "");
+    const Status st = describeSnapshot(cut, info, config);
+    EXPECT_EQ(st.code(), StatusCode::DataLoss) << st.toString();
+    EXPECT_NE(st.message().find("truncated"), std::string::npos)
+        << st.toString();
+    EXPECT_FALSE(world->restoreState(cut).ok());
 
     // Too short to even hold a header.
     std::vector<std::uint8_t> stub(bytes.begin(), bytes.begin() + 4);
-    EXPECT_NE(describeSnapshot(stub, info, config), "");
+    EXPECT_EQ(describeSnapshot(stub, info, config).code(),
+              StatusCode::DataLoss);
 }
 
 TEST(Capture, CorruptedSnapshotFailsReadably)
@@ -180,15 +184,19 @@ TEST(Capture, CorruptedSnapshotFailsReadably)
     flipped[flipped.size() - 1] ^= 0xff; // Payload byte.
     SnapshotInfo info;
     WorldConfig config;
-    const std::string err = describeSnapshot(flipped, info, config);
-    EXPECT_NE(err.find("checksum"), std::string::npos) << err;
-    EXPECT_NE(world->restoreState(flipped), "");
+    const Status st = describeSnapshot(flipped, info, config);
+    EXPECT_EQ(st.code(), StatusCode::DataLoss) << st.toString();
+    EXPECT_NE(st.message().find("checksum"), std::string::npos)
+        << st.toString();
+    EXPECT_FALSE(world->restoreState(flipped).ok());
 
     std::vector<std::uint8_t> bad_magic = bytes;
     bad_magic[0] ^= 0xff;
-    EXPECT_NE(describeSnapshot(bad_magic, info, config)
-                  .find("magic"),
-              std::string::npos);
+    const Status magic_st =
+        describeSnapshot(bad_magic, info, config);
+    EXPECT_EQ(magic_st.code(), StatusCode::InvalidArgument)
+        << magic_st.toString();
+    EXPECT_NE(magic_st.message().find("magic"), std::string::npos);
 }
 
 TEST(Capture, WrongSceneStructureFailsReadably)
@@ -199,11 +207,13 @@ TEST(Capture, WrongSceneStructureFailsReadably)
 
     auto other =
         buildBenchmark(BenchmarkId::Periodic, mixConfig(), 0.12);
-    const std::string err = other->restoreState(snapshot);
-    EXPECT_FALSE(err.empty());
+    const Status st = other->restoreState(snapshot);
+    EXPECT_EQ(st.code(), StatusCode::FailedPrecondition)
+        << st.toString();
     // The error names the mismatch instead of crashing or silently
     // corrupting the target world.
-    EXPECT_NE(err.find("snapshot"), std::string::npos) << err;
+    EXPECT_NE(st.message().find("snapshot"), std::string::npos)
+        << st.toString();
 }
 
 // --- Hostile / corrupted snapshot corpus. -------------------------
@@ -270,9 +280,9 @@ TEST(CaptureCorpus, EveryTruncatedHeaderPrefixFailsReadably)
     for (std::size_t len = 0; len < kPayloadOffset; ++len) {
         std::vector<std::uint8_t> cut(bytes.begin(),
                                       bytes.begin() + len);
-        EXPECT_FALSE(describeSnapshot(cut, info, config).empty())
+        EXPECT_FALSE(describeSnapshot(cut, info, config).ok())
             << "header prefix of " << len << " bytes was accepted";
-        EXPECT_FALSE(world->restoreState(cut).empty());
+        EXPECT_FALSE(world->restoreState(cut).ok());
     }
 }
 
@@ -290,9 +300,11 @@ TEST(CaptureCorpus, HostileSceneTagLengthFailsReadably)
 
     SnapshotInfo info;
     WorldConfig config;
-    const std::string err = describeSnapshot(bytes, info, config);
-    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
-    EXPECT_FALSE(world->restoreState(bytes).empty());
+    const Status st = describeSnapshot(bytes, info, config);
+    EXPECT_EQ(st.code(), StatusCode::DataLoss) << st.toString();
+    EXPECT_NE(st.message().find("truncated"), std::string::npos)
+        << st.toString();
+    EXPECT_FALSE(world->restoreState(bytes).ok());
 }
 
 TEST(CaptureCorpus, HostileArrayCountFailsWithoutAllocating)
@@ -318,9 +330,12 @@ TEST(CaptureCorpus, HostileArrayCountFailsWithoutAllocating)
     writeU32(bytes, spawns_offset, 0x80000000u);
     resealChecksum(bytes);
 
-    const std::string err = world->restoreState(bytes);
-    EXPECT_NE(err.find("declares"), std::string::npos) << err;
-    EXPECT_NE(err.find("2147483648"), std::string::npos) << err;
+    const Status st = world->restoreState(bytes);
+    EXPECT_EQ(st.code(), StatusCode::DataLoss) << st.toString();
+    EXPECT_NE(st.message().find("declares"), std::string::npos)
+        << st.toString();
+    EXPECT_NE(st.message().find("2147483648"), std::string::npos)
+        << st.toString();
 }
 
 TEST(CaptureCorpus, ChecksumValidVersionBumpFailsReadably)
@@ -335,9 +350,12 @@ TEST(CaptureCorpus, ChecksumValidVersionBumpFailsReadably)
     writeU32(bytes, kVersionOffset, snapshotVersion + 1);
     SnapshotInfo info;
     WorldConfig config;
-    const std::string err = describeSnapshot(bytes, info, config);
-    EXPECT_NE(err.find("version"), std::string::npos) << err;
-    EXPECT_FALSE(world->restoreState(bytes).empty());
+    const Status st = describeSnapshot(bytes, info, config);
+    EXPECT_EQ(st.code(), StatusCode::InvalidArgument)
+        << st.toString();
+    EXPECT_NE(st.message().find("version"), std::string::npos)
+        << st.toString();
+    EXPECT_FALSE(world->restoreState(bytes).ok());
 }
 
 TEST(Capture, FileRoundTripAndMissingFile)
@@ -348,14 +366,15 @@ TEST(Capture, FileRoundTripAndMissingFile)
 
     const std::string path =
         testing::TempDir() + "capture_roundtrip.paxsnap";
-    ASSERT_EQ(writeSnapshotFile(path, bytes), "");
+    ASSERT_TRUE(writeSnapshotFile(path, bytes).ok());
     std::vector<std::uint8_t> loaded;
-    ASSERT_EQ(readSnapshotFile(path, loaded), "");
+    ASSERT_TRUE(readSnapshotFile(path, loaded).ok());
     EXPECT_EQ(loaded, bytes);
     std::remove(path.c_str());
 
     std::vector<std::uint8_t> missing;
-    EXPECT_NE(readSnapshotFile(path + ".nope", missing), "");
+    EXPECT_EQ(readSnapshotFile(path + ".nope", missing).code(),
+              StatusCode::NotFound);
 }
 
 } // namespace

@@ -140,10 +140,11 @@ TEST(Invariants, ViolationDumpsSnapshotThatReplaysInOneStep)
 
     // The child process (not this one) wrote the snapshot.
     std::vector<std::uint8_t> bytes;
-    ASSERT_EQ(readSnapshotFile(path, bytes), "");
+    ASSERT_TRUE(readSnapshotFile(path, bytes).ok());
     SnapshotInfo info;
     WorldConfig snap_config;
-    ASSERT_EQ(describeSnapshot(bytes, info, snap_config), "");
+    ASSERT_TRUE(
+        describeSnapshot(bytes, info, snap_config).ok());
     EXPECT_EQ(info.stepCount, 5u);
 
     // Restore into an identically structured world and step once:
@@ -151,7 +152,7 @@ TEST(Invariants, ViolationDumpsSnapshotThatReplaysInOneStep)
     WorldConfig replay_config;
     World replay(replay_config);
     buildScene(replay);
-    ASSERT_EQ(replay.restoreState(bytes), "");
+    ASSERT_TRUE(replay.restoreState(bytes).ok());
     replay.step();
     const std::vector<InvariantViolation> violations =
         replay.validateInvariants();

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Public-API boundary guard.
+
+Benches, examples and tools must consume the engine through the
+versioned public headers (include/parallax.hh or include/parallax/*)
+— never by reaching into the physics/ or server/ module internals.
+This keeps the engine's threading model and module layout free to
+evolve without breaking in-tree consumers, which is the point of the
+v1 header split (docs/API.md).
+
+Run from the repository root (the check_public_api ctest does):
+
+    python3 tools/check_api.py
+
+Exit 0 when clean; 1 with one line per offending include.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Directories that are consumers of the public API.
+CONSUMER_DIRS = ["bench", "examples", "tools"]
+
+# Include prefixes that are engine internals.
+FORBIDDEN = ("physics/", "server/")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    bad = []
+    for dirname in CONSUMER_DIRS:
+        for path in sorted((root / dirname).rglob("*")):
+            if path.suffix not in {".cc", ".cpp", ".hh", ".h"}:
+                continue
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                m = INCLUDE_RE.match(line)
+                if not m:
+                    continue
+                header = m.group(1)
+                if header.startswith(FORBIDDEN):
+                    rel = path.relative_to(root)
+                    bad.append(f"{rel}:{lineno}: includes internal "
+                               f'header "{header}"')
+    if bad:
+        print("public-API violations (use parallax.hh or "
+              "parallax/*.hh instead):")
+        for line in bad:
+            print("  " + line)
+        return 1
+    print(f"check_api: {len(CONSUMER_DIRS)} consumer trees clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,17 +60,19 @@ main(int argc, char **argv)
     const int steps = argc > 2 ? std::atoi(argv[2]) : 1;
 
     std::vector<std::uint8_t> bytes;
-    std::string err = readSnapshotFile(path, bytes);
-    if (!err.empty()) {
-        std::fprintf(stderr, "%s: %s\n", path, err.c_str());
+    Status st = readSnapshotFile(path, bytes);
+    if (!st.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path,
+                     st.toString().c_str());
         return 1;
     }
 
     SnapshotInfo info;
     WorldConfig config;
-    err = describeSnapshot(bytes, info, config);
-    if (!err.empty()) {
-        std::fprintf(stderr, "%s: %s\n", path, err.c_str());
+    st = describeSnapshot(bytes, info, config);
+    if (!st.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path,
+                     st.toString().c_str());
         return 1;
     }
     std::printf("%s:\n  scene   %s\n  step    %llu (t=%.4f)\n"
@@ -97,9 +99,10 @@ main(int argc, char **argv)
     // keep control of its exit status.
     config.checkInvariants = false;
     std::unique_ptr<World> world = buildBenchmark(id, config, scale);
-    err = world->restoreState(bytes);
-    if (!err.empty()) {
-        std::fprintf(stderr, "restore failed: %s\n", err.c_str());
+    st = world->restoreState(bytes);
+    if (!st.ok()) {
+        std::fprintf(stderr, "restore failed: %s\n",
+                     st.toString().c_str());
         return 1;
     }
     std::printf("restored %s at step %llu; replaying %d step%s\n",

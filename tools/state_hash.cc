@@ -3,7 +3,8 @@
  * Trajectory fingerprint tool: steps every benchmark scene at several
  * worker counts and prints one FNV-1a hash of the final dynamic
  * state (body poses, velocities and sleep state, joint break
- * bookkeeping, cloth particles) per run.
+ * bookkeeping, cloth particles) per run, via the library's
+ * worldStateHash (parallax/snapshot.hh).
  *
  * Unlike captureState() — whose bytes embed the WorldConfig,
  * including the worker count — this hash covers only quantities the
@@ -30,61 +31,16 @@ using namespace parallax;
 namespace
 {
 
-struct Fnv1a
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;
-
-    void
-    bytes(const void *data, std::size_t n)
-    {
-        const auto *p = static_cast<const std::uint8_t *>(data);
-        for (std::size_t i = 0; i < n; ++i) {
-            h ^= p[i];
-            h *= 0x100000001b3ull;
-        }
-    }
-
-    void real(Real v) { bytes(&v, sizeof(v)); }
-
-    void
-    vec3(const Vec3 &v)
-    {
-        real(v.x);
-        real(v.y);
-        real(v.z);
-    }
-};
-
+/** Fold one per-run hash into the running combined FNV-1a. */
 std::uint64_t
-hashWorld(const World &world)
+fold(std::uint64_t combined, std::uint64_t h)
 {
-    Fnv1a f;
-    for (const auto &b : world.bodies()) {
-        f.vec3(b->position());
-        f.bytes(&b->orientation(), sizeof(Quat));
-        f.vec3(b->linearVelocity());
-        f.vec3(b->angularVelocity());
-        const std::uint8_t flags =
-            static_cast<std::uint8_t>((b->enabled() ? 1 : 0) |
-                                      (b->asleep() ? 2 : 0));
-        f.bytes(&flags, 1);
-        const std::int32_t sleep = b->sleepCounter();
-        f.bytes(&sleep, sizeof(sleep));
+    const auto *p = reinterpret_cast<const std::uint8_t *>(&h);
+    for (std::size_t i = 0; i < sizeof(h); ++i) {
+        combined ^= p[i];
+        combined *= 0x100000001b3ull;
     }
-    for (const auto &j : world.joints()) {
-        const std::uint8_t broken = j->broken() ? 1 : 0;
-        f.bytes(&broken, 1);
-        f.real(j->lastAppliedForce());
-        f.real(j->accumulatedForce());
-    }
-    for (const auto &c : world.cloths()) {
-        for (const Cloth::Particle &p : c->particles()) {
-            f.vec3(p.position);
-            f.vec3(p.previous);
-        }
-    }
-    f.real(world.time());
-    return f.h;
+    return combined;
 }
 
 } // namespace
@@ -106,11 +62,8 @@ main(int argc, char **argv)
                 buildBenchmark(id, config, scale);
             for (int i = 0; i < steps; ++i)
                 world->step();
-            const std::uint64_t h = hashWorld(*world);
-            Fnv1a fold;
-            fold.h = combined;
-            fold.bytes(&h, sizeof(h));
-            combined = fold.h;
+            const std::uint64_t h = worldStateHash(*world);
+            combined = fold(combined, h);
             std::printf("%-11s w=%u %016llx\n",
                         benchmarkInfo(id).shortName, workers,
                         static_cast<unsigned long long>(h));
