@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 
@@ -955,6 +956,21 @@ encodeSnapshotDelta(const std::vector<std::uint8_t> &base,
     if (target.size() > base.size())
         ranges.push_back({base.size(), target.size() - base.size()});
 
+    // Range lengths are stored as u32; split longer runs so diffs
+    // >= 4 GiB encode losslessly instead of silently truncating.
+    constexpr std::size_t maxRangeLength = UINT32_MAX;
+    for (std::size_t n = 0; n < ranges.size(); ++n) {
+        if (ranges[n].length > maxRangeLength) {
+            const Range r = ranges[n];
+            ranges[n] = {r.offset, maxRangeLength};
+            // The remainder is revisited (and split again if still
+            // too long) on the next iteration.
+            ranges.insert(ranges.begin() + n + 1,
+                          {r.offset + maxRangeLength,
+                           r.length - maxRangeLength});
+        }
+    }
+
     std::vector<std::uint8_t> out;
     std::size_t payload = 0;
     for (const Range &r : ranges)
@@ -1012,6 +1028,19 @@ applySnapshotDelta(const std::vector<std::uint8_t> &base,
                         "base: base checksum mismatch");
     }
 
+    // A well-formed delta's target can never exceed the base plus
+    // the delta's own size: every byte past the base's end must
+    // arrive in a range payload. Reject oversized headers before
+    // resize() so a corrupt blob yields a Status, not bad_alloc.
+    if (target_size >
+        static_cast<std::uint64_t>(base.size()) + delta.size()) {
+        return invalidArgument(
+            "snapshot delta target size " +
+            std::to_string(target_size) +
+            " exceeds base plus delta size (" +
+            std::to_string(base.size() + delta.size()) + ")");
+    }
+
     out.assign(base.begin(), base.end());
     out.resize(static_cast<std::size_t>(target_size));
 
@@ -1026,7 +1055,10 @@ applySnapshotDelta(const std::vector<std::uint8_t> &base,
         p += 8;
         const std::uint32_t length = readLittleU32(p);
         p += 4;
-        if (offset + length > target_size) {
+        // Overflow-safe form of `offset + length > target_size`: a
+        // crafted offset near UINT64_MAX must not wrap past the
+        // check and reach the memcpy below.
+        if (offset > target_size || length > target_size - offset) {
             return invalidArgument(
                 "snapshot delta range " + std::to_string(r) +
                 " writes past the target size");

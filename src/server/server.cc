@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <climits>
 #include <cmath>
 
 #include "physics/debug/capture.hh"
@@ -38,12 +39,20 @@ joinErrors(const std::vector<std::string> &errors)
 }
 
 /** Whole ticks banked in `accumulator`, robust to the float error
- *  of repeated `elapsed` additions (2.9999999996 ticks is 3). */
+ *  of repeated `elapsed` additions (2.9999999996 ticks is 3).
+ *  Clamped to [0, max_ticks] (max_ticks <= 0 means INT_MAX): the
+ *  double->int cast is UB once the quotient exceeds INT_MAX, so a
+ *  huge `elapsed` must never reach the cast unclamped. */
 int
-wholeTicks(double accumulator, double tick_dt)
+wholeTicks(double accumulator, double tick_dt, int max_ticks)
 {
-    return static_cast<int>(
-        std::floor(accumulator / tick_dt + 1e-9));
+    const double ticks = std::floor(accumulator / tick_dt + 1e-9);
+    const int cap = max_ticks > 0 ? max_ticks : INT_MAX;
+    if (ticks <= 0)
+        return 0;
+    if (ticks >= static_cast<double>(cap))
+        return cap;
+    return static_cast<int>(ticks);
 }
 
 } // namespace
@@ -65,6 +74,9 @@ ServerConfig::validate() const
     check(std::isfinite(tickBudget) && tickBudget >= 0,
           "tickBudget must be >= 0 and finite (got " +
               std::to_string(tickBudget) + ")");
+    check(maxTicksPerUpdate >= 0,
+          "maxTicksPerUpdate must be >= 0 (got " +
+              std::to_string(maxTicksPerUpdate) + ")");
     return errors;
 }
 
@@ -323,11 +335,20 @@ Server::advance(double elapsed)
                                std::to_string(elapsed) + ")");
     for (Session &s : sessions_) {
         s.accumulator += elapsed;
-        s.pendingTicks = wholeTicks(s.accumulator, config_.tickDt);
+        s.pendingTicks = wholeTicks(s.accumulator, config_.tickDt,
+                                    config_.maxTicksPerUpdate);
         // Banked time is consumed whether the ticks run or get
         // shed: a shed session drops simulation time instead of
-        // accumulating an unpayable debt.
-        s.accumulator -= s.pendingTicks * config_.tickDt;
+        // accumulating an unpayable debt. Likewise when the
+        // spiral-of-death guard clamps the count, the unpayable
+        // remainder is dropped, not carried into the next update.
+        const int cap = config_.maxTicksPerUpdate > 0
+                            ? config_.maxTicksPerUpdate
+                            : INT_MAX;
+        if (s.pendingTicks >= cap)
+            s.accumulator = 0.0;
+        else
+            s.accumulator -= s.pendingTicks * config_.tickDt;
     }
     if (config_.tickBudget > 0)
         shedPendingTicks();

@@ -80,6 +80,15 @@ struct ServerConfig
     double tickBudget = 0.0;
 
     /**
+     * Spiral-of-death guard: at most this many ticks are banked per
+     * session per advance() call; excess elapsed time is dropped.
+     * Also caps the pathological case where a huge `elapsed` would
+     * demand billions of ticks. 0 disables the cap (the count is
+     * still clamped to INT_MAX internally, never overflowed).
+     */
+    int maxTicksPerUpdate = 0;
+
+    /**
      * Test hook: when set, per-tick wall-clock measurements are
      * replaced by this function's value for each (tick, world), so
      * shedding decisions become a pure function of the injected

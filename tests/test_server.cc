@@ -387,6 +387,66 @@ TEST(Server, DeltaFailuresAreStructured)
     EXPECT_EQ(out, base);
 }
 
+TEST(Server, CorruptDeltaHeadersAreRejected)
+{
+    Server server;
+    WorldId id = invalidWorldId;
+    ASSERT_TRUE(
+        server.adoptWorld(buildScene(BenchmarkId::Mix), id).ok());
+    ASSERT_TRUE(server.tickAll(2).ok());
+
+    std::vector<std::uint8_t> base;
+    ASSERT_TRUE(server.streamSnapshot(id, nullptr, base).ok());
+    ASSERT_TRUE(server.tickAll(1).ok());
+    std::vector<std::uint8_t> delta;
+    ASSERT_TRUE(server.streamSnapshot(id, &base, delta).ok());
+
+    // Delta layout: magic(8) + version(4) + base checksum(8) +
+    // target checksum(8) + target size(8) + range count(4), then
+    // per range offset(8) + length(4) + payload.
+    constexpr std::size_t target_size_at = 28;
+    constexpr std::size_t first_range_at = 40;
+    ASSERT_GT(delta.size(), first_range_at + 12);
+    auto pokeU64 = [](std::vector<std::uint8_t> &bytes,
+                      std::size_t at, std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            bytes[at + i] =
+                static_cast<std::uint8_t>(v >> (8 * i));
+    };
+
+    // A range offset near UINT64_MAX must not wrap the bounds check
+    // and reach the out-of-bounds memcpy.
+    std::vector<std::uint8_t> wrap = delta;
+    pokeU64(wrap, first_range_at, 0xFFFFFFFFFFFFFFF8ull);
+    std::vector<std::uint8_t> out;
+    EXPECT_EQ(applySnapshotDelta(base, wrap, out).code(),
+              StatusCode::InvalidArgument);
+
+    // An absurd target size is rejected before any allocation is
+    // attempted (no bad_alloc / length_error escapes).
+    std::vector<std::uint8_t> huge = delta;
+    pokeU64(huge, target_size_at, ~std::uint64_t{0});
+    EXPECT_EQ(applySnapshotDelta(base, huge, out).code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST(Server, MaxTicksPerUpdateClampsSpiral)
+{
+    ServerConfig sc;
+    sc.maxTicksPerUpdate = 4;
+    Server server(sc);
+    WorldId id = invalidWorldId;
+    ASSERT_TRUE(server.createWorld(hostedConfig(), id).ok());
+
+    // An elapsed worth ~1e18 ticks would overflow the int tick
+    // count; the guard clamps it to the cap and drops the unpayable
+    // backlog instead of carrying it into the next update.
+    ASSERT_TRUE(server.advance(1e16).ok());
+    EXPECT_EQ(server.world(id)->stepCount(), 4u);
+    ASSERT_TRUE(server.advance(0.01).ok());
+    EXPECT_EQ(server.world(id)->stepCount(), 5u);
+}
+
 // --- Per-world metrics scoping. -----------------------------------
 
 TEST(Server, MetricsAreScopedPerWorld)
