@@ -17,13 +17,24 @@
  *
  * Run: ./build/bench/bench_parallel_scaling [Per|...|Mix] [scale]
  *          [--check-invariants] [--trace=FILE] [--metrics-json]
- *          [--bench-out=FILE]
+ *          [--bench-out=FILE] [--steps=N] [--warmup=N] [--overlap]
+ *          [--baseline=FILE]
+ *
+ * The JSON records the host's core count (`cpus`), and
+ * --baseline=FILE compares against a committed baseline: when the
+ * two were measured on different core counts the speedup columns are
+ * not comparable, so the bench warns on stdout and sets
+ * `cpu_mismatch` in its own JSON.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
 
 #include "harness.hh"
 
@@ -63,28 +74,72 @@ timedRun(BenchmarkId id, double scale, bool tracing, int warmup,
         .count();
 }
 
+/** Pull the numeric value of `"key":` out of a JSON file; -1 when
+ *  the file or the key is missing (enough for the flat bench JSON —
+ *  no parser dependency). */
+double
+jsonNumberField(const std::string &path, const char *key)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        return -1.0;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return -1.0;
+    return std::atof(text.c_str() + pos + needle.size());
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     parseCommonFlags(&argc, argv);
+
+    // Bench-local flags (strip before positional parsing).
+    int warmup = 12, steps = 9;
+    bool overlap = false;
+    std::string baseline_path;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--steps=", 8) == 0)
+            steps = std::atoi(arg + 8);
+        else if (std::strncmp(arg, "--warmup=", 9) == 0)
+            warmup = std::atoi(arg + 9);
+        else if (std::strcmp(arg, "--overlap") == 0)
+            overlap = true;
+        else if (std::strncmp(arg, "--baseline=", 11) == 0)
+            baseline_path = arg + 11;
+        else
+            argv[kept++] = argv[i];
+    }
+    argc = kept;
+
     const BenchmarkId id =
         argc > 1 ? parseBenchmark(argv[1]) : BenchmarkId::Mix;
     const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+    const unsigned cpus = std::thread::hardware_concurrency();
 
     printHeader("Host parallel scaling (work-stealing scheduler)",
                 "section 3.1 threading model");
 
     const unsigned worker_counts[] = {0, 1, 2, 4};
     std::vector<HostPhaseSeconds> runs;
-    for (unsigned workers : worker_counts)
-        runs.push_back(measureHostPhases(id, workers, scale));
+    for (unsigned workers : worker_counts) {
+        runs.push_back(
+            measureHostPhases(id, workers, scale, warmup, steps,
+                              overlap));
+    }
     const HostPhaseSeconds &base = runs.front();
 
-    std::printf("%s at scale %.2f, per-phase seconds over 9 steps "
-                "(speedup vs 0 workers):\n\n",
-                benchmarkInfo(id).name, scale);
+    std::printf("%s at scale %.2f on %u cpus, per-phase seconds "
+                "over %d steps (speedup vs 0 workers):\n\n",
+                benchmarkInfo(id).name, scale, cpus, steps);
     std::printf("%-18s", "phase");
     for (const HostPhaseSeconds &run : runs)
         std::printf("   w=%-10u", run.workers);
@@ -136,9 +191,41 @@ main(int argc, char **argv)
                                       run.broadphaseStorageGrowths));
     std::printf("\n\n");
 
+    // The speedup columns only mean something relative to the core
+    // count they were measured on — a 1-CPU container pins every
+    // speedup at ~1.0 by physics, not by regression. Record the
+    // host's cpus and flag comparisons across differing counts.
+    bool cpu_mismatch = false;
+    double baseline_cpus = -1.0;
+    if (!baseline_path.empty()) {
+        baseline_cpus = jsonNumberField(baseline_path, "cpus");
+        cpu_mismatch =
+            baseline_cpus != static_cast<double>(cpus);
+        if (cpu_mismatch) {
+            if (baseline_cpus < 0) {
+                std::printf(
+                    "WARNING: baseline %s records no cpus field; "
+                    "host has %u — speedups are not comparable\n\n",
+                    baseline_path.c_str(), cpus);
+            } else {
+                std::printf(
+                    "WARNING: baseline %s was measured on %.0f "
+                    "cpus, host has %u — speedups are not "
+                    "comparable\n\n",
+                    baseline_path.c_str(), baseline_cpus, cpus);
+            }
+        }
+    }
+
     JsonWriter json;
     json.field("benchmark", benchmarkInfo(id).shortName)
-        .field("scale", scale);
+        .field("scale", scale)
+        .field("cpus", static_cast<double>(cpus))
+        .field("steps", static_cast<double>(steps));
+    if (!baseline_path.empty()) {
+        json.field("baseline_cpus", baseline_cpus)
+            .field("cpu_mismatch", cpu_mismatch);
+    }
     json.beginArray("workers");
     for (const HostPhaseSeconds &run : runs)
         json.arrayValue(run.workers);

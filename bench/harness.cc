@@ -371,6 +371,15 @@ JsonWriter::field(const char *key, const char *value)
 }
 
 JsonWriter &
+JsonWriter::field(const char *key, bool value)
+{
+    comma();
+    out_ += std::string("\"") + key +
+            (value ? "\":true" : "\":false");
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::beginObject(const char *key)
 {
     comma();
@@ -437,11 +446,12 @@ JsonWriter::write(const char *path) const
 
 HostPhaseSeconds
 measureHostPhases(BenchmarkId id, unsigned workers, double scale,
-                  int warmup, int steps)
+                  int warmup, int steps, bool overlap)
 {
     WorldConfig config;
     config.workerThreads = workers;
     config.deterministic = true; // Same work at every worker count.
+    config.overlapPhases = overlap;
     config.checkInvariants = invariantChecksEnabled();
     config.tracing = !hostTracePath().empty();
     auto world = buildBenchmark(id, config, scale);

@@ -157,6 +157,7 @@ class JsonWriter
   public:
     JsonWriter &field(const char *key, double value);
     JsonWriter &field(const char *key, const char *value);
+    JsonWriter &field(const char *key, bool value);
     JsonWriter &beginObject(const char *key);
     JsonWriter &endObject();
     JsonWriter &beginArray(const char *key);
@@ -198,11 +199,14 @@ struct HostPhaseSeconds
 
 /**
  * Step `id` at the given scale/worker count and measure per-phase
- * host seconds over `steps` steps (after `warmup` steps).
+ * host seconds over `steps` steps (after `warmup` steps). With
+ * `overlap`, WorldConfig::overlapPhases is enabled (engages on
+ * scenes with cloth; see world.hh for the determinism contract).
  */
 HostPhaseSeconds measureHostPhases(BenchmarkId id, unsigned workers,
                                    double scale = 1.0,
-                                   int warmup = 12, int steps = 9);
+                                   int warmup = 12, int steps = 9,
+                                   bool overlap = false);
 
 } // namespace bench
 } // namespace parallax

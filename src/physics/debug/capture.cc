@@ -812,6 +812,8 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
     contactJoints_.clear();
     lastIslandList_.clear();
     stepStats_.reset();
+    // A prefetched broadphase saw the pre-restore poses.
+    bpPrefetchValid_ = false;
 
     // Governor ladder and quarantine bookkeeping are runtime
     // containment state, not simulation state: a restored world

@@ -1,6 +1,7 @@
 #include "task_scheduler.hh"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 
 #include "sim/logging.hh"
@@ -141,13 +142,54 @@ TaskScheduler::tiling(std::size_t count, std::size_t grain) const
     return t;
 }
 
+TaskScheduler::Tiling
+TaskScheduler::tiling(std::size_t count, std::size_t minGrain,
+                      const ChunkCostModel &cost) const
+{
+    // Widen the grain until one chunk is worth ~targetChunkNanos of
+    // estimated work. The result depends only on the iteration count
+    // and the cost estimate — never the lane count — so in
+    // deterministic mode (where the estimate is the committed
+    // constant) chunk boundaries are identical for any number of
+    // workers. Chunk count is bounded by total-work / target-chunk,
+    // which amortizes dispatch+steal overhead to a fixed fraction,
+    // and a loop cheaper than one target chunk collapses to a single
+    // inline chunk instead of paying any dispatch at all.
+    const double ns = std::max(1.0, cost.nsPerItem());
+    const auto cost_grain = static_cast<std::size_t>(
+        std::max(1.0, config_.targetChunkNanos / ns));
+    // Quantize to a power of two: the measured estimate must move
+    // 2x before chunk boundaries shift, so EWMA jitter does not
+    // re-tile every step (stable tiling keeps per-lane arena demand
+    // — and the allocation-flat guarantee — stable too).
+    Tiling t;
+    t.grain = std::max(std::max<std::size_t>(1, minGrain),
+                       std::bit_floor(cost_grain));
+    t.chunks = count == 0 ? 0 : (count + t.grain - 1) / t.grain;
+    return t;
+}
+
 void
 TaskScheduler::parallelFor(std::size_t count, std::size_t grain,
                            const LoopBody &body)
 {
+    runLoop(count, tiling(count, grain), body);
+}
+
+void
+TaskScheduler::parallelFor(std::size_t count, std::size_t minGrain,
+                           const ChunkCostModel &cost,
+                           const LoopBody &body)
+{
+    runLoop(count, tiling(count, minGrain, cost), body);
+}
+
+void
+TaskScheduler::runLoop(std::size_t count, const Tiling &tile,
+                       const LoopBody &body)
+{
     if (count == 0)
         return;
-    const Tiling tile = tiling(count, grain);
     loopsRun_.fetch_add(1, std::memory_order_relaxed);
 
     Lane &self = *lanes_[0];
@@ -235,7 +277,7 @@ TaskScheduler::participate(unsigned lane)
     for (;;) {
         std::uint64_t task;
         if (lanes_[lane]->deque.pop(task)) {
-            runRange(lane, task, false);
+            runRange(lane, task);
             continue;
         }
         if (remaining_.load(std::memory_order_acquire) <= 0)
@@ -246,7 +288,15 @@ TaskScheduler::participate(unsigned lane)
             got = lanes_[victim]->deque.steal(task);
         }
         if (got) {
-            runRange(lane, task, true);
+            // The steal counter is bumped here, at the cross-lane
+            // steal site itself (the victim loop above never visits
+            // the thief's own deque), and nowhere else — a pop of a
+            // self-pushed split can never read as a steal, so
+            // tasks_stolen is exactly the cross-lane migration count
+            // and must be zero whenever workerThreads == 0.
+            lanes_[lane]->stolen.fetch_add(1,
+                                           std::memory_order_relaxed);
+            runRange(lane, task);
         } else if (remaining_.load(std::memory_order_acquire) <= 0) {
             return;
         } else {
@@ -257,14 +307,11 @@ TaskScheduler::participate(unsigned lane)
 }
 
 void
-TaskScheduler::runRange(unsigned lane, std::uint64_t packed,
-                        bool stolen)
+TaskScheduler::runRange(unsigned lane, std::uint64_t packed)
 {
     Lane &self = *lanes_[lane];
     std::uint64_t c0 = packed >> 32;
     std::uint64_t c1 = packed & 0xffffffffu;
-    if (stolen)
-        self.stolen.fetch_add(1, std::memory_order_relaxed);
 
     // Lazy binary splitting: keep the left half, expose the right
     // half to thieves, until a single chunk remains.

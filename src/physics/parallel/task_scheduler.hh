@@ -62,6 +62,18 @@ struct SchedulerConfig
      *  worlds in a multi-world server shrink this so footprint
      *  scales with scene size instead of lane count. */
     std::size_t arenaBlockBytes = 64 * 1024;
+
+    /**
+     * Adaptive grain sizing: target nanoseconds of work per chunk
+     * for the cost-model tiling overloads. Dispatch plus steal
+     * overhead is a few hundred nanoseconds per chunk, so 50 us
+     * chunks keep that overhead under ~1% of chunk work while still
+     * yielding tens of stealable chunks per millisecond of phase
+     * time. A pure tuning knob: it moves chunk boundaries, never
+     * results (in deterministic mode it is part of the committed
+     * cost model, so it must be identical across compared runs).
+     */
+    double targetChunkNanos = 50 * 1000.0;
 };
 
 /** Per-lane execution counters (lane 0 is the calling thread). */
@@ -70,6 +82,56 @@ struct LaneStats
     std::uint64_t chunksExecuted = 0;
     std::uint64_t rangesStolen = 0;
     std::uint64_t itemsProcessed = 0;
+};
+
+/**
+ * Per-loop-site cost model feeding adaptive grain sizing.
+ *
+ * Each parallel loop site (narrowphase pair tests, island batches,
+ * cloth steps) owns one of these. It starts from a committed
+ * estimate of nanoseconds per iteration and, when the owner feeds it
+ * measurements via observe(), tracks the measured cost with an EWMA.
+ *
+ * Deterministic mode must never call observe(): the committed
+ * estimate is a step-stable input (a constant), so the grain derived
+ * from it — and therefore every chunk boundary — is a pure function
+ * of the iteration count, reproducible across runs and worker
+ * counts. Non-deterministic mode feeds measured per-item wall clock
+ * back in so grains track the actual scene.
+ */
+class ChunkCostModel
+{
+  public:
+    explicit ChunkCostModel(double committedNsPerItem)
+        : committed_(committedNsPerItem), ns_(committedNsPerItem)
+    {
+    }
+
+    /** Current cost estimate (committed until observe() is called). */
+    double nsPerItem() const { return ns_; }
+
+    /** The committed (never-measured) estimate. */
+    double committedNsPerItem() const { return committed_; }
+
+    /**
+     * Fold one measured loop execution into the estimate. Callers in
+     * deterministic mode must not call this (wall clock would leak
+     * into chunk boundaries).
+     */
+    void
+    observe(std::size_t items, double seconds)
+    {
+        if (items == 0 || !(seconds >= 0))
+            return;
+        const double measured = seconds * 1e9 / items;
+        // EWMA with a half-life of a few steps: quick to lock onto a
+        // scene, slow enough to ride out scheduler noise.
+        ns_ = ns_ * 0.7 + measured * 0.3;
+    }
+
+  private:
+    double committed_;
+    double ns_;
 };
 
 /**
@@ -172,6 +234,27 @@ class TaskScheduler
     { return tiling(count, config_.grainSize); }
 
     /**
+     * Cost-model tiling: widen the grain beyond `minGrain` until one
+     * chunk is worth at least SchedulerConfig::targetChunkNanos of
+     * estimated work (`nsPerItem` per iteration), so dispatch+steal
+     * overhead stays a small fraction of chunk cost.
+     *
+     * Deterministic mode derives the grain only from step-stable
+     * inputs — the iteration count and the (never wall-clock) cost
+     * estimate — and additionally caps it so loops big enough to
+     * split still yield a fixed number of chunks independent of the
+     * lane count, keeping chunk boundaries bitwise-reproducible for
+     * any number of workers. Non-deterministic mode balances the
+     * cost target against a few chunks per lane.
+     */
+    Tiling tiling(std::size_t count, std::size_t minGrain,
+                  const ChunkCostModel &cost) const;
+
+    /** parallelFor with cost-model tiling (see tiling above). */
+    void parallelFor(std::size_t count, std::size_t minGrain,
+                     const ChunkCostModel &cost, const LoopBody &body);
+
+    /**
      * Run `body` over [0, count) in parallel and wait for
      * completion. Chunks execute exactly on the boundaries reported
      * by tiling(); each chunk runs on exactly one lane.
@@ -248,11 +331,17 @@ class TaskScheduler
     /** Sleep off any stall injected for this lane. */
     void consumeStall(Lane &lane);
 
+    /** Seed, publish and drain one tiled loop (parallelFor body). */
+    void runLoop(std::size_t count, const Tiling &tile,
+                 const LoopBody &body);
+
     /** Pop/steal/split until the current loop has no chunks left. */
     void participate(unsigned lane);
 
-    /** Split a range down to one chunk and execute it. */
-    void runRange(unsigned lane, std::uint64_t packed, bool stolen);
+    /** Split a range down to one chunk and execute it. The steal
+     *  counter is maintained at the cross-lane steal site in
+     *  participate(), never here. */
+    void runRange(unsigned lane, std::uint64_t packed);
 
     SchedulerConfig config_;
     unsigned workerCount_;

@@ -625,6 +625,17 @@ World::step()
     stepStats_.solver = solver_.stats();
     stepStats_.effects = effects_.stats();
 
+    // Feed measured per-item narrowphase cost back into the grain
+    // model — but never in deterministic mode, where chunk
+    // boundaries must stay a pure function of counts and the
+    // committed seeds (wall clock must not leak into tiling).
+    if (!config_.deterministic && stepStats_.pairsFound > 0) {
+        npCost_.observe(
+            stepStats_.pairsFound,
+            stepStats_.phaseSeconds[static_cast<int>(
+                PipelinePhase::Narrowphase)]);
+    }
+
     // Mocked clock (governor determinism tests): the injected
     // schedule replaces the measured phase timers wholesale, so
     // every downstream consumer — the governor above all — sees a
@@ -1185,6 +1196,36 @@ World::stepFrame(int substeps)
 void
 World::phaseBroadphase()
 {
+    // Pipeline overlap: if the previous step's cloth phase already
+    // ran the spatial pass for this step and the world still looks
+    // the way it did then, only the step-coupled filter remains.
+    if (bpPrefetchValid_ && broadphasePrefetchUsable()) {
+        bpPrefetchValid_ = false;
+        broadphaseFilterPairs();
+        return;
+    }
+    bpPrefetchValid_ = false;
+    broadphaseFindPairs();
+    broadphaseFilterPairs();
+}
+
+bool
+World::broadphasePrefetchUsable() const
+{
+    if (bpPrefetchStep_ != stepCount_ ||
+        bpPrefetchGeoms_ != geoms_.size())
+        return false;
+    for (std::size_t i = 0; i < geoms_.size(); ++i) {
+        if (bpPrefetchEnabled_[i] !=
+            static_cast<std::uint8_t>(geoms_[i]->enabled()))
+            return false;
+    }
+    return true;
+}
+
+void
+World::broadphaseFindPairs()
+{
     // 2(b): find all pairs of objects potentially in contact. The
     // pointer list and pair output are persistent: once warm the
     // whole phase runs without touching the heap.
@@ -1195,8 +1236,15 @@ World::phaseBroadphase()
         geomPtrs_.push_back(g.get());
     }
     broadphase_->findPairsInto(geomPtrs_, lastPairs_);
+}
+
+void
+World::broadphaseFilterPairs()
+{
     // Drop pairs whose bodies share a permanent joint (ODE's
     // dAreConnected rule): articulated segments do not self-collide.
+    // Runs at the top of the step it serves (never prefetched), so
+    // joints created between steps are always respected.
     std::erase_if(lastPairs_, [this](const GeomPair &pair) {
         return connectedByJoint(geoms_[pair.a]->body(),
                                 geoms_[pair.b]->body());
@@ -1238,8 +1286,16 @@ World::phaseNarrowphase()
     // artificial serialization).
     lastContacts_.clear();
 
+    // Adaptive grain: chunks sized so each is worth roughly
+    // targetChunkNanos of pair tests under the narrowphase cost
+    // model (committed seed; measured EWMA outside deterministic
+    // mode), with config grainSize as the floor. Contact order is
+    // the pair order in both branches below, so the trajectory is
+    // invariant to the grain — only dispatch overhead moves.
     const std::size_t pairs = lastPairs_.size();
-    if (scheduler_.laneCount() == 1 || pairs < 2 * config_.grainSize) {
+    const TaskScheduler::Tiling tile =
+        scheduler_.tiling(pairs, config_.grainSize, npCost_);
+    if (scheduler_.laneCount() == 1 || tile.chunks < 2) {
         for (const GeomPair &pair : lastPairs_) {
             narrowphase_.collide(*geoms_[pair.a], *geoms_[pair.b],
                                  lastContacts_);
@@ -1253,7 +1309,6 @@ World::phaseNarrowphase()
     // loop. The instances are persistent (only their counters reset)
     // and contact buffers bump-allocate from the executing lane's
     // frame arena, so a warm narrowphase never touches the heap.
-    const TaskScheduler::Tiling tile = scheduler_.tiling(pairs);
     for (Narrowphase &local : npLocals_)
         local.resetStats();
     auto collideRange = [this](std::size_t begin, std::size_t end,
@@ -1279,7 +1334,7 @@ World::phaseNarrowphase()
         detChunkBufs_.clear();
         detChunkBufs_.resize(tile.chunks);
         scheduler_.parallelFor(
-            pairs,
+            pairs, config_.grainSize, npCost_,
             [&](std::size_t begin, std::size_t end, unsigned lane) {
                 ArenaVector<Contact> &buf =
                     detChunkBufs_[tile.chunkOf(begin)].contacts;
@@ -1302,7 +1357,7 @@ World::phaseNarrowphase()
                 ArenaVector<Contact>(&scheduler_.arena(l));
         }
         scheduler_.parallelFor(
-            pairs,
+            pairs, config_.grainSize, npCost_,
             [&](std::size_t begin, std::size_t end, unsigned lane) {
                 collideRange(begin, end, lane,
                              laneContactBufs_[lane].contacts);
@@ -1459,12 +1514,27 @@ World::phaseIslandProcessing()
         return p;
     };
 
+    // Velocity integration is per-body independent, so it tiles
+    // like any other kernel: same per-body arithmetic in the same
+    // order at any worker count (the committed body cost keeps
+    // chunks coarse enough to amortize dispatch).
+    auto forEachBody = [this](auto &&per_body) {
+        scheduler_.parallelFor(
+            bodies_.size(), 1, bodyCost_,
+            [this, &per_body](std::size_t begin, std::size_t end,
+                              unsigned) {
+                for (std::size_t i = begin; i < end; ++i)
+                    per_body(*bodies_[i]);
+            });
+    };
     if (probation_islands.empty()) {
-        for (const auto &body : bodies_)
-            body->integrateVelocities(config_.dt);
+        forEachBody([this](RigidBody &body) {
+            body.integrateVelocities(config_.dt);
+        });
     } else {
-        for (const auto &body : bodies_)
-            body->integrateVelocities(bodyDt(*body));
+        forEachBody([&bodyDt](RigidBody &body) {
+            body.integrateVelocities(bodyDt(body));
+        });
     }
 
     // Auto-disable, part 1: islands sleep and wake as a unit. An
@@ -1486,10 +1556,15 @@ World::phaseIslandProcessing()
         }
     }
 
-    std::vector<Island *> &queued = queuedIslands_;
-    std::vector<Island *> &inline_islands = inlineIslands_;
-    queued.clear();
-    inline_islands.clear();
+    // Every awake island is stealable work. Small islands no longer
+    // serialize on the main thread: they pack (in island index
+    // order) into batches carrying at least `target_rows` constraint
+    // rows, so a scene of many tiny islands still spreads across all
+    // lanes while per-task dispatch stays amortized. Islands touch
+    // disjoint body sets, so results are bitwise identical whichever
+    // lane solves them; per-lane solver instances keep stats
+    // counters race-free and reuse their workspaces across steps.
+    solveIslands_.clear();
     for (Island &island : lastIslandList_) {
         // Fully sleeping islands are not solved or integrated.
         bool all_asleep = !island.bodies.empty();
@@ -1500,50 +1575,72 @@ World::phaseIslandProcessing()
             stepStats_.bodiesAsleep += island.bodies.size();
             continue;
         }
-        if (island.rowCount() > config_.islandWorkQueueThreshold &&
-            scheduler_.workerCount() > 0) {
-            queued.push_back(&island);
-        } else {
-            inline_islands.push_back(&island);
-        }
+        solveIslands_.push_back(&island);
     }
-    stepStats_.islandsToWorkQueue = queued.size();
-    stepStats_.islandsOnMainThread = inline_islands.size();
 
-    if (!queued.empty()) {
-        // One chunk per island (islands are coarse and unbalanced;
-        // stealing load-balances them). Islands touch disjoint body
-        // sets, so results are bitwise identical whichever lane
-        // solves them; the persistent per-lane solver instances keep
-        // the stats counters race-free and reuse their workspaces
-        // across steps.
+    const Island *island_base = lastIslandList_.data();
+    if (scheduler_.workerCount() == 0 || solveIslands_.size() <= 1) {
+        stepStats_.islandsOnMainThread = solveIslands_.size();
+        for (Island *island : solveIslands_) {
+            PAX_TRACE_SCOPE_ID(
+                trace_, 0, "island_solve", stepCount_,
+                static_cast<std::int64_t>(island - island_base));
+            solver_.solve(*island, paramsFor(*island));
+        }
+    } else {
+        stepStats_.islandsToWorkQueue = solveIslands_.size();
+        // islandWorkQueueThreshold is the batching floor; the
+        // committed per-row cost (scaled by this step's solver
+        // iterations) widens it so one batch is worth roughly
+        // targetChunkNanos of solver work. All inputs are
+        // step-stable, so batch boundaries — and a fortiori the
+        // trajectory — never depend on wall clock or worker count.
+        const double row_ns = islandRowCost_.nsPerItem() *
+                              std::max(1, plan_.solverIterations);
+        const auto cost_rows = static_cast<std::size_t>(std::max(
+            1.0,
+            scheduler_.schedulerConfig().targetChunkNanos / row_ns));
+        const std::size_t target_rows =
+            std::max(static_cast<std::size_t>(std::max(
+                         1, config_.islandWorkQueueThreshold)),
+                     cost_rows);
+        islandBatchOffsets_.clear();
+        std::size_t batch_rows = target_rows; // open a batch at i=0
+        for (std::size_t i = 0; i < solveIslands_.size(); ++i) {
+            if (batch_rows >= target_rows) {
+                islandBatchOffsets_.push_back(
+                    static_cast<std::uint32_t>(i));
+                batch_rows = 0;
+            }
+            batch_rows += static_cast<std::size_t>(
+                std::max(1, solveIslands_[i]->rowCount()));
+        }
+        islandBatchOffsets_.push_back(
+            static_cast<std::uint32_t>(solveIslands_.size()));
+
         for (PgsSolver &s : laneSolvers_) {
             s.setIterations(plan_.solverIterations);
             s.resetStats();
         }
-        const Island *island_base = lastIslandList_.data();
         scheduler_.parallelFor(
-            queued.size(), 1,
-            [this, island_base, &queued, &paramsFor](
+            islandBatchOffsets_.size() - 1, 1,
+            [this, island_base, &paramsFor](
                 std::size_t begin, std::size_t end, unsigned lane) {
-                for (std::size_t i = begin; i < end; ++i) {
-                    PAX_TRACE_SCOPE_ID(
-                        trace_, lane, "island_solve", stepCount_,
-                        static_cast<std::int64_t>(queued[i] -
-                                                  island_base));
-                    laneSolvers_[lane].solve(*queued[i],
-                                             paramsFor(*queued[i]));
+                for (std::size_t b = begin; b < end; ++b) {
+                    for (std::uint32_t i = islandBatchOffsets_[b];
+                         i < islandBatchOffsets_[b + 1]; ++i) {
+                        Island *island = solveIslands_[i];
+                        PAX_TRACE_SCOPE_ID(
+                            trace_, lane, "island_solve", stepCount_,
+                            static_cast<std::int64_t>(island -
+                                                      island_base));
+                        laneSolvers_[lane].solve(*island,
+                                                 paramsFor(*island));
+                    }
                 }
             });
         for (const PgsSolver &s : laneSolvers_)
             solver_.mergeStats(s.stats());
-    }
-    for (Island *island : inline_islands) {
-        PAX_TRACE_SCOPE_ID(
-            trace_, 0, "island_solve", stepCount_,
-            static_cast<std::int64_t>(island -
-                                      lastIslandList_.data()));
-        solver_.solve(*island, paramsFor(*island));
     }
 
     // 2(f): check all breakable joints. This must run between the
@@ -1580,11 +1677,13 @@ World::phaseIslandProcessing()
     totalJointsBroken_ = total_broken;
 
     if (probation_islands.empty()) {
-        for (const auto &body : bodies_)
-            body->integratePositions(config_.dt);
+        forEachBody([this](RigidBody &body) {
+            body.integratePositions(config_.dt);
+        });
     } else {
-        for (const auto &body : bodies_)
-            body->integratePositions(bodyDt(*body));
+        forEachBody([&bodyDt](RigidBody &body) {
+            body.integratePositions(bodyDt(body));
+        });
     }
 
     // Auto-disable, part 2: with post-solve velocities (resting
@@ -1706,19 +1805,43 @@ World::phaseCloth()
         }
     }
 
-    if (scheduler_.workerCount() > 0 && cloths_.size() > 1) {
+    // Pipeline overlap (WorldConfig::overlapPhases): next step's
+    // broadphase rides this phase's parallelFor as one extra
+    // stealable item. It is safe to run concurrently with cloth
+    // stepping because the two touch disjoint state: the broadphase
+    // writes geom bounds and the pair list, while cloth collision
+    // reads collider poses recomputed from body state (never cached
+    // bounds) against the collider lists prebuilt above. Nothing
+    // moves rigid bodies between here and the next step's broadphase
+    // phase, so the prefetched pairs are byte-identical to what a
+    // synchronous pass would find.
+    const bool prefetch =
+        config_.overlapPhases && scheduler_.workerCount() > 0 &&
+        effectiveInvariantMode() == InvariantMode::Off;
+
+    if (scheduler_.workerCount() > 0 &&
+        (cloths_.size() > 1 || prefetch)) {
         // One chunk per cloth; relaxation sweeps within a cloth are
         // sequential, so cloths are the stealable unit. Per-cloth
         // stats buffers reduce in cloth order (deterministic either
-        // way: each cloth is touched by exactly one lane).
+        // way: each cloth is touched by exactly one lane). The
+        // prefetch rides as the last item so cloth indices are
+        // untouched; splitting hands it to an idle lane early.
         std::vector<ClothStats> &locals = clothLocalStats_;
         locals.assign(cloths_.size(), ClothStats{});
         scheduler_.parallelFor(
-            cloths_.size(), 1,
+            cloths_.size() + (prefetch ? 1 : 0), 1,
             [this, &colliders, &locals, &frozen](std::size_t begin,
                                                  std::size_t end,
                                                  unsigned lane) {
                 for (std::size_t ci = begin; ci < end; ++ci) {
+                    if (ci == cloths_.size()) {
+                        PAX_TRACE_SCOPE_ID(trace_, lane,
+                                           "broadphase_prefetch",
+                                           stepCount_, 0);
+                        broadphaseFindPairs();
+                        continue;
+                    }
                     if (frozen(ci))
                         continue;
                     PAX_TRACE_SCOPE_ID(
@@ -1729,6 +1852,18 @@ World::phaseCloth()
                                       colliders[ci], locals[ci]);
                 }
             });
+        if (prefetch) {
+            // Snapshot what the prefetch saw; the next step's
+            // broadphase discards it if the world changed shape.
+            bpPrefetchValid_ = true;
+            bpPrefetchStep_ = stepCount_ + 1;
+            bpPrefetchGeoms_ = geoms_.size();
+            bpPrefetchEnabled_.resize(geoms_.size());
+            for (std::size_t i = 0; i < geoms_.size(); ++i) {
+                bpPrefetchEnabled_[i] =
+                    static_cast<std::uint8_t>(geoms_[i]->enabled());
+            }
+        }
         for (const ClothStats &ls : locals) {
             stats.clothsStepped += ls.clothsStepped;
             stats.verticesIntegrated += ls.verticesIntegrated;

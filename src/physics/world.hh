@@ -78,12 +78,16 @@ struct WorldConfig
     int clothIterations = 20;
     /** Persistent worker threads (0 = single-threaded). */
     unsigned workerThreads = 0;
-    /** Islands with more rows than this go to the work-stealing
-     *  scheduler; smaller islands execute on the main thread
-     *  (paper: 25). */
+    /** Island batching hint: small islands are packed together into
+     *  shared stealable chunks of at least this many constraint rows
+     *  (paper: 25). Every awake island is a candidate for any lane —
+     *  the threshold shapes chunk size, it no longer serializes
+     *  small islands onto the main thread. */
     int islandWorkQueueThreshold = 25;
-    /** parallel_for tiling grain: iterations (pair tests, islands,
-     *  cloths) per scheduler chunk. */
+    /** parallel_for tiling floor: minimum iterations (pair tests,
+     *  islands, cloths) per scheduler chunk. The effective grain is
+     *  usually wider — see SchedulerConfig::targetChunkNanos and the
+     *  per-phase cost models in world.cc. */
     unsigned grainSize = 16;
     /** Frame-arena block size in bytes (parallel/arena.hh). The
      *  64 KB default suits one big world; a server hosting thousands
@@ -93,8 +97,29 @@ struct WorldConfig
     std::size_t arenaBlockBytes = 64 * 1024;
     /** Fixed tiling + ordered reduction: simulation state is
      *  bitwise identical for any worker count (costs some merge
-     *  overhead in the narrowphase). */
+     *  overhead in the narrowphase). Adaptive grain sizing stays on
+     *  but freezes its cost model at the committed constants, so
+     *  chunk boundaries are a pure function of item counts. */
     bool deterministic = false;
+    /**
+     * Pipeline overlap: run broadphase for step N+1 on a stealable
+     * task while step N's cloth drains (they touch disjoint state:
+     * cloth reads body poses, broadphase writes geom bounds + the
+     * pair list). Engages only with workerThreads > 0, at least one
+     * cloth, and the invariant checker Off (the checker audits the
+     * pair list, which overlap rewrites early). Determinism
+     * contract: the prefetched pairs are byte-identical to the pairs
+     * a synchronous broadphase would find — nothing moves bodies
+     * between the cloth phase and the next step's broadphase — so
+     * trajectories match the overlap-off run bitwise at every worker
+     * count. If the world changes structurally between steps (geoms
+     * added/removed, enabled flags toggled) or a snapshot is
+     * restored, the prefetch is discarded and that step's broadphase
+     * runs synchronously. Note: phase *timing attribution* shifts —
+     * the broadphase work lands in the cloth phase's wall-clock
+     * span of the previous step. Off by default.
+     */
+    bool overlapPhases = false;
     BroadphaseKind broadphase = BroadphaseKind::SweepAndPrune;
     ContactMaterial defaultMaterial;
     Real erp = 0.2;
@@ -543,6 +568,20 @@ class World
     void phaseIslandProcessing();
     void phaseCloth();
 
+    /** Broadphase split for pipeline overlap: the pure spatial pass
+     *  (bounds + pair find — safe to run concurrently with cloth)
+     *  and the step-coupled filter pass (joint-connected suppression
+     *  + governor deferral, which read the *current* step's joints
+     *  and plan). phaseBroadphase() = find + filter; the overlap
+     *  path runs find during the previous step's cloth phase and
+     *  only filters here. */
+    void broadphaseFindPairs();
+    void broadphaseFilterPairs();
+    /** True when the prefetched pair list still describes this
+     *  world: right target step, same geom count, same enabled
+     *  flags. */
+    bool broadphasePrefetchUsable() const;
+
     /** Counter tracks + per-lane scheduler deltas for this step
      *  (only called when tracing is enabled). */
     void recordStepTraceCounters();
@@ -582,9 +621,31 @@ class World
     std::vector<Geom *> geomPtrs_;
     /** Permanent + contact joints fed to the island builder. */
     std::vector<Joint *> allJointsScratch_;
-    /** Island dispatch lists (work queue vs main thread). */
-    std::vector<Island *> queuedIslands_;
-    std::vector<Island *> inlineIslands_;
+    /** Awake islands in index order, and batch offsets into that
+     *  list: batch b spans solveIslands_[islandBatchOffsets_[b] ..
+     *  islandBatchOffsets_[b+1]). Small islands pack together until
+     *  a batch carries at least the row target derived from
+     *  islandWorkQueueThreshold and the committed row cost. */
+    std::vector<Island *> solveIslands_;
+    std::vector<std::uint32_t> islandBatchOffsets_;
+    /**
+     * Per-phase adaptive-grain cost models (ns per item). Seeded
+     * with committed constants; outside deterministic mode the
+     * narrowphase model tracks measured phase time (EWMA) so grains
+     * follow the scene. In deterministic mode observe() is never
+     * called — grain is a pure function of item counts and these
+     * committed seeds, keeping chunk boundaries reproducible.
+     */
+    ChunkCostModel npCost_{800.0};
+    ChunkCostModel bodyCost_{60.0};
+    /** Committed cost of one constraint-row relaxation (one row,
+     *  one sweep); batch row targets scale by solver iterations. */
+    ChunkCostModel islandRowCost_{60.0};
+    /** Broadphase prefetch state (see WorldConfig::overlapPhases). */
+    bool bpPrefetchValid_ = false;
+    std::uint64_t bpPrefetchStep_ = 0;
+    std::size_t bpPrefetchGeoms_ = 0;
+    std::vector<std::uint8_t> bpPrefetchEnabled_;
     /** One solver per lane for parallel island processing; each owns
      *  a persistent workspace that stops allocating once warm. */
     std::vector<PgsSolver> laneSolvers_;

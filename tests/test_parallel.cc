@@ -13,6 +13,7 @@
 #include <limits>
 #include <vector>
 
+#include "physics/debug/capture.hh"
 #include "physics/parallel/task_scheduler.hh"
 #include "physics/world.hh"
 #include "workload/benchmarks.hh"
@@ -369,6 +370,226 @@ TEST(Determinism, InjectedLaneStallsDoNotPerturbSimulation)
     EXPECT_EQ(std::memcmp(stalled.data(), clean.data(),
                           clean.size() * sizeof(double)),
               0);
+}
+
+TEST(TaskScheduler, CostModelTilingIsLaneIndependent)
+{
+    // Adaptive grains come from counts and the cost estimate only —
+    // never the worker count — so deterministic-mode chunk
+    // boundaries cannot depend on how many lanes exist. The grain is
+    // quantized to a power of two (the estimate must move 2x before
+    // tiling shifts) and floored at minGrain.
+    const ChunkCostModel cost(1000.0); // -> 50 raw, 32 quantized
+    TaskScheduler::Tiling reference{};
+    for (unsigned workers : {0u, 1u, 3u, 7u}) {
+        SchedulerConfig config;
+        config.workerThreads = workers;
+        config.deterministic = true;
+        TaskScheduler scheduler(config);
+        const TaskScheduler::Tiling tile =
+            scheduler.tiling(10000, 4, cost);
+        EXPECT_EQ(tile.grain, 32u);
+        if (workers == 0)
+            reference = tile;
+        EXPECT_EQ(tile.grain, reference.grain);
+        EXPECT_EQ(tile.chunks, reference.chunks);
+    }
+
+    TaskScheduler scheduler(SchedulerConfig{});
+    // Cheap items widen the grain; the floor still binds.
+    EXPECT_EQ(scheduler.tiling(10000, 4, ChunkCostModel(10.0)).grain,
+              4096u);
+    EXPECT_EQ(scheduler.tiling(10000, 512, ChunkCostModel(50000.0))
+                  .grain,
+              512u);
+    // A loop cheaper than one target chunk collapses to one chunk.
+    EXPECT_EQ(scheduler.tiling(20, 1, ChunkCostModel(1000.0)).chunks,
+              1u);
+}
+
+TEST(TaskScheduler, CostModelObservationMovesTheEstimate)
+{
+    ChunkCostModel cost(1000.0);
+    EXPECT_DOUBLE_EQ(cost.committedNsPerItem(), 1000.0);
+    // 100 items in 1 ms -> 10000 ns/item measured; EWMA moves part
+    // of the way there and the committed seed stays put.
+    cost.observe(100, 1e-3);
+    EXPECT_GT(cost.nsPerItem(), 1000.0);
+    EXPECT_LT(cost.nsPerItem(), 10000.0);
+    EXPECT_DOUBLE_EQ(cost.committedNsPerItem(), 1000.0);
+    // Degenerate observations are ignored.
+    const double before = cost.nsPerItem();
+    cost.observe(0, 1.0);
+    cost.observe(100, -1.0);
+    EXPECT_DOUBLE_EQ(cost.nsPerItem(), before);
+}
+
+TEST(TaskScheduler, NoStealsCountedWithoutWorkers)
+{
+    // tasks_stolen counts cross-lane steals only. With zero workers
+    // every chunk runs inline on the calling lane, so the counter
+    // must stay at exactly zero no matter how many loops run.
+    SchedulerConfig config;
+    config.workerThreads = 0;
+    config.grainSize = 1;
+    TaskScheduler scheduler(config);
+    for (int loop = 0; loop < 20; ++loop) {
+        std::atomic<int> ran{0};
+        scheduler.parallelFor(
+            257, [&ran](std::size_t begin, std::size_t end, unsigned) {
+                ran.fetch_add(static_cast<int>(end - begin),
+                              std::memory_order_relaxed);
+            });
+        ASSERT_EQ(ran.load(), 257);
+    }
+    EXPECT_EQ(scheduler.tasksStolen(), 0u);
+    for (const LaneStats &lane : scheduler.laneStats())
+        EXPECT_EQ(lane.rangesStolen, 0u);
+
+    // Same invariant through the full world pipeline.
+    WorldConfig wc;
+    wc.workerThreads = 0;
+    auto world = buildBenchmark(BenchmarkId::Mix, wc, 0.12);
+    for (int i = 0; i < 5; ++i) {
+        world->step();
+        EXPECT_EQ(world->lastStepStats().parTasksStolen, 0u);
+    }
+    EXPECT_EQ(world->scheduler().tasksStolen(), 0u);
+}
+
+TEST(Islands, TinyIslandsEngageAllLanes)
+{
+    // islandWorkQueueThreshold is a batching hint, not a routing
+    // cliff: a scene made entirely of islands far below the
+    // threshold (jointed pairs, 3 rows each) must still spread
+    // across every lane. Steps repeat until the workers have been
+    // observed running chunks, which keeps the test robust on
+    // loaded single-core hosts.
+    WorldConfig config;
+    config.workerThreads = 2;
+    config.deterministic = true;
+    World world(config);
+    const SphereShape *s = world.addSphere(0.2);
+    for (int i = 0; i < 200; ++i) {
+        const double x = (i % 20) * 2.0;
+        const double z = (i / 20) * 2.0;
+        RigidBody *a = world.createDynamicBody(
+            Transform(Quat(), {x, 50, z}), *s, 1.0);
+        RigidBody *b = world.createDynamicBody(
+            Transform(Quat(), {x + 0.5, 50, z}), *s, 1.0);
+        world.createGeom(s, a);
+        world.createGeom(s, b);
+        world.createBallJoint(a, b, {x + 0.25, 50, z});
+    }
+
+    bool all_lanes_ran = false;
+    for (int step = 0; step < 200 && !all_lanes_ran; ++step) {
+        world.step();
+        const StepStats &stats = world.lastStepStats();
+        // Every awake island is stealable work now.
+        EXPECT_EQ(stats.islandsToWorkQueue, 200u);
+        EXPECT_EQ(stats.islandsOnMainThread, 0u);
+        all_lanes_ran = true;
+        const std::vector<LaneStats> lanes =
+            world.scheduler().laneStats();
+        ASSERT_EQ(lanes.size(), 3u);
+        for (std::size_t lane = 1; lane < lanes.size(); ++lane)
+            all_lanes_ran &= lanes[lane].chunksExecuted > 0;
+    }
+    EXPECT_TRUE(all_lanes_ran)
+        << "worker lanes never ran any of the tiny-island batches";
+}
+
+/** Step the Mix scene with phase overlap on/off at `workers`. */
+std::vector<double>
+runMixSceneOverlap(unsigned workers, bool overlap)
+{
+    WorldConfig config;
+    config.workerThreads = workers;
+    config.deterministic = true;
+    config.overlapPhases = overlap;
+    auto world = buildBenchmark(BenchmarkId::Mix, config, 0.12);
+    for (int i = 0; i < 30; ++i)
+        world->step();
+    return worldState(*world);
+}
+
+TEST(Determinism, OverlapPhasesIsBitwiseIdentical)
+{
+    // The overlap contract: prefetching the next step's broadphase
+    // during the cloth phase must not change a single bit of the
+    // trajectory — at any worker count, including against the
+    // overlap-off serial reference.
+    const std::vector<double> base = runMixSceneOverlap(0, false);
+    ASSERT_FALSE(base.empty());
+    for (unsigned workers : {0u, 1u, 2u, 8u}) {
+        const std::vector<double> state =
+            runMixSceneOverlap(workers, true);
+        ASSERT_EQ(state.size(), base.size());
+        EXPECT_EQ(std::memcmp(state.data(), base.data(),
+                              base.size() * sizeof(double)),
+                  0)
+            << "overlap changed the trajectory at workers="
+            << workers;
+    }
+}
+
+TEST(Determinism, OverlapSurvivesStructuralChanges)
+{
+    // Geoms created between steps invalidate the prefetched pair
+    // list; the next broadphase must fall back to a synchronous
+    // pass and land on the same trajectory as an overlap-off twin
+    // performing the same mutations.
+    auto run = [](bool overlap) {
+        WorldConfig config;
+        config.workerThreads = 2;
+        config.deterministic = true;
+        config.overlapPhases = overlap;
+        auto world = buildBenchmark(BenchmarkId::Mix, config, 0.12);
+        const SphereShape *s = world->addSphere(0.4);
+        for (int i = 0; i < 20; ++i) {
+            world->step();
+            if (i % 5 == 4) {
+                RigidBody *b = world->createDynamicBody(
+                    Transform(Quat(), {-30.0 + i, 20, 0}), *s, 1.0);
+                world->createGeom(s, b);
+            }
+        }
+        return worldState(*world);
+    };
+    const std::vector<double> off = run(false);
+    const std::vector<double> on = run(true);
+    ASSERT_EQ(on.size(), off.size());
+    EXPECT_EQ(std::memcmp(on.data(), off.data(),
+                          off.size() * sizeof(double)),
+              0);
+}
+
+TEST(Determinism, AdaptiveGrainSweepAcrossScenes)
+{
+    // The adaptive-grain and cross-island solve paths must keep the
+    // bitwise 0/1/2/8-worker identity on every scene family (the
+    // full-length sweep over all 8 scenes is tools/state_hash; this
+    // keeps a fast cross-section in ctest).
+    for (BenchmarkId id :
+         {BenchmarkId::Periodic, BenchmarkId::Continuous,
+          BenchmarkId::Ragdoll}) {
+        auto run = [id](unsigned workers) {
+            WorldConfig config;
+            config.workerThreads = workers;
+            config.deterministic = true;
+            auto world = buildBenchmark(id, config, 0.1);
+            for (int i = 0; i < 12; ++i)
+                world->step();
+            return worldStateHash(*world);
+        };
+        const std::uint64_t base = run(0);
+        for (unsigned workers : {1u, 2u, 8u}) {
+            EXPECT_EQ(run(workers), base)
+                << benchmarkInfo(id).shortName << " diverged at "
+                << workers << " workers";
+        }
+    }
 }
 
 } // namespace

@@ -151,7 +151,8 @@ TEST(Trace, WorkerLanesOnlyCarryLeafSpans)
         const std::string name = e.name;
         EXPECT_TRUE(name == "island_solve" ||
                     name == "cloth_step" ||
-                    name == "narrowphase_chunk")
+                    name == "narrowphase_chunk" ||
+                    name == "broadphase_prefetch")
             << "unexpected span '" << name << "' on lane " << e.lane;
     }
 }

@@ -144,36 +144,48 @@ TEST(World, BroadphaseKindsAgreeOnPhysics)
         EXPECT_NEAR((sap[i] - hash[i]).length(), 0.0, 1e-9);
 }
 
-TEST(World, WorkQueueThresholdRoutesIslands)
+TEST(World, AllAwakeIslandsAreStealableWork)
 {
+    // islandWorkQueueThreshold is a batching hint, not a routing
+    // cliff: with workers available, every awake island — the big
+    // chain and the lonely single alike — is submitted to the
+    // scheduler (small ones packed into shared batches). Nothing is
+    // pinned to the main thread.
+    auto build = [](World &world) {
+        const SphereShape *s = world.addSphere(0.3);
+        std::vector<RigidBody *> chain;
+        for (int i = 0; i < 12; ++i) {
+            RigidBody *b = world.createDynamicBody(
+                Transform(Quat(), {i * 0.5, 5, 0}), *s, 1.0);
+            world.createGeom(s, b);
+            chain.push_back(b);
+            if (i > 0) {
+                world.createBallJoint(chain[i - 1], chain[i],
+                                      {i * 0.5 - 0.25, 5, 0});
+            }
+        }
+        RigidBody *lonely = world.createDynamicBody(
+            Transform(Quat(), {100, 5, 0}), *s, 1.0);
+        world.createGeom(s, lonely);
+    };
+
     WorldConfig config;
     config.workerThreads = 2;
     config.islandWorkQueueThreshold = 25;
     World world(config);
-
-    // A long chain forms one big island (> 25 rows); singles stay
-    // on the main thread.
-    const SphereShape *s = world.addSphere(0.3);
-    std::vector<RigidBody *> chain;
-    for (int i = 0; i < 12; ++i) {
-        RigidBody *b = world.createDynamicBody(
-            Transform(Quat(), {i * 0.5, 5, 0}), *s, 1.0);
-        world.createGeom(s, b);
-        chain.push_back(b);
-        if (i > 0) {
-            world.createBallJoint(chain[i - 1], chain[i],
-                                  {i * 0.5 - 0.25, 5, 0});
-        }
-    }
-    RigidBody *lonely = world.createDynamicBody(
-        Transform(Quat(), {100, 5, 0}), *s, 1.0);
-    world.createGeom(s, lonely);
-
+    build(world);
     world.step();
     const StepStats &stats = world.lastStepStats();
-    // Chain: 11 ball joints x 3 rows = 33 rows > 25 -> work queue.
-    EXPECT_EQ(stats.islandsToWorkQueue, 1u);
-    EXPECT_EQ(stats.islandsOnMainThread, 1u);
+    EXPECT_EQ(stats.islandsToWorkQueue, 2u);
+    EXPECT_EQ(stats.islandsOnMainThread, 0u);
+
+    // Single-threaded worlds solve everything inline.
+    config.workerThreads = 0;
+    World serial(config);
+    build(serial);
+    serial.step();
+    EXPECT_EQ(serial.lastStepStats().islandsToWorkQueue, 0u);
+    EXPECT_EQ(serial.lastStepStats().islandsOnMainThread, 2u);
 }
 
 TEST(World, DisabledBodiesSkipAllPhases)

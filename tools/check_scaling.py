@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Parallel-scaling regression gate (ctest `check_scaling`).
+
+Runs bench_parallel_scaling at a reduced step count and compares the
+4-worker speedup against the committed baseline for the same scene.
+Fails when the measured speedup regresses below baseline minus a
+tolerance; skips (exit 0 with a notice) on hosts with fewer than 4
+CPUs, where the sweep is physically pinned at ~1x and a comparison
+would only measure the container, not the code.
+
+Usage:
+    check_scaling.py BENCH_BINARY BASELINE_JSON [--scene=Mix]
+        [--scale=0.2] [--steps=5] [--tolerance=0.25]
+
+The tolerance is absolute speedup (default 0.25: a baseline of 2.10x
+fails below 1.85x). Baselines measured on a different core count than
+the host (or recorded without a `cpus` field) produce a notice and a
+skip, mirroring the bench's own `cpu_mismatch` flag — cross-host
+speedup comparisons are not meaningful.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg):
+    print("check_scaling: FAIL: %s" % msg)
+    sys.exit(1)
+
+
+def skip(msg):
+    print("check_scaling: SKIP: %s" % msg)
+    sys.exit(0)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    opts = dict(
+        a[2:].split("=", 1) for a in argv[1:] if a.startswith("--")
+    )
+    if len(args) != 2:
+        fail("usage: check_scaling.py BENCH_BINARY BASELINE_JSON")
+    bench, baseline_path = args
+    scene = opts.get("scene", "Mix")
+    scale = float(opts.get("scale", "0.2"))
+    steps = int(opts.get("steps", "5"))
+    tolerance = float(opts.get("tolerance", "0.25"))
+
+    cpus = os.cpu_count() or 1
+    if cpus < 4:
+        skip(
+            "host has %d cpus (< 4); the 4-worker sweep cannot "
+            "demonstrate scaling here" % cpus
+        )
+
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as e:
+        fail("cannot read baseline %s: %s" % (baseline_path, e))
+
+    base_cpus = baseline.get("cpus")
+    if base_cpus is None:
+        skip(
+            "baseline %s records no cpus field; re-baseline on this "
+            "host before gating" % baseline_path
+        )
+    if int(base_cpus) != cpus:
+        skip(
+            "baseline measured on %d cpus, host has %d; speedups "
+            "are not comparable" % (base_cpus, cpus)
+        )
+
+    workers = baseline.get("workers", [])
+    speedups = baseline.get("speedup", [])
+    if 4 not in workers or len(speedups) != len(workers):
+        fail("baseline %s has no 4-worker speedup" % baseline_path)
+    base_speedup = speedups[workers.index(4)]
+
+    out = os.path.join(
+        tempfile.mkdtemp(prefix="check_scaling_"), "bench.json"
+    )
+    cmd = [
+        bench,
+        scene,
+        str(scale),
+        "--steps=%d" % steps,
+        "--warmup=%d" % max(3, steps),
+        "--bench-out=%s" % out,
+        "--baseline=%s" % baseline_path,
+    ]
+    run = subprocess.run(cmd, capture_output=True, text=True)
+    if run.returncode != 0:
+        fail(
+            "bench exited %d:\n%s" % (run.returncode, run.stderr)
+        )
+    try:
+        with open(out) as f:
+            measured = json.load(f)
+    except (OSError, ValueError) as e:
+        fail("bench wrote unreadable JSON: %s" % e)
+
+    m_workers = measured.get("workers", [])
+    m_speedups = measured.get("speedup", [])
+    if 4 not in m_workers:
+        fail("bench JSON has no 4-worker run")
+    got = m_speedups[m_workers.index(4)]
+
+    floor = base_speedup - tolerance
+    print(
+        "check_scaling: %s scale %g: 4-worker speedup %.2fx "
+        "(baseline %.2fx, floor %.2fx, %d cpus)"
+        % (scene, scale, got, base_speedup, floor, cpus)
+    )
+    if got < floor:
+        fail(
+            "4-worker speedup %.2fx regressed below %.2fx"
+            % (got, floor)
+        )
+    print("check_scaling: OK")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main(sys.argv)
