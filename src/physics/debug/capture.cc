@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -828,6 +829,10 @@ World::restoreState(const std::vector<std::uint8_t> &bytes)
     probationUntil_.clear();
     retryCount_.clear();
     clothQuarantined_.clear();
+    // A deferred hard-fail is rehabilitated by the rollback that
+    // brought us here (the external degradation floor, by contrast,
+    // is the supervisor's to lift — it survives restores).
+    hardFailCode_.clear();
     return okStatus();
 }
 
@@ -1140,6 +1145,31 @@ worldStateHash(const World &world)
     }
     f.real(world.time());
     return f.h;
+}
+
+bool
+worldStateFinite(const World &world)
+{
+    const auto finite3 = [](const Vec3 &v) {
+        return std::isfinite(v.x) && std::isfinite(v.y) &&
+               std::isfinite(v.z);
+    };
+    for (const auto &b : world.bodies()) {
+        const Quat &q = b->orientation();
+        if (!finite3(b->position()) || !finite3(b->linearVelocity()) ||
+            !finite3(b->angularVelocity()) || !std::isfinite(q.w) ||
+            !std::isfinite(q.x) || !std::isfinite(q.y) ||
+            !std::isfinite(q.z)) {
+            return false;
+        }
+    }
+    for (const auto &c : world.cloths()) {
+        for (const Cloth::Particle &p : c->particles()) {
+            if (!finite3(p.position) || !finite3(p.previous))
+                return false;
+        }
+    }
+    return std::isfinite(world.time());
 }
 
 } // namespace parallax

@@ -123,6 +123,16 @@ Status applySnapshotDelta(const std::vector<std::uint8_t> &base,
  */
 std::uint64_t worldStateHash(const World &world);
 
+/**
+ * True when every quantity worldStateHash covers — body poses,
+ * orientations, velocities, cloth particles, simulation time — is
+ * finite. The cheap health probe the server watchdog runs after each
+ * tick burst: a NaN or Inf anywhere in dynamic state means the world
+ * is poisoned even when no invariant checker is configured. Early-
+ * exits on the first non-finite value.
+ */
+bool worldStateFinite(const World &world);
+
 } // namespace parallax
 
 #endif // PARALLAX_PHYSICS_DEBUG_CAPTURE_HH

@@ -526,8 +526,12 @@ World::step()
         captureLastGood();
 
     // Plan this step's quality from the previous step's measured (or
-    // mocked) total. One ladder rung at most, either direction.
+    // mocked) total. One ladder rung at most, either direction. An
+    // external degradation floor (server shedder / recovery ladder)
+    // clamps the plan to at least its rung, governor or no governor.
     plan_ = governor_.planStep(lastStepSeconds_);
+    if (degradationFloor_ > plan_.level)
+        plan_ = governor_.planForLevel(degradationFloor_);
     effects_.setThrottled(plan_.throttleEffects);
 
     scheduler_.laneStats(lanesBefore_);
@@ -649,6 +653,17 @@ World::step()
     lastStepSeconds_ = stepStats_.totalSeconds();
     governor_.finishStep(lastStepSeconds_, pairsDeferredThisStep_);
     stepStats_.governor = governor_.stats();
+    // When an external floor overrode the governor's plan, publish
+    // the quality actually applied, not the rung the governor's own
+    // ladder sits at (its internal state is untouched).
+    if (degradationFloor_ > stepStats_.governor.ladderLevel) {
+        stepStats_.governor.ladderLevel = plan_.level;
+        stepStats_.governor.solverIterations = plan_.solverIterations;
+        stepStats_.governor.clothIterations = plan_.clothIterations;
+        stepStats_.governor.narrowphaseDeferral =
+            plan_.deferNarrowphase;
+        stepStats_.governor.effectsThrottled = plan_.throttleEffects;
+    }
 
     for (const auto &body : bodies_)
         body->clearAccumulators();
@@ -916,8 +931,12 @@ World::handleViolations(
     InvariantMode mode)
 {
     invariantViolations_ += violations.size();
-    if (mode == InvariantMode::HardFail)
-        failInvariants(violations);
+    if (mode == InvariantMode::HardFail) {
+        if (!deferHardFail_)
+            failInvariants(violations);
+        deferHardFailure(violations);
+        return;
+    }
 
     for (const InvariantViolation &v : violations) {
         warn("invariant [%s] (%s): %s", v.code.c_str(),
@@ -942,7 +961,10 @@ World::handleViolations(
             warn("invariant [%s] is not attributable to an island; "
                  "quarantine cannot contain it",
                  v.code.c_str());
-            failInvariants(violations);
+            if (!deferHardFail_)
+                failInvariants(violations);
+            deferHardFailure(violations);
+            return;
         }
     }
     for (const InvariantViolation &v : violations) {
@@ -951,6 +973,53 @@ World::handleViolations(
         else if (v.cloth >= 0)
             quarantineCloth(static_cast<ClothId>(v.cloth), v.code);
     }
+}
+
+void
+World::deferHardFailure(
+    const std::vector<InvariantViolation> &violations)
+{
+    // Sticky: the first failure names the world sick until a
+    // supervisor rolls it back (restoreState clears the code). Log
+    // and snapshot once — a persistently broken hosted world must
+    // not spam per step while it waits out the recovery backoff.
+    if (!hardFailCode_.empty())
+        return;
+    hardFailCode_ = violations[0].code;
+    for (const InvariantViolation &v : violations) {
+        warn("invariant [%s] (deferred hard-fail): %s",
+             v.code.c_str(), v.message.c_str());
+    }
+    dumpViolationSnapshot("invariant");
+    if (trace_.enabled())
+        trace_.recordInstant("invariant_hardfail", stepCount_, 0);
+}
+
+void
+World::setDegradationFloor(int rung)
+{
+    degradationFloor_ =
+        std::clamp(rung, 0, StepGovernor::maxLadderLevel);
+}
+
+std::size_t
+World::permanentQuarantineCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[id, state] : quarantinedBodies_) {
+        (void)id;
+        n += state.permanent ? 1 : 0;
+    }
+    for (std::size_t i = 0; i < clothQuarantined_.size(); ++i)
+        n += clothQuarantined_[i] ? 1 : 0;
+    return n;
+}
+
+void
+World::markRecoveryEvent(const char *name, std::int64_t detail)
+{
+    if (trace_.enabled())
+        trace_.recordInstant(name, stepCount_, detail);
 }
 
 void

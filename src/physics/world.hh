@@ -520,6 +520,46 @@ class World
     const GovernorStats &governorStats() const
     { return governor_.stats(); }
 
+    /**
+     * Externally imposed degradation floor: every step runs at least
+     * at this ladder rung (governor/governor.hh), whether or not the
+     * world's own governor is enabled. The server's shedder and
+     * recovery ladder use this to demote a session's quality instead
+     * of dropping its ticks. 0 (the default) changes nothing — the
+     * step path is byte-for-byte the unfloored one. Clamped to
+     * [0, StepGovernor::maxLadderLevel]. Runtime containment state:
+     * not serialized in snapshots, survives restoreState().
+     */
+    void setDegradationFloor(int rung);
+    int degradationFloor() const { return degradationFloor_; }
+
+    /** Bodies currently frozen by a quarantine that will never thaw
+     *  (retries exhausted or thawing disabled) — the server
+     *  watchdog's permanently-sick classification. */
+    std::size_t permanentQuarantineCount() const;
+
+    /**
+     * Hosted-world mode: a HardFail invariant violation (or a
+     * non-attributable violation under Quarantine) records a sticky
+     * failure code instead of aborting the process, so a supervisor
+     * can classify the world and roll it back. Off by default — the
+     * solo-world PR 2 semantics (snapshot dump + fatal) are
+     * unchanged.
+     */
+    void setDeferInvariantHardFail(bool defer)
+    { deferHardFail_ = defer; }
+
+    /** First deferred hard-fail code, or "" when healthy. Cleared by
+     *  restoreState() — a rollback rehabilitates the world. */
+    const std::string &invariantHardFailure() const
+    { return hardFailCode_; }
+
+    /** Record an externally driven containment event (e.g. a server
+     *  rollback) as a trace instant marker on this world's timeline.
+     *  No-op unless tracing is enabled. */
+    void markRecoveryEvent(const char *name,
+                           std::int64_t detail = 0);
+
     /** Total invariant violations observed so far (accumulates under
      *  Warn and Quarantine; HardFail never returns to accumulate). */
     std::uint64_t invariantViolationCount() const
@@ -701,6 +741,10 @@ class World
     void handleViolations(
         const std::vector<InvariantViolation> &violations,
         InvariantMode mode);
+    /** Record a sticky hard-fail code instead of aborting (hosted
+     *  worlds; see setDeferInvariantHardFail). */
+    void deferHardFailure(
+        const std::vector<InvariantViolation> &violations);
     void quarantineBody(BodyId id, const std::string &code);
     void quarantineCloth(ClothId id, const std::string &code);
     void captureLastGood();
@@ -713,6 +757,13 @@ class World
     StepGovernor governor_;
     /** Quality settings the governor picked for the current step. */
     StepGovernor::Plan plan_;
+    /** Externally imposed minimum ladder rung (setDegradationFloor);
+     *  0 = none. */
+    int degradationFloor_ = 0;
+    /** Deferred-hard-fail mode + first recorded failure code (see
+     *  setDeferInvariantHardFail). */
+    bool deferHardFail_ = false;
+    std::string hardFailCode_;
     /** Measured (or mocked) total of the previous step: the
      *  projection the governor plans the next step from. */
     double lastStepSeconds_ = 0.0;

@@ -8,6 +8,14 @@
  * session is only ever touched by the one lane executing its chunk,
  * which makes the per-session bookkeeping (tick counters, cost
  * samples) race-free without any locks.
+ *
+ * Everything the self-healing layer decides — fault firing, watchdog
+ * classification, the recovery ladder, checkpoint cadence — runs on
+ * the calling thread, outside the parallelFor, in session order,
+ * from deterministic inputs (session tick counters and, in tests,
+ * mockTickSeconds). The lanes only ever run World::step(); recovery
+ * decisions therefore replay bitwise-identically at any worker
+ * count.
  */
 
 #include "server/server.hh"
@@ -16,8 +24,10 @@
 #include <chrono>
 #include <climits>
 #include <cmath>
+#include <limits>
 
 #include "physics/debug/capture.hh"
+#include "physics/governor/governor.hh"
 #include "sim/logging.hh"
 
 namespace parallax
@@ -57,6 +67,56 @@ wholeTicks(double accumulator, double tick_dt, int max_ticks)
 
 } // namespace
 
+const char *
+worldFailureName(WorldFailure failure)
+{
+    switch (failure) {
+    case WorldFailure::None:
+        return "none";
+    case WorldFailure::InvariantHardFail:
+        return "invariant_hardfail";
+    case WorldFailure::PermanentQuarantine:
+        return "permanent_quarantine";
+    case WorldFailure::NonFiniteState:
+        return "nonfinite_state";
+    case WorldFailure::DeadlineOverrun:
+        return "deadline_overrun";
+    }
+    return "unknown";
+}
+
+const char *
+healthStateName(HealthState state)
+{
+    switch (state) {
+    case HealthState::Healthy:
+        return "healthy";
+    case HealthState::Probation:
+        return "probation";
+    case HealthState::Frozen:
+        return "frozen";
+    }
+    return "unknown";
+}
+
+const char *
+recoveryActionName(RecoveryAction action)
+{
+    switch (action) {
+    case RecoveryAction::Rollback:
+        return "rollback";
+    case RecoveryAction::RollbackDemote:
+        return "rollback_demote";
+    case RecoveryAction::Freeze:
+        return "freeze";
+    case RecoveryAction::Evict:
+        return "evict";
+    case RecoveryAction::Heal:
+        return "heal";
+    }
+    return "unknown";
+}
+
 std::vector<std::string>
 ServerConfig::validate() const
 {
@@ -77,6 +137,34 @@ ServerConfig::validate() const
     check(maxTicksPerUpdate >= 0,
           "maxTicksPerUpdate must be >= 0 (got " +
               std::to_string(maxTicksPerUpdate) + ")");
+    check(shedDemoteMaxRung >= 0,
+          "shedDemoteMaxRung must be >= 0 (got " +
+              std::to_string(shedDemoteMaxRung) + ")");
+    check(std::isfinite(shedDemoteCostScale) &&
+              shedDemoteCostScale > 0 && shedDemoteCostScale <= 1,
+          "shedDemoteCostScale must be in (0, 1] (got " +
+              std::to_string(shedDemoteCostScale) + ")");
+    check(shedRecoveryUpdates >= 1,
+          "shedRecoveryUpdates must be >= 1 (got " +
+              std::to_string(shedRecoveryUpdates) + ")");
+    check(checkpointIntervalTicks >= 0,
+          "checkpointIntervalTicks must be >= 0 (got " +
+              std::to_string(checkpointIntervalTicks) + ")");
+    check(checkpointRingSize >= 1,
+          "checkpointRingSize must be >= 1 (got " +
+              std::to_string(checkpointRingSize) + ")");
+    check(std::isfinite(tickDeadline) && tickDeadline >= 0,
+          "tickDeadline must be >= 0 and finite (got " +
+              std::to_string(tickDeadline) + ")");
+    check(recovery.maxRollbacks >= 0,
+          "recovery.maxRollbacks must be >= 0 (got " +
+              std::to_string(recovery.maxRollbacks) + ")");
+    check(recovery.backoffBaseTicks >= 1,
+          "recovery.backoffBaseTicks must be >= 1 (got " +
+              std::to_string(recovery.backoffBaseTicks) + ")");
+    check(recovery.demoteRungsPerRetry >= 0,
+          "recovery.demoteRungsPerRetry must be >= 0 (got " +
+              std::to_string(recovery.demoteRungsPerRetry) + ")");
     return errors;
 }
 
@@ -88,9 +176,17 @@ Server::Server(ServerConfig config)
     const std::vector<std::string> errors = config_.validate();
     if (!errors.empty())
         fatal("invalid ServerConfig: %s", joinErrors(errors).c_str());
+    faultFired_.assign(config_.faultPlan.events.size(), false);
 }
 
 Server::~Server() = default;
+
+bool
+Server::selfHealingEnabled() const
+{
+    return config_.checkpointIntervalTicks > 0 ||
+           config_.tickDeadline > 0 || !config_.faultPlan.empty();
+}
 
 Server::Session *
 Server::findSession(WorldId id)
@@ -128,6 +224,19 @@ Server::admit(std::unique_ptr<World> world,
     s.world = std::move(world);
     s.config = session;
     s.world->setMetricsScope("world." + std::to_string(s.id));
+    if (selfHealingEnabled()) {
+        // Hosted worlds must never take the process down: a HardFail
+        // invariant becomes a sticky code the watchdog reads.
+        s.world->setDeferInvariantHardFail(true);
+        s.ring.setCapacity(config_.checkpointRingSize);
+        if (config_.checkpointIntervalTicks > 0) {
+            // Stagger first captures by id so a fleet admitted
+            // together does not checkpoint in lockstep forever.
+            s.nextCheckpointTick =
+                1 + s.id % static_cast<std::uint64_t>(
+                               config_.checkpointIntervalTicks);
+        }
+    }
     id = s.id;
     sessions_.push_back(std::move(s));
     return okStatus();
@@ -175,6 +284,8 @@ Server::destroyWorld(WorldId id)
 {
     for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
         if (it->id == id) {
+            // The Session owns the world and its checkpoint ring;
+            // erasing frees both (the churn test pins this down).
             sessions_.erase(it);
             return okStatus();
         }
@@ -190,6 +301,10 @@ Server::releaseWorld(WorldId id)
             std::unique_ptr<World> world = std::move(it->world);
             sessions_.erase(it);
             world->setMetricsScope("");
+            // Back to solo semantics: hard-fails abort again, and
+            // any server-imposed quality floor is lifted.
+            world->setDeferInvariantHardFail(false);
+            world->setDegradationFloor(0);
             return world;
         }
     }
@@ -230,27 +345,39 @@ Server::phase(WorldId id) const
     return std::min(std::max(p, 0.0), 1.0);
 }
 
+double
+Server::tickCostEstimate(const Session &s) const
+{
+    double cost = config_.mockTickSeconds
+                      ? config_.mockTickSeconds(s.ticksRun, s.id)
+                      : s.lastTickSeconds;
+    // A demoted session runs a cheaper ladder plan; price it so,
+    // or the shedder would keep demoting past the point of relief.
+    if (s.shedRung > 0)
+        cost *= std::pow(config_.shedDemoteCostScale, s.shedRung);
+    return cost;
+}
+
 void
+Server::applyDegradationFloor(Session &s)
+{
+    s.world->setDegradationFloor(
+        std::max(s.recoveryRung, s.shedRung));
+}
+
+bool
 Server::shedPendingTicks()
 {
     // Projected bill: pending ticks priced at each session's latest
     // cost sample (or the injected schedule). Sessions that have
     // never ticked price at zero, so a cold server always admits its
     // first update — shedding needs evidence.
-    auto estimate = [this](const Session &s) {
-        if (config_.mockTickSeconds)
-            return config_.mockTickSeconds(s.ticksRun, s.id);
-        return s.lastTickSeconds;
-    };
     double projected = 0.0;
     for (const Session &s : sessions_)
-        projected += s.pendingTicks * estimate(s);
+        projected += s.pendingTicks * tickCostEstimate(s);
     if (projected <= config_.tickBudget)
-        return;
+        return false;
 
-    // Drop whole sessions' pending ticks, newest (highest id) first:
-    // a deterministic order that favors long-lived sessions, and one
-    // tests can predict exactly. Non-sheddable sessions always run.
     std::vector<Session *> order;
     order.reserve(sessions_.size());
     for (Session &s : sessions_)
@@ -260,14 +387,117 @@ Server::shedPendingTicks()
               [](const Session *a, const Session *b) {
                   return a->id > b->id;
               });
+
+    // Tier one: demote quality before dropping time. One rung per
+    // session per pass, newest first, so the pain spreads across the
+    // sheddable population instead of crushing one session.
+    if (config_.shedDemoteMaxRung > 0) {
+        const int max_rung = std::min(config_.shedDemoteMaxRung,
+                                      StepGovernor::maxLadderLevel);
+        bool progress = true;
+        while (projected > config_.tickBudget && progress) {
+            progress = false;
+            for (Session *s : order) {
+                if (projected <= config_.tickBudget)
+                    break;
+                if (s->shedRung >= max_rung)
+                    continue;
+                projected -=
+                    s->pendingTicks * tickCostEstimate(*s);
+                ++s->shedRung;
+                s->shedCalmUpdates = 0;
+                applyDegradationFloor(*s);
+                ++stats_.demotions;
+                metrics_.add("server.demotions", 1.0);
+                projected +=
+                    s->pendingTicks * tickCostEstimate(*s);
+                progress = true;
+            }
+        }
+        if (projected <= config_.tickBudget)
+            return true;
+    }
+
+    // Tier two: drop whole sessions' pending ticks, newest (highest
+    // id) first — a deterministic order that favors long-lived
+    // sessions, and one tests can predict exactly. Non-sheddable
+    // sessions always run.
     for (Session *s : order) {
         if (projected <= config_.tickBudget)
             break;
-        projected -= s->pendingTicks * estimate(*s);
+        projected -= s->pendingTicks * tickCostEstimate(*s);
         stats_.ticksShed += s->pendingTicks;
         metrics_.add("server.ticks_shed",
                      static_cast<double>(s->pendingTicks));
         s->pendingTicks = 0;
+    }
+    return true;
+}
+
+void
+Server::relaxShedRungs(bool pressured)
+{
+    if (config_.shedDemoteMaxRung <= 0)
+        return;
+    for (Session &s : sessions_) {
+        if (s.shedRung == 0)
+            continue;
+        if (pressured) {
+            s.shedCalmUpdates = 0;
+            continue;
+        }
+        if (++s.shedCalmUpdates >= config_.shedRecoveryUpdates) {
+            --s.shedRung;
+            s.shedCalmUpdates = 0;
+            applyDegradationFloor(s);
+        }
+    }
+}
+
+void
+Server::injectFaults()
+{
+    if (config_.faultPlan.empty())
+        return;
+    const std::vector<ServerFaultEvent> &events =
+        config_.faultPlan.events;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (faultFired_[i])
+            continue;
+        const ServerFaultEvent &e = events[i];
+        Session *s = findSession(e.world);
+        if (!s || s->ticksRun < e.tick)
+            continue;
+        faultFired_[i] = true;
+        ++stats_.faultsInjected;
+        metrics_.add("server.faults_injected", 1.0);
+        switch (e.kind) {
+        case ServerFaultKind::NanState:
+        case ServerFaultKind::HugeImpulse: {
+            std::vector<RigidBody *> dynamic;
+            for (const auto &b : s->world->bodies())
+                if (!b->isStatic())
+                    dynamic.push_back(b.get());
+            if (dynamic.empty())
+                break;
+            RigidBody *body = dynamic[e.target % dynamic.size()];
+            if (e.kind == ServerFaultKind::NanState) {
+                const double nan =
+                    std::numeric_limits<double>::quiet_NaN();
+                body->setLinearVelocity(Vec3(nan, nan, nan));
+            } else {
+                body->applyImpulse(Vec3(e.magnitude, 0.0, 0.0),
+                                   body->position());
+            }
+            break;
+        }
+        case ServerFaultKind::CorruptCheckpoint:
+            s->ring.corruptNewest();
+            break;
+        case ServerFaultKind::StalledTick:
+            s->stallSeconds = e.magnitude;
+            break;
+        }
     }
 }
 
@@ -309,6 +539,14 @@ Server::runPendingTicks()
                     }
                     ++s.ticksRun;
                 }
+                // A scripted stall overrides the burst's cost sample
+                // (this session belongs to this lane alone — no
+                // race). Consumed once: the next burst measures
+                // normally again.
+                if (s.stallSeconds >= 0.0) {
+                    s.lastTickSeconds = s.stallSeconds;
+                    s.stallSeconds = -1.0;
+                }
             }
         });
     const auto wall_end = std::chrono::steady_clock::now();
@@ -326,6 +564,216 @@ Server::runPendingTicks()
     metrics_.add("server.ticks", static_cast<double>(ran));
 }
 
+WorldFailure
+Server::classify(const Session &s) const
+{
+    // Severity order: an explicit invariant verdict outranks the
+    // cheap numeric probe, which outranks the timing symptom.
+    if (!s.world->invariantHardFailure().empty())
+        return WorldFailure::InvariantHardFail;
+    if (s.world->permanentQuarantineCount() > 0)
+        return WorldFailure::PermanentQuarantine;
+    if (!worldStateFinite(*s.world))
+        return WorldFailure::NonFiniteState;
+    if (config_.tickDeadline > 0 &&
+        s.lastTickSeconds > config_.tickDeadline)
+        return WorldFailure::DeadlineOverrun;
+    return WorldFailure::None;
+}
+
+Status
+Server::attemptRollback(Session &s, std::uint64_t &restoredTick)
+{
+    Status last = failedPrecondition(
+        "no checkpoint available for world " + std::to_string(s.id));
+    // Newest first; a corrupt entry (checksum mismatch) or one the
+    // world rejects falls through to the next-older checkpoint —
+    // entries are encoded independently against the ring's anchor,
+    // so one bad blob never poisons the rest.
+    for (std::size_t i = 0; i < s.ring.size(); ++i) {
+        std::vector<std::uint8_t> full;
+        Status st = s.ring.reconstruct(i, full);
+        if (!st.ok()) {
+            last = std::move(st);
+            continue;
+        }
+        st = s.world->restoreState(full);
+        if (!st.ok()) {
+            last = std::move(st);
+            continue;
+        }
+        restoredTick = s.ring.tickAt(i);
+        // Entries newer than the restore point captured states on
+        // the now-abandoned (possibly poisoned) timeline: restart
+        // the ring from the proven-good snapshot.
+        s.ring.clear();
+        s.ring.push(restoredTick, std::move(full));
+        return okStatus();
+    }
+    return last;
+}
+
+void
+Server::recordRecovery(const Session &s, WorldFailure failure,
+                       RecoveryAction action,
+                       std::uint64_t restoredTick, Status status)
+{
+    RecoveryRecord r;
+    r.update = stats_.updates;
+    r.world = s.id;
+    r.failure = failure;
+    r.action = action;
+    r.tick = s.ticksRun;
+    r.restoredTick = restoredTick;
+    r.rung = std::max(s.recoveryRung, s.shedRung);
+    r.status = std::move(status);
+    if (recoveryLog_.size() >= maxRecoveryLogEntries)
+        recoveryLog_.erase(recoveryLog_.begin());
+    recoveryLog_.push_back(std::move(r));
+}
+
+void
+Server::watchdogSweep()
+{
+    const RecoveryConfig &rec = config_.recovery;
+    std::vector<WorldId> evict;
+    for (Session &s : sessions_) {
+        if (s.health == HealthState::Frozen) {
+            ++s.frozenUpdates;
+            if (rec.freezeUpdates > 0 &&
+                s.frozenUpdates >= rec.freezeUpdates) {
+                recordRecovery(
+                    s, s.lastFailure, RecoveryAction::Evict, 0,
+                    dataLoss("world " + std::to_string(s.id) +
+                             " evicted: unrecoverable after " +
+                             std::to_string(s.totalRollbacks) +
+                             " rollbacks (" +
+                             worldFailureName(s.lastFailure) + ")"));
+                ++stats_.evictions;
+                metrics_.add("server.evictions", 1.0);
+                evict.push_back(s.id);
+            }
+            continue;
+        }
+
+        const WorldFailure failure = classify(s);
+        if (failure == WorldFailure::None) {
+            if (s.health == HealthState::Probation &&
+                s.ticksRun >= s.probationUntilTick) {
+                s.health = HealthState::Healthy;
+                s.consecutiveRollbacks = 0;
+                s.recoveryRung = 0;
+                s.lastFailure = WorldFailure::None;
+                applyDegradationFloor(s);
+                ++stats_.recoveries;
+                metrics_.add("server.recoveries", 1.0);
+                recordRecovery(s, WorldFailure::None,
+                               RecoveryAction::Heal, 0, okStatus());
+                s.world->markRecoveryEvent(
+                    "server_heal",
+                    static_cast<std::int64_t>(s.id));
+            }
+            continue;
+        }
+
+        ++stats_.watchdogTrips;
+        metrics_.add("server.watchdog_trips", 1.0);
+        s.lastFailure = failure;
+        // Backoff: a world that keeps re-tripping right after a
+        // rollback must not consume the server in a rollback storm;
+        // it runs sick (deterministically) until the window passes.
+        if (s.ticksRun < s.nextRetryTick)
+            continue;
+
+        const int attempt =
+            static_cast<int>(s.consecutiveRollbacks);
+        if (attempt >= rec.maxRollbacks) {
+            s.health = HealthState::Frozen;
+            s.frozenUpdates = 0;
+            ++stats_.freezes;
+            metrics_.add("server.freezes", 1.0);
+            recordRecovery(
+                s, failure, RecoveryAction::Freeze, 0,
+                unavailable("world " + std::to_string(s.id) +
+                            " frozen: rollback budget exhausted (" +
+                            std::to_string(rec.maxRollbacks) + ")"));
+            s.world->markRecoveryEvent(
+                "server_freeze", static_cast<std::int64_t>(s.id));
+            continue;
+        }
+
+        std::uint64_t restored_tick = 0;
+        Status st = attemptRollback(s, restored_tick);
+        if (!st.ok()) {
+            s.health = HealthState::Frozen;
+            s.frozenUpdates = 0;
+            ++stats_.freezes;
+            metrics_.add("server.freezes", 1.0);
+            recordRecovery(s, failure, RecoveryAction::Freeze, 0,
+                           std::move(st));
+            s.world->markRecoveryEvent(
+                "server_freeze", static_cast<std::int64_t>(s.id));
+            continue;
+        }
+
+        ++s.consecutiveRollbacks;
+        ++s.totalRollbacks;
+        ++stats_.rollbacks;
+        metrics_.add("server.rollbacks", 1.0);
+        RecoveryAction action = RecoveryAction::Rollback;
+        const int rung =
+            std::min(StepGovernor::maxLadderLevel,
+                     (static_cast<int>(s.consecutiveRollbacks) - 1) *
+                         rec.demoteRungsPerRetry);
+        if (rung > s.recoveryRung) {
+            s.recoveryRung = rung;
+            ++stats_.demotions;
+            metrics_.add("server.demotions", 1.0);
+            action = RecoveryAction::RollbackDemote;
+        }
+        applyDegradationFloor(s);
+        s.health = HealthState::Probation;
+        s.probationUntilTick = s.ticksRun + rec.probationTicks;
+        const unsigned shift = std::min(
+            s.consecutiveRollbacks - 1, std::uint32_t(20));
+        s.nextRetryTick =
+            s.ticksRun + (rec.backoffBaseTicks << shift);
+        // The rewind invalidated every delta base clients hold.
+        s.streamDirty = true;
+        s.world->markRecoveryEvent(
+            "server_rollback",
+            static_cast<std::int64_t>(restored_tick));
+        recordRecovery(s, failure, action, restored_tick,
+                       okStatus());
+    }
+
+    for (WorldId id : evict)
+        destroyWorld(id);
+}
+
+void
+Server::takeCheckpoints()
+{
+    if (config_.checkpointIntervalTicks <= 0)
+        return;
+    for (Session &s : sessions_) {
+        if (s.health == HealthState::Frozen)
+            continue;
+        if (s.ticksRun == 0 || s.ticksRun < s.nextCheckpointTick)
+            continue;
+        // Only provably-healthy states enter the ring: a checkpoint
+        // of a sick world would make rollback a no-op.
+        if (classify(s) != WorldFailure::None)
+            continue;
+        s.ring.push(s.ticksRun, s.world->captureState());
+        s.nextCheckpointTick =
+            s.ticksRun + static_cast<std::uint64_t>(
+                             config_.checkpointIntervalTicks);
+        ++stats_.checkpoints;
+        metrics_.add("server.checkpoints", 1.0);
+    }
+}
+
 Status
 Server::advance(double elapsed)
 {
@@ -334,6 +782,13 @@ Server::advance(double elapsed)
                                "finite (got " +
                                std::to_string(elapsed) + ")");
     for (Session &s : sessions_) {
+        if (s.health == HealthState::Frozen) {
+            // Frozen worlds hold at last-good: no ticks, and no
+            // banked debt to repay on a thaw that may never come.
+            s.accumulator = 0.0;
+            s.pendingTicks = 0;
+            continue;
+        }
         s.accumulator += elapsed;
         s.pendingTicks = wholeTicks(s.accumulator, config_.tickDt,
                                     config_.maxTicksPerUpdate);
@@ -350,10 +805,18 @@ Server::advance(double elapsed)
         else
             s.accumulator -= s.pendingTicks * config_.tickDt;
     }
-    if (config_.tickBudget > 0)
-        shedPendingTicks();
+    if (config_.tickBudget > 0) {
+        const bool pressured = shedPendingTicks();
+        relaxShedRungs(pressured);
+    }
+    if (selfHealingEnabled())
+        injectFaults();
     runPendingTicks();
     ++stats_.updates;
+    if (selfHealingEnabled()) {
+        watchdogSweep();
+        takeCheckpoints();
+    }
     updateMetrics();
     return okStatus();
 }
@@ -365,9 +828,16 @@ Server::tickAll(int ticks)
         return invalidArgument("tickAll: ticks must be >= 0 (got " +
                                std::to_string(ticks) + ")");
     for (Session &s : sessions_)
-        s.pendingTicks = ticks;
+        s.pendingTicks =
+            s.health == HealthState::Frozen ? 0 : ticks;
+    if (selfHealingEnabled())
+        injectFaults();
     runPendingTicks();
     ++stats_.updates;
+    if (selfHealingEnabled()) {
+        watchdogSweep();
+        takeCheckpoints();
+    }
     updateMetrics();
     return okStatus();
 }
@@ -387,14 +857,22 @@ Server::snapshotWorld(WorldId id,
 Status
 Server::streamSnapshot(WorldId id,
                        const std::vector<std::uint8_t> *base,
-                       std::vector<std::uint8_t> &out) const
+                       std::vector<std::uint8_t> &out)
 {
-    const Session *s = findSession(id);
+    Session *s = findSession(id);
     if (!s)
         return notFound("no session with WorldId " +
                         std::to_string(id));
     std::vector<std::uint8_t> full = s->world->captureState();
-    if (!base) {
+    if (!base || s->streamDirty) {
+        if (base && s->streamDirty) {
+            // Resync: the caller expected a delta; the full blob it
+            // gets instead (detectable via isSnapshotDelta) restarts
+            // the chain from shared ground truth.
+            ++stats_.resyncFulls;
+            metrics_.add("server.resync_fulls", 1.0);
+        }
+        s->streamDirty = false;
         out = std::move(full);
         return okStatus();
     }
@@ -419,11 +897,36 @@ Server::restoreWorld(WorldId id,
         }
         std::vector<std::uint8_t> full;
         const Status st = applySnapshotDelta(*base, blob, full);
-        if (!st.ok())
+        if (!st.ok()) {
+            // The delta chain is broken in both directions: the
+            // next streamSnapshot must not build on a base the
+            // client provably no longer shares.
+            s->streamDirty = true;
             return st;
+        }
         return s->world->restoreState(full);
     }
     return s->world->restoreState(blob);
+}
+
+Status
+Server::sessionHealth(WorldId id, SessionHealth &out) const
+{
+    const Session *s = findSession(id);
+    if (!s)
+        return notFound("no session with WorldId " +
+                        std::to_string(id));
+    out.state = s->health;
+    out.lastFailure = s->lastFailure;
+    out.consecutiveRollbacks = s->consecutiveRollbacks;
+    out.totalRollbacks = s->totalRollbacks;
+    out.recoveryRung = s->recoveryRung;
+    out.shedRung = s->shedRung;
+    out.checkpoints = s->ring.size();
+    out.checkpointBytes = s->ring.bytesUsed();
+    out.lastCheckpointTick =
+        s->ring.empty() ? 0 : s->ring.tickAt(0);
+    return okStatus();
 }
 
 void
@@ -433,20 +936,41 @@ Server::updateMetrics()
                  static_cast<double>(sessions_.size()));
     metrics_.set("server.workers",
                  static_cast<double>(scheduler_.workerCount()));
+    if (selfHealingEnabled()) {
+        std::size_t bytes = 0;
+        for (const Session &s : sessions_)
+            bytes += s.ring.bytesUsed();
+        metrics_.set("server.checkpoint_bytes",
+                     static_cast<double>(bytes));
+    }
 }
 
 std::string
 Server::metricsLine() const
 {
     // Deterministic values only (counts, never wall-clock), fixed
-    // key order; consumers key on "pax_server".
+    // key order; consumers key on "pax_server". New keys append so
+    // substring-based consumers of older keys keep matching.
     auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+    std::size_t checkpoint_bytes = 0;
+    for (const Session &s : sessions_)
+        checkpoint_bytes += s.ring.bytesUsed();
     std::string out = "{\"pax_server\":1";
     out += ",\"worlds\":" + u64(sessions_.size());
     out += ",\"updates\":" + u64(stats_.updates);
     out += ",\"ticks_total\":" + u64(stats_.ticksRun);
     out += ",\"ticks_shed_total\":" + u64(stats_.ticksShed);
     out += ",\"admission_rejects\":" + u64(stats_.admissionRejects);
+    out += ",\"checkpoints\":" + u64(stats_.checkpoints);
+    out += ",\"checkpoint_bytes\":" + u64(checkpoint_bytes);
+    out += ",\"watchdog_trips\":" + u64(stats_.watchdogTrips);
+    out += ",\"rollbacks\":" + u64(stats_.rollbacks);
+    out += ",\"recoveries\":" + u64(stats_.recoveries);
+    out += ",\"demotions\":" + u64(stats_.demotions);
+    out += ",\"freezes\":" + u64(stats_.freezes);
+    out += ",\"evictions\":" + u64(stats_.evictions);
+    out += ",\"faults_injected\":" + u64(stats_.faultsInjected);
+    out += ",\"resync_fulls\":" + u64(stats_.resyncFulls);
     out += "}";
     return out;
 }

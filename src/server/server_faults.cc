@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Server-fault-kind names (see server_faults.hh; injection lives in
+ * server.cc so it can reach session internals).
+ */
+
+#include "server/server_faults.hh"
+
+namespace parallax
+{
+
+const char *
+serverFaultKindName(ServerFaultKind kind)
+{
+    switch (kind) {
+    case ServerFaultKind::NanState:
+        return "nan_state";
+    case ServerFaultKind::HugeImpulse:
+        return "huge_impulse";
+    case ServerFaultKind::CorruptCheckpoint:
+        return "corrupt_checkpoint";
+    case ServerFaultKind::StalledTick:
+        return "stalled_tick";
+    }
+    return "unknown";
+}
+
+} // namespace parallax

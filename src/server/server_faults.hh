@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Server-scale scripted fault injection.
+ *
+ * The per-world WorldConfig::faultPlan (governor/fault_injection.hh)
+ * proves one world's containment story; a ServerFaultPlan proves the
+ * server's recovery story across a fleet. Events target a hosted
+ * session by WorldId and fire when that session's server-side tick
+ * counter (Session::ticksRun — monotonic, never rewound by a
+ * rollback) reaches the event's tick:
+ *
+ *  - NanState:          poison a body's linear velocity with NaN
+ *                       (the watchdog's non-finite classification
+ *                       must catch it without any invariant mode),
+ *  - HugeImpulse:       apply an oversized impulse to a body
+ *                       (trips invariant/quarantine machinery when
+ *                       the session runs an InvariantMode),
+ *  - CorruptCheckpoint: flip bytes in the session's newest
+ *                       checkpoint so rollback must fall back to an
+ *                       older ring entry,
+ *  - StalledTick:       report the session's next tick as having
+ *                       taken `magnitude` seconds (models a stuck
+ *                       or preempted world; perturbs the watchdog's
+ *                       deadline accounting only, never simulation
+ *                       state).
+ *
+ * Injection happens on the server's calling thread before the tick
+ * burst runs, in session order, so the same plan produces the same
+ * faults — and therefore the same recovery decisions — at any
+ * worker count.
+ */
+
+#ifndef PARALLAX_SERVER_SERVER_FAULTS_HH
+#define PARALLAX_SERVER_SERVER_FAULTS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace parallax
+{
+
+/** What a scripted server-level fault does when it fires. */
+enum class ServerFaultKind : std::uint8_t
+{
+    NanState,
+    HugeImpulse,
+    CorruptCheckpoint,
+    StalledTick,
+};
+
+/** Human-readable server-fault-kind name. */
+const char *serverFaultKindName(ServerFaultKind kind);
+
+/** One scripted server-level fault. */
+struct ServerFaultEvent
+{
+    /** Session tick (Session::ticksRun) at which the fault fires. */
+    std::uint64_t tick = 0;
+    /** Target session. Events naming an unknown or already-evicted
+     *  id are skipped. */
+    std::uint64_t world = 0;
+    ServerFaultKind kind = ServerFaultKind::NanState;
+    /** Body index modulo the live dynamic-body count (NanState /
+     *  HugeImpulse); unused otherwise. */
+    std::uint32_t target = 0;
+    /** Impulse magnitude in N*s (HugeImpulse) or reported stall
+     *  seconds (StalledTick); unused otherwise. */
+    double magnitude = 0.0;
+};
+
+/** A deterministic schedule of server-level faults
+ *  (ServerConfig::faultPlan). */
+struct ServerFaultPlan
+{
+    std::vector<ServerFaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_SERVER_SERVER_FAULTS_HH

@@ -19,7 +19,11 @@
  *  - the governor never degraded below its documented floors and
  *    never missed a deadline while already at the ladder floor,
  *  - quarantine decisions are identical across worker counts
- *    (containment is deterministic).
+ *    (containment is deterministic),
+ *  - a server-level pass (the same scenes hosted under the
+ *    self-healing multi-world server with a scripted
+ *    ServerFaultPlan) ends with every world recovered and bitwise
+ *    identical recovery decisions at every worker count.
  *
  * The last stdout line is a machine-readable JSON summary; exit is
  * nonzero on any failure. Per-run progress goes to stderr.
@@ -76,6 +80,107 @@ struct RunTrace
     std::uint64_t quarantineEvents = 0;
     std::uint64_t violations = 0;
 };
+
+/** Server-level containment outcome: a small hosted fleet under a
+ *  ServerFaultPlan, checked the same way the world-level storm is —
+ *  everything recovered, decisions identical across worker counts. */
+struct ServerStormResult
+{
+    std::uint64_t faults = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t unrecovered = 0;
+    std::uint64_t mismatches = 0;
+};
+
+/** Host one benchmark scene per slot under the self-healing server
+ *  and poison three of them (NaN state, corrupt newest checkpoint,
+ *  permanent stall). Replays at {0,2,8} workers and demands bitwise
+ *  identical recovery logs and surviving-world hashes. */
+ServerStormResult
+runServerStorm(double scale)
+{
+    struct Outcome
+    {
+        std::string decisions;
+        std::vector<std::uint64_t> hashes;
+        ServerStats stats;
+        std::uint64_t unrecovered = 0;
+    };
+    const unsigned worker_counts[] = {0, 2, 8};
+    std::vector<Outcome> outcomes;
+    for (unsigned workers : worker_counts) {
+        ServerConfig sc;
+        sc.workerThreads = workers;
+        sc.tickDt = 0.01;
+        sc.checkpointIntervalTicks = 4;
+        sc.checkpointRingSize = 3;
+        sc.tickDeadline = 0.5;
+        sc.recovery.maxRollbacks = 2;
+        sc.recovery.backoffBaseTicks = 2;
+        sc.recovery.probationTicks = 6;
+        sc.recovery.freezeUpdates = 2;
+        sc.faultPlan.events = {
+            {12, 2, ServerFaultKind::NanState, 0, 0.0},
+            {10, 3, ServerFaultKind::CorruptCheckpoint, 0, 0.0},
+            {12, 3, ServerFaultKind::NanState, 1, 0.0},
+        };
+        // World 4 stalls permanently from tick 15: the ladder must
+        // walk it down to eviction.
+        sc.mockTickSeconds = [](std::uint64_t tick, WorldId id) {
+            return (id == 4 && tick >= 15) ? 1.0 : 0.001;
+        };
+        Server server(sc);
+        for (BenchmarkId id : allBenchmarks) {
+            WorldConfig config;
+            config.deterministic = true;
+            config.workerThreads = 0;
+            config.dt = sc.tickDt;
+            WorldId wid = invalidWorldId;
+            if (!server
+                     .adoptWorld(buildBenchmark(id, config, scale),
+                                 wid)
+                     .ok())
+                return ServerStormResult{0, 0, 0, 0, 1, 0};
+        }
+        for (int t = 0; t < 40; ++t) {
+            if (!server.tickAll(1).ok())
+                return ServerStormResult{0, 0, 0, 0, 1, 0};
+        }
+        Outcome o;
+        for (const RecoveryRecord &r : server.recoveryLog()) {
+            o.decisions +=
+                std::to_string(r.update) + ":" +
+                std::to_string(r.world) + ":" +
+                worldFailureName(r.failure) + ":" +
+                recoveryActionName(r.action) + ":" +
+                std::to_string(r.restoredTick) + ";";
+        }
+        o.stats = server.stats();
+        for (WorldId wid : server.worldIds()) {
+            o.hashes.push_back(worldStateHash(*server.world(wid)));
+            SessionHealth health;
+            if (!server.sessionHealth(wid, health).ok() ||
+                health.state != HealthState::Healthy ||
+                !worldStateFinite(*server.world(wid)))
+                ++o.unrecovered;
+        }
+        outcomes.push_back(std::move(o));
+    }
+    ServerStormResult result;
+    result.faults = outcomes[0].stats.faultsInjected;
+    result.rollbacks = outcomes[0].stats.rollbacks;
+    result.recoveries = outcomes[0].stats.recoveries;
+    result.evictions = outcomes[0].stats.evictions;
+    result.unrecovered = outcomes[0].unrecovered;
+    for (std::size_t i = 1; i < outcomes.size(); ++i) {
+        if (outcomes[i].decisions != outcomes[0].decisions ||
+            outcomes[i].hashes != outcomes[0].hashes)
+            ++result.mismatches;
+    }
+    return result;
+}
 
 } // namespace
 
@@ -281,9 +386,38 @@ main(int argc, char **argv)
         }
     }
 
+    // Server-level pass: the same scenes hosted under the
+    // self-healing server with a scripted ServerFaultPlan.
+    if (!quiet) {
+        std::fprintf(stderr, "server storm: %d hosted scenes x "
+                             "{0,2,8} workers, checkpoint/rollback "
+                             "recovery\n",
+                     numBenchmarks);
+        std::fflush(stderr);
+    }
+    const ServerStormResult sv = runServerStorm(scale);
+    if (!quiet) {
+        std::fprintf(
+            stderr,
+            "  server      %s  (%llu faults, %llu rollbacks, %llu "
+            "recoveries, %llu evictions, %llu unrecovered)\n",
+            sv.unrecovered == 0 && sv.mismatches == 0 &&
+                    sv.faults > 0
+                ? "ok"
+                : "FAILED",
+            static_cast<unsigned long long>(sv.faults),
+            static_cast<unsigned long long>(sv.rollbacks),
+            static_cast<unsigned long long>(sv.recoveries),
+            static_cast<unsigned long long>(sv.evictions),
+            static_cast<unsigned long long>(sv.unrecovered));
+        std::fflush(stderr);
+    }
+
     const bool pass = floor_breaches == 0 && misses_at_floor == 0 &&
                       dirty_worlds == 0 && uncontained_runs == 0 &&
-                      mismatches == 0 && total_faults > 0;
+                      mismatches == 0 && total_faults > 0 &&
+                      sv.unrecovered == 0 && sv.mismatches == 0 &&
+                      sv.faults > 0;
     std::printf(
         "{\"tool\":\"fault_storm\",\"scenes\":%d,"
         "\"workers\":[0,2,8],\"runs\":%d,\"steps\":%d,\"scale\":%g,"
@@ -291,6 +425,9 @@ main(int argc, char **argv)
         "\"violations\":%llu,\"floor_breaches\":%llu,"
         "\"deadline_misses_at_floor\":%llu,\"dirty_worlds\":%llu,"
         "\"uncontained_runs\":%llu,\"trace_mismatches\":%llu,"
+        "\"server_faults\":%llu,\"server_rollbacks\":%llu,"
+        "\"server_recoveries\":%llu,\"server_evictions\":%llu,"
+        "\"server_unrecovered\":%llu,\"server_mismatches\":%llu,"
         "\"status\":\"%s\"}\n",
         numBenchmarks, runs, steps, scale,
         static_cast<unsigned long long>(total_faults),
@@ -301,6 +438,12 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(dirty_worlds),
         static_cast<unsigned long long>(uncontained_runs),
         static_cast<unsigned long long>(mismatches),
+        static_cast<unsigned long long>(sv.faults),
+        static_cast<unsigned long long>(sv.rollbacks),
+        static_cast<unsigned long long>(sv.recoveries),
+        static_cast<unsigned long long>(sv.evictions),
+        static_cast<unsigned long long>(sv.unrecovered),
+        static_cast<unsigned long long>(sv.mismatches),
         pass ? "pass" : "fail");
     return pass ? 0 : 1;
 }
