@@ -7,13 +7,15 @@
 
 #include <cstdio>
 
+#include "harness.hh"
 #include "parallax.hh"
 
 using namespace parallax;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCommonFlags(&argc, argv);
     std::printf("=== Figure 10a: FG kernel IPC by core type ===\n");
     std::printf("(reproduces Figure 10(a), section 8.2)\n\n");
 

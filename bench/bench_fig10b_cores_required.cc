@@ -14,8 +14,9 @@ using namespace parallax;
 using namespace parallax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseCommonFlags(&argc, argv);
     printHeader("Figure 10b: FG cores required for 30 FPS (Mix)",
                 "Figure 10(b) + section 8.2.1");
 

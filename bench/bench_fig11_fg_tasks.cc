@@ -14,14 +14,17 @@ using namespace parallax;
 using namespace parallax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseCommonFlags(&argc, argv);
     printHeader("Figure 11: available FG parallel tasks",
                 "Figure 11, section 8.2.2");
     std::printf("%-4s %12s %14s %14s | %10s %10s\n", "id",
                 "obj-pairs", "island tasks", "cloth tasks",
                 "max island", "max cloth");
-    for (BenchmarkId id : allBenchmarks) {
+    std::vector<std::string> lines(numBenchmarks);
+    runSweep(numBenchmarks, [&lines](std::size_t i) {
+        const BenchmarkId id = allBenchmarks[i];
         const MeasuredRun &run = measuredRun(id);
         // Per-step averages across the measured window.
         double pairs = 0, island_tasks = 0, cloth_tasks = 0;
@@ -39,10 +42,12 @@ main()
                 max_cloth = std::max(max_cloth, verts);
         }
         const double steps = static_cast<double>(run.steps.size());
-        std::printf("%-4s %12.0f %14.0f %14.0f | %10d %10d\n",
-                    tag(id), pairs / steps, island_tasks / steps,
-                    cloth_tasks / steps, max_island, max_cloth);
-    }
+        appendf(lines[i], "%-4s %12.0f %14.0f %14.0f | %10d %10d\n",
+                tag(id), pairs / steps, island_tasks / steps,
+                cloth_tasks / steps, max_island, max_cloth);
+    });
+    for (const std::string &line : lines)
+        std::fputs(line.c_str(), stdout);
     std::printf(
         "\nPaper Figure 11 (pairs / island / cloth): Per 2633/157/0,"
         " Rag 2064/10/0,\nCon 3182/320/0, Bre 11715/1253/0, Def "

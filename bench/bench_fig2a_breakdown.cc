@@ -14,20 +14,29 @@ using namespace parallax;
 using namespace parallax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseCommonFlags(&argc, argv);
     printHeader("Figure 2a: 1 core + 1 MB L2 per-phase breakdown",
                 "Figure 2(a), section 6");
     std::printf("%-4s %9s %9s %9s %9s %9s | %9s %7s %8s\n", "id",
                 "broad", "narrow", "islandC", "islandP", "cloth",
                 "total(s)", "FPS", "x frame");
-    for (BenchmarkId id : allBenchmarks) {
-        const MeasuredRun &run = measuredRun(id);
-        const FrameTime ft = frameTime(run, L2Plan::shared(1), 1);
+
+    // Benchmarks are independent sweep points: measure them on the
+    // --sim-lanes event lanes, print in table order afterwards.
+    std::vector<FrameTime> fts(numBenchmarks);
+    runSweep(numBenchmarks, [&fts](std::size_t i) {
+        fts[i] = frameTime(measuredRun(allBenchmarks[i]),
+                           L2Plan::shared(1), 1);
+    });
+
+    for (int i = 0; i < numBenchmarks; ++i) {
+        const FrameTime &ft = fts[i];
         const double total = ft.total();
         std::printf(
             "%-4s %9.4f %9.4f %9.4f %9.4f %9.4f | %9.4f %7.1f %8.2f\n",
-            tag(id), ft[Phase::Broadphase].total(),
+            tag(allBenchmarks[i]), ft[Phase::Broadphase].total(),
             ft[Phase::Narrowphase].total(),
             ft[Phase::IslandCreation].total(),
             ft[Phase::IslandProcessing].total(),
@@ -40,15 +49,14 @@ main()
     std::printf("\nSerial (Broadphase + Island Creation) share:\n");
     double serial_share_sum = 0;
     double worst_serial_frames = 0;
-    for (BenchmarkId id : allBenchmarks) {
-        const FrameTime ft =
-            frameTime(measuredRun(id), L2Plan::shared(1), 1);
+    for (int i = 0; i < numBenchmarks; ++i) {
+        const FrameTime &ft = fts[i];
         const double share = ft.serial() / ft.total();
         serial_share_sum += share;
         worst_serial_frames = std::max(
             worst_serial_frames, ft.serial() / frameBudgetSeconds());
         std::printf("  %-4s serial=%5.1f%%  (%.2f frame budgets)\n",
-                    tag(id), 100.0 * share,
+                    tag(allBenchmarks[i]), 100.0 * share,
                     ft.serial() / frameBudgetSeconds());
     }
     std::printf("  average serial share: %.1f%% (paper: ~9%%)\n",
@@ -57,9 +65,11 @@ main()
                 "(paper: up to 1.25)\n",
                 worst_serial_frames);
 
-    const FrameTime mix =
-        frameTime(measuredRun(BenchmarkId::Mix), L2Plan::shared(1),
-                  1);
+    FrameTime mix;
+    for (int i = 0; i < numBenchmarks; ++i) {
+        if (allBenchmarks[i] == BenchmarkId::Mix)
+            mix = fts[i];
+    }
     std::printf("\nHeadline: Mix on one desktop core = %.2f FPS "
                 "(paper: ~2.3 FPS)\n",
                 1.0 / mix.total());

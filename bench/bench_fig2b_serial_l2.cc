@@ -13,8 +13,9 @@ using namespace parallax;
 using namespace parallax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseCommonFlags(&argc, argv);
     printHeader("Figure 2b: serial phases vs shared L2 size",
                 "Figure 2(b), section 6.1");
     const int sizes[] = {1, 2, 4, 8, 16, 32};
@@ -23,16 +24,22 @@ main()
         std::printf(" %8dMB", mb);
     std::printf("   (serial seconds per frame)\n");
 
-    for (BenchmarkId id : allBenchmarks) {
+    // One row per benchmark, formatted on the --sim-lanes event
+    // lanes and printed in table order.
+    std::vector<std::string> rows(numBenchmarks);
+    runSweep(numBenchmarks, [&rows, &sizes](std::size_t i) {
+        const BenchmarkId id = allBenchmarks[i];
         const MeasuredRun &run = measuredRun(id);
-        std::printf("%-4s", tag(id));
+        appendf(rows[i], "%-4s", tag(id));
         for (int mb : sizes) {
             const FrameTime ft =
                 frameTime(run, L2Plan::shared(mb), 1);
-            std::printf(" %10.5f", ft.serial());
+            appendf(rows[i], " %10.5f", ft.serial());
         }
-        std::printf("\n");
-    }
+        appendf(rows[i], "\n");
+    });
+    for (const std::string &row : rows)
+        std::fputs(row.c_str(), stdout);
     std::printf("\nFrame budget: %.5f s. The paper finds 4 MB is\n"
                 "needed to finish the serial phases within one "
                 "frame,\nwith diminishing returns past 16 MB.\n",

@@ -22,24 +22,29 @@ sweep(Phase phase, const char *label)
     for (int mb : sizes)
         std::printf(" %8dMB", mb);
     std::printf("   (seconds per frame)\n");
-    for (BenchmarkId id : allBenchmarks) {
+    std::vector<std::string> rows(numBenchmarks);
+    runSweep(numBenchmarks, [&rows, &sizes, phase](std::size_t i) {
+        const BenchmarkId id = allBenchmarks[i];
         const MeasuredRun &run = measuredRun(id);
-        std::printf("%-4s", tag(id));
+        appendf(rows[i], "%-4s", tag(id));
         for (int mb : sizes) {
             const FrameTime ft =
                 frameTime(run, L2Plan::dedicatedPerPhase(mb), 1);
-            std::printf(" %10.5f", ft[phase].total());
+            appendf(rows[i], " %10.5f", ft[phase].total());
         }
-        std::printf("\n");
-    }
+        appendf(rows[i], "\n");
+    });
+    for (const std::string &row : rows)
+        std::fputs(row.c_str(), stdout);
     std::printf("\n");
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseCommonFlags(&argc, argv);
     printHeader("Figure 3: Broadphase / Narrowphase dedicated L2",
                 "Figures 3(a) and 3(b), section 6.1");
     sweep(Phase::Broadphase, "Broadphase (Fig 3a)");

@@ -11,8 +11,9 @@ using namespace parallax;
 using namespace parallax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseCommonFlags(&argc, argv);
     printHeader("Figure 5a: Cloth with dedicated L2",
                 "Figure 5(a), section 6.1");
     const int sizes[] = {1, 2, 4, 8, 16};
@@ -20,17 +21,22 @@ main()
     for (int mb : sizes)
         std::printf(" %8dMB", mb);
     std::printf("   (cloth seconds per frame)\n");
-    for (BenchmarkId id :
-         {BenchmarkId::Deformable, BenchmarkId::Mix}) {
-        const MeasuredRun &run = measuredRun(id);
-        std::printf("%-4s", tag(id));
+    const BenchmarkId ids[] = {BenchmarkId::Deformable,
+                               BenchmarkId::Mix};
+    constexpr std::size_t numIds = sizeof(ids) / sizeof(ids[0]);
+    std::vector<std::string> rows(numIds);
+    runSweep(numIds, [&rows, &sizes, &ids](std::size_t i) {
+        const MeasuredRun &run = measuredRun(ids[i]);
+        appendf(rows[i], "%-4s", tag(ids[i]));
         for (int mb : sizes) {
             const FrameTime ft =
                 frameTime(run, L2Plan::dedicatedPerPhase(mb), 1);
-            std::printf(" %10.5f", ft[Phase::Cloth].total());
+            appendf(rows[i], " %10.5f", ft[Phase::Cloth].total());
         }
-        std::printf("\n");
-    }
+        appendf(rows[i], "\n");
+    });
+    for (const std::string &row : rows)
+        std::fputs(row.c_str(), stdout);
     std::printf("\nPaper observation: cloth is insensitive to L2 "
                 "scaling.\n");
     return 0;

@@ -13,28 +13,34 @@ using namespace parallax;
 using namespace parallax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseCommonFlags(&argc, argv);
     printHeader("Figure 5b: CG core scaling (12 MB partitioned L2)",
                 "Figure 5(b), section 6.2");
     std::printf("%-4s %10s %10s %10s %10s | %7s %7s %7s\n", "id",
                 "1P(s)", "2P(s)", "4P(s)", "8P(s)", "1->2", "2->4",
                 "4->8");
+    // Every (benchmark, thread-count) cell is an independent sweep
+    // point: 32 of them fan out over the --sim-lanes event lanes.
+    const unsigned threads[4] = {1, 2, 4, 8};
+    std::vector<std::array<double, 4>> totals(numBenchmarks);
+    runSweep(numBenchmarks * 4, [&totals, &threads](std::size_t p) {
+        const std::size_t i = p / 4;
+        const int t = static_cast<int>(p % 4);
+        const MeasuredRun &run = measuredRun(allBenchmarks[i], [&] {
+            MeasureOptions opt;
+            opt.threads = threads[t];
+            return opt;
+        }());
+        totals[i][t] =
+            frameTime(run, L2Plan::paperPartitioned(), threads[t])
+                .total();
+    });
     double gain12 = 0, gain24 = 0, gain48 = 0;
-    for (BenchmarkId id : allBenchmarks) {
-        double total[4] = {};
-        const unsigned threads[4] = {1, 2, 4, 8};
-        for (int t = 0; t < 4; ++t) {
-            const MeasuredRun &run =
-                measuredRun(id, [&] {
-                    MeasureOptions opt;
-                    opt.threads = threads[t];
-                    return opt;
-                }());
-            total[t] = frameTime(run, L2Plan::paperPartitioned(),
-                                 threads[t])
-                           .total();
-        }
+    for (int i = 0; i < numBenchmarks; ++i) {
+        const BenchmarkId id = allBenchmarks[i];
+        const std::array<double, 4> &total = totals[i];
         const double g12 = total[0] / total[1] - 1.0;
         const double g24 = total[1] / total[2] - 1.0;
         const double g48 = total[2] / total[3] - 1.0;

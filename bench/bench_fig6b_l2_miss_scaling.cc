@@ -13,15 +13,20 @@ using namespace parallax;
 using namespace parallax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseCommonFlags(&argc, argv);
     printHeader("Figure 6b: L2 miss breakdown vs thread scaling",
                 "Figure 6(b), section 6.2");
     std::printf("(benchmark: Mix, 12 MB partitioned L2)\n");
     std::printf("%3s %14s %14s %14s\n", "P", "kernel misses",
                 "user misses", "total");
-    double misses_at_4 = 0, misses_at_8 = 0;
-    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    // The four thread counts are independent sweep points (each
+    // builds its own measured run and hierarchy replay).
+    const unsigned counts[4] = {1, 2, 4, 8};
+    std::uint64_t kernels[4] = {}, users[4] = {};
+    runSweep(4, [&counts, &kernels, &users](std::size_t t) {
+        const unsigned threads = counts[t];
         MeasureOptions opt;
         opt.threads = threads;
         const MeasuredRun &run = measuredRun(BenchmarkId::Mix, opt);
@@ -31,18 +36,21 @@ main()
         MemoryHierarchy hierarchy(config);
         const auto stats =
             replayRun(run, hierarchy, run.stepsPerFrame);
-        std::uint64_t kernel = 0, user = 0;
         for (const PhaseMemStats &s : stats) {
-            kernel += s.kernelL2Misses;
-            user += s.userL2Misses;
+            kernels[t] += s.kernelL2Misses;
+            users[t] += s.userL2Misses;
         }
-        std::printf("%3u %14llu %14llu %14llu\n", threads,
+    });
+    double misses_at_4 = 0, misses_at_8 = 0;
+    for (int t = 0; t < 4; ++t) {
+        const std::uint64_t kernel = kernels[t], user = users[t];
+        std::printf("%3u %14llu %14llu %14llu\n", counts[t],
                     static_cast<unsigned long long>(kernel),
                     static_cast<unsigned long long>(user),
                     static_cast<unsigned long long>(kernel + user));
-        if (threads == 4)
+        if (counts[t] == 4)
             misses_at_4 = static_cast<double>(kernel + user);
-        if (threads == 8)
+        if (counts[t] == 8)
             misses_at_8 = static_cast<double>(kernel + user);
     }
     std::printf("\n4 -> 8 thread miss increase: %.1fx "

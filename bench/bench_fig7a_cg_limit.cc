@@ -13,8 +13,9 @@ using namespace parallax;
 using namespace parallax::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseCommonFlags(&argc, argv);
     printHeader("Figure 7a: limit of CG parallelism",
                 "Figure 7(a), section 6.2");
     std::printf("(unbounded cores; per-phase time bounded by the "
@@ -27,7 +28,9 @@ main()
     const CgTimingModel timing(params);
     PhaseMemStats no_stalls; // Ideal: no cache contention.
 
-    for (BenchmarkId id : allBenchmarks) {
+    std::vector<std::string> rows(numBenchmarks);
+    runSweep(numBenchmarks, [&](std::size_t i) {
+        const BenchmarkId id = allBenchmarks[i];
         const MeasuredRun &run = measuredRun(id);
         // Per-step times summed over the worst frame: the largest
         // island/cloth bounds each step independently.
@@ -52,10 +55,12 @@ main()
                              no_stalls, 4096, cloth_weights)
                          .total();
         }
-        std::printf("%-4s %12.5f %12.5f %12.5f %10.2f\n", tag(id),
-                    island, cloth, island + cloth,
-                    (island + cloth) / frameBudgetSeconds());
-    }
+        appendf(rows[i], "%-4s %12.5f %12.5f %12.5f %10.2f\n",
+                tag(id), island, cloth, island + cloth,
+                (island + cloth) / frameBudgetSeconds());
+    });
+    for (const std::string &row : rows)
+        std::fputs(row.c_str(), stdout);
     std::printf("\nframe budget = %.5f s; the paper finds Mix and "
                 "Deformable exceed it\non these two phases alone, "
                 "motivating fine-grain parallelism.\n",

@@ -63,18 +63,25 @@ print(const char *label, const Split &s)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseCommonFlags(&argc, argv);
     printHeader("Figure 9a: Mix serial / CG / FG split",
                 "Figure 9(a), section 8.1");
 
-    const Split one = computeSplit(measuredRun(BenchmarkId::Mix),
-                                   L2Plan::shared(9), 1);
-    MeasureOptions opt4;
-    opt4.threads = 4;
-    const Split four =
-        computeSplit(measuredRun(BenchmarkId::Mix, opt4),
-                     L2Plan::paperPartitioned(), 4);
+    // The two machine configurations are independent sweep points.
+    Split one, four;
+    runSweep(2, [&one, &four](std::size_t i) {
+        if (i == 0) {
+            one = computeSplit(measuredRun(BenchmarkId::Mix),
+                               L2Plan::shared(9), 1);
+        } else {
+            MeasureOptions opt4;
+            opt4.threads = 4;
+            four = computeSplit(measuredRun(BenchmarkId::Mix, opt4),
+                                L2Plan::paperPartitioned(), 4);
+        }
+    });
 
     print("1 core + 9 MB L2:", one);
     print("4 cores + 12 MB L2:", four);

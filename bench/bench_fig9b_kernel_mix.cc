@@ -9,13 +9,15 @@
 
 #include <cstdio>
 
+#include "harness.hh"
 #include "parallax.hh"
 
 using namespace parallax;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCommonFlags(&argc, argv);
     std::printf("=== Figure 9b: FG kernel instruction mix ===\n");
     std::printf("(reproduces Figure 9(b), section 8.1.1)\n\n");
 

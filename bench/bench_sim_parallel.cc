@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Quantum-synchronized parallel simulation: identity + speedup.
+ *
+ * Two experiments, both staged into BENCH_sim_parallel.json
+ * (baseline committed under bench/baselines/):
+ *
+ * 1. Lane machine (docs/SIMULATOR.md): the same LaneMachine — cores
+ *    with private L1s issuing misses over the mesh to shared-L2 bank
+ *    lanes — is run with the serial reference schedule and with 2
+ *    and 4 host lanes. The stats checksum MUST match bit-for-bit
+ *    (the bench exits nonzero if it does not); wall-clock per mode
+ *    is recorded for the speedup trajectory.
+ *
+ * 2. Figure-sweep proxy: the per-(benchmark, L2 plan) frameTime
+ *    replays that dominate every bench_fig* binary, run as a plain
+ *    serial loop and again through runSweep() on 4 event lanes. The
+ *    bitwise checksum over every resulting FrameTime double MUST
+ *    match; wall-clock for both passes is recorded (this is the
+ *    measured form of the "fig sweep >= 3x at 4 lanes" claim).
+ *
+ * Speedup is physically capped by the host's core count — the JSON
+ * records `cpus` so trend tooling only compares like against like
+ * (a 1-CPU container legitimately measures ~1x).
+ *
+ * Run: ./build/bench/bench_sim_parallel [--refs=N] [--cores=N]
+ *          [--banks=N] [--bench-out=FILE]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "cpu/lane_machine.hh"
+#include "harness.hh"
+
+using namespace parallax;
+using namespace parallax::bench;
+
+namespace
+{
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch())
+        .count();
+}
+
+/** FNV-1a over the raw bits of a double sequence. */
+class BitChecksum
+{
+  public:
+    void mix(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        for (int i = 0; i < 8; ++i) {
+            hash_ ^= (bits >> (8 * i)) & 0xffu;
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+struct MachineResult
+{
+    unsigned lanes = 0;
+    double seconds = 0;
+    std::uint64_t checksum = 0;
+    std::uint64_t events = 0;
+    LaneSet::Stats stats;
+};
+
+MachineResult
+runMachine(const LaneMachineConfig &config, unsigned lanes)
+{
+    LaneMachineConfig c = config;
+    c.parallelLanes = lanes;
+    LaneMachine machine(c);
+    MachineResult result;
+    result.lanes = lanes;
+    const double t0 = now();
+    result.events = machine.run();
+    result.seconds = now() - t0;
+    result.checksum = machine.statsChecksum();
+    result.stats = machine.laneStats();
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    parseCommonFlags(&argc, argv);
+
+    LaneMachineConfig config;
+    config.cores = 8;
+    config.banks = 8;
+    config.refsPerCore = 60000;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--refs=", 7) == 0)
+            config.refsPerCore =
+                static_cast<std::size_t>(std::atoll(arg + 7));
+        else if (std::strncmp(arg, "--cores=", 8) == 0)
+            config.cores =
+                static_cast<unsigned>(std::atoi(arg + 8));
+        else if (std::strncmp(arg, "--banks=", 8) == 0)
+            config.banks =
+                static_cast<unsigned>(std::atoi(arg + 8));
+    }
+    const unsigned cpus = std::thread::hardware_concurrency();
+
+    printHeader("Quantum-synchronized parallel simulation",
+                "docs/SIMULATOR.md determinism contract");
+
+    // --- 1. Lane machine: serial reference vs 2 and 4 host lanes.
+    const unsigned lane_counts[] = {0, 2, 4};
+    MachineResult runs[3];
+    for (int i = 0; i < 3; ++i)
+        runs[i] = runMachine(config, lane_counts[i]);
+    const MachineResult &serial = runs[0];
+
+    std::printf("lane machine: %u cores + %u banks, %zu refs/core, "
+                "quantum inferred from the mesh\n\n",
+                config.cores, config.banks, config.refsPerCore);
+    std::printf("%-8s %10s %9s %12s %10s %18s\n", "lanes",
+                "seconds", "speedup", "events", "quanta",
+                "stats checksum");
+    bool identical = true;
+    for (const MachineResult &run : runs) {
+        std::printf("%-8u %10.4f %8.2fx %12llu %10llu %018llx%s\n",
+                    run.lanes, run.seconds,
+                    run.seconds > 0 ? serial.seconds / run.seconds
+                                    : 0.0,
+                    static_cast<unsigned long long>(run.events),
+                    static_cast<unsigned long long>(
+                        run.stats.quanta),
+                    static_cast<unsigned long long>(run.checksum),
+                    run.checksum == serial.checksum ? ""
+                                                    : "  MISMATCH");
+        identical = identical && run.checksum == serial.checksum;
+    }
+    std::printf("\nserial vs parallel stats: %s\n\n",
+                identical ? "bit-identical" : "MISMATCH");
+
+    // --- 2. Figure-sweep proxy: frameTime replays, serial loop vs
+    // runSweep on 4 event lanes. Warm the measured-run cache first
+    // so both passes time the replays, not scene generation.
+    const int sizes[] = {1, 2, 4, 8, 16};
+    constexpr int numSizes = 5;
+    const std::size_t points =
+        static_cast<std::size_t>(numBenchmarks) * numSizes;
+    for (int i = 0; i < numBenchmarks; ++i)
+        measuredRun(allBenchmarks[i]);
+
+    std::vector<FrameTime> serial_fts(points), lane_fts(points);
+    auto point = [&sizes](std::size_t p, std::vector<FrameTime> &out) {
+        const BenchmarkId id =
+            allBenchmarks[p / numSizes];
+        const int mb = sizes[p % numSizes];
+        out[p] = frameTime(measuredRun(id),
+                           L2Plan::dedicatedPerPhase(mb), 1);
+    };
+
+    const unsigned saved_lanes = simLanes();
+    setSimLanes(0);
+    const double ts0 = now();
+    for (std::size_t p = 0; p < points; ++p)
+        point(p, serial_fts);
+    const double serial_sweep = now() - ts0;
+
+    setSimLanes(4);
+    const double tl0 = now();
+    runSweep(points, [&point, &lane_fts](std::size_t p) {
+        point(p, lane_fts);
+    });
+    const double lane_sweep = now() - tl0;
+    setSimLanes(saved_lanes);
+
+    BitChecksum serial_sum, lane_sum;
+    for (std::size_t p = 0; p < points; ++p) {
+        for (int ph = 0; ph < numPhases; ++ph) {
+            const Phase phase = static_cast<Phase>(ph);
+            serial_sum.mix(serial_fts[p][phase].computeSeconds);
+            serial_sum.mix(serial_fts[p][phase].stallSeconds);
+            lane_sum.mix(lane_fts[p][phase].computeSeconds);
+            lane_sum.mix(lane_fts[p][phase].stallSeconds);
+        }
+    }
+    const bool sweep_identical =
+        serial_sum.value() == lane_sum.value();
+    const double sweep_speedup =
+        lane_sweep > 0 ? serial_sweep / lane_sweep : 0.0;
+    std::printf("fig-sweep proxy: %zu frameTime replays "
+                "(%d benchmarks x %d L2 sizes)\n",
+                points, numBenchmarks, numSizes);
+    std::printf("  serial loop:      %8.4f s  checksum %018llx\n",
+                serial_sweep,
+                static_cast<unsigned long long>(serial_sum.value()));
+    std::printf("  4 event lanes:    %8.4f s  checksum %018llx\n",
+                lane_sweep,
+                static_cast<unsigned long long>(lane_sum.value()));
+    std::printf("  speedup x%.2f on %u cpus, outputs %s\n\n",
+                sweep_speedup, cpus,
+                sweep_identical ? "bit-identical" : "MISMATCH");
+
+    JsonWriter json;
+    json.field("cpus", static_cast<double>(cpus))
+        .field("cores", static_cast<double>(config.cores))
+        .field("banks", static_cast<double>(config.banks))
+        .field("refs_per_core",
+               static_cast<double>(config.refsPerCore))
+        .field("stats_identical", identical);
+    json.beginArray("lanes");
+    for (const MachineResult &run : runs)
+        json.arrayValue(run.lanes);
+    json.endArray();
+    json.beginArray("seconds");
+    for (const MachineResult &run : runs)
+        json.arrayValue(run.seconds);
+    json.endArray();
+    json.beginArray("speedup");
+    for (const MachineResult &run : runs)
+        json.arrayValue(run.seconds > 0
+                            ? serial.seconds / run.seconds
+                            : 0.0);
+    json.endArray();
+    json.beginArray("events");
+    for (const MachineResult &run : runs)
+        json.arrayValue(static_cast<double>(run.events));
+    json.endArray();
+    json.beginArray("quanta");
+    for (const MachineResult &run : runs)
+        json.arrayValue(static_cast<double>(run.stats.quanta));
+    json.endArray();
+    json.beginArray("messages_merged");
+    for (const MachineResult &run : runs)
+        json.arrayValue(
+            static_cast<double>(run.stats.messagesMerged));
+    json.endArray();
+    json.beginArray("max_quantum_skew");
+    for (const MachineResult &run : runs)
+        json.arrayValue(
+            static_cast<double>(run.stats.maxQuantumSkew));
+    json.endArray();
+    json.beginObject("fig_sweep");
+    json.field("points", static_cast<double>(points))
+        .field("serial_seconds", serial_sweep)
+        .field("lane_seconds", lane_sweep)
+        .field("speedup", sweep_speedup)
+        .field("identical", sweep_identical);
+    json.endObject();
+
+    const std::string out = !benchOutPath().empty()
+                                ? benchOutPath()
+                                : "BENCH_sim_parallel.json";
+    if (json.write(out.c_str()))
+        std::printf("wrote %s\n", out.c_str());
+    else
+        std::fprintf(stderr, "failed to write %s\n", out.c_str());
+
+    if (!identical || !sweep_identical) {
+        std::fprintf(stderr, "FAIL: parallel stats diverged from "
+                             "the serial reference\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,9 +1,15 @@
 #include "harness.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdarg>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <tuple>
+
+#include "parallax/config.hh"
+#include "sim/event_queue.hh"
 
 namespace parallax
 {
@@ -54,6 +60,8 @@ double frameBudget = 0.0;
 std::string tracePath;
 bool metricsJson = false;
 std::string benchOut;
+unsigned sweepLanes = 0;
+double globalScale = 1.0;
 
 } // namespace
 
@@ -63,6 +71,8 @@ parseCommonFlags(int *argc, char **argv)
     constexpr const char budgetFlag[] = "--frame-budget=";
     constexpr const char traceFlag[] = "--trace=";
     constexpr const char benchOutFlag[] = "--bench-out=";
+    constexpr const char lanesFlag[] = "--sim-lanes=";
+    constexpr const char scaleFlag[] = "--scale=";
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
         if (std::strcmp(argv[i], "--check-invariants") == 0)
@@ -79,6 +89,14 @@ parseCommonFlags(int *argc, char **argv)
         else if (std::strncmp(argv[i], benchOutFlag,
                               sizeof(benchOutFlag) - 1) == 0)
             benchOut = argv[i] + sizeof(benchOutFlag) - 1;
+        else if (std::strncmp(argv[i], lanesFlag,
+                              sizeof(lanesFlag) - 1) == 0)
+            sweepLanes = static_cast<unsigned>(
+                std::atoi(argv[i] + sizeof(lanesFlag) - 1));
+        else if (std::strncmp(argv[i], scaleFlag,
+                              sizeof(scaleFlag) - 1) == 0)
+            globalScale =
+                std::atof(argv[i] + sizeof(scaleFlag) - 1);
         else
             argv[out++] = argv[i];
     }
@@ -139,6 +157,70 @@ benchOutPath()
     return benchOut;
 }
 
+unsigned
+simLanes()
+{
+    return sweepLanes;
+}
+
+void
+setSimLanes(unsigned lanes)
+{
+    sweepLanes = lanes;
+}
+
+double
+measureScale()
+{
+    return globalScale;
+}
+
+void
+setMeasureScale(double scale)
+{
+    globalScale = scale;
+}
+
+void
+runSweep(std::size_t count,
+         const std::function<void(std::size_t)> &fn)
+{
+    const unsigned lanes = static_cast<unsigned>(
+        std::min<std::size_t>(sweepLanes, count));
+    if (lanes <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    // Deal the points round-robin onto event lanes: every point is
+    // one event at tick 0, so one quantum runs the whole sweep with
+    // per-lane deal order preserved. The scheduler supplies one host
+    // lane per event lane; idle hosts steal whole lanes.
+    LaneSet set(lanes, SimConfig{lanes, /*quantum=*/1});
+    SchedulerConfig sched;
+    sched.workerThreads = lanes - 1;
+    sched.grainSize = 1;
+    TaskScheduler scheduler(sched);
+    set.setParallelRunner(
+        [&scheduler](unsigned laneCount,
+                     const std::function<void(unsigned)> &runLane) {
+            scheduler.parallelFor(
+                laneCount, 1,
+                [&runLane](std::size_t begin, std::size_t end,
+                           unsigned) {
+                    for (std::size_t i = begin; i < end; ++i)
+                        runLane(static_cast<unsigned>(i));
+                });
+        });
+    for (std::size_t i = 0; i < count; ++i) {
+        set.lane(static_cast<unsigned>(i % lanes))
+            .queue()
+            .schedule(0, [&fn, i] { fn(i); });
+    }
+    set.run();
+}
+
 void
 emitObservability(const World &world, const std::string &runTag)
 {
@@ -176,23 +258,18 @@ MeasureOptions::worldConfig() const
     return config;
 }
 
-const MeasuredRun &
-measuredRun(BenchmarkId id, const MeasureOptions &options)
+namespace
 {
-    using Key = std::tuple<int, unsigned, unsigned>;
-    static std::map<Key, std::unique_ptr<MeasuredRun>> cache;
-    const Key key{static_cast<int>(id), options.threads,
-                  options.hostWorkers};
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return *it->second;
 
+std::unique_ptr<MeasuredRun>
+computeMeasuredRun(BenchmarkId id, const MeasureOptions &options)
+{
     auto run = std::make_unique<MeasuredRun>();
     run->id = id;
     run->stepsPerFrame = options.stepsPerFrame;
 
-    auto world =
-        buildBenchmark(id, options.worldConfig(), options.scale);
+    auto world = buildBenchmark(id, options.worldConfig(),
+                                options.scale * globalScale);
     run->spec = staticSceneSpec(*world);
 
     for (int i = 0; i < options.warmupSteps; ++i)
@@ -222,9 +299,38 @@ measuredRun(BenchmarkId id, const MeasureOptions &options)
     emitObservability(*world,
                       std::string(tag(id)) + "_w" +
                           std::to_string(options.hostWorkers));
+    return run;
+}
 
-    auto [pos, inserted] = cache.emplace(key, std::move(run));
-    return *pos->second;
+} // namespace
+
+const MeasuredRun &
+measuredRun(BenchmarkId id, const MeasureOptions &options)
+{
+    // Sweep points dispatched by runSweep() hit this cache from
+    // several host threads at once: the map is guarded by a mutex,
+    // and each entry is computed exactly once (call_once parks any
+    // concurrent requester for the same key until the run is ready)
+    // so a scene is never measured twice.
+    using Key = std::tuple<int, unsigned, unsigned>;
+    struct Entry
+    {
+        std::once_flag once;
+        std::unique_ptr<MeasuredRun> run;
+    };
+    static std::mutex cacheMutex;
+    static std::map<Key, Entry> cache;
+    const Key key{static_cast<int>(id), options.threads,
+                  options.hostWorkers};
+    Entry *entry;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        entry = &cache[key];
+    }
+    std::call_once(entry->once, [&] {
+        entry->run = computeMeasuredRun(id, options);
+    });
+    return *entry->run;
 }
 
 std::array<PhaseMemStats, numPhases>
@@ -342,6 +448,17 @@ tag(BenchmarkId id)
     return benchmarkInfo(id).shortName;
 }
 
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[1024];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out += buf;
+}
+
 // --- JsonWriter --------------------------------------------------------
 
 void
@@ -454,7 +571,7 @@ measureHostPhases(BenchmarkId id, unsigned workers, double scale,
     config.overlapPhases = overlap;
     config.checkInvariants = invariantChecksEnabled();
     config.tracing = !hostTracePath().empty();
-    auto world = buildBenchmark(id, config, scale);
+    auto world = buildBenchmark(id, config, scale * globalScale);
 
     for (int i = 0; i < warmup; ++i)
         world->step();

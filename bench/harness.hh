@@ -14,6 +14,7 @@
 #define PARALLAX_BENCH_HARNESS_HH
 
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -86,6 +87,16 @@ struct MeasureOptions
  *                        simulation to stdout (key "pax_metrics")
  *   --bench-out=FILE     override the BENCH_*.json output path of
  *                        benches that stage trend-tracking results
+ *   --sim-lanes=N        run independent sweep points of the bench
+ *                        on N event lanes (runSweep below); 0 = the
+ *                        serial reference order. Table/figure output
+ *                        is byte-identical either way; only the
+ *                        interleaving of --trace/--metrics-json side
+ *                        channels emitted *during* measurement may
+ *                        change order (docs/SIMULATOR.md)
+ *   --scale=F            multiply every measured scene's scale by F
+ *                        (tools/check_figs.py smoke-runs figures at
+ *                        F << 1; figures for the paper use F = 1)
  */
 void parseCommonFlags(int *argc, char **argv);
 
@@ -109,6 +120,29 @@ void setMetricsJson(bool enabled);
 
 /** BENCH output override from --bench-out; empty = bench default. */
 const std::string &benchOutPath();
+
+/** Event lanes for runSweep from --sim-lanes; 0 = serial. */
+unsigned simLanes();
+void setSimLanes(unsigned lanes);
+
+/** Global scene-scale multiplier from --scale (default 1). */
+double measureScale();
+void setMeasureScale(double scale);
+
+/**
+ * Run `count` independent sweep points, fn(0) .. fn(count-1).
+ *
+ * With simLanes() == 0 this is a plain serial loop. With N > 0 the
+ * points are dealt round-robin onto min(N, count) event lanes of a
+ * LaneSet (sim/event_queue.hh) driven by a work-stealing scheduler:
+ * points on one lane run in deal order, lanes run concurrently.
+ * Callers must make fn(i) independent of fn(j): write results into
+ * pre-sized slots and print them *after* runSweep returns, so the
+ * figure output stays byte-identical to the serial order. The shared
+ * measuredRun() cache is safe to hit from inside fn.
+ */
+void runSweep(std::size_t count,
+              const std::function<void(std::size_t)> &fn);
 
 /**
  * Emit the observability surface for a finished measured world: if
@@ -146,6 +180,18 @@ void printHeader(const char *experiment, const char *paper_ref);
 
 /** Short benchmark tag column. */
 const char *tag(BenchmarkId id);
+
+/**
+ * printf-append to `out`. Sweep points run off the main thread under
+ * --sim-lanes, so benches format each table row into its own string
+ * slot with this and print the slots in order afterwards — the bytes
+ * on stdout never depend on the lane interleaving.
+ */
+void appendf(std::string &out, const char *fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
 
 /**
  * Minimal JSON emitter for BENCH_*.json result staging: benches

@@ -1,0 +1,72 @@
+#include "core_lane.hh"
+
+#include "sim/logging.hh"
+
+namespace parallax
+{
+
+CoreLane::CoreLane(EventLane &lane, CoreLaneConfig config,
+                   IssueFn issue)
+    : lane_(lane), config_(config), issue_(std::move(issue)),
+      l1_(config.l1)
+{
+    parallax_assert(issue_ != nullptr);
+}
+
+void
+CoreLane::setStream(std::vector<MemRef> refs)
+{
+    refs_ = std::move(refs);
+    cursor_ = 0;
+}
+
+void
+CoreLane::start()
+{
+    lane_.queue().schedule(config_.startTick, [this] { burst(); });
+}
+
+void
+CoreLane::burst()
+{
+    // Account stall time for the miss this burst resumes from.
+    if (issueTick_ != 0) {
+        stats_.missCycles += lane_.now() - issueTick_;
+        issueTick_ = 0;
+    }
+
+    // Drain L1 hits without scheduling per-reference events: each
+    // hit advances local time by l1Latency, and since the lane's
+    // queue can't receive new work mid-quantum the whole hit run is
+    // equivalent to one event per reference but vastly cheaper.
+    Tick elapsed = 0;
+    while (cursor_ < refs_.size()) {
+        const MemRef &ref = refs_[cursor_];
+        ++stats_.refs;
+        ++cursor_;
+        elapsed += config_.l1Latency;
+        if (l1_.access(ref.addr, ref.write)) {
+            ++stats_.l1Hits;
+            continue;
+        }
+        ++stats_.l1Misses;
+        // Miss: issue at the simulated time the access reached the
+        // L1 (after the hit run), then stall until the reply event
+        // re-enters burst().
+        const std::uint64_t addr = ref.addr;
+        const bool write = ref.write;
+        lane_.queue().scheduleAfter(elapsed, [this, addr, write] {
+            issueTick_ = lane_.now();
+            issue_(*this, addr, write, [this] { burst(); });
+        });
+        return;
+    }
+
+    // Stream drained: retire at the tick of the last reference.
+    lane_.queue().scheduleAfter(elapsed, [this] {
+        stats_.finishTick = lane_.now();
+        stats_.finished = true;
+    });
+}
+
+} // namespace parallax

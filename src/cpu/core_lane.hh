@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Core pipeline + private L1 as a quantum-parallel simulation
+ * component.
+ *
+ * One CoreLane models what the serial trace replay calls "a thread":
+ * a core working through its per-thread slice of a memory reference
+ * stream against a private L1. L1 hits burn l1Latency cycles each
+ * and are burst-processed inside a single event; an L1 miss issues a
+ * request over the NoC to the owning L2 bank's lane (a cross-lane
+ * message with >= quantum latency) and the core stalls until the
+ * reply message resumes the burst. The core and its private cache
+ * are one lane: nothing else ever touches them, which is exactly the
+ * parti-gem5 partitioning rule (docs/SIMULATOR.md).
+ */
+
+#ifndef PARALLAX_CPU_CORE_LANE_HH
+#define PARALLAX_CPU_CORE_LANE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "sim/event_queue.hh"
+#include "workload/mem_trace.hh"
+
+namespace parallax
+{
+
+/** Private-cache geometry of one core lane (Table 5 defaults). */
+struct CoreLaneConfig
+{
+    CacheConfig l1{32 * 1024, 4, 64};
+    Tick l1Latency = 2;
+    /** Tick at which the core begins processing its stream. */
+    Tick startTick = 0;
+};
+
+/**
+ * A core pipeline bound to an event lane.
+ *
+ * The machine wires the core to the memory system through `IssueFn`:
+ * called at the simulated time of each L1 miss, it must deliver the
+ * request to the right bank lane (via EventLane::send) and arrange
+ * for `resume` to run on *this* core's lane when the data returns.
+ */
+class CoreLane
+{
+  public:
+    using Resume = EventQueue::Callback;
+    using IssueFn = std::function<void(
+        CoreLane &core, std::uint64_t addr, bool write,
+        Resume resume)>;
+
+    /** Integer-only counters (stat-merge rule: order-independent). */
+    struct Stats
+    {
+        std::uint64_t refs = 0;
+        std::uint64_t l1Hits = 0;
+        std::uint64_t l1Misses = 0;
+        /** Total stall cycles spent waiting on bank replies. */
+        std::uint64_t missCycles = 0;
+        /** Tick at which the stream finished (0 until then). */
+        Tick finishTick = 0;
+        bool finished = false;
+    };
+
+    CoreLane(EventLane &lane, CoreLaneConfig config, IssueFn issue);
+
+    /** Assign the reference stream (before LaneSet::run). */
+    void setStream(std::vector<MemRef> refs);
+
+    /** Schedule the first burst at CoreLaneConfig::startTick. */
+    void start();
+
+    const Stats &stats() const { return stats_; }
+    const Cache &l1() const { return l1_; }
+    EventLane &lane() { return lane_; }
+    unsigned laneId() const { return lane_.id(); }
+
+  private:
+    /** Process hits from the cursor until a miss or end-of-stream,
+     *  advancing simulated time by l1Latency per reference. Runs as
+     *  an event on this core's lane. */
+    void burst();
+
+    EventLane &lane_;
+    CoreLaneConfig config_;
+    IssueFn issue_;
+    Cache l1_;
+    std::vector<MemRef> refs_;
+    std::size_t cursor_ = 0;
+    Tick issueTick_ = 0;
+    Stats stats_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_CPU_CORE_LANE_HH

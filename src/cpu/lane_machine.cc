@@ -1,0 +1,225 @@
+#include "lane_machine.hh"
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace parallax
+{
+
+namespace
+{
+
+constexpr std::uint64_t privateRegion(unsigned core)
+{
+    // Disjoint 4 GiB windows per core; the shared region lives far
+    // above all of them.
+    return (static_cast<std::uint64_t>(core) + 1) << 32;
+}
+
+constexpr std::uint64_t sharedRegion = 1ull << 44;
+
+} // namespace
+
+LaneMachine::LaneMachine(LaneMachineConfig config)
+    : config_(config),
+      mesh_(static_cast<int>(config.cores + config.banks)),
+      laneSet_(config.cores + config.banks,
+               SimConfig{config.parallelLanes,
+                         mesh_.minCrossLaneLatency(
+                             config.requestBytes)})
+{
+    if (config_.cores == 0 || config_.banks == 0)
+        fatal("a LaneMachine needs at least one core and one bank");
+
+    auto issueFn = [this](CoreLane &core, std::uint64_t addr,
+                          bool write, CoreLane::Resume resume) {
+        issue(core, addr, write, std::move(resume));
+    };
+    cores_.reserve(config_.cores);
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        cores_.push_back(std::make_unique<CoreLane>(
+            laneSet_.lane(c), config_.core, issueFn));
+    }
+    banks_.reserve(config_.banks);
+    for (unsigned b = 0; b < config_.banks; ++b) {
+        banks_.push_back(std::make_unique<L2BankLane>(
+            laneSet_.lane(config_.cores + b), config_.bank));
+    }
+
+    if (config_.parallelLanes > 0) {
+        SchedulerConfig sched;
+        sched.workerThreads = config_.parallelLanes - 1;
+        sched.grainSize = 1;
+        scheduler_ = std::make_unique<TaskScheduler>(sched);
+        laneSet_.setParallelRunner(
+            [this](unsigned laneCount,
+                   const std::function<void(unsigned)> &runLane) {
+                scheduler_->parallelFor(
+                    laneCount, 1,
+                    [&runLane](std::size_t begin, std::size_t end,
+                               unsigned) {
+                        for (std::size_t i = begin; i < end; ++i)
+                            runLane(static_cast<unsigned>(i));
+                    });
+            });
+    }
+}
+
+void
+LaneMachine::attachTrace(TraceCollector *collector)
+{
+    trace_ = collector;
+}
+
+void
+LaneMachine::attachMetrics(MetricsRegistry *metrics)
+{
+    metrics_ = metrics;
+}
+
+unsigned
+LaneMachine::bankFor(std::uint64_t addr) const
+{
+    // Line-interleaved banking: consecutive lines round-robin the
+    // banks, like the serial model's partition interleave.
+    return static_cast<unsigned>(
+        (addr / config_.lineBytes) % config_.banks);
+}
+
+void
+LaneMachine::issue(CoreLane &core, std::uint64_t addr, bool write,
+                   CoreLane::Resume resume)
+{
+    const unsigned b = bankFor(addr);
+    const unsigned bankLane = config_.cores + b;
+    const int hops = mesh_.hops(static_cast<int>(core.laneId()),
+                                static_cast<int>(bankLane));
+    const Tick requestLatency =
+        mesh_.packetLatency(hops, config_.requestBytes);
+    const Tick replyLatency =
+        mesh_.packetLatency(hops, config_.lineBytes);
+    L2BankLane *bank = banks_[b].get();
+    const unsigned coreLane = core.laneId();
+    core.lane().send(
+        bankLane, requestLatency,
+        [bank, addr, write, coreLane, replyLatency,
+         resume = std::move(resume)] {
+            bank->request(addr, write, coreLane, replyLatency,
+                          resume);
+        });
+}
+
+std::vector<MemRef>
+LaneMachine::syntheticStream(const LaneMachineConfig &config,
+                             unsigned c)
+{
+    // One decorrelated stream per core from the master seed: the
+    // stream is a pure function of (seed, c), never of how many host
+    // lanes replay it.
+    Rng rng = Rng::forStream(config.seed, c);
+    std::vector<MemRef> refs;
+    refs.reserve(config.refsPerCore);
+    const std::uint64_t base = privateRegion(c);
+    for (std::size_t i = 0; i < config.refsPerCore; ++i) {
+        std::uint64_t addr;
+        if (rng.chance(config.sharedFraction)) {
+            addr = sharedRegion +
+                   rng.below(config.sharedBytes / 8) * 8;
+        } else if (rng.chance(config.hotFraction)) {
+            addr = base + rng.below(config.hotBytes / 8) * 8;
+        } else {
+            addr = base + rng.below(config.coldBytes / 8) * 8;
+        }
+        const bool write = rng.chance(config.writeFraction);
+        refs.push_back(MemRef{addr, 8, write, false});
+    }
+    return refs;
+}
+
+std::uint64_t
+LaneMachine::run()
+{
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        cores_[c]->setStream(syntheticStream(config_, c));
+        cores_[c]->start();
+    }
+
+    if (trace_ != nullptr && trace_->enabled()) {
+        LaneSet::Hooks hooks;
+        hooks.quantumBegin = [this](Tick, Tick) {
+            quantumBeginUs_ = trace_->nowUs();
+        };
+        hooks.quantumEnd = [this](Tick, Tick) {
+            trace_->recordSpan(0, "sim.quantum",
+                               laneSet_.stats().quanta,
+                               quantumBeginUs_, trace_->nowUs());
+        };
+        laneSet_.setHooks(hooks);
+    }
+
+    const std::uint64_t executed = laneSet_.run();
+
+    for (const auto &core : cores_) {
+        if (!core->stats().finished)
+            panic("core lane %u did not drain its stream",
+                  core->laneId());
+    }
+
+    if (metrics_ != nullptr) {
+        const LaneSet::Stats &s = laneSet_.stats();
+        metrics_->add("sim.quanta",
+                      static_cast<double>(s.quanta));
+        metrics_->add("sim.events",
+                      static_cast<double>(s.eventsExecuted));
+        metrics_->add("sim.messages_merged",
+                      static_cast<double>(s.messagesMerged));
+        metrics_->set("sim.max_quantum_skew",
+                      static_cast<double>(s.maxQuantumSkew));
+        metrics_->set("sim.lanes",
+                      static_cast<double>(config_.parallelLanes));
+        metrics_->set("sim.quantum_ticks",
+                      static_cast<double>(quantum()));
+        if (scheduler_ != nullptr) {
+            metrics_->add("sim.lane_steals",
+                          static_cast<double>(
+                              scheduler_->tasksStolen()));
+        }
+    }
+    return executed;
+}
+
+std::uint64_t
+LaneMachine::statsChecksum() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    auto mix = [&hash](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            hash ^= (v >> (8 * i)) & 0xffu;
+            hash *= 0x100000001b3ull;
+        }
+    };
+    for (const auto &core : cores_) {
+        const CoreLane::Stats &s = core->stats();
+        mix(s.refs);
+        mix(s.l1Hits);
+        mix(s.l1Misses);
+        mix(s.missCycles);
+        mix(s.finishTick);
+        mix(s.finished ? 1 : 0);
+    }
+    for (const auto &bank : banks_) {
+        const L2BankLane::Stats &s = bank->stats();
+        mix(s.accesses);
+        mix(s.hits);
+        mix(s.misses);
+        mix(s.writebacks);
+    }
+    const LaneSet::Stats &s = laneSet_.stats();
+    mix(s.quanta);
+    mix(s.eventsExecuted);
+    mix(s.messagesMerged);
+    mix(s.maxQuantumSkew);
+    return hash;
+}
+
+} // namespace parallax

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * LaneMachine: a lane-partitioned multicore timing model.
+ *
+ * This is the parti-gem5 recipe applied to the repo's architecture
+ * model (docs/SIMULATOR.md). The simulated machine is partitioned
+ * into components that only interact through NoC messages:
+ *
+ *   lane 0..C-1   core pipeline + private L1   (CoreLane)
+ *   lane C..C+B-1 shared-L2 bank               (L2BankLane)
+ *
+ * Core c sits on mesh node c, bank b on node C+b, and every
+ * cross-lane message pays at least one mesh hop, so the sync quantum
+ * defaults to MeshModel::minCrossLaneLatency(request payload): lanes
+ * can step freely inside a quantum without ever missing an in-flight
+ * message. With LaneMachineConfig::parallelLanes == 0 the quantum
+ * loop runs serially in lane-id order (the reference schedule); with
+ * N > 0 the lanes run on a work-stealing TaskScheduler. Both paths
+ * execute the identical per-lane event schedules and merge messages
+ * in the same (tick, source lane, sequence) order, so every counter
+ * — and statsChecksum() — is bit-identical between the two.
+ */
+
+#ifndef PARALLAX_CPU_LANE_MACHINE_HH
+#define PARALLAX_CPU_LANE_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpu/core_lane.hh"
+#include "mem/bank_lane.hh"
+#include "noc/interconnect.hh"
+#include "physics/parallel/task_scheduler.hh"
+#include "physics/trace/metrics.hh"
+#include "physics/trace/trace.hh"
+#include "sim/event_queue.hh"
+
+namespace parallax
+{
+
+/** Shape of the simulated machine and of its synthetic workload. */
+struct LaneMachineConfig
+{
+    unsigned cores = 4;
+    unsigned banks = 4;
+    CoreLaneConfig core;
+    BankLaneConfig bank;
+
+    /** Host lanes running the simulation: 0 = serial reference. */
+    unsigned parallelLanes = 0;
+
+    /** NoC payloads: a miss request and a returned cache line. */
+    std::uint64_t requestBytes = 16;
+    std::uint64_t lineBytes = 64;
+
+    /** Synthetic per-core reference stream (seeded, reproducible). */
+    std::size_t refsPerCore = 20000;
+    std::uint64_t seed = 0x5eedu;
+    /** Fraction of references into the shared (cross-core) region. */
+    double sharedFraction = 0.25;
+    /** Fraction of private references hitting the hot set. */
+    double hotFraction = 0.9;
+    std::uint64_t hotBytes = 16 * 1024;
+    std::uint64_t coldBytes = 4ull << 20;
+    std::uint64_t sharedBytes = 2ull << 20;
+    double writeFraction = 0.3;
+};
+
+/** The built machine: lanes, components, and the run/stat surface. */
+class LaneMachine
+{
+  public:
+    explicit LaneMachine(LaneMachineConfig config);
+
+    /** Record sim.quantum spans on this collector (optional). */
+    void attachTrace(TraceCollector *collector);
+
+    /** Publish sim.* counters/gauges after run() (optional). */
+    void attachMetrics(MetricsRegistry *metrics);
+
+    /**
+     * Generate the per-core streams, run every core to completion,
+     * and return the number of events executed. Single-shot: build a
+     * fresh machine per run.
+     */
+    std::uint64_t run();
+
+    unsigned coreCount() const { return config_.cores; }
+    unsigned bankCount() const { return config_.banks; }
+    Tick quantum() const { return laneSet_.quantum(); }
+    const CoreLane &core(unsigned i) const { return *cores_.at(i); }
+    const L2BankLane &bank(unsigned i) const { return *banks_.at(i); }
+    const LaneSet::Stats &laneStats() const
+    { return laneSet_.stats(); }
+    const TaskScheduler *scheduler() const { return scheduler_.get(); }
+
+    /**
+     * FNV-1a over every integer counter of every component plus the
+     * LaneSet totals, in fixed component order. Two runs are
+     * bit-identical iff their checksums match; bench_sim_parallel
+     * and tests/test_sim_parallel.cc assert this across lane counts.
+     */
+    std::uint64_t statsChecksum() const;
+
+    /** The deterministic synthetic stream of core `c` (exposed so
+     *  tests can cross-check against a hand-rolled replay). */
+    static std::vector<MemRef>
+    syntheticStream(const LaneMachineConfig &config, unsigned c);
+
+  private:
+    unsigned bankFor(std::uint64_t addr) const;
+    void issue(CoreLane &core, std::uint64_t addr, bool write,
+               CoreLane::Resume resume);
+
+    LaneMachineConfig config_;
+    MeshModel mesh_;
+    LaneSet laneSet_;
+    std::vector<std::unique_ptr<CoreLane>> cores_;
+    std::vector<std::unique_ptr<L2BankLane>> banks_;
+    std::unique_ptr<TaskScheduler> scheduler_;
+    TraceCollector *trace_ = nullptr;
+    MetricsRegistry *metrics_ = nullptr;
+    double quantumBeginUs_ = 0.0;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_CPU_LANE_MACHINE_HH

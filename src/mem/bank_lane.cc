@@ -1,0 +1,32 @@
+#include "bank_lane.hh"
+
+namespace parallax
+{
+
+L2BankLane::L2BankLane(EventLane &lane, BankLaneConfig config)
+    : lane_(lane), config_(config), cache_(config.cache)
+{
+}
+
+void
+L2BankLane::request(std::uint64_t addr, bool write,
+                    unsigned replyLane, Tick replyLatency,
+                    EventQueue::Callback reply)
+{
+    ++stats_.accesses;
+    const bool hit = cache_.access(addr, write);
+    Tick service = config_.serviceLatency;
+    if (hit) {
+        ++stats_.hits;
+    } else {
+        ++stats_.misses;
+        service += config_.memLatency;
+    }
+    stats_.writebacks = cache_.stats().writebacks;
+    // The reply leaves after the bank has serviced the line; the
+    // send() latency check still sees >= quantum because the NoC
+    // return path alone satisfies it.
+    lane_.send(replyLane, service + replyLatency, std::move(reply));
+}
+
+} // namespace parallax

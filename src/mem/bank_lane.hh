@@ -1,0 +1,80 @@
+/**
+ * @file
+ * L2 bank as a quantum-parallel simulation component.
+ *
+ * In the serial timing model the banked L2 is folded into one Cache
+ * per partition (cache.hh) because bank conflicts are not timed. The
+ * lane-parallel model (docs/SIMULATOR.md) needs real banks: each
+ * bank owns a slice of the physical address space (line-interleaved)
+ * and registers on its own event lane, servicing request messages
+ * that arrive over the NoC from the core lanes. Requests arriving in
+ * the same quantum from different cores are delivered in the
+ * LaneSet's deterministic merge order, so the bank's LRU state — and
+ * therefore every hit/miss count — is bit-identical between serial
+ * and parallel execution.
+ */
+
+#ifndef PARALLAX_MEM_BANK_LANE_HH
+#define PARALLAX_MEM_BANK_LANE_HH
+
+#include <cstdint>
+
+#include "cache.hh"
+#include "sim/event_queue.hh"
+
+namespace parallax
+{
+
+/** Geometry and latencies of one lane-hosted L2 bank. */
+struct BankLaneConfig
+{
+    CacheConfig cache{1ull << 20, 4, 64};
+    Tick serviceLatency = 15; // L2 hit latency (Table 5).
+    Tick memLatency = 340;    // Added on a bank miss (Table 5).
+};
+
+/**
+ * One L2 bank bound to an event lane. The bank itself never sends
+ * autonomously — it reacts to request() calls made from messages
+ * delivered on its lane and replies through the same lane's send().
+ */
+class L2BankLane
+{
+  public:
+    /** Integer-only counters: lane merges can never perturb them
+     *  (the stat-merge rule of docs/SIMULATOR.md). */
+    struct Stats
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t writebacks = 0;
+    };
+
+    L2BankLane(EventLane &lane, BankLaneConfig config);
+
+    /**
+     * Service one request. Must be called from an event executing on
+     * this bank's lane (the arrival of the request message). Accesses
+     * the bank cache immediately — arrival order is the service
+     * order — and schedules `reply` back to `replyLane` after the
+     * service latency (hit or miss) plus `replyLatency` (the NoC
+     * return path; must itself satisfy the >= quantum send rule).
+     */
+    void request(std::uint64_t addr, bool write, unsigned replyLane,
+                 Tick replyLatency, EventQueue::Callback reply);
+
+    const Stats &stats() const { return stats_; }
+    const Cache &cache() const { return cache_; }
+    unsigned laneId() const { return lane_.id(); }
+
+  private:
+    EventLane &lane_;
+    BankLaneConfig config_;
+    Cache cache_;
+    Stats stats_;
+};
+
+} // namespace parallax
+
+#endif // PARALLAX_MEM_BANK_LANE_HH

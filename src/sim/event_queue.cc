@@ -1,5 +1,7 @@
 #include "event_queue.hh"
 
+#include <algorithm>
+
 #include "logging.hh"
 
 namespace parallax
@@ -45,6 +47,171 @@ EventQueue::step()
     now_ = ev.when;
     ev.cb();
     return true;
+}
+
+// --- Quantum-synchronized parallel kernel ------------------------------
+
+void
+EventLane::send(unsigned dstLane, Tick latency,
+                EventQueue::Callback cb)
+{
+    parallax_assert(owner_ != nullptr);
+    if (dstLane >= owner_->laneCount())
+        panic("send to invalid lane %u (of %u)", dstLane,
+              owner_->laneCount());
+    if (latency < owner_->quantum()) {
+        panic("cross-lane send latency %llu below the sync quantum "
+              "%llu (lane %u -> %u): intra-quantum lane execution "
+              "would no longer be independent",
+              static_cast<unsigned long long>(latency),
+              static_cast<unsigned long long>(owner_->quantum()),
+              id_, dstLane);
+    }
+    // The outbox is lane-private: only this lane appends, and the
+    // barrier drains it while no lane is running, so no lock is
+    // needed even when lanes execute on different host threads.
+    outbox_.push_back(Message{queue_.now() + latency, dstLane,
+                              nextSequence_++, std::move(cb)});
+}
+
+LaneSet::LaneSet(unsigned lanes, SimConfig config)
+    : config_(config)
+{
+    if (lanes == 0)
+        fatal("a LaneSet needs at least one lane");
+    if (config_.quantum == 0)
+        fatal("the sync quantum must be at least one tick");
+    lanes_.reserve(lanes);
+    for (unsigned i = 0; i < lanes; ++i) {
+        auto lane = std::make_unique<EventLane>();
+        lane->owner_ = this;
+        lane->id_ = i;
+        lanes_.push_back(std::move(lane));
+    }
+}
+
+EventLane &
+LaneSet::lane(unsigned i)
+{
+    parallax_assert(i < lanes_.size());
+    return *lanes_[i];
+}
+
+void
+LaneSet::setParallelRunner(LaneRunner runner)
+{
+    runner_ = std::move(runner);
+}
+
+bool
+LaneSet::drained() const
+{
+    for (const auto &lane : lanes_) {
+        if (!lane->queue_.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+LaneSet::mergeMessages()
+{
+    // Deterministic merge: deliver every pending cross-lane message
+    // in (arrival tick, source lane id, per-lane sequence) order.
+    // Outboxes are scanned in lane id order, and within one lane
+    // sequence numbers are already monotonic, so a stable sort on
+    // (when, srcLane) alone would also do — but the explicit triple
+    // is the documented contract, so sort on it directly.
+    struct Pending
+    {
+        Tick when;
+        unsigned src;
+        std::uint64_t sequence;
+        EventLane::Message *message;
+    };
+    std::vector<Pending> pending;
+    for (const auto &lane : lanes_) {
+        for (auto &message : lane->outbox_) {
+            pending.push_back(Pending{message.when, lane->id_,
+                                      message.sequence, &message});
+        }
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const Pending &a, const Pending &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.sequence < b.sequence;
+              });
+    for (Pending &p : pending) {
+        lanes_[p.message->dst]->queue_.schedule(
+            p.when, std::move(p.message->cb));
+    }
+    stats_.messagesMerged += pending.size();
+    for (const auto &lane : lanes_)
+        lane->outbox_.clear();
+}
+
+std::uint64_t
+LaneSet::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    for (;;) {
+        // Earliest pending event across lanes; stop when drained or
+        // past the limit.
+        Tick next = ~Tick(0);
+        for (const auto &lane : lanes_)
+            next = std::min(next, lane->queue_.nextEventTick());
+        if (next == ~Tick(0) || next > limit)
+            break;
+
+        // Skip idle stretches: align the quantum window to the
+        // earliest event. Windows are [start, start + quantum).
+        const Tick start = next - next % config_.quantum;
+        const Tick edge =
+            (start > limit - (config_.quantum - 1))
+                ? limit
+                : start + config_.quantum - 1;
+
+        if (hooks_.quantumBegin)
+            hooks_.quantumBegin(start, edge);
+
+        // Quantum phase: every lane runs its private queue up to the
+        // edge. Lanes share no mutable state inside the window
+        // (cross-lane messages can only arrive at later quanta), so
+        // the serial path and the parallel path execute identical
+        // per-lane schedules.
+        auto runLane = [this, edge](unsigned i) {
+            lanes_[i]->eventsExecuted_ = lanes_[i]->queue_.run(edge);
+        };
+        if (config_.parallelLanes > 0 && runner_) {
+            runner_(laneCount(), runLane);
+        } else {
+            for (unsigned i = 0; i < laneCount(); ++i)
+                runLane(i);
+        }
+
+        // Barrier phase: account progress, then deliver messages.
+        std::uint64_t quantumMin = ~std::uint64_t(0);
+        std::uint64_t quantumMax = 0;
+        for (const auto &lane : lanes_) {
+            executed += lane->eventsExecuted_;
+            stats_.eventsExecuted += lane->eventsExecuted_;
+            quantumMin = std::min(quantumMin, lane->eventsExecuted_);
+            quantumMax = std::max(quantumMax, lane->eventsExecuted_);
+        }
+        stats_.maxQuantumSkew = std::max(stats_.maxQuantumSkew,
+                                         quantumMax - quantumMin);
+        ++stats_.quanta;
+        mergeMessages();
+
+        if (hooks_.quantumEnd)
+            hooks_.quantumEnd(start, edge);
+        if (edge == limit)
+            break;
+    }
+    return executed;
 }
 
 } // namespace parallax

@@ -1,12 +1,26 @@
 /**
  * @file
- * Discrete-event simulation kernel.
+ * Discrete-event simulation kernel, serial and quantum-parallel.
  *
  * A minimal event queue in the gem5 style: events are callbacks
  * scheduled at absolute Ticks; run() drains the queue in time order.
  * The NoC and the ParallAX task scheduler are built on this kernel;
  * the trace-driven cache models run in bulk and only use Ticks for
  * accounting.
+ *
+ * On top of the serial queue sits the parti-gem5-style parallel
+ * kernel (LaneSet): simulated components are partitioned onto
+ * independent event *lanes*, each lane owning a private EventQueue.
+ * Lanes step freely inside a synchronization quantum bounded by the
+ * minimum cross-lane communication latency, barrier at quantum
+ * edges, and exchange work only through cross-lane messages whose
+ * send latency must be >= the quantum. Messages are merged at the
+ * barrier in a deterministic order — (arrival tick, source lane,
+ * per-lane sequence number) — so a LaneSet produces bit-identical
+ * component stats whether its lanes execute serially on one host
+ * thread (parallelLanes = 0, the reference implementation) or
+ * concurrently on many. See docs/SIMULATOR.md for the full
+ * determinism contract.
  */
 
 #ifndef PARALLAX_SIM_EVENT_QUEUE_HH
@@ -14,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -55,6 +70,10 @@ class EventQueue
     /** Execute the single next event, if any. Returns false if empty. */
     bool step();
 
+    /** Tick of the earliest pending event (~Tick(0) when empty). */
+    Tick nextEventTick() const
+    { return events_.empty() ? ~Tick(0) : events_.top().when; }
+
   private:
     struct Event
     {
@@ -77,6 +96,182 @@ class EventQueue
     std::priority_queue<Event, std::vector<Event>, Later> events_;
     Tick now_ = 0;
     std::uint64_t nextSequence_ = 0;
+};
+
+// --- Quantum-synchronized parallel kernel ------------------------------
+
+/** Configuration of the parallel simulation kernel. */
+struct SimConfig
+{
+    /**
+     * Host threads executing lanes concurrently within a quantum.
+     * 0 (the default) selects the serial reference implementation:
+     * the same quantum loop, lanes stepped one after another in lane
+     * id order on the calling thread. The parallel path is
+     * bit-identical to it by construction (see LaneSet).
+     */
+    unsigned parallelLanes = 0;
+
+    /**
+     * Synchronization quantum in ticks. Every lane may run `quantum`
+     * ticks ahead of the slowest lane before the barrier; no
+     * cross-lane message may be sent with a latency below it.
+     * Components derive it from the minimum cross-lane communication
+     * latency (one NoC hop + link serialization — see
+     * MeshModel::minCrossLaneLatency()).
+     */
+    Tick quantum = 1;
+};
+
+class LaneSet;
+
+/**
+ * One event lane: a private EventQueue plus an outbox of cross-lane
+ * messages. Components registered on a lane schedule local events
+ * directly on queue() and talk to components on other lanes only
+ * through send(), which enforces the >= quantum latency guarantee.
+ */
+class EventLane
+{
+  public:
+    unsigned id() const { return id_; }
+
+    /** The lane-local event queue (intra-lane scheduling only). */
+    EventQueue &queue() { return queue_; }
+    const EventQueue &queue() const { return queue_; }
+
+    /** Current simulated time of this lane. */
+    Tick now() const { return queue_.now(); }
+
+    /**
+     * Send a callback to `dstLane`, to run `latency` ticks after
+     * now(). The latency must be >= the owning LaneSet's quantum
+     * (panics otherwise): that bound is what makes intra-quantum
+     * lane execution independent, and therefore parallelizable with
+     * bit-identical results. Delivery happens at the next quantum
+     * barrier, merged deterministically across source lanes.
+     */
+    void send(unsigned dstLane, Tick latency, EventQueue::Callback cb);
+
+  private:
+    friend class LaneSet;
+
+    struct Message
+    {
+        Tick when;
+        unsigned dst;
+        std::uint64_t sequence;
+        EventQueue::Callback cb;
+    };
+
+    EventQueue queue_;
+    std::vector<Message> outbox_;
+    LaneSet *owner_ = nullptr;
+    unsigned id_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::uint64_t eventsExecuted_ = 0;
+};
+
+/**
+ * A set of event lanes stepped under quantum synchronization
+ * (parti-gem5 style).
+ *
+ * Execution alternates two phases until every lane is drained (or a
+ * tick limit is hit):
+ *
+ *   1. *Quantum phase*: each lane runs its private queue up to the
+ *      quantum edge. With SimConfig::parallelLanes == 0 lanes run
+ *      serially in lane id order; otherwise they run concurrently on
+ *      the host executor installed via setParallelRunner() (the
+ *      bench harness wires this to the Chase-Lev TaskScheduler).
+ *   2. *Barrier phase*: outboxes are collected, sorted by
+ *      (arrival tick, source lane id, per-lane sequence number) and
+ *      delivered into the destination lanes' queues in that order.
+ *
+ * Because a message's arrival tick is always in a later quantum than
+ * its send (latency >= quantum), a lane's execution within a quantum
+ * depends only on state fixed at the previous barrier — so the
+ * parallel schedule and the serial schedule execute the exact same
+ * events at the exact same ticks in the exact same per-lane order,
+ * and all component stats come out bit-identical. Empty stretches of
+ * simulated time are skipped: the next quantum window is aligned to
+ * the earliest pending event across lanes.
+ */
+class LaneSet
+{
+  public:
+    /**
+     * Host-side executor: invoked once per quantum with the lane
+     * count; must call the provided function exactly once for every
+     * lane index (in any order, on any thread) and return only when
+     * all calls completed.
+     */
+    using LaneRunner = std::function<void(
+        unsigned laneCount, const std::function<void(unsigned)> &)>;
+
+    /** Progress counters (all integers: order-independent merges). */
+    struct Stats
+    {
+        std::uint64_t quanta = 0;
+        std::uint64_t eventsExecuted = 0;
+        std::uint64_t messagesMerged = 0;
+        /**
+         * Worst per-quantum lane imbalance observed: max minus min
+         * events executed by any lane inside one quantum. High skew
+         * means the partition onto lanes is unbalanced and parallel
+         * efficiency is capped by the busiest lane.
+         */
+        std::uint64_t maxQuantumSkew = 0;
+    };
+
+    LaneSet(unsigned lanes, SimConfig config);
+
+    unsigned laneCount() const
+    { return static_cast<unsigned>(lanes_.size()); }
+    EventLane &lane(unsigned i);
+    Tick quantum() const { return config_.quantum; }
+    const SimConfig &config() const { return config_; }
+
+    /**
+     * Install the host executor used when parallelLanes > 0. Without
+     * a runner (or with parallelLanes == 0) quanta execute serially.
+     * The runner must satisfy the LaneRunner contract above.
+     */
+    void setParallelRunner(LaneRunner runner);
+
+    /** Hooks bracketing each quantum (trace-span instrumentation).
+     *  Leave unset for zero overhead beyond a branch. */
+    struct Hooks
+    {
+        std::function<void(Tick quantumStart, Tick quantumEnd)>
+            quantumBegin;
+        std::function<void(Tick quantumStart, Tick quantumEnd)>
+            quantumEnd;
+    };
+    void setHooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+    /**
+     * Run quanta until every lane is drained or the next event lies
+     * beyond `limit`. Returns the number of events executed.
+     */
+    std::uint64_t run(Tick limit = ~Tick(0));
+
+    /** True when no lane has a pending event. */
+    bool drained() const;
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    friend class EventLane;
+
+    /** Deliver all outboxes in deterministic merge order. */
+    void mergeMessages();
+
+    SimConfig config_;
+    std::vector<std::unique_ptr<EventLane>> lanes_;
+    LaneRunner runner_;
+    Hooks hooks_;
+    Stats stats_;
 };
 
 } // namespace parallax

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Quantum-synchronized parallel kernel: determinism contract tests.
+ *
+ * Exercises the guarantees documented in docs/SIMULATOR.md:
+ *
+ *  - a LaneSet run with parallelLanes = 2/4/8 produces bit-identical
+ *    component stats to the serial reference (LaneMachine golden
+ *    identity),
+ *  - cross-lane messages at the quantum-edge latency boundary arrive
+ *    at the exact tick requested (latency == quantum and quantum+1),
+ *    and a latency below the quantum is a simulator bug (panic),
+ *  - same-tick messages merge in (arrival tick, source lane,
+ *    sequence) order regardless of which lane sent first,
+ *  - idle stretches of simulated time are skipped rather than swept
+ *    quantum by quantum,
+ *  - LaneAccumulator folds FP sums in lane-id order, and
+ *    Rng::forStream gives decorrelated, reproducible per-lane
+ *    streams.
+ *
+ * This suite carries the `sim` ctest label and runs under tsan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/lane_machine.hh"
+#include "physics/parallel/task_scheduler.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+using namespace parallax;
+
+namespace
+{
+
+/** Small machine so the full suite stays fast under tsan. */
+LaneMachineConfig
+smallMachine()
+{
+    LaneMachineConfig config;
+    config.cores = 4;
+    config.banks = 4;
+    config.refsPerCore = 3000;
+    return config;
+}
+
+struct MachineRun
+{
+    std::uint64_t checksum = 0;
+    std::uint64_t events = 0;
+    LaneSet::Stats stats;
+};
+
+MachineRun
+runMachine(unsigned parallelLanes)
+{
+    LaneMachineConfig config = smallMachine();
+    config.parallelLanes = parallelLanes;
+    LaneMachine machine(config);
+    MachineRun run;
+    run.events = machine.run();
+    run.checksum = machine.statsChecksum();
+    run.stats = machine.laneStats();
+    return run;
+}
+
+/** Drive a LaneSet's lanes on the work-stealing scheduler, the same
+ *  wiring LaneMachine and the bench harness use. */
+void
+attachScheduler(LaneSet &set, TaskScheduler &scheduler)
+{
+    set.setParallelRunner(
+        [&scheduler](unsigned laneCount,
+                     const std::function<void(unsigned)> &body) {
+            scheduler.parallelFor(
+                laneCount, 1,
+                [&body](std::size_t begin, std::size_t end,
+                        unsigned) {
+                    for (std::size_t i = begin; i < end; ++i)
+                        body(static_cast<unsigned>(i));
+                });
+        });
+}
+
+} // namespace
+
+// --- Golden identity: serial reference vs 2/4/8 host lanes -------------
+
+TEST(SimParallel, LaneMachineGoldenIdentity)
+{
+    const MachineRun serial = runMachine(0);
+    EXPECT_GT(serial.events, 0u);
+    EXPECT_GT(serial.stats.quanta, 0u);
+    EXPECT_GT(serial.stats.messagesMerged, 0u);
+
+    for (unsigned lanes : {2u, 4u, 8u}) {
+        const MachineRun parallel = runMachine(lanes);
+        EXPECT_EQ(parallel.checksum, serial.checksum)
+            << lanes << " host lanes diverged from serial";
+        EXPECT_EQ(parallel.events, serial.events);
+        EXPECT_EQ(parallel.stats.quanta, serial.stats.quanta);
+        EXPECT_EQ(parallel.stats.messagesMerged,
+                  serial.stats.messagesMerged);
+        EXPECT_EQ(parallel.stats.maxQuantumSkew,
+                  serial.stats.maxQuantumSkew);
+    }
+}
+
+TEST(SimParallel, LaneMachineRunsAreReproducible)
+{
+    const MachineRun a = runMachine(0);
+    const MachineRun b = runMachine(0);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.events, b.events);
+}
+
+TEST(SimParallel, SyntheticStreamIsSeededAndPerCore)
+{
+    const LaneMachineConfig config = smallMachine();
+    const auto once = LaneMachine::syntheticStream(config, 1);
+    const auto again = LaneMachine::syntheticStream(config, 1);
+    ASSERT_EQ(once.size(), config.refsPerCore);
+    ASSERT_EQ(again.size(), once.size());
+    for (std::size_t i = 0; i < once.size(); ++i) {
+        EXPECT_EQ(once[i].addr, again[i].addr);
+        EXPECT_EQ(once[i].write, again[i].write);
+    }
+    // Distinct cores draw distinct streams.
+    const auto other = LaneMachine::syntheticStream(config, 2);
+    bool differs = false;
+    for (std::size_t i = 0; i < once.size() && !differs; ++i)
+        differs = once[i].addr != other[i].addr;
+    EXPECT_TRUE(differs);
+}
+
+// --- Quantum-edge latency boundaries -----------------------------------
+
+TEST(SimParallel, SendAtExactlyQuantumArrivesOnTime)
+{
+    constexpr Tick quantum = 5;
+    LaneSet set(2, SimConfig{0, quantum});
+    Tick arrival = 0;
+    // Sender executes at tick 3, inside the first window [0, 4];
+    // latency == quantum lands the message at tick 8, which is
+    // guaranteed to fall beyond the sender's window.
+    set.lane(0).queue().schedule(3, [&set, &arrival] {
+        set.lane(0).send(1, quantum, [&set, &arrival] {
+            arrival = set.lane(1).now();
+        });
+    });
+    set.run();
+    EXPECT_EQ(arrival, 8u);
+    EXPECT_TRUE(set.drained());
+    EXPECT_EQ(set.stats().messagesMerged, 1u);
+}
+
+TEST(SimParallel, SendAtQuantumPlusOneArrivesOnTime)
+{
+    constexpr Tick quantum = 5;
+    LaneSet set(2, SimConfig{0, quantum});
+    Tick arrival = 0;
+    set.lane(0).queue().schedule(3, [&set, &arrival] {
+        set.lane(0).send(1, quantum + 1, [&set, &arrival] {
+            arrival = set.lane(1).now();
+        });
+    });
+    set.run();
+    EXPECT_EQ(arrival, 9u);
+    EXPECT_EQ(set.stats().messagesMerged, 1u);
+}
+
+TEST(SimParallel, SendBelowQuantumPanics)
+{
+    constexpr Tick quantum = 5;
+    LaneSet set(2, SimConfig{0, quantum});
+    set.lane(0).queue().schedule(0, [&set] {
+        set.lane(0).send(1, quantum - 1, [] {});
+    });
+    EXPECT_DEATH(set.run(), "below the sync quantum");
+}
+
+TEST(SimParallel, SendToInvalidLanePanics)
+{
+    LaneSet set(2, SimConfig{0, 1});
+    set.lane(0).queue().schedule(0, [&set] {
+        set.lane(0).send(7, 1, [] {});
+    });
+    EXPECT_DEATH(set.run(), "invalid lane");
+}
+
+// --- Deterministic merge order -----------------------------------------
+
+TEST(SimParallel, SameTickMessagesMergeByLaneThenSequence)
+{
+    constexpr Tick quantum = 4;
+    LaneSet set(3, SimConfig{0, quantum});
+    std::vector<int> order;
+    // Lanes 0 and 1 each send two messages that all arrive on lane 2
+    // at tick 4. Delivery order must be (arrival tick, source lane,
+    // sequence): 0/a, 0/b, 1/a, 1/b.
+    set.lane(1).queue().schedule(0, [&set, &order] {
+        set.lane(1).send(2, quantum, [&order] { order.push_back(10); });
+        set.lane(1).send(2, quantum, [&order] { order.push_back(11); });
+    });
+    set.lane(0).queue().schedule(0, [&set, &order] {
+        set.lane(0).send(2, quantum, [&order] { order.push_back(0); });
+        set.lane(0).send(2, quantum, [&order] { order.push_back(1); });
+    });
+    set.run();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 10);
+    EXPECT_EQ(order[3], 11);
+    EXPECT_EQ(set.stats().messagesMerged, 4u);
+}
+
+TEST(SimParallel, SameArrivalTickOrdersBySourceLane)
+{
+    constexpr Tick quantum = 4;
+    LaneSet set(3, SimConfig{0, quantum});
+    std::vector<int> order;
+    // Both messages arrive on lane 2 at tick 5. Lane 1 sends from
+    // tick 0 (latency 5), lane 0 from tick 1 (latency 4): the merge
+    // must order by source lane id, not by send time.
+    set.lane(1).queue().schedule(0, [&set, &order] {
+        set.lane(1).send(2, 5, [&order] { order.push_back(1); });
+    });
+    set.lane(0).queue().schedule(1, [&set, &order] {
+        set.lane(0).send(2, 4, [&order] { order.push_back(0); });
+    });
+    set.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+}
+
+// --- Idle fast-forward and run limits ----------------------------------
+
+TEST(SimParallel, IdleStretchesAreSkippedNotSwept)
+{
+    LaneSet set(2, SimConfig{0, 10});
+    int ran = 0;
+    set.lane(0).queue().schedule(0, [&ran] { ++ran; });
+    set.lane(1).queue().schedule(1000000, [&ran] { ++ran; });
+    set.run();
+    EXPECT_EQ(ran, 2);
+    // One quantum per populated window, not 100k empty ones.
+    EXPECT_EQ(set.stats().quanta, 2u);
+}
+
+TEST(SimParallel, RunLimitLeavesLaterEventsPending)
+{
+    LaneSet set(2, SimConfig{0, 10});
+    int ran = 0;
+    set.lane(0).queue().schedule(5, [&ran] { ++ran; });
+    set.lane(1).queue().schedule(500, [&ran] { ++ran; });
+    const std::uint64_t executed = set.run(100);
+    EXPECT_EQ(executed, 1u);
+    EXPECT_EQ(ran, 1);
+    EXPECT_FALSE(set.drained());
+    set.run();
+    EXPECT_EQ(ran, 2);
+    EXPECT_TRUE(set.drained());
+}
+
+// --- Parallel runner wiring --------------------------------------------
+
+TEST(SimParallel, SchedulerRunnerMatchesSerialSchedule)
+{
+    // A ping-pong app across 4 lanes: each bounce re-sends to the
+    // next lane until a hop budget is spent. Run serially and on the
+    // TaskScheduler; the executed-event count and final ticks must
+    // match exactly.
+    constexpr Tick quantum = 3;
+    constexpr int hops = 64;
+    // Self-scheduling bounce chain, started on lane 0. The bouncer
+    // outlives run(): sent callbacks capture a pointer to it.
+    struct Bouncer
+    {
+        LaneSet *set = nullptr;
+        std::vector<Tick> *lastTick = nullptr;
+        int remaining = hops;
+        void bounce(unsigned laneId)
+        {
+            (*lastTick)[laneId] = set->lane(laneId).now();
+            if (remaining-- <= 0)
+                return;
+            const unsigned next = (laneId + 1) % set->laneCount();
+            set->lane(laneId).send(next, quantum,
+                                   [this, next] { bounce(next); });
+        }
+    };
+    auto build = [](LaneSet &set, std::vector<Tick> &lastTick,
+                    Bouncer &bouncer) {
+        bouncer.set = &set;
+        bouncer.lastTick = &lastTick;
+        set.lane(0).queue().schedule(0, [&bouncer] {
+            bouncer.bounce(0);
+        });
+    };
+
+    LaneSet serial(4, SimConfig{0, quantum});
+    std::vector<Tick> serialTicks(4, 0);
+    Bouncer serialBouncer;
+    build(serial, serialTicks, serialBouncer);
+    const std::uint64_t serialEvents = serial.run();
+
+    LaneSet parallel(4, SimConfig{2, quantum});
+    TaskScheduler scheduler(SchedulerConfig{1, 1});
+    attachScheduler(parallel, scheduler);
+    std::vector<Tick> parallelTicks(4, 0);
+    Bouncer parallelBouncer;
+    build(parallel, parallelTicks, parallelBouncer);
+    const std::uint64_t parallelEvents = parallel.run();
+
+    EXPECT_EQ(parallelEvents, serialEvents);
+    EXPECT_EQ(parallelTicks, serialTicks);
+    EXPECT_EQ(parallel.stats().quanta, serial.stats().quanta);
+    EXPECT_EQ(parallel.stats().messagesMerged,
+              serial.stats().messagesMerged);
+}
+
+// --- Order-independent stat accumulation -------------------------------
+
+TEST(SimParallel, LaneAccumulatorFoldsInLaneOrder)
+{
+    // The same per-lane contributions added in two different
+    // interleavings must fold to the bit-identical sum, because the
+    // merge walks slots in lane-id order.
+    const double values[4] = {0.1, 1e16, -1e16, 0.3};
+
+    LaneAccumulator forward(4);
+    for (unsigned lane = 0; lane < 4; ++lane)
+        forward.add(lane, values[lane]);
+
+    LaneAccumulator reversed(4);
+    for (unsigned lane = 4; lane-- > 0;)
+        reversed.add(lane, values[lane]);
+
+    EXPECT_EQ(forward.sum(), reversed.sum());
+    EXPECT_EQ(forward.count(), 4u);
+    EXPECT_EQ(forward.mean(), reversed.mean());
+    EXPECT_EQ(forward.laneSum(1), 1e16);
+    EXPECT_EQ(forward.laneCount(2), 1u);
+
+    forward.reset();
+    EXPECT_EQ(forward.sum(), 0.0);
+    EXPECT_EQ(forward.count(), 0u);
+}
+
+TEST(SimParallel, RngStreamsAreReproducibleAndDecorrelated)
+{
+    Rng a = Rng::forStream(0x5eed, 3);
+    Rng b = Rng::forStream(0x5eed, 3);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), b.next());
+
+    // Adjacent streams from the same seed must diverge immediately.
+    Rng c = Rng::forStream(0x5eed, 3);
+    Rng d = Rng::forStream(0x5eed, 4);
+    EXPECT_NE(c.next(), d.next());
+}

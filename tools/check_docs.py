@@ -8,7 +8,16 @@ relative link resolves to a file or directory in the working tree
 External http(s)/mailto links are only checked for non-empty targets,
 never fetched — the checker must work offline and in CI.
 
-Exit code is the number of broken links (0 = pass), so CMake can
+Beyond links, two structural checks keep the reproduction pipeline
+honest:
+
+- every `bench_*` binary named in EXPERIMENTS.md must be registered
+  in bench/CMakeLists.txt (a renamed or deleted bench may not leave
+  a stale regeneration recipe behind), and
+- every markdown file under docs/ must be reachable from README.md
+  by following relative links (no orphaned documentation).
+
+Exit code is the number of violations (0 = pass), so CMake can
 register it directly as the `check-docs` test.
 
 Run: python3 tools/check_docs.py [repo-root]
@@ -74,6 +83,58 @@ def check_file(path: Path, root: Path) -> list[str]:
     return errors
 
 
+# `(?!\*)` skips glob-style mentions like `bench_fig*`.
+BENCH_NAME_RE = re.compile(r"\b(bench_[a-z0-9_]+)\b(?!\*)")
+
+
+def check_experiment_benches(root: Path) -> list[str]:
+    """Every bench binary named in EXPERIMENTS.md must be registered
+    in bench/CMakeLists.txt."""
+    experiments = root / "EXPERIMENTS.md"
+    cmake = root / "bench" / "CMakeLists.txt"
+    if not experiments.exists() or not cmake.exists():
+        return []
+    registered = set(BENCH_NAME_RE.findall(
+        cmake.read_text(encoding="utf-8")))
+    errors = []
+    for name in sorted(set(BENCH_NAME_RE.findall(
+            experiments.read_text(encoding="utf-8")))):
+        if name not in registered:
+            errors.append(f"EXPERIMENTS.md: bench '{name}' is not "
+                          f"registered in bench/CMakeLists.txt")
+    return errors
+
+
+def check_docs_reachable(root: Path) -> list[str]:
+    """Every docs/*.md must be reachable from README.md by following
+    relative markdown links."""
+    readme = root / "README.md"
+    docs = root / "docs"
+    if not readme.exists() or not docs.is_dir():
+        return []
+    reachable = set()
+    queue = [readme]
+    while queue:
+        path = queue.pop()
+        if path in reachable or not path.exists():
+            continue
+        reachable.add(path)
+        text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:",
+                                  "#")):
+                continue
+            rel = target.partition("#")[0]
+            dest = (path.parent / rel).resolve()
+            if dest.suffix == ".md" and dest not in reachable:
+                queue.append(dest)
+    return [f"docs/{path.name}: not reachable from README.md "
+            f"via relative links"
+            for path in sorted(docs.rglob("*.md"))
+            if path.resolve() not in reachable]
+
+
 def main() -> int:
     root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     files = doc_files(root)
@@ -83,9 +144,11 @@ def main() -> int:
     errors = []
     for path in files:
         errors.extend(check_file(path, root))
+    errors.extend(check_experiment_benches(root))
+    errors.extend(check_docs_reachable(root))
     for err in errors:
         print(f"check_docs: {err}")
-    print(f"check_docs: {len(files)} files, {len(errors)} broken links")
+    print(f"check_docs: {len(files)} files, {len(errors)} problems")
     return min(len(errors), 125)
 
 
