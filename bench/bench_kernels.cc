@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Kernel-backend microbenchmark: ns/row for every hot kernel behind
+ * the KernelBackend seam (physics/kernels), scalar reference vs
+ * each vector backend compiled for this host (AVX-512 W=16 fp32
+ * contact path, AVX2 W=4 / W=8, NEON W=2 / W=4), plus the speedup
+ * column.
+ *
+ * Workloads are synthetic but sized and shaped like the engine's
+ * steady state: a contact pile's PGS triplets (normal + two coupled
+ * friction rows over shared bodies, physically consistent M·J so
+ * the sweep converges), a 64x64 cloth patch (relaxation in the
+ * cloth's own colored order, Verlet integration over the particle
+ * streams), and near-touching narrowphase candidate batches. Each
+ * sample times the whole kernel call — including the Native PGS
+ * color/permute rebuild, which the engine also pays every solve —
+ * and the reported figure is the best of `--samples` (default 25)
+ * samples.
+ *
+ * Staged into BENCH_kernels.json (baseline committed under
+ * bench/baselines/): per kernel, rows per call, ns/row per backend,
+ * and speedup vs scalar. `cpus` is recorded so trend tooling
+ * compares like against like; `simd` records the backends measured.
+ *
+ * Run: ./build/bench/bench_kernels [--samples=N] [--bench-out=FILE]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.hh"
+#include "physics/kernels/kernel_backend.hh"
+
+using namespace parallax;
+using namespace parallax::bench;
+
+namespace
+{
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch())
+        .count();
+}
+
+/** Best-of-N wall time of fn(); reset() runs untimed before each
+ *  sample so mutating kernels always start from pristine state. */
+double
+bestSeconds(int samples, const std::function<void()> &reset,
+            const std::function<void()> &fn)
+{
+    double best = 1e30;
+    for (int s = 0; s < samples; ++s) {
+        reset();
+        const double t0 = now();
+        fn();
+        best = std::min(best, now() - t0);
+    }
+    return best;
+}
+
+// -----------------------------------------------------------------
+// PGS workload: a contact pile.
+// -----------------------------------------------------------------
+
+struct PgsWorkload
+{
+    // The engine's default solverIterations (WorldConfig), so the
+    // Native backend's one-time color/permute rebuild is amortized
+    // exactly as it is inside a real solve.
+    static constexpr int iterations = 20;
+
+    std::size_t bodies = 0;
+    std::vector<Vec3> jla, jaa, jlb, jab, mla, maa, mlb, mab;
+    std::vector<Real> rhs, cfm, invDiag, mu, lo0, hi0, lambda0;
+    std::vector<Real> lo, hi, lambda;
+    std::vector<int> normalRow, bodyA, bodyB;
+    std::vector<Vec3> linVel0, angVel0, linVel, angVel;
+
+    /** `contacts` contact points shaped exactly like the engine's
+     *  ContactJoint rows: a unilateral normal row plus two coupled
+     *  friction rows sharing an orthonormal contact frame, with
+     *  M·J rows consistent with per-body inverse mass/inertia so
+     *  the system is physically convergent (20% against static). */
+    explicit PgsWorkload(std::size_t contacts, std::size_t nBodies)
+        : bodies(nBodies)
+    {
+        std::mt19937 rng(1234);
+        std::uniform_real_distribution<double> u(-1.0, 1.0);
+        auto vec = [&] { return Vec3{u(rng), u(rng), u(rng)}; };
+        std::uniform_int_distribution<int> pick(
+            0, static_cast<int>(nBodies) - 1);
+
+        linVel0.resize(bodies + 1);
+        angVel0.resize(bodies + 1);
+        std::vector<Real> invMass(bodies), invInertia(bodies);
+        for (std::size_t i = 0; i < bodies; ++i) {
+            linVel0[i] = vec();
+            angVel0[i] = vec();
+            invMass[i] = 0.4 + 0.6 * std::fabs(u(rng));
+            invInertia[i] = 0.5 + 0.5 * std::fabs(u(rng));
+        }
+        linVel0[bodies] = {};
+        angVel0[bodies] = {};
+
+        auto addRow = [&](int ia, int ib, int normal,
+                          const Vec3 &dir, const Vec3 &ra,
+                          const Vec3 &rb, Real bias, Real fric) {
+            const Real imA = invMass[ia];
+            const Real iwA = invInertia[ia];
+            const Real imB = ib >= 0 ? invMass[ib] : 0.0;
+            const Real iwB = ib >= 0 ? invInertia[ib] : 0.0;
+            const Vec3 la = dir;
+            const Vec3 aa = ra.cross(dir);
+            const Vec3 lb = ib >= 0 ? -dir : Vec3{};
+            const Vec3 ab = ib >= 0 ? -rb.cross(dir) : Vec3{};
+            jla.push_back(la); jaa.push_back(aa);
+            jlb.push_back(lb); jab.push_back(ab);
+            // Diagonal mass/inertia: M·J = scaled J per body.
+            const Vec3 ml{la.x * imA, la.y * imA, la.z * imA};
+            const Vec3 ma{aa.x * iwA, aa.y * iwA, aa.z * iwA};
+            const Vec3 nl{lb.x * imB, lb.y * imB, lb.z * imB};
+            const Vec3 nb{ab.x * iwB, ab.y * iwB, ab.z * iwB};
+            mla.push_back(ml); maa.push_back(ma);
+            mlb.push_back(nl); mab.push_back(nb);
+            const Real jmj = la.dot(ml) + aa.dot(ma) +
+                             lb.dot(nl) + ab.dot(nb);
+            rhs.push_back(bias);
+            cfm.push_back(1e-9);
+            invDiag.push_back(1.0 / (jmj + 1e-9));
+            mu.push_back(fric);
+            lo0.push_back(0.0);
+            hi0.push_back(normal < 0 ? 1e30 : 0.0);
+            lambda0.push_back(0.0);
+            normalRow.push_back(normal);
+            bodyA.push_back(ia);
+            bodyB.push_back(ib);
+        };
+        for (std::size_t c = 0; c < contacts; ++c) {
+            const int ia = pick(rng);
+            int ib = pick(rng);
+            if (ib == ia || c % 5 == 0)
+                ib = -1;
+            // Orthonormal contact frame (n, t1, t2).
+            Vec3 n = vec();
+            while (n.length() < 1e-3)
+                n = vec();
+            n = n * (1.0 / n.length());
+            Vec3 h = std::fabs(n.x) < 0.9 ? Vec3{1.0, 0.0, 0.0}
+                                          : Vec3{0.0, 1.0, 0.0};
+            Vec3 t1 = n.cross(h);
+            t1 = t1 * (1.0 / t1.length());
+            const Vec3 t2 = n.cross(t1);
+            const Vec3 ra = vec();
+            const Vec3 rb = vec();
+            const Real bias = 0.2 * std::fabs(u(rng));
+            const int r0 = static_cast<int>(rhs.size());
+            addRow(ia, ib, -1, n, ra, rb, bias, 0.0);
+            addRow(ia, ib, r0, t1, ra, rb, 0.0, 0.5);
+            addRow(ia, ib, r0, t2, ra, rb, 0.0, 0.5);
+        }
+    }
+
+    void
+    reset()
+    {
+        lo = lo0;
+        hi = hi0;
+        lambda = lambda0;
+        linVel = linVel0;
+        angVel = angVel0;
+    }
+
+    PgsSweepCtx
+    ctx()
+    {
+        PgsSweepCtx c;
+        c.rows = rhs.size();
+        c.jLinA = jla.data(); c.jAngA = jaa.data();
+        c.jLinB = jlb.data(); c.jAngB = jab.data();
+        c.mLinA = mla.data(); c.mAngA = maa.data();
+        c.mLinB = mlb.data(); c.mAngB = mab.data();
+        c.rhs = rhs.data(); c.cfm = cfm.data();
+        c.invDiag = invDiag.data(); c.mu = mu.data();
+        c.lo = lo.data(); c.hi = hi.data();
+        c.lambda = lambda.data();
+        c.normalRow = normalRow.data();
+        c.bodyA = bodyA.data(); c.bodyB = bodyB.data();
+        c.bodies = bodies;
+        c.linVel = linVel.data();
+        c.angVel = angVel.data();
+        c.iterations = iterations;
+        c.sor = 1.0;
+        return c;
+    }
+};
+
+// -----------------------------------------------------------------
+// Cloth workload: a 64x64 patch, colored once like Cloth does.
+// -----------------------------------------------------------------
+
+struct ClothWorkload
+{
+    static constexpr int sweeps = 8;
+
+    std::vector<Real> px0, py0, pz0, qx0, qy0, qz0, w;
+    std::vector<Real> px, py, pz, qx, qy, qz;
+    std::vector<std::int32_t> a, b, ca, cb;
+    std::vector<Real> rest, crest;
+    EdgeColoring coloring;
+
+    explicit ClothWorkload(int nx, int ny)
+    {
+        const std::size_t n =
+            static_cast<std::size_t>(nx) * ny;
+        px0.resize(n); py0.resize(n); pz0.resize(n);
+        qx0.resize(n); qy0.resize(n); qz0.resize(n);
+        w.resize(n);
+        const Real spacing = 0.1;
+        for (int j = 0; j < ny; ++j) {
+            for (int i = 0; i < nx; ++i) {
+                const std::size_t k =
+                    static_cast<std::size_t>(j) * nx + i;
+                px0[k] = i * spacing;
+                py0[k] = 0.0;
+                pz0[k] = j * spacing;
+                qx0[k] = px0[k];
+                qy0[k] = py0[k] + 0.001;
+                qz0[k] = pz0[k];
+                w[k] = j == 0 ? 0.0 : 1.0; // pin the top row
+            }
+        }
+        auto addEdge = [&](int i0, int j0, int i1, int j1) {
+            const std::int32_t ea =
+                static_cast<std::int32_t>(j0 * nx + i0);
+            const std::int32_t eb =
+                static_cast<std::int32_t>(j1 * nx + i1);
+            a.push_back(ea);
+            b.push_back(eb);
+            const Real dx = (i1 - i0) * spacing;
+            const Real dz = (j1 - j0) * spacing;
+            rest.push_back(std::sqrt(dx * dx + dz * dz));
+        };
+        for (int j = 0; j < ny; ++j) {
+            for (int i = 0; i < nx; ++i) {
+                if (i + 1 < nx)
+                    addEdge(i, j, i + 1, j);
+                if (j + 1 < ny)
+                    addEdge(i, j, i, j + 1);
+                if (i + 1 < nx && j + 1 < ny)
+                    addEdge(i, j, i + 1, j + 1);
+            }
+        }
+        colorEdges(a.data(), b.data(), a.size(), n, coloring);
+        ca.resize(a.size());
+        cb.resize(a.size());
+        crest.resize(a.size());
+        for (std::size_t s = 0; s < a.size(); ++s) {
+            const std::size_t i = coloring.order[s];
+            ca[s] = a[i];
+            cb[s] = b[i];
+            crest[s] = rest[i];
+        }
+    }
+
+    void
+    reset()
+    {
+        px = px0; py = py0; pz = pz0;
+        qx = qx0; qy = qy0; qz = qz0;
+    }
+
+    ClothParticlesView
+    particles()
+    {
+        ClothParticlesView v;
+        v.count = px.size();
+        v.px = px.data(); v.py = py.data(); v.pz = pz.data();
+        v.qx = qx.data(); v.qy = qy.data(); v.qz = qz.data();
+        v.w = w.data();
+        return v;
+    }
+
+    ClothConstraintsView
+    constraints() const
+    {
+        ClothConstraintsView v;
+        v.count = a.size();
+        v.a = a.data(); v.b = b.data(); v.rest = rest.data();
+        v.ca = ca.data(); v.cb = cb.data(); v.crest = crest.data();
+        v.colorOffsets = coloring.colorOffsets.data();
+        v.colors = coloring.colors;
+        v.vecCount = coloring.vecCount;
+        return v;
+    }
+};
+
+// -----------------------------------------------------------------
+// Narrowphase workloads.
+// -----------------------------------------------------------------
+
+// Batches arrive from the broadphase, so most candidate pairs are
+// near-touching; shape the synthetic batches the same way (~75%
+// overlapping) rather than scattering pairs across empty space.
+
+SphereSphereBatch
+makeSphereSphere(std::size_t pairs)
+{
+    std::mt19937 rng(777);
+    std::uniform_real_distribution<double> u(-4.0, 4.0);
+    std::uniform_real_distribution<double> s(-1.0, 1.0);
+    SphereSphereBatch b;
+    for (std::size_t i = 0; i < pairs; ++i) {
+        const Vec3 c{u(rng), u(rng), u(rng)};
+        Vec3 d{s(rng), s(rng), s(rng)};
+        if (d.length() < 1e-3)
+            d = {1.0, 0.0, 0.0};
+        // Separation 1.7..2.3 diameters: hits with shallow overlap,
+        // plus a tail of near-misses like a loose broadphase box.
+        const double sep = 1.7 + 0.6 * std::fabs(s(rng));
+        b.push(c, 1.0, c + d * (sep / d.length()), 1.0);
+    }
+    b.prepareOutputs();
+    return b;
+}
+
+SphereBoxBatch
+makeSphereBox(std::size_t pairs)
+{
+    std::mt19937 rng(888);
+    std::uniform_real_distribution<double> u(-2.0, 2.0);
+    std::uniform_real_distribution<double> s(-1.0, 1.0);
+    SphereBoxBatch b;
+    for (std::size_t i = 0; i < pairs; ++i) {
+        Quat q{1.0 + u(rng), u(rng), u(rng), u(rng)};
+        q = q.normalized();
+        const Vec3 bc{u(rng), u(rng), u(rng)};
+        Vec3 d{s(rng), s(rng), s(rng)};
+        if (d.length() < 1e-3)
+            d = {0.0, 1.0, 0.0};
+        const double sep = 0.9 + 0.5 * std::fabs(s(rng));
+        b.push(bc + d * (sep / d.length()), 0.5, q, bc,
+               {0.6, 0.6, 0.6});
+    }
+    b.prepareOutputs();
+    return b;
+}
+
+/** One measured kernel: rows per timed call + per-backend runner. */
+struct KernelCase
+{
+    const char *name;
+    std::size_t rowsPerCall;
+    std::function<void()> reset;
+    std::function<void(const KernelBackend &)> run;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int samples = 25;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--samples=", 10) == 0)
+            samples = std::atoi(argv[i] + 10);
+    }
+    parseCommonFlags(&argc, argv);
+
+    printHeader("kernel backend ns/row (scalar vs SIMD)",
+                "perf baseline for the KernelBackend seam");
+
+    std::vector<const KernelBackend *> backends;
+    backends.push_back(&scalarKernelBackend());
+    for (const KernelBackend *native : nativeKernelBackends())
+        backends.push_back(native);
+    if (backends.size() == 1)
+        std::printf("note: host has no AVX2/NEON; measuring the "
+                    "scalar reference only\n");
+
+    // Workloads (sized like a busy engine step).
+    PgsWorkload pgs(2048, 900);
+    ClothWorkload cloth(64, 64);
+    SphereSphereBatch ss = makeSphereSphere(4096);
+    SphereBoxBatch sb = makeSphereBox(4096);
+    KernelStats sink;
+
+    // Integration is cheap per row: run several passes per timed
+    // call so every sample is comfortably above timer resolution.
+    constexpr int integratePasses = 16;
+    const Vec3 accel{0.0, -9.81 / 3600.0, 0.0};
+
+    std::vector<KernelCase> cases;
+    // Persistent scratch, like the solver's workspace: a steady
+    // contact set re-colors once per backend width, not per solve
+    // (the topology cache keys on rows/bodies/width), while the
+    // value streams still rebuild inside every timed call.
+    PgsScratch pgsScratch;
+    cases.push_back(
+        {"pgs_relax",
+         pgs.rhs.size() * PgsWorkload::iterations,
+         [&] { pgs.reset(); },
+         [&](const KernelBackend &kb) {
+             KernelStats stats;
+             kb.pgsSweep(pgs.ctx(), pgsScratch, stats);
+         }});
+    cases.push_back(
+        {"cloth_relax",
+         cloth.a.size() * ClothWorkload::sweeps,
+         [&] { cloth.reset(); },
+         [&](const KernelBackend &kb) {
+             KernelStats stats;
+             const ClothConstraintsView cv = cloth.constraints();
+             ClothParticlesView pv = cloth.particles();
+             for (int s = 0; s < ClothWorkload::sweeps; ++s)
+                 kb.clothRelax(pv, cv, stats);
+         }});
+    cases.push_back(
+        {"cloth_integrate",
+         cloth.px0.size() * integratePasses,
+         [&] { cloth.reset(); },
+         [&](const KernelBackend &kb) {
+             KernelStats stats;
+             ClothParticlesView pv = cloth.particles();
+             for (int s = 0; s < integratePasses; ++s)
+                 kb.clothIntegrate(pv, accel, 0.995, stats);
+         }});
+    cases.push_back(
+        {"sphere_sphere",
+         ss.size(),
+         [] {},
+         [&](const KernelBackend &kb) {
+             KernelStats stats;
+             kb.sphereSphereBatch(ss, stats);
+         }});
+    cases.push_back(
+        {"sphere_box",
+         sb.size(),
+         [] {},
+         [&](const KernelBackend &kb) {
+             KernelStats stats;
+             kb.sphereBoxBatch(sb, stats);
+         }});
+
+    // Header row.
+    std::printf("%-16s %10s", "kernel", "rows/call");
+    for (const KernelBackend *kb : backends) {
+        std::printf(" %9s", kb->name());
+        if (kb->width() > 1)
+            std::printf(" %8s", "speedup");
+    }
+    std::printf("\n");
+
+    JsonWriter json;
+    json.field("bench", "kernels");
+    json.field("cpus",
+               (double)std::thread::hardware_concurrency());
+    json.field("samples", (double)samples);
+    json.field("simd_available", nativeSimdAvailable());
+    json.beginObject("kernels");
+    for (KernelCase &kc : cases) {
+        std::printf("%-16s %10zu", kc.name, kc.rowsPerCall);
+        json.beginObject(kc.name);
+        json.field("rows_per_call", (double)kc.rowsPerCall);
+        double scalarNs = 0.0;
+        for (const KernelBackend *kb : backends) {
+            const double secs = bestSeconds(
+                samples, kc.reset, [&] { kc.run(*kb); });
+            const double nsPerRow =
+                secs * 1e9 / (double)kc.rowsPerCall;
+            std::printf(" %9.2f", nsPerRow);
+            const std::string key(kb->name());
+            json.field((key + "_ns_per_row").c_str(), nsPerRow);
+            if (kb->width() == 1) {
+                scalarNs = nsPerRow;
+            } else {
+                const double speedup = scalarNs / nsPerRow;
+                std::printf(" %7.2fx", speedup);
+                json.field((key + "_speedup").c_str(), speedup);
+            }
+        }
+        std::printf("\n");
+        json.endObject();
+    }
+    json.endObject();
+
+    const std::string out = !benchOutPath().empty()
+                                ? benchOutPath()
+                                : "BENCH_kernels.json";
+    if (json.write(out.c_str()))
+        std::printf("\nwrote %s\n", out.c_str());
+    else
+        std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    (void)sink;
+    return 0;
+}

@@ -191,6 +191,58 @@ main(int argc, char **argv)
                                       run.broadphaseStorageGrowths));
     std::printf("\n\n");
 
+    // Scalar-vs-SIMD column: the same scene and worker counts under
+    // the other kernel backend, so the host report shows how much
+    // of the wall clock the vector engine buys at each lane count
+    // (parallel speedup and SIMD speedup compose; the per-kernel
+    // detail lives in bench_kernels).
+    const SimdBackend primary = hostSimdBackend();
+    std::vector<HostPhaseSeconds> simd_runs;
+    if (nativeSimdAvailable()) {
+        setHostSimdBackend(primary == SimdBackend::Native
+                               ? SimdBackend::Scalar
+                               : SimdBackend::Native);
+        for (unsigned workers : worker_counts) {
+            simd_runs.push_back(measureHostPhases(
+                id, workers, scale, warmup, steps, overlap));
+        }
+        setHostSimdBackend(primary);
+        const char *first = primary == SimdBackend::Native
+                                ? "native"
+                                : "scalar";
+        const char *second = primary == SimdBackend::Native
+                                 ? "scalar"
+                                 : "native";
+        std::printf("kernel backends, total seconds per worker "
+                    "count (%s vs %s):\n",
+                    first, second);
+        std::printf("%-18s", first);
+        for (const HostPhaseSeconds &run : runs)
+            std::printf("   %7.4fs     ", run.total);
+        std::printf("\n%-18s", second);
+        for (const HostPhaseSeconds &run : simd_runs)
+            std::printf("   %7.4fs     ", run.total);
+        std::printf("\n%-18s", "simd_speedup");
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            const double scalar_total =
+                primary == SimdBackend::Native
+                    ? simd_runs[i].total
+                    : runs[i].total;
+            const double native_total =
+                primary == SimdBackend::Native
+                    ? runs[i].total
+                    : simd_runs[i].total;
+            std::printf("   x%-11.2f  ",
+                        native_total > 0
+                            ? scalar_total / native_total
+                            : 0.0);
+        }
+        std::printf("\n\n");
+    } else {
+        std::printf("kernel backends: host has no SIMD backend; "
+                    "scalar column only\n\n");
+    }
+
     // The speedup columns only mean something relative to the core
     // count they were measured on — a 1-CPU container pins every
     // speedup at ~1.0 by physics, not by regression. Record the
@@ -252,6 +304,30 @@ main(int argc, char **argv)
     for (const HostPhaseSeconds &run : runs)
         json.arrayValue(static_cast<double>(run.tasksStolen));
     json.endArray();
+    json.field("simd",
+               primary == SimdBackend::Native ? "native"
+                                              : "scalar");
+    if (!simd_runs.empty()) {
+        json.beginArray("other_backend_total_seconds");
+        for (const HostPhaseSeconds &run : simd_runs)
+            json.arrayValue(run.total);
+        json.endArray();
+        json.beginArray("simd_speedup");
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            const double scalar_total =
+                primary == SimdBackend::Native
+                    ? simd_runs[i].total
+                    : runs[i].total;
+            const double native_total =
+                primary == SimdBackend::Native
+                    ? runs[i].total
+                    : simd_runs[i].total;
+            json.arrayValue(native_total > 0
+                                ? scalar_total / native_total
+                                : 0.0);
+        }
+        json.endArray();
+    }
     json.beginObject("allocation");
     json.beginArray("arena_high_water_bytes");
     for (const HostPhaseSeconds &run : runs)

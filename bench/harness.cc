@@ -62,6 +62,7 @@ bool metricsJson = false;
 std::string benchOut;
 unsigned sweepLanes = 0;
 double globalScale = 1.0;
+SimdBackend hostSimd = simdBackendFromEnv(SimdBackend::Scalar);
 
 } // namespace
 
@@ -73,6 +74,7 @@ parseCommonFlags(int *argc, char **argv)
     constexpr const char benchOutFlag[] = "--bench-out=";
     constexpr const char lanesFlag[] = "--sim-lanes=";
     constexpr const char scaleFlag[] = "--scale=";
+    constexpr const char simdFlag[] = "--simd=";
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
         if (std::strcmp(argv[i], "--check-invariants") == 0)
@@ -97,10 +99,33 @@ parseCommonFlags(int *argc, char **argv)
                               sizeof(scaleFlag) - 1) == 0)
             globalScale =
                 std::atof(argv[i] + sizeof(scaleFlag) - 1);
-        else
+        else if (std::strncmp(argv[i], simdFlag,
+                              sizeof(simdFlag) - 1) == 0) {
+            const char *value = argv[i] + sizeof(simdFlag) - 1;
+            if (!parseSimdBackend(value, hostSimd)) {
+                std::fprintf(stderr,
+                             "unrecognized --simd value '%s' "
+                             "(expected scalar or native)\n",
+                             value);
+                std::exit(2);
+            }
+            // World applies the PAX_SIMD override on top of its
+            // config; mirror the flag there so it wins over an
+            // inherited environment value.
+            setenv("PAX_SIMD",
+                   hostSimd == SimdBackend::Native ? "native"
+                                                   : "scalar",
+                   1);
+        } else
             argv[out++] = argv[i];
     }
     *argc = out;
+    if (hostSimd == SimdBackend::Native && !nativeSimdAvailable()) {
+        std::fprintf(stderr,
+                     "notice: native SIMD kernels requested but "
+                     "this build/host has no AVX2/NEON support; "
+                     "running the scalar backend\n");
+    }
 }
 
 bool
@@ -181,6 +206,18 @@ setMeasureScale(double scale)
     globalScale = scale;
 }
 
+SimdBackend
+hostSimdBackend()
+{
+    return hostSimd;
+}
+
+void
+setHostSimdBackend(SimdBackend backend)
+{
+    hostSimd = backend;
+}
+
 void
 runSweep(std::size_t count,
          const std::function<void(std::size_t)> &fn)
@@ -255,6 +292,8 @@ MeasureOptions::worldConfig() const
     config.governor.frameSubsteps = stepsPerFrame;
     // --trace: record per-phase spans for Chrome-trace export.
     config.tracing = !hostTracePath().empty();
+    // --simd / PAX_SIMD: kernel backend for the measured world.
+    config.simdBackend = hostSimd;
     return config;
 }
 
@@ -571,6 +610,7 @@ measureHostPhases(BenchmarkId id, unsigned workers, double scale,
     config.overlapPhases = overlap;
     config.checkInvariants = invariantChecksEnabled();
     config.tracing = !hostTracePath().empty();
+    config.simdBackend = hostSimd;
     auto world = buildBenchmark(id, config, scale * globalScale);
 
     for (int i = 0; i < warmup; ++i)

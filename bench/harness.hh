@@ -97,6 +97,12 @@ struct MeasureOptions
  *   --scale=F            multiply every measured scene's scale by F
  *                        (tools/check_figs.py smoke-runs figures at
  *                        F << 1; figures for the paper use F = 1)
+ *   --simd=BACKEND       kernel backend for every measured world:
+ *                        "scalar" (bitwise reference, the default)
+ *                        or "native" (SIMD kernels; prints a notice
+ *                        and degrades to scalar on hosts without
+ *                        AVX2/NEON). The PAX_SIMD environment
+ *                        variable sets the default; the flag wins
  */
 void parseCommonFlags(int *argc, char **argv);
 
@@ -128,6 +134,10 @@ void setSimLanes(unsigned lanes);
 /** Global scene-scale multiplier from --scale (default 1). */
 double measureScale();
 void setMeasureScale(double scale);
+
+/** Kernel backend from --simd / PAX_SIMD (default Scalar). */
+SimdBackend hostSimdBackend();
+void setHostSimdBackend(SimdBackend backend);
 
 /**
  * Run `count` independent sweep points, fn(0) .. fn(count-1).

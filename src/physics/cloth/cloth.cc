@@ -54,6 +54,33 @@ Cloth::Cloth(ClothId id, int nx, int ny, const Vec3 &origin,
                 addConstraint(index(i, j), index(i + 1, j + 1));
         }
     }
+
+    // SoA streams for the kernel backends. The constraint coloring
+    // is built once here: the mesh never changes, so the Native
+    // backend's conflict-free sweep order is a constant.
+    px_.resize(count); py_.resize(count); pz_.resize(count);
+    qx_.resize(count); qy_.resize(count); qz_.resize(count);
+    w_.resize(count);
+    const std::size_t n_cons = constraints_.size();
+    consA_.resize(n_cons);
+    consB_.resize(n_cons);
+    consRest_.resize(n_cons);
+    for (std::size_t i = 0; i < n_cons; ++i) {
+        consA_[i] = static_cast<std::int32_t>(constraints_[i].a);
+        consB_[i] = static_cast<std::int32_t>(constraints_[i].b);
+        consRest_[i] = constraints_[i].restLength;
+    }
+    colorEdges(consA_.data(), consB_.data(), n_cons,
+               particles_.size(), coloring_);
+    coloredA_.resize(n_cons);
+    coloredB_.resize(n_cons);
+    coloredRest_.resize(n_cons);
+    for (std::size_t s = 0; s < n_cons; ++s) {
+        const std::size_t i = coloring_.order[s];
+        coloredA_[s] = consA_[i];
+        coloredB_[s] = consB_[i];
+        coloredRest_[s] = consRest_[i];
+    }
 }
 
 void
@@ -178,60 +205,103 @@ Cloth::projectOut(const Geom &geom, Vec3 &point, Real margin)
 }
 
 void
+Cloth::syncSoa()
+{
+    const std::size_t n = particles_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Particle &p = particles_[i];
+        px_[i] = p.position.x;
+        py_[i] = p.position.y;
+        pz_[i] = p.position.z;
+        qx_[i] = p.previous.x;
+        qy_[i] = p.previous.y;
+        qz_[i] = p.previous.z;
+        w_[i] = p.invMass;
+    }
+}
+
+void
+Cloth::writeBackSoa()
+{
+    const std::size_t n = particles_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        Particle &p = particles_[i];
+        p.position = Vec3{px_[i], py_[i], pz_[i]};
+        p.previous = Vec3{qx_[i], qy_[i], qz_[i]};
+    }
+}
+
+void
 Cloth::step(Real dt, const Vec3 &gravity, int iterations,
             const std::vector<const Geom *> &colliders,
-            ClothStats &stats)
+            ClothStats &stats, const KernelBackend *backend)
 {
     ++stats.clothsStepped;
+    const KernelBackend &kb =
+        backend != nullptr ? *backend : scalarKernelBackend();
+
+    syncSoa();
+    ClothParticlesView pv;
+    pv.count = particles_.size();
+    pv.px = px_.data(); pv.py = py_.data(); pv.pz = pz_.data();
+    pv.qx = qx_.data(); pv.qy = qy_.data(); pv.qz = qz_.data();
+    pv.w = w_.data();
+
+    ClothConstraintsView cv;
+    cv.count = constraints_.size();
+    cv.a = consA_.data();
+    cv.b = consB_.data();
+    cv.rest = consRest_.data();
+    cv.ca = coloredA_.data();
+    cv.cb = coloredB_.data();
+    cv.crest = coloredRest_.data();
+    cv.colorOffsets = coloring_.colorOffsets.data();
+    cv.colors = coloring_.colors;
+    cv.vecCount = coloring_.vecCount;
 
     // Verlet integration: x' = 2x - x_prev + g dt^2 (with mild
     // damping folded into the velocity term).
     const Real damping = 0.995;
     const Vec3 accel_term = gravity * (dt * dt);
-    for (Particle &p : particles_) {
-        ++stats.verticesIntegrated;
-        if (p.invMass == 0.0)
-            continue;
-        const Vec3 velocity = (p.position - p.previous) * damping;
-        p.previous = p.position;
-        p.position += velocity + accel_term;
-    }
+    kb.clothIntegrate(pv, accel_term, damping, stats.kernels);
+    stats.verticesIntegrated += particles_.size();
 
     // Interleaved relaxation: each sweep relaxes every distance
     // constraint, then projects every vertex out of the colliders
     // (Jakobsen's scheme — collision is just another constraint).
+    // Projection stays scalar (branchy per-shape code) and runs on
+    // the SoA streams between relaxation sweeps.
     const Real margin = 0.02;
     for (int it = 0; it < iterations; ++it) {
-        for (const DistanceConstraint &c : constraints_) {
-            ++stats.constraintRelaxations;
-            Particle &pa = particles_[c.a];
-            Particle &pb = particles_[c.b];
-            const Real wsum = pa.invMass + pb.invMass;
-            if (wsum == 0.0)
+        kb.clothRelax(pv, cv, stats.kernels);
+        stats.constraintRelaxations += constraints_.size();
+        for (std::size_t i = 0; i < pv.count; ++i) {
+            if (w_[i] == 0.0)
                 continue;
-            const Vec3 delta = pb.position - pa.position;
-            const Real len = delta.length();
-            if (len < 1e-12)
-                continue;
-            const Real diff = (len - c.restLength) / (len * wsum);
-            pa.position += delta * (diff * pa.invMass);
-            pb.position -= delta * (diff * pb.invMass);
-        }
-        for (Particle &p : particles_) {
-            if (p.invMass == 0.0)
-                continue;
+            Vec3 pos{px_[i], py_[i], pz_[i]};
+            Vec3 prev{qx_[i], qy_[i], qz_[i]};
+            bool touched = false;
             for (const Geom *g : colliders) {
                 ++stats.collisionTests;
-                if (projectOut(*g, p.position, margin)) {
+                if (projectOut(*g, pos, margin)) {
                     ++stats.collisionsResolved;
                     // Kill part of the velocity into the surface by
                     // dragging the previous position along.
-                    p.previous = p.previous +
-                        (p.position - p.previous) * 0.5;
+                    prev = prev + (pos - prev) * 0.5;
+                    touched = true;
                 }
+            }
+            if (touched) {
+                px_[i] = pos.x;
+                py_[i] = pos.y;
+                pz_[i] = pos.z;
+                qx_[i] = prev.x;
+                qy_[i] = prev.y;
+                qz_[i] = prev.z;
             }
         }
     }
+    writeBackSoa();
 }
 
 } // namespace parallax

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "physics/geom.hh"
+#include "physics/kernels/kernel_backend.hh"
 #include "physics/math/aabb.hh"
 #include "physics/math/vec3.hh"
 
@@ -33,6 +34,8 @@ struct ClothStats
     std::uint64_t constraintRelaxations = 0;
     std::uint64_t collisionTests = 0;
     std::uint64_t collisionsResolved = 0;
+    /** Vector-engine counters (zero under the Scalar backend). */
+    KernelStats kernels;
 
     void
     reset()
@@ -96,21 +99,44 @@ class Cloth
     /**
      * Advance the cloth one step: Verlet integration under gravity,
      * `iterations` constraint-relaxation sweeps, then vertex
-     * projection out of the given collider geoms.
+     * projection out of the given collider geoms. Integration and
+     * relaxation run on the given kernel backend (nullptr = the
+     * scalar reference); collision projection is always scalar.
      */
     void step(Real dt, const Vec3 &gravity, int iterations,
               const std::vector<const Geom *> &colliders,
-              ClothStats &stats);
+              ClothStats &stats,
+              const KernelBackend *backend = nullptr);
 
   private:
     /** Push a point out of a geom; returns true if it was inside. */
     static bool projectOut(const Geom &geom, Vec3 &point, Real margin);
+
+    /** Copy the AoS particle state into the SoA streams. */
+    void syncSoa();
+    /** Copy the SoA streams back into the AoS particle state. */
+    void writeBackSoa();
 
     ClothId id_;
     int nx_;
     int ny_;
     std::vector<Particle> particles_;
     std::vector<DistanceConstraint> constraints_;
+
+    // SoA particle streams the kernels run on: synced from
+    // particles_ at the top of step() and written back at the end,
+    // so the public AoS view (particles(), capture, render) is
+    // unchanged. Sized once in the constructor.
+    std::vector<Real> px_, py_, pz_, qx_, qy_, qz_, w_;
+
+    // Constraint endpoint/rest streams: original order (the scalar
+    // bitwise reference) plus a color-major permutation built once
+    // here — constraints never change after construction.
+    std::vector<std::int32_t> consA_, consB_;
+    std::vector<Real> consRest_;
+    std::vector<std::int32_t> coloredA_, coloredB_;
+    std::vector<Real> coloredRest_;
+    EdgeColoring coloring_;
 };
 
 } // namespace parallax

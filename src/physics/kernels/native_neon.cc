@@ -1,0 +1,25 @@
+/**
+ * @file
+ * NEON instantiations of the native kernels (aarch64 only; NEON is
+ * architectural there, so no runtime dispatch is needed).
+ */
+
+#include "native_impl.hh"
+
+#if !defined(__aarch64__)
+#error "native_neon.cc is aarch64-only"
+#endif
+
+namespace parallax
+{
+
+const KernelBackend *
+neonKernelBackend(int variant)
+{
+    static const NativeBackend<PackNeon> w2("neonx2");
+    static const NativeBackend<PackX2<PackNeon>> w4("neonx4");
+    return variant == 0 ? static_cast<const KernelBackend *>(&w4)
+                        : static_cast<const KernelBackend *>(&w2);
+}
+
+} // namespace parallax

@@ -39,6 +39,24 @@ class Narrowphase
     template <typename ContactSink>
     int collide(const Geom &a, const Geom &b, ContactSink &out);
 
+    /**
+     * Batched pair testing: accumulate pairs with batchAdd, then
+     * batchRun appends their contacts to `out` in the order the
+     * pairs were added — exactly the contacts (and stats) the
+     * per-pair collide() loop would produce. Under a Native backend
+     * the sphere/sphere and sphere/box pairs run through the SIMD
+     * batch kernels; every other shape combination (and the deep
+     * sphere-in-box case) falls through to the scalar dispatcher.
+     */
+    void batchClear();
+    void batchAdd(const Geom *a, const Geom *b);
+    template <typename ContactSink>
+    void batchRun(ContactSink &out);
+
+    /** Select the kernel backend for batched pair tests. nullptr
+     *  (the default) means the scalar reference backend. */
+    void setBackend(const KernelBackend *backend) { backend_ = backend; }
+
     const NarrowphaseStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
 
@@ -68,6 +86,16 @@ class Narrowphase
                                 ContactSink &out, bool flipped);
 
     NarrowphaseStats stats_;
+    const KernelBackend *backend_ = nullptr;
+
+    // Batch scratch, persistent across batchRun calls (capacity is
+    // paid once per instance; one instance per lane keeps it
+    // race-free).
+    std::vector<const Geom *> pairA_, pairB_;
+    std::vector<std::uint8_t> pairKind_, pairFlip_;
+    std::vector<std::int32_t> pairSlot_;
+    SphereSphereBatch ssBatch_;
+    SphereBoxBatch sbBatch_;
 };
 
 } // namespace parallax

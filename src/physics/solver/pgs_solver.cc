@@ -36,8 +36,13 @@ PgsSolver::solve(Island &island, const SolverParams &params)
     // map. A static, disabled, or null body reads as -1 (its stamp,
     // if any, is stale and must not be trusted).
     const std::size_t n_bodies = island.bodies.size();
-    ws_.linVel.resize(n_bodies);
-    ws_.angVel.resize(n_bodies);
+    // One extra, always-zero velocity slot: the vector backend's
+    // gather streams remap body index -1 (static/absent) to it, so
+    // those lanes contribute exactly 0 to J·v without branching.
+    ws_.linVel.resize(n_bodies + 1);
+    ws_.angVel.resize(n_bodies + 1);
+    ws_.linVel[n_bodies] = Vec3{};
+    ws_.angVel[n_bodies] = Vec3{};
     ws_.invMass.resize(n_bodies);
     ws_.invInertia.resize(n_bodies);
     for (std::size_t i = 0; i < n_bodies; ++i) {
@@ -134,57 +139,43 @@ PgsSolver::solve(Island &island, const SolverParams &params)
         }
     }
 
-    // Relaxation sweeps. Each (row, iteration) is one independent
-    // fine-grain task in the ParallAX mapping. Every per-row field
-    // is a separate linear array, so each sweep streams the row data
-    // front to back.
-    for (int it = 0; it < iterations_; ++it) {
-        for (std::size_t r = 0; r < n_rows; ++r) {
-            // Friction rows: refresh bounds from the normal impulse.
-            const int normal_row = rows.normalRow[r];
-            if (normal_row >= 0) {
-                const Real limit =
-                    rows.mu[r] * rows.lambda[normal_row];
-                rows.lo[r] = -limit;
-                rows.hi[r] = limit;
-            }
-
-            const int ia = ws_.bodyA[r];
-            const int ib = ws_.bodyB[r];
-            Real jv = 0.0;
-            if (ia >= 0) {
-                jv += rows.jLinA[r].dot(lin_vel[ia]) +
-                      rows.jAngA[r].dot(ang_vel[ia]);
-            }
-            if (ib >= 0) {
-                jv += rows.jLinB[r].dot(lin_vel[ib]) +
-                      rows.jAngB[r].dot(ang_vel[ib]);
-            }
-
-            const Real delta =
-                sor_ *
-                (rows.rhs[r] - jv - rows.cfm[r] * rows.lambda[r]) *
-                ws_.invDiag[r];
-            const Real new_lambda = std::clamp(
-                rows.lambda[r] + delta, rows.lo[r], rows.hi[r]);
-            const Real dl = new_lambda - rows.lambda[r];
-            rows.lambda[r] = new_lambda;
-            if (dl == 0.0)
-                continue;
-
-            if (ia >= 0) {
-                lin_vel[ia] += ws_.mLinA[r] * dl;
-                ang_vel[ia] += ws_.mAngA[r] * dl;
-            }
-            if (ib >= 0) {
-                lin_vel[ib] += ws_.mLinB[r] * dl;
-                ang_vel[ib] += ws_.mAngB[r] * dl;
-            }
-        }
-        // One count per (row, sweep), accumulated outside the inner
-        // loop so the counter costs nothing per row.
-        stats_.rowIterations += n_rows;
-    }
+    // Relaxation sweeps, delegated to the kernel backend. Each
+    // (row, iteration) is one independent fine-grain task in the
+    // ParallAX mapping; every per-row field is a separate linear
+    // array, so each sweep streams the row data front to back. The
+    // Scalar backend replays the exact pre-seam loop (bitwise
+    // reference); Native runs it vectorized in color-major order.
+    PgsSweepCtx ctx;
+    ctx.rows = n_rows;
+    ctx.jLinA = rows.jLinA.data();
+    ctx.jAngA = rows.jAngA.data();
+    ctx.jLinB = rows.jLinB.data();
+    ctx.jAngB = rows.jAngB.data();
+    ctx.mLinA = ws_.mLinA.data();
+    ctx.mAngA = ws_.mAngA.data();
+    ctx.mLinB = ws_.mLinB.data();
+    ctx.mAngB = ws_.mAngB.data();
+    ctx.rhs = rows.rhs.data();
+    ctx.cfm = rows.cfm.data();
+    ctx.invDiag = ws_.invDiag.data();
+    ctx.mu = rows.mu.data();
+    ctx.lo = rows.lo.data();
+    ctx.hi = rows.hi.data();
+    ctx.lambda = rows.lambda.data();
+    ctx.normalRow = rows.normalRow.data();
+    ctx.bodyA = ws_.bodyA.data();
+    ctx.bodyB = ws_.bodyB.data();
+    ctx.bodies = n_bodies;
+    ctx.linVel = lin_vel;
+    ctx.angVel = ang_vel;
+    ctx.iterations = iterations_;
+    ctx.sor = sor_;
+    const KernelBackend &backend =
+        backend_ != nullptr ? *backend_ : scalarKernelBackend();
+    backend.pgsSweep(ctx, scratch_, stats_.kernels);
+    // One count per (row, sweep).
+    stats_.rowIterations +=
+        n_rows * static_cast<std::uint64_t>(iterations_);
 
     // Write back velocities.
     for (std::size_t i = 0; i < n_bodies; ++i) {

@@ -21,6 +21,7 @@
 
 #include "physics/island/island.hh"
 #include "physics/joints/joint.hh"
+#include "physics/kernels/kernel_backend.hh"
 
 namespace parallax
 {
@@ -36,6 +37,8 @@ struct SolverStats
     std::uint64_t workspaceGrowths = 0;
     /** Solves fully served by already-reserved workspace capacity. */
     std::uint64_t workspaceReuses = 0;
+    /** Vector-engine counters (zero under the Scalar backend). */
+    KernelStats kernels;
 
     void
     reset()
@@ -53,6 +56,7 @@ struct SolverStats
         bodiesIntegrated += o.bodiesIntegrated;
         workspaceGrowths += o.workspaceGrowths;
         workspaceReuses += o.workspaceReuses;
+        kernels.merge(o.kernels);
     }
 };
 
@@ -82,6 +86,10 @@ class PgsSolver
     /** Adjust relaxation sweeps (the step governor walks this toward
      *  its floor under deadline pressure). */
     void setIterations(int iterations) { iterations_ = iterations; }
+
+    /** Select the kernel backend the relaxation sweep runs on.
+     *  nullptr (the default) means the scalar reference backend. */
+    void setBackend(const KernelBackend *backend) { backend_ = backend; }
 
     const SolverStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
@@ -128,6 +136,9 @@ class PgsSolver
     Real sor_;
     SolverStats stats_;
     Workspace ws_;
+    const KernelBackend *backend_ = nullptr;
+    /** Native-backend scratch (coloring + permuted streams). */
+    PgsScratch scratch_;
 };
 
 } // namespace parallax

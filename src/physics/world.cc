@@ -211,12 +211,22 @@ World::World(WorldConfig config)
     // The broadphase runs on the calling thread: lend it lane 0's
     // frame arena for its step-transient cell storage.
     broadphase_->setFrameArena(&scheduler_.arena(0));
+    // Resolve the kernel backend once: PAX_SIMD overrides the config,
+    // and Native degrades to Scalar on hosts without SIMD support.
+    kernelBackend_ =
+        &kernelBackendFor(simdBackendFromEnv(config_.simdBackend));
+    solver_.setBackend(kernelBackend_);
+    narrowphase_.setBackend(kernelBackend_);
     // One persistent solver and narrowphase per lane; their
     // workspaces warm up once and are reused every step after.
     laneSolvers_.reserve(scheduler_.laneCount());
-    for (unsigned i = 0; i < scheduler_.laneCount(); ++i)
+    for (unsigned i = 0; i < scheduler_.laneCount(); ++i) {
         laneSolvers_.emplace_back(config_.solverIterations);
+        laneSolvers_.back().setBackend(kernelBackend_);
+    }
     npLocals_.resize(scheduler_.laneCount());
+    for (Narrowphase &local : npLocals_)
+        local.setBackend(kernelBackend_);
     trace_.configure(scheduler_.laneCount(), config_.tracing);
 }
 
@@ -770,6 +780,26 @@ World::updateMetrics()
                  static_cast<double>(s.arenaGrowths));
     metrics_.add("solver.reuse",
                  static_cast<double>(s.solver.workspaceReuses));
+    // Vector-engine counters, summed across the solver, cloth and
+    // narrowphase kernels (all zero under the Scalar backend).
+    // Registry-only: metricsLine() keys are a frozen format.
+    metrics_.add("kernel.rows_vectorized",
+                 static_cast<double>(s.solver.kernels.rowsVectorized +
+                                     s.cloth.kernels.rowsVectorized +
+                                     s.narrowphase.kernels
+                                         .rowsVectorized));
+    metrics_.add("kernel.remainder_rows",
+                 static_cast<double>(s.solver.kernels.remainderRows +
+                                     s.cloth.kernels.remainderRows +
+                                     s.narrowphase.kernels
+                                         .remainderRows));
+    // Contact triplets routed through the fused fp32 fast path
+    // (solver-only; zero when islands fall back to the generic
+    // per-row sweep or under the Scalar backend).
+    metrics_.add("kernel.contact_units",
+                 static_cast<double>(s.solver.kernels.contactUnits));
+    metrics_.set("kernel.width",
+                 static_cast<double>(kernelBackend_->width()));
     // Gauges: the latest observation.
     metrics_.set("arena.high_water_bytes",
                  static_cast<double>(s.arenaHighWaterBytes));
@@ -1365,10 +1395,11 @@ World::phaseNarrowphase()
     const TaskScheduler::Tiling tile =
         scheduler_.tiling(pairs, config_.grainSize, npCost_);
     if (scheduler_.laneCount() == 1 || tile.chunks < 2) {
-        for (const GeomPair &pair : lastPairs_) {
-            narrowphase_.collide(*geoms_[pair.a], *geoms_[pair.b],
-                                 lastContacts_);
-        }
+        narrowphase_.batchClear();
+        for (const GeomPair &pair : lastPairs_)
+            narrowphase_.batchAdd(geoms_[pair.a].get(),
+                                  geoms_[pair.b].get());
+        narrowphase_.batchRun(lastContacts_);
         stepStats_.contactsCreated = lastContacts_.size();
         return;
     }
@@ -1386,11 +1417,13 @@ World::phaseNarrowphase()
         PAX_TRACE_SCOPE_ID(trace_, lane, "narrowphase_chunk",
                            stepCount_,
                            static_cast<std::int64_t>(begin));
+        Narrowphase &np = npLocals_[lane];
+        np.batchClear();
         for (std::size_t i = begin; i < end; ++i) {
             const GeomPair &pair = lastPairs_[i];
-            npLocals_[lane].collide(*geoms_[pair.a], *geoms_[pair.b],
-                                    out);
+            np.batchAdd(geoms_[pair.a].get(), geoms_[pair.b].get());
         }
+        np.batchRun(out);
     };
 
     if (config_.deterministic) {
@@ -1918,7 +1951,8 @@ World::phaseCloth()
                         static_cast<std::int64_t>(ci));
                     cloths_[ci]->step(config_.dt, config_.gravity,
                                       plan_.clothIterations,
-                                      colliders[ci], locals[ci]);
+                                      colliders[ci], locals[ci],
+                                      kernelBackend_);
                 }
             });
         if (prefetch) {
@@ -1939,6 +1973,7 @@ World::phaseCloth()
             stats.constraintRelaxations += ls.constraintRelaxations;
             stats.collisionTests += ls.collisionTests;
             stats.collisionsResolved += ls.collisionsResolved;
+            stats.kernels.merge(ls.kernels);
         }
     } else {
         for (size_t ci = 0; ci < cloths_.size(); ++ci) {
@@ -1948,7 +1983,7 @@ World::phaseCloth()
                                static_cast<std::int64_t>(ci));
             cloths_[ci]->step(config_.dt, config_.gravity,
                               plan_.clothIterations, colliders[ci],
-                              stats);
+                              stats, kernelBackend_);
         }
     }
 }

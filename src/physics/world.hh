@@ -101,6 +101,14 @@ struct WorldConfig
      *  but freezes its cost model at the committed constants, so
      *  chunk boundaries are a pure function of item counts. */
     bool deterministic = false;
+    /** Kernel backend for the SoA hot loops (PGS relaxation, cloth
+     *  integrate/relax, batched narrowphase). Scalar is the bitwise
+     *  reference; Native vectorizes with SIMD when the host supports
+     *  it (silently degrading to Scalar otherwise) and is
+     *  tolerance-bounded, not bitwise, against Scalar. Overridable
+     *  at runtime with the PAX_SIMD environment variable. Not
+     *  serialized in snapshots. */
+    SimdBackend simdBackend = SimdBackend::Scalar;
     /**
      * Pipeline overlap: run broadphase for step N+1 on a stealable
      * task while step N's cloth drains (they touch disjoint state:
@@ -462,6 +470,12 @@ class World
      *  regardless of the tracing flag. */
     const MetricsRegistry &metrics() const { return metrics_; }
 
+    /** The kernel backend this world resolved at construction:
+     *  config.simdBackend after the PAX_SIMD override and the
+     *  CPU-capability degrade (Native on an unsupported host runs
+     *  Scalar). */
+    const KernelBackend &kernelBackend() const { return *kernelBackend_; }
+
     /**
      * The stable per-step metrics line: one single-line JSON object
      * describing the step that just completed. Key order is fixed,
@@ -644,6 +658,10 @@ class World
     Narrowphase narrowphase_;
     IslandBuilder islandBuilder_;
     PgsSolver solver_;
+    /** Resolved kernel backend (config.simdBackend after the PAX_SIMD
+     *  override and CPU-capability degrade), shared by the solver
+     *  lanes, narrowphase and cloth. Never null after construction. */
+    const KernelBackend *kernelBackend_ = nullptr;
     EffectsManager effects_;
     TaskScheduler scheduler_;
     TraceCollector trace_;

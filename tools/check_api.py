@@ -25,6 +25,13 @@ CONSUMER_DIRS = ["bench", "examples", "tools"]
 # Include prefixes that are engine internals.
 FORBIDDEN = ("physics/", "server/")
 
+# Whitebox exceptions: consumers whose subject *is* an internal
+# seam. bench_kernels measures the KernelBackend implementations one
+# call at a time (scalar vs each SIMD backend), which cannot be done
+# through the public facade; it is a microbenchmark of the
+# internals, not an API consumer.
+WHITEBOX = {"bench/bench_kernels.cc"}
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
 
@@ -34,6 +41,8 @@ def main() -> int:
     for dirname in CONSUMER_DIRS:
         for path in sorted((root / dirname).rglob("*")):
             if path.suffix not in {".cc", ".cpp", ".hh", ".h"}:
+                continue
+            if str(path.relative_to(root)) in WHITEBOX:
                 continue
             for lineno, line in enumerate(
                     path.read_text().splitlines(), start=1):

@@ -14,9 +14,13 @@ Usage:
 
 The tolerance is absolute speedup (default 0.25: a baseline of 2.10x
 fails below 1.85x). Baselines measured on a different core count than
-the host (or recorded without a `cpus` field) produce a notice and a
-skip, mirroring the bench's own `cpu_mismatch` flag — cross-host
-speedup comparisons are not meaningful.
+the host produce a notice and a skip, mirroring the bench's own
+`cpu_mismatch` flag — cross-host speedup comparisons are not
+meaningful. A baseline that is unreadable or structurally malformed
+(missing `cpus`/`workers`/`speedup`, mismatched lengths, non-numeric
+speedups) is a hard failure, not a skip: a broken committed baseline
+should never silently disable the gate. Every SKIP notice names the
+detected host cpu count and the exact reason.
 """
 
 import json
@@ -31,8 +35,13 @@ def fail(msg):
     sys.exit(1)
 
 
-def skip(msg):
-    print("check_scaling: SKIP: %s" % msg)
+def skip(msg, cpus):
+    # Every skip names the host cpu count and the exact reason, so a
+    # CI log line is enough to tell "gate cannot run here" apart from
+    # "gate is broken".
+    print(
+        "check_scaling: SKIP (host has %d cpus): %s" % (cpus, msg)
+    )
     sys.exit(0)
 
 
@@ -52,8 +61,10 @@ def main(argv):
     cpus = os.cpu_count() or 1
     if cpus < 4:
         skip(
-            "host has %d cpus (< 4); the 4-worker sweep cannot "
-            "demonstrate scaling here" % cpus
+            "need at least 4 cpus for the 4-worker sweep; a "
+            "speedup measured here reflects the container, not "
+            "the code",
+            cpus,
         )
 
     try:
@@ -61,24 +72,50 @@ def main(argv):
             baseline = json.load(f)
     except (OSError, ValueError) as e:
         fail("cannot read baseline %s: %s" % (baseline_path, e))
+    if not isinstance(baseline, dict):
+        fail(
+            "baseline %s is malformed: top level is %s, expected "
+            "an object" % (baseline_path, type(baseline).__name__)
+        )
 
     base_cpus = baseline.get("cpus")
-    if base_cpus is None:
-        skip(
-            "baseline %s records no cpus field; re-baseline on this "
-            "host before gating" % baseline_path
+    if not isinstance(base_cpus, int):
+        fail(
+            "baseline %s is malformed: missing or non-integer "
+            "'cpus' field; re-record it with bench_parallel_scaling "
+            "--bench-out" % baseline_path
         )
-    if int(base_cpus) != cpus:
+    if base_cpus != cpus:
         skip(
-            "baseline measured on %d cpus, host has %d; speedups "
-            "are not comparable" % (base_cpus, cpus)
+            "baseline %s was measured on %d cpus; cross-host "
+            "speedup comparisons are not meaningful"
+            % (baseline_path, base_cpus),
+            cpus,
         )
 
-    workers = baseline.get("workers", [])
-    speedups = baseline.get("speedup", [])
-    if 4 not in workers or len(speedups) != len(workers):
+    workers = baseline.get("workers")
+    speedups = baseline.get("speedup")
+    if not isinstance(workers, list) or not isinstance(
+        speedups, list
+    ):
+        fail(
+            "baseline %s is malformed: 'workers' and 'speedup' "
+            "must both be arrays" % baseline_path
+        )
+    if len(speedups) != len(workers):
+        fail(
+            "baseline %s is malformed: %d workers entries but %d "
+            "speedup entries"
+            % (baseline_path, len(workers), len(speedups))
+        )
+    if 4 not in workers:
         fail("baseline %s has no 4-worker speedup" % baseline_path)
     base_speedup = speedups[workers.index(4)]
+    if not isinstance(base_speedup, (int, float)):
+        fail(
+            "baseline %s is malformed: 4-worker speedup is %r, "
+            "expected a number" % (baseline_path, base_speedup)
+        )
 
     out = os.path.join(
         tempfile.mkdtemp(prefix="check_scaling_"), "bench.json"
@@ -105,7 +142,7 @@ def main(argv):
 
     m_workers = measured.get("workers", [])
     m_speedups = measured.get("speedup", [])
-    if 4 not in m_workers:
+    if 4 not in m_workers or len(m_speedups) != len(m_workers):
         fail("bench JSON has no 4-worker run")
     got = m_speedups[m_workers.index(4)]
 

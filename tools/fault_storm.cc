@@ -193,7 +193,9 @@ main(int argc, char **argv)
     int steps = 200;
     double scale = 0.12;
     int npos = 0;
+    SimdBackend simd = simdBackendFromEnv(SimdBackend::Scalar);
     constexpr const char traceFlag[] = "--trace=";
+    constexpr const char simdFlag[] = "--simd=";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             quiet = true;
@@ -202,6 +204,20 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], traceFlag,
                                 sizeof(traceFlag) - 1) == 0) {
             trace_path = argv[i] + sizeof(traceFlag) - 1;
+        } else if (std::strncmp(argv[i], simdFlag,
+                                sizeof(simdFlag) - 1) == 0) {
+            const char *value = argv[i] + sizeof(simdFlag) - 1;
+            if (!parseSimdBackend(value, simd)) {
+                std::fprintf(stderr,
+                             "unrecognized --simd value '%s' "
+                             "(expected scalar or native)\n",
+                             value);
+                return 2;
+            }
+            setenv("PAX_SIMD",
+                   simd == SimdBackend::Native ? "native"
+                                               : "scalar",
+                   1);
         } else if (npos == 0) {
             steps = std::atoi(argv[i]);
             ++npos;
@@ -216,8 +232,9 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "fault storm: %d scenes x {0,2,8} workers x %d "
                      "substeps at scale %g, quarantine mode, "
-                     "mocked-clock governor\n",
-                     numBenchmarks, steps, scale);
+                     "mocked-clock governor, %s kernels\n",
+                     numBenchmarks, steps, scale,
+                     kernelBackendFor(simd).name());
     }
 
     int runs = 0;
@@ -236,6 +253,7 @@ main(int argc, char **argv)
             WorldConfig config;
             config.workerThreads = workers;
             config.deterministic = true;
+            config.simdBackend = simd;
             config.tracing = !trace_path.empty();
             config.invariantMode = InvariantMode::Quarantine;
             config.quarantineThawSteps = 20;

@@ -22,7 +22,11 @@
  * "last stdout line is the summary" contract holds).
  *
  * Run: ./build/tools/invariant_sweep [steps] [scale] [--json]
- *          [--trace=FILE] [--metrics-json]
+ *          [--trace=FILE] [--metrics-json] [--simd=BACKEND]
+ *
+ * --simd selects the kernel backend (scalar or native; PAX_SIMD
+ * sets the default) — the sweep is the acceptance gate showing the
+ * native SIMD kernels preserve every world invariant.
  */
 
 #include <cstdio>
@@ -44,7 +48,9 @@ main(int argc, char **argv)
     int positional[2] = {300, 0};
     double scale = 0.12;
     int npos = 0;
+    SimdBackend simd = simdBackendFromEnv(SimdBackend::Scalar);
     constexpr const char traceFlag[] = "--trace=";
+    constexpr const char simdFlag[] = "--simd=";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             json = true;
@@ -53,6 +59,20 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], traceFlag,
                                 sizeof(traceFlag) - 1) == 0) {
             trace_path = argv[i] + sizeof(traceFlag) - 1;
+        } else if (std::strncmp(argv[i], simdFlag,
+                                sizeof(simdFlag) - 1) == 0) {
+            const char *value = argv[i] + sizeof(simdFlag) - 1;
+            if (!parseSimdBackend(value, simd)) {
+                std::fprintf(stderr,
+                             "unrecognized --simd value '%s' "
+                             "(expected scalar or native)\n",
+                             value);
+                return 2;
+            }
+            setenv("PAX_SIMD",
+                   simd == SimdBackend::Native ? "native"
+                                               : "scalar",
+                   1);
         } else if (npos == 0) {
             positional[npos++] = std::atoi(argv[i]);
         } else if (npos == 1) {
@@ -66,9 +86,10 @@ main(int argc, char **argv)
     std::FILE *progress = json ? stderr : stdout;
     std::fprintf(progress,
                  "invariant sweep: %d scenes x {0,1,2,8} workers x "
-                 "%d substeps at scale %g (%s mode)\n",
+                 "%d substeps at scale %g (%s mode, %s kernels)\n",
                  numBenchmarks, steps, scale,
-                 json ? "warn" : "hard-fail");
+                 json ? "warn" : "hard-fail",
+                 kernelBackendFor(simd).name());
 
     std::uint64_t total_violations = 0;
     int runs = 0;
@@ -77,6 +98,7 @@ main(int argc, char **argv)
             WorldConfig config;
             config.workerThreads = workers;
             config.deterministic = true;
+            config.simdBackend = simd;
             config.tracing = !trace_path.empty();
             if (json)
                 config.invariantMode = InvariantMode::Warn;

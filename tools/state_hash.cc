@@ -15,7 +15,14 @@
  * change, `diff` it after: the first differing line names the run
  * that diverged.
  *
- * Run: ./build/tools/state_hash [steps] [scale]
+ * Run: ./build/tools/state_hash [steps] [scale] [--simd=BACKEND]
+ *
+ * --simd selects the kernel backend (scalar, the bitwise reference,
+ * or native — SIMD; PAX_SIMD sets the default). The header line
+ * names the backend actually running, since scalar and native
+ * fingerprints are not comparable: native relaxation sweeps in
+ * color-major order, so its trajectories are tolerance-bounded, not
+ * bitwise, against scalar.
  */
 
 #include <cstdint>
@@ -48,9 +55,37 @@ fold(std::uint64_t combined, std::uint64_t h)
 int
 main(int argc, char **argv)
 {
+    SimdBackend simd = simdBackendFromEnv(SimdBackend::Scalar);
+    constexpr const char simdFlag[] = "--simd=";
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], simdFlag,
+                         sizeof(simdFlag) - 1) == 0) {
+            const char *value = argv[i] + sizeof(simdFlag) - 1;
+            if (!parseSimdBackend(value, simd)) {
+                std::fprintf(stderr,
+                             "unrecognized --simd value '%s' "
+                             "(expected scalar or native)\n",
+                             value);
+                return 2;
+            }
+            setenv("PAX_SIMD",
+                   simd == SimdBackend::Native ? "native"
+                                               : "scalar",
+                   1);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
     const int steps = argc > 1 ? std::atoi(argv[1]) : 300;
     const double scale = argc > 2 ? std::atof(argv[2]) : 0.12;
     const unsigned worker_counts[] = {0, 1, 2, 8};
+
+    // Name the backend actually running (native silently degrades to
+    // scalar on hosts without SIMD support) so recorded fingerprints
+    // are self-describing.
+    std::printf("backend %s\n", kernelBackendFor(simd).name());
 
     std::uint64_t combined = 0xcbf29ce484222325ull;
     for (BenchmarkId id : allBenchmarks) {
@@ -58,6 +93,7 @@ main(int argc, char **argv)
             WorldConfig config;
             config.workerThreads = workers;
             config.deterministic = true;
+            config.simdBackend = simd;
             std::unique_ptr<World> world =
                 buildBenchmark(id, config, scale);
             for (int i = 0; i < steps; ++i)
